@@ -1,0 +1,124 @@
+// Command clustersim drives the scalable-server architecture of §6 and the
+// paper's future-work study: bandwidth allocation for a large number of
+// streams across scheduler and producer NIs.
+//
+// Usage:
+//
+//	clustersim -streams 40                     # admit, stream, report
+//	clustersim -nodes 4 -schedulers 3 -streams 200
+//	clustersim -sweep                          # capacity/goodput vs demand
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cluster"
+	"repro/internal/fixed"
+	"repro/internal/mpeg"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+func main() {
+	nodes := flag.Int("nodes", 1, "cluster nodes")
+	segments := flag.Int("segments", 2, "PCI segments per node")
+	schedulers := flag.Int("schedulers", 2, "scheduler NIs per node")
+	producers := flag.Int("producers", 2, "producer NIs per node")
+	streams := flag.Int("streams", 16, "streams to request")
+	periodMs := flag.Int("period", 160, "stream period (ms)")
+	frame := flag.Int64("frame", 5000, "nominal frame bytes")
+	durSec := flag.Int("dur", 30, "streaming duration (seconds)")
+	sweep := flag.Bool("sweep", false, "sweep requested stream count and report capacity")
+	flag.Parse()
+
+	cfgs := make([]cluster.NodeConfig, *nodes)
+	for i := range cfgs {
+		cfgs[i] = cluster.NodeConfig{
+			Name:         fmt.Sprintf("node%d", i),
+			Segments:     *segments,
+			SchedulerNIs: *schedulers,
+			ProducerNIs:  *producers,
+		}
+	}
+	req := cluster.StreamRequest{
+		Name:       "s",
+		Period:     sim.Time(*periodMs) * sim.Millisecond,
+		FrameBytes: *frame,
+		Loss:       fixed.New(1, 2),
+		Lossy:      true,
+	}
+
+	if *sweep {
+		runSweep(cfgs, req)
+		return
+	}
+
+	eng := sim.NewEngine(7)
+	c := cluster.New(eng, cfgs)
+	clip, err := mpeg.Generate(mpeg.GenConfig{
+		Frames: 151, FPS: 30, GOPPattern: "IBBPBBPBB",
+		MeanFrame: *frame, Seed: 1960,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "clustersim:", err)
+		os.Exit(1)
+	}
+
+	type placed struct {
+		p  *cluster.Placement
+		cl *netsim.Client
+	}
+	var admitted []placed
+	for i := 0; i < *streams; i++ {
+		r := req
+		r.Name = fmt.Sprintf("s%d", i)
+		p, err := c.Admit(r)
+		if err != nil {
+			fmt.Printf("stream %d rejected: %v\n", i, err)
+			break
+		}
+		cl := c.AttachClient(p)
+		c.Start(p, clip, req.Period/2, 1<<30)
+		admitted = append(admitted, placed{p, cl})
+	}
+	dur := sim.Time(*durSec) * sim.Second
+	eng.RunUntil(dur)
+
+	fmt.Printf("admitted %d/%d streams across %d node(s)\n", len(admitted), *streams, *nodes)
+	var totalBytes, totalLate int64
+	for _, a := range admitted {
+		totalBytes += a.cl.RecvBytes
+		totalLate += a.cl.Late
+	}
+	fmt.Printf("aggregate goodput: %.1f kbps, late frames: %d\n",
+		float64(totalBytes*8)/dur.Seconds()/1000, totalLate)
+	for _, n := range c.Nodes {
+		for _, s := range n.Schedulers {
+			st := s.Ext
+			verdict := "—"
+			if rep, err := s.Feasibility(); err == nil {
+				verdict = fmt.Sprintf("qos: link %.1f%% cpu %.1f%%", 100*rep.LinkUtilization, 100*rep.CPUUtilization)
+			} else {
+				verdict = "qos: " + err.Error()
+			}
+			fmt.Printf("  %-16s streams=%d cpu=%.0f%% link=%.0f%% sent=%d dropped=%d  [%s]\n",
+				s.Card.Name, s.Streams(), s.CPULoad()*100, s.LinkLoad()*100, st.Sent, st.Dropped, verdict)
+		}
+	}
+}
+
+func runSweep(cfgs []cluster.NodeConfig, req cluster.StreamRequest) {
+	fmt.Println("period_ms  frame_B  capacity(streams)  committed_bw_kbps")
+	for _, periodMs := range []int{40, 80, 160, 320} {
+		for _, frame := range []int64{1500, 5000, 15000} {
+			r := req
+			r.Period = sim.Time(periodMs) * sim.Millisecond
+			r.FrameBytes = frame
+			n := cluster.Capacity(cfgs, r)
+			bw := float64(n) * float64(frame*8) / (float64(periodMs) / 1000) / 1000
+			fmt.Printf("%9d  %7d  %17d  %17.0f\n", periodMs, frame, n, bw)
+		}
+	}
+}

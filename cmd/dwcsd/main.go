@@ -1,0 +1,204 @@
+// Command dwcsd streams synthetic MPEG-1 frames over real UDP, paced by the
+// same DWCS scheduler core the simulated NI runs — a genuine end-to-end
+// demonstration of the library outside the simulator.
+//
+// Serve (sender) and recv (receiver) typically run in two terminals:
+//
+//	dwcsd -recv 127.0.0.1:9961 -dur 5s
+//	dwcsd -dest 127.0.0.1:9961 -streams 2 -period 50ms -dur 5s
+//
+// Frames are fragmented into MTU-sized datagrams with the internal/proto
+// media framing and reassembled at the receiver, which reports per-stream
+// goodput and inter-arrival jitter.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"time"
+
+	"repro/internal/dwcs"
+	"repro/internal/fixed"
+	"repro/internal/mpeg"
+	"repro/internal/proto"
+	"repro/internal/sim"
+)
+
+func main() {
+	dest := flag.String("dest", "", "serve mode: destination UDP address")
+	recv := flag.String("recv", "", "receive mode: UDP listen address")
+	streams := flag.Int("streams", 2, "number of concurrent streams")
+	period := flag.Duration("period", 50*time.Millisecond, "per-stream frame period")
+	dur := flag.Duration("dur", 5*time.Second, "run duration")
+	flag.Parse()
+
+	switch {
+	case *recv != "":
+		if err := receiver(*recv, *dur); err != nil {
+			fatal(err)
+		}
+	case *dest != "":
+		if err := sender(*dest, *streams, *period, *dur); err != nil {
+			fatal(err)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "dwcsd: need -dest (send) or -recv (receive); see -h")
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dwcsd:", err)
+	os.Exit(1)
+}
+
+// sender paces clip frames to dest with DWCS over the wall clock.
+func sender(dest string, nStreams int, period, dur time.Duration) error {
+	conn, err := net.Dial("udp", dest)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+
+	clip := mpeg.GenerateDefault()
+	payload := mpeg.Encode(clip, 1960)
+
+	start := time.Now()
+	now := func() sim.Time { return sim.Time(time.Since(start)) }
+	sched := dwcs.New(dwcs.Config{
+		Now:           now,
+		EligibleEarly: sim.Time(period) / 4,
+	})
+	type cursor struct {
+		next   int
+		inject sim.Time
+	}
+	cursors := make([]cursor, nStreams)
+	for i := 0; i < nStreams; i++ {
+		if err := sched.AddStream(dwcs.StreamSpec{
+			ID:     i,
+			Name:   fmt.Sprintf("s%d", i),
+			Period: sim.Time(period),
+			Loss:   fixed.New(1, 2),
+			Lossy:  true,
+			BufCap: 16,
+		}); err != nil {
+			return err
+		}
+	}
+
+	sent, dropped := 0, 0
+	for now() < sim.Time(dur) {
+		// Inject due frames (producer side), half a period ahead.
+		for i := range cursors {
+			c := &cursors[i]
+			for c.inject <= now()+sim.Time(period) {
+				f := clip.Frames[c.next%len(clip.Frames)]
+				if sched.Enqueue(i, dwcs.Packet{Bytes: f.Size, Offset: f.Offset}) != nil {
+					break // ring full; retry next round
+				}
+				c.next++
+				c.inject += sim.Time(period)
+			}
+		}
+		d := sched.Schedule()
+		switch {
+		case d.Packet != nil:
+			p := d.Packet
+			frame := payload[p.Offset : p.Offset+p.Bytes]
+			for _, frag := range proto.FragmentFrame(uint32(p.StreamID), uint32(p.Seq), frame) {
+				if _, err := conn.Write(frag); err != nil {
+					return err
+				}
+			}
+			sent++
+		case d.WaitUntil > 0:
+			sleep := time.Duration(d.WaitUntil - now())
+			if sleep > time.Millisecond {
+				sleep = time.Millisecond // re-check injections periodically
+			}
+			if sleep > 0 {
+				time.Sleep(sleep)
+			}
+		default:
+			dropped += len(d.Dropped)
+			if len(d.Dropped) == 0 {
+				time.Sleep(time.Millisecond)
+			}
+		}
+		dropped += len(d.Dropped)
+	}
+	fmt.Printf("dwcsd: sent %d frames (%d dropped) on %d streams over %v\n",
+		sent, dropped, nStreams, dur)
+	return nil
+}
+
+type streamReport struct {
+	frames  int
+	bytes   int64
+	last    time.Time
+	gapsSum time.Duration
+	gapsN   int
+}
+
+// receiver reassembles frames until dur elapses and prints a per-stream
+// report. Large frames arrive as several datagrams; proto.Reassembler
+// rebuilds them exactly as a player-side segmenter would.
+func receiver(listen string, dur time.Duration) error {
+	addr, err := net.ResolveUDPAddr("udp", listen)
+	if err != nil {
+		return err
+	}
+	conn, err := net.ListenUDP("udp", addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+
+	reports := make(map[uint32]*streamReport)
+	reasm := proto.NewReassembler(func(streamID, seq uint32, frame []byte) {
+		r := reports[streamID]
+		if r == nil {
+			r = &streamReport{}
+			reports[streamID] = r
+		}
+		nowT := time.Now()
+		if !r.last.IsZero() {
+			r.gapsSum += nowT.Sub(r.last)
+			r.gapsN++
+		}
+		r.last = nowT
+		r.frames++
+		r.bytes += int64(len(frame))
+	})
+
+	buf := make([]byte, 64<<10)
+	deadline := time.Now().Add(dur)
+	for time.Now().Before(deadline) {
+		conn.SetReadDeadline(time.Now().Add(200 * time.Millisecond))
+		n, err := conn.Read(buf)
+		if err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				continue
+			}
+			return err
+		}
+		_ = reasm.Ingest(buf[:n]) // malformed datagrams are skipped
+	}
+	if len(reports) == 0 {
+		fmt.Println("dwcsd: no frames received")
+		return nil
+	}
+	for id, r := range reports {
+		meanGap := time.Duration(0)
+		if r.gapsN > 0 {
+			meanGap = r.gapsSum / time.Duration(r.gapsN)
+		}
+		fmt.Printf("stream %d: %d frames, %d bytes, %.1f kbps, mean inter-arrival %v\n",
+			id, r.frames, r.bytes, float64(r.bytes*8)/dur.Seconds()/1000, meanGap.Round(time.Millisecond))
+	}
+	fmt.Printf("total reassembled frames: %d (discarded %d)\n", reasm.Completed, reasm.Discarded)
+	return nil
+}

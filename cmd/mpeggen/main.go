@@ -1,0 +1,72 @@
+// Command mpeggen generates synthetic MPEG-1 clips (the reproduction's
+// stand-in for the paper's MPEG test files) and segments existing ones.
+//
+// Usage:
+//
+//	mpeggen -o clip.mpg                      # the paper's 773665-byte clip
+//	mpeggen -frames 300 -fps 25 -o clip.mpg  # custom clip
+//	mpeggen -segment clip.mpg                # print the frame table
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/mpeg"
+)
+
+func main() {
+	frames := flag.Int("frames", 151, "number of frames")
+	fps := flag.Int("fps", 30, "frame rate")
+	gop := flag.String("gop", "IBBPBBPBB", "GOP pattern")
+	size := flag.Int64("size", 773665, "exact target size in bytes (0 = use -mean)")
+	mean := flag.Int64("mean", 4096, "mean frame size when -size is 0")
+	seed := flag.Int64("seed", 1960, "generation seed")
+	out := flag.String("o", "", "output file ('-' or empty prints a summary only)")
+	segment := flag.String("segment", "", "segment an existing file and print its frame table")
+	flag.Parse()
+
+	if *segment != "" {
+		data, err := os.ReadFile(*segment)
+		if err != nil {
+			fatal(err)
+		}
+		clip, err := mpeg.Segment(data)
+		if err != nil {
+			fatal(err)
+		}
+		printTable(clip)
+		return
+	}
+
+	clip, err := mpeg.Generate(mpeg.GenConfig{
+		Frames: *frames, FPS: *fps, GOPPattern: *gop,
+		TargetSize: *size, MeanFrame: *mean, Seed: *seed,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if *out != "" && *out != "-" {
+		if err := os.WriteFile(*out, mpeg.Encode(clip, *seed), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s: ", *out)
+	}
+	i, p, b := clip.CountByType()
+	fmt.Printf("%d frames (%dI/%dP/%dB), %d bytes, %d fps, ≈%d bps\n",
+		len(clip.Frames), i, p, b, clip.Bytes, clip.FPS, clip.BitrateBps())
+}
+
+func printTable(clip *mpeg.Clip) {
+	fmt.Printf("fps=%d frames=%d bytes=%d\n", clip.FPS, len(clip.Frames), clip.Bytes)
+	fmt.Println("index  type  offset     size")
+	for _, f := range clip.Frames {
+		fmt.Printf("%5d  %4s  %9d  %6d\n", f.Index, f.Type, f.Offset, f.Size)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mpeggen:", err)
+	os.Exit(1)
+}

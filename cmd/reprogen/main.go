@@ -1,0 +1,143 @@
+// Command reprogen regenerates every table and figure of the paper's
+// evaluation section and prints paper-vs-measured comparisons.
+//
+// Usage:
+//
+//	reprogen                 # everything
+//	reprogen -table 4        # one table (1–5)
+//	reprogen -figure 9       # one figure (6–10)
+//	reprogen -headline       # the 50 µs vs 65 µs headline
+//	reprogen -csv out/       # also dump the figure curves as CSV files
+//	reprogen -dur 60         # figure observation length in seconds
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/experiments"
+	"repro/internal/sim"
+)
+
+func main() {
+	table := flag.Int("table", 0, "regenerate one table (1-5)")
+	figure := flag.Int("figure", 0, "regenerate one figure (6-10)")
+	headline := flag.Bool("headline", false, "regenerate the headline overhead comparison")
+	scaling := flag.Bool("scaling", false, "run the stream-count scaling study (§6 future work)")
+	csvDir := flag.String("csv", "", "directory to write figure curves as CSV")
+	durSec := flag.Int("dur", 100, "figure observation length (seconds)")
+	flag.Parse()
+
+	dur := sim.Time(*durSec) * sim.Second
+	all := *table == 0 && *figure == 0 && !*headline && !*scaling
+
+	var hostFigs *experiments.HostFigures
+	var niFigs *experiments.NIFigures
+	needHost := all || (*figure >= 6 && *figure <= 8)
+	needNI := all || *figure == 9 || *figure == 10
+	if needHost {
+		hostFigs = experiments.RunHostFigures(dur)
+	}
+	if needNI {
+		niFigs = experiments.RunNIFigures(dur / 2)
+	}
+
+	if all || *table == 1 {
+		fmt.Print(experiments.RunTable1())
+	}
+	if all || *table == 2 {
+		fmt.Print(experiments.RunTable2())
+	}
+	if all || *table == 3 {
+		fmt.Print(experiments.RunTable3())
+	}
+	if all || *table == 4 {
+		fmt.Print(experiments.RunTable4())
+	}
+	if all || *table == 5 {
+		fmt.Print(experiments.RunTable5())
+	}
+	if all || *headline {
+		fmt.Print(experiments.RunHeadline())
+	}
+	if all || *scaling {
+		_, res := experiments.RunStreamScaling([]int{4, 16, 64, 256})
+		fmt.Print(res)
+	}
+	if hostFigs != nil {
+		if all || *figure == 6 {
+			fmt.Print(hostFigs.Figure6())
+		}
+		if all || *figure == 7 {
+			fmt.Print(hostFigs.Figure7())
+		}
+		if all || *figure == 8 {
+			fmt.Print(hostFigs.Figure8())
+		}
+	}
+	if niFigs != nil {
+		if all || *figure == 9 {
+			fmt.Print(niFigs.Figure9())
+		}
+		if all || *figure == 10 {
+			fmt.Print(niFigs.Figure10())
+		}
+	}
+	if all && hostFigs != nil && niFigs != nil {
+		fmt.Print(experiments.JitterComparison(hostFigs, niFigs))
+	}
+
+	if *csvDir != "" {
+		if err := dumpCSV(*csvDir, hostFigs, niFigs); err != nil {
+			fmt.Fprintln(os.Stderr, "csv:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("curves written to %s\n", *csvDir)
+	}
+}
+
+func dumpCSV(dir string, hostFigs *experiments.HostFigures, niFigs *experiments.NIFigures) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	write := func(name, body string) error {
+		return os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644)
+	}
+	if hostFigs != nil {
+		for pct, run := range hostFigs.Runs {
+			prefix := fmt.Sprintf("host-load%.0f", pct)
+			if err := write(prefix+"-util.csv", run.Util.CSV()); err != nil {
+				return err
+			}
+			for name, s := range run.BW {
+				if err := write(fmt.Sprintf("%s-bw-%s.csv", prefix, name), s.CSV()); err != nil {
+					return err
+				}
+			}
+			for name, d := range run.QDelay {
+				if err := write(fmt.Sprintf("%s-qdelay-%s.csv", prefix, name), d.CSV()); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if niFigs != nil {
+		for label, run := range map[string]*experiments.StreamCurves{
+			"ni-noload": niFigs.NoLoad, "ni-load60": niFigs.Loaded60,
+		} {
+			for name, s := range run.BW {
+				if err := write(fmt.Sprintf("%s-bw-%s.csv", label, name), s.CSV()); err != nil {
+					return err
+				}
+			}
+			for name, d := range run.QDelay {
+				if err := write(fmt.Sprintf("%s-qdelay-%s.csv", label, name), d.CSV()); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}

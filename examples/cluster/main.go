@@ -1,0 +1,81 @@
+// Cluster: the scalable media server of the paper's §1/§6 — a 4-node
+// cluster (each node with two PCI segments, scheduler NIs, and disk-
+// attached producer NIs) serving dozens of admitted streams through a
+// system-area switch.
+//
+//	go run ./examples/cluster
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/fixed"
+	"repro/internal/mpeg"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+func main() {
+	eng := sim.NewEngine(16)
+	cfgs := make([]cluster.NodeConfig, 4)
+	for i := range cfgs {
+		cfgs[i] = cluster.NodeConfig{
+			Name:         fmt.Sprintf("node%d", i),
+			Segments:     2,
+			SchedulerNIs: 2,
+			ProducerNIs:  2,
+		}
+	}
+	c := cluster.New(eng, cfgs)
+
+	clip, err := mpeg.Generate(mpeg.GenConfig{
+		Frames: 151, FPS: 30, GOPPattern: "IBBPBBPBB", MeanFrame: 5000, Seed: 1960,
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	// Admit a mix of standard and premium (lossless) streams.
+	var clients []*netsim.Client
+	admitted := 0
+	for i := 0; i < 48; i++ {
+		req := cluster.StreamRequest{
+			Name:       fmt.Sprintf("s%d", i),
+			Period:     160 * sim.Millisecond,
+			FrameBytes: 5000,
+			Loss:       fixed.New(1, 2),
+			Lossy:      true,
+		}
+		if i%8 == 0 { // premium: no losses allowed
+			req.Loss = fixed.New(0, 1)
+			req.Lossy = false
+		}
+		p, err := c.Admit(req)
+		if err != nil {
+			fmt.Printf("request %d rejected: %v\n", i, err)
+			continue
+		}
+		clients = append(clients, c.AttachClient(p))
+		c.Start(p, clip, 80*sim.Millisecond, 1<<30)
+		admitted++
+	}
+
+	dur := 20 * sim.Second
+	eng.RunUntil(dur)
+
+	var bytes, late int64
+	for _, cl := range clients {
+		bytes += cl.RecvBytes
+		late += cl.Late
+	}
+	fmt.Printf("admitted %d streams on %d nodes\n", admitted, len(c.Nodes))
+	fmt.Printf("aggregate goodput %.1f Mbps, late frames %d, SAN forwarded %d frames\n",
+		float64(bytes*8)/dur.Seconds()/1e6, late, c.Switch.Forwarded)
+	for _, n := range c.Nodes {
+		for _, s := range n.Schedulers {
+			fmt.Printf("  %-14s streams=%2d committed-cpu=%4.1f%% committed-link=%4.1f%% sent=%4d\n",
+				s.Card.Name, s.Streams(), s.CPULoad()*100, s.LinkLoad()*100, s.Ext.Sent)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+// Loadimmunity: the paper's core demonstration (§4.2.3, Figures 6–10) —
+// load a web server on the host while two MPEG streams play, with the DWCS
+// scheduler either on the host CPU or on the i960 RD network interface.
+//
+// The host-based scheduler's bandwidth collapses and its queuing delay
+// grows once web load pushes CPU utilization to 60%; the NI-based scheduler
+// doesn't move.
+//
+//	go run ./examples/loadimmunity
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/experiments"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+func main() {
+	dur := 100 * sim.Second
+	fmt.Println("=== host-based DWCS (bound to CPU 0 with pbind) ===")
+	fmt.Println("load        settle-bw s1   max qdelay s1   dropped")
+	from, to := experiments.PeakWindow(dur)
+	for _, pct := range []float64{0, 45, 60} {
+		run := experiments.RunHostLoad(pct, dur)
+		bw := run.SettleBW("s1", dur)
+		if pct > 0 {
+			bw = run.SettleBWWindow("s1", from, to)
+		}
+		fmt.Printf("%-10s  %9.0f bps  %11.1f s   %7d\n",
+			run.Load, bw, run.QDelay["s1"].Max().Seconds(), run.Dropped)
+	}
+
+	fmt.Println()
+	fmt.Println("=== NI-based DWCS (i960 RD card, own bus segment) ===")
+	fmt.Println("load        settle-bw s1   max qdelay s1   dropped")
+	for _, pct := range []float64{0, 60} {
+		run := experiments.RunNILoad(pct, dur/2, false)
+		fmt.Printf("%-10s  %9.0f bps  %11.1f s   %7d\n",
+			run.Load, run.SettleBW("s1", dur/2), run.QDelay["s1"].Max().Seconds(), run.Dropped)
+	}
+	fmt.Println()
+	fmt.Println("=== queuing-delay distribution, s1 (1s buckets) ===")
+	host60 := experiments.RunHostLoad(60, dur)
+	ni60 := experiments.RunNILoad(60, dur/2, false)
+	for _, c := range []struct {
+		name  string
+		delay []sim.Time
+	}{
+		{"host @60% load", host60.QDelay["s1"].Delays},
+		{"NI   @60% load", ni60.QDelay["s1"].Delays},
+	} {
+		h := stats.NewHistogram(2*sim.Second, 16)
+		for _, d := range c.delay {
+			h.Add(d)
+		}
+		fmt.Printf("%s (p90 ≤ %v):"+"\n"+"%s", c.name, h.Quantile(0.9), h)
+	}
+
+	fmt.Println()
+	fmt.Println("The NI-based rows are identical under load: packet scheduling on the")
+	fmt.Println("network interface is immune to host-CPU loading (paper §6).")
+}

@@ -1,0 +1,151 @@
+// Package cache is a media-object cache for NI or proxy nodes — the
+// "media caching or proxy servers" technique the paper's introduction lists
+// among the network-level approaches to scalable media delivery (§1).
+//
+// The cache holds frame extents (clip offset ranges) under a byte budget
+// with LRU eviction and exposes the same asynchronous read interface as a
+// filesystem, so a producer can front its disk with a cache transparently:
+// hits complete after a card-memory copy; misses read through to the
+// backing store and insert.
+package cache
+
+import (
+	"container/list"
+	"fmt"
+
+	"repro/internal/disk"
+	"repro/internal/sim"
+)
+
+// Key identifies one cached extent: a clip (by name) plus its offset.
+// Extent granularity is whatever the caller reads — for the MPEG producers
+// that is exactly one frame, which matches how players request media.
+type Key struct {
+	Clip   string
+	Offset int64
+}
+
+// Cache is an LRU byte-budgeted frame cache over a backing FS.
+type Cache struct {
+	eng     *sim.Engine
+	backing disk.FS
+	clip    string // name used in keys for the backing store's media file
+
+	budget  int64
+	used    int64
+	entries map[Key]*list.Element
+	lru     *list.List // front = most recent
+	hitCost sim.Time
+
+	// Hits, Misses, Evictions count cache outcomes; HitBytes/MissBytes the
+	// corresponding traffic.
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	HitBytes  int64
+	MissBytes int64
+
+	loading map[Key][]func()
+}
+
+type entry struct {
+	key  Key
+	size int64
+}
+
+// New returns a cache of `budget` bytes in front of backing; clip names the
+// backing media file in keys. hitCost is the card-memory copy time per hit
+// (0 picks a 40 µs default).
+func New(eng *sim.Engine, backing disk.FS, clip string, budget int64, hitCost sim.Time) *Cache {
+	if budget <= 0 {
+		panic(fmt.Sprintf("cache: bad budget %d", budget))
+	}
+	if hitCost == 0 {
+		hitCost = 40 * sim.Microsecond
+	}
+	return &Cache{
+		eng:     eng,
+		backing: backing,
+		clip:    clip,
+		budget:  budget,
+		entries: make(map[Key]*list.Element),
+		lru:     list.New(),
+		hitCost: hitCost,
+		loading: make(map[Key][]func()),
+	}
+}
+
+// Name implements disk.FS.
+func (c *Cache) Name() string { return "cache(" + c.backing.Name() + ")" }
+
+// Used returns resident bytes.
+func (c *Cache) Used() int64 { return c.used }
+
+// HitRate returns hits/(hits+misses), 0 when cold.
+func (c *Cache) HitRate() float64 {
+	total := c.Hits + c.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.Hits) / float64(total)
+}
+
+// Read implements disk.FS: serve from cache or read through and insert.
+// Objects larger than the whole budget bypass the cache.
+func (c *Cache) Read(off, n int64, done func()) {
+	key := Key{Clip: c.clip, Offset: off}
+	if el, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(el)
+		c.Hits++
+		c.HitBytes += n
+		c.eng.After(c.hitCost, done)
+		return
+	}
+	c.Misses++
+	c.MissBytes += n
+	if n > c.budget {
+		c.backing.Read(off, n, done) // uncacheably large: read through
+		return
+	}
+	// Coalesce concurrent misses on the same extent.
+	if waiters, inFlight := c.loading[key]; inFlight {
+		c.loading[key] = append(waiters, done)
+		return
+	}
+	c.loading[key] = []func(){done}
+	c.backing.Read(off, n, func() {
+		c.insert(key, n)
+		waiters := c.loading[key]
+		delete(c.loading, key)
+		for _, w := range waiters {
+			if w != nil {
+				w()
+			}
+		}
+	})
+}
+
+func (c *Cache) insert(key Key, size int64) {
+	if _, dup := c.entries[key]; dup {
+		return
+	}
+	for c.used+size > c.budget {
+		back := c.lru.Back()
+		if back == nil {
+			return // shouldn't happen: size ≤ budget
+		}
+		ev := back.Value.(*entry)
+		c.lru.Remove(back)
+		delete(c.entries, ev.key)
+		c.used -= ev.size
+		c.Evictions++
+	}
+	c.entries[key] = c.lru.PushFront(&entry{key: key, size: size})
+	c.used += size
+}
+
+// Contains reports whether the extent at off is resident.
+func (c *Cache) Contains(off int64) bool {
+	_, ok := c.entries[Key{Clip: c.clip, Offset: off}]
+	return ok
+}

@@ -1,0 +1,164 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/disk"
+	"repro/internal/sim"
+)
+
+func newCache(t *testing.T, budget int64) (*sim.Engine, *Cache, *disk.Disk) {
+	if t != nil {
+		t.Helper()
+	}
+	eng := sim.NewEngine(4)
+	d := disk.New(eng, disk.DefaultSCSI("backing"))
+	fs := disk.NewDOSFS(d)
+	return eng, New(eng, fs, "clip", budget, 0), d
+}
+
+func TestMissReadsThroughThenHits(t *testing.T) {
+	eng, c, d := newCache(t, 1<<20)
+	var missT, hitT sim.Time
+	start := eng.Now()
+	c.Read(0, 1000, func() { missT = eng.Now() - start })
+	eng.Run()
+	start = eng.Now()
+	c.Read(0, 1000, func() { hitT = eng.Now() - start })
+	eng.Run()
+	if c.Hits != 1 || c.Misses != 1 {
+		t.Fatalf("hits/misses = %d/%d", c.Hits, c.Misses)
+	}
+	if hitT >= missT/10 {
+		t.Fatalf("hit (%v) should be far cheaper than miss (%v)", hitT, missT)
+	}
+	if d.Stats.Reads != 1 {
+		t.Fatalf("backing reads = %d, want 1", d.Stats.Reads)
+	}
+	if c.HitRate() != 0.5 {
+		t.Fatalf("hit rate = %v", c.HitRate())
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	eng, c, _ := newCache(t, 3000)
+	run := func(off int64) {
+		c.Read(off, 1000, nil)
+		eng.Run()
+	}
+	run(0)
+	run(1000)
+	run(2000) // full
+	run(0)    // refresh 0
+	run(3000) // evicts 1000 (LRU)
+	if !c.Contains(0) || !c.Contains(3000) {
+		t.Fatal("wrong entries evicted")
+	}
+	if c.Contains(1000) {
+		t.Fatal("LRU entry survived")
+	}
+	if c.Evictions != 1 {
+		t.Fatalf("evictions = %d", c.Evictions)
+	}
+	if c.Used() > 3000 {
+		t.Fatalf("used = %d over budget", c.Used())
+	}
+}
+
+func TestOversizeObjectBypasses(t *testing.T) {
+	eng, c, d := newCache(t, 1000)
+	done := false
+	c.Read(0, 5000, func() { done = true })
+	eng.Run()
+	if !done {
+		t.Fatal("oversize read did not complete")
+	}
+	if c.Contains(0) {
+		t.Fatal("oversize object cached")
+	}
+	if d.Stats.Reads != 1 {
+		t.Fatalf("backing reads = %d", d.Stats.Reads)
+	}
+}
+
+func TestConcurrentMissesCoalesce(t *testing.T) {
+	eng, c, d := newCache(t, 1<<20)
+	done := 0
+	for i := 0; i < 5; i++ {
+		c.Read(0, 1000, func() { done++ })
+	}
+	eng.Run()
+	if done != 5 {
+		t.Fatalf("completions = %d", done)
+	}
+	if d.Stats.Reads != 1 {
+		t.Fatalf("backing reads = %d, want 1 (coalesced)", d.Stats.Reads)
+	}
+	if c.Misses != 5 || c.Hits != 0 {
+		t.Fatalf("hits/misses = %d/%d", c.Hits, c.Misses)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	eng := sim.NewEngine(1)
+	d := disk.New(eng, disk.DefaultSCSI("b"))
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	New(eng, disk.NewDOSFS(d), "c", 0, 0)
+}
+
+func TestNameAndColdRate(t *testing.T) {
+	_, c, _ := newCache(t, 1000)
+	if c.Name() != "cache(dosFs)" {
+		t.Fatalf("name = %q", c.Name())
+	}
+	if c.HitRate() != 0 {
+		t.Fatal("cold hit rate should be 0")
+	}
+}
+
+// Property: used bytes never exceed the budget, and every read completes.
+func TestBudgetInvariant(t *testing.T) {
+	f := func(offs []uint16, budgetSeed uint16) bool {
+		budget := int64(budgetSeed)%8000 + 1000
+		eng, c, _ := newCache(nil, budget)
+		completions := 0
+		for _, o := range offs {
+			c.Read(int64(o)*500, 500, func() { completions++ })
+			eng.Run()
+			if c.Used() > budget {
+				return false
+			}
+		}
+		return completions == len(offs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A producer-style streaming loop over a looping clip: the second pass is
+// nearly all hits.
+func TestRepeatStreamIsCached(t *testing.T) {
+	eng, c, d := newCache(t, 1<<20)
+	offsets := []int64{0, 1000, 2000, 3000, 4000}
+	pass := func() {
+		for _, off := range offsets {
+			c.Read(off, 1000, nil)
+			eng.Run()
+		}
+	}
+	pass()
+	reads := d.Stats.Reads
+	pass()
+	if d.Stats.Reads != reads {
+		t.Fatalf("second pass touched the disk: %d → %d", reads, d.Stats.Reads)
+	}
+	if c.Hits != int64(len(offsets)) {
+		t.Fatalf("hits = %d", c.Hits)
+	}
+}

@@ -1,0 +1,406 @@
+// Package cluster builds the scalable media server of §1 and §6: nodes
+// with several PCI segments, each populated with scheduler NIs (dedicated
+// i960 RD cards, caches enabled, no disks) and producer NIs (disk-attached
+// cards), joined by a system-area switch to remote clients.
+//
+// "Given the limited I/O slot real-estate, careful balance between NIs
+// dedicated for scheduling and stream sourcing is required" (§6) — Admit
+// implements that balance: it places each requested stream on the least-
+// loaded scheduler NI with CPU, link, and memory headroom, pairs it with
+// the least-loaded producer NI on the same bus segment, and rejects
+// requests that would overcommit any of the three resources. The paper's
+// future-work item — bandwidth allocation across a large number of streams
+// — is exercised by cmd/clustersim's stream-count sweep.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/bus"
+	"repro/internal/disk"
+	"repro/internal/dvcmnet"
+	"repro/internal/dwcs"
+	"repro/internal/fixed"
+	"repro/internal/mpeg"
+	"repro/internal/netsim"
+	"repro/internal/nic"
+	"repro/internal/qos"
+	"repro/internal/sim"
+)
+
+// ErrAdmission is returned when no NI has capacity for a requested stream.
+var ErrAdmission = errors.New("cluster: admission denied")
+
+// Per-frame NI CPU budget: one scheduling decision plus dispatch plus
+// protocol stack (§4 measurements: ≈67 µs + ≈27 µs + ≈830 µs).
+const cpuPerFrame = 925 * sim.Microsecond
+
+// maxUtil is the admission ceiling on every resource.
+const maxUtil = 0.7
+
+// StreamRequest asks the cluster to serve one media stream.
+type StreamRequest struct {
+	Name       string
+	Period     sim.Time   // requested inter-frame service time
+	FrameBytes int64      // nominal frame size
+	Loss       fixed.Frac // DWCS loss-tolerance
+	Lossy      bool
+	BufCap     int // ring depth; 0 = 64
+}
+
+func (r StreamRequest) validate() error {
+	if r.Period <= 0 {
+		return fmt.Errorf("cluster: %s: period must be positive", r.Name)
+	}
+	if r.FrameBytes <= 0 {
+		return fmt.Errorf("cluster: %s: frame size must be positive", r.Name)
+	}
+	return nil
+}
+
+// SchedulerNI is a dedicated scheduling card plus its load bookkeeping.
+type SchedulerNI struct {
+	Card *nic.Card
+	Ext  *nic.SchedulerExt
+	// Endpoint is the card's presence in the distributed VCM: any node can
+	// drive this scheduler with remote instructions over the SAN.
+	Endpoint *dvcmnet.Endpoint
+
+	cpuLoad  float64 // fraction of NI CPU committed
+	linkLoad float64 // fraction of the Ethernet port committed
+	memLoad  int64   // bytes of card memory committed to rings
+	streams  int
+	specs    map[int]qos.Stream // admitted streams, for feasibility analysis
+	failed   bool
+}
+
+// Failed reports whether the card has been failed out of service.
+func (s *SchedulerNI) Failed() bool { return s.failed }
+
+// Streams returns how many streams are placed on this card.
+func (s *SchedulerNI) Streams() int { return s.streams }
+
+// CPULoad returns the committed CPU fraction.
+func (s *SchedulerNI) CPULoad() float64 { return s.cpuLoad }
+
+// LinkLoad returns the committed link fraction.
+func (s *SchedulerNI) LinkLoad() float64 { return s.linkLoad }
+
+// Feasibility analyses this card's admitted stream set against its link
+// and CPU with the internal/qos window-constraint bounds — the analytical
+// check dual to the admission accounting.
+func (s *SchedulerNI) Feasibility() (*qos.Report, error) {
+	streams := make([]qos.Stream, 0, len(s.specs))
+	for _, st := range s.specs {
+		streams = append(streams, st)
+	}
+	linkBps := 0.0
+	if s.Card.Link != nil {
+		linkBps = 100e6
+	}
+	return qos.Check(streams, linkBps, cpuPerFrame)
+}
+
+// ProducerNI is a disk-attached source card.
+type ProducerNI struct {
+	Card    *nic.Card
+	Disk    *disk.Disk
+	streams int
+}
+
+// Node is one server in the cluster.
+type Node struct {
+	Name       string
+	Segments   []*bus.Bus
+	Schedulers []*SchedulerNI
+	Producers  []*ProducerNI
+
+	segOf map[*nic.Card]*bus.Bus
+}
+
+// NodeConfig sizes one node.
+type NodeConfig struct {
+	Name         string
+	Segments     int // PCI bus segments
+	SchedulerNIs int // dedicated scheduler cards, spread across segments
+	ProducerNIs  int // disk-attached cards, spread across segments
+}
+
+// Cluster is the whole server complex.
+type Cluster struct {
+	Eng    *sim.Engine
+	Switch *netsim.Switch
+	Nodes  []*Node
+
+	nextID   int
+	Placed   int
+	Rejected int
+}
+
+// New builds a cluster of nodes per cfg, all attached to one SAN switch.
+func New(eng *sim.Engine, cfgs []NodeConfig) *Cluster {
+	c := &Cluster{
+		Eng:    eng,
+		Switch: netsim.NewSwitch(eng, "san", 90*sim.Microsecond),
+	}
+	for _, cfg := range cfgs {
+		c.Nodes = append(c.Nodes, c.buildNode(cfg))
+	}
+	return c
+}
+
+func (c *Cluster) buildNode(cfg NodeConfig) *Node {
+	if cfg.Segments <= 0 {
+		cfg.Segments = 1
+	}
+	n := &Node{Name: cfg.Name, segOf: make(map[*nic.Card]*bus.Bus)}
+	for i := 0; i < cfg.Segments; i++ {
+		n.Segments = append(n.Segments, bus.New(c.Eng, bus.PCI(fmt.Sprintf("%s/pci%d", cfg.Name, i))))
+	}
+	for i := 0; i < cfg.SchedulerNIs; i++ {
+		seg := n.Segments[i%len(n.Segments)]
+		card := nic.New(c.Eng, nic.Config{
+			Name:    fmt.Sprintf("%s/sched%d", cfg.Name, i),
+			PCI:     seg,
+			CacheOn: true, // dedicated scheduler NI: no disk, cache stays on
+		})
+		card.ConnectEthernet(netsim.Fast100(c.Eng, card.Name+"-eth", c.Switch))
+		ext, err := card.LoadScheduler(nic.SchedulerConfig{
+			Selector: dwcs.Heaps, // large stream counts
+			// Dispatch a little ahead of each deadline so stack + wire
+			// time lands frames at clients on time.
+			EligibleEarly: 20 * sim.Millisecond,
+		})
+		if err != nil {
+			panic(err)
+		}
+		n.Schedulers = append(n.Schedulers, &SchedulerNI{
+			Card: card, Ext: ext,
+			Endpoint: dvcmnet.Attach(c.Eng, c.Switch, card.Name, card.VCM),
+			specs:    make(map[int]qos.Stream),
+		})
+		n.segOf[card] = seg
+	}
+	for i := 0; i < cfg.ProducerNIs; i++ {
+		seg := n.Segments[i%len(n.Segments)]
+		card := nic.New(c.Eng, nic.Config{
+			Name: fmt.Sprintf("%s/prod%d", cfg.Name, i),
+			PCI:  seg,
+		})
+		d := disk.New(c.Eng, disk.DefaultSCSI(card.Name+"-disk"))
+		card.AttachDisk(d, disk.NewDOSFS(d))
+		n.Producers = append(n.Producers, &ProducerNI{Card: card, Disk: d})
+		n.segOf[card] = seg
+	}
+	return n
+}
+
+// Placement records where an admitted stream landed.
+type Placement struct {
+	StreamID  int
+	Node      *Node
+	Scheduler *SchedulerNI
+	Producer  *ProducerNI
+	Client    string // client address the stream is delivered to
+
+	commit *commitment
+}
+
+// commitment remembers what Admit charged so Release can refund it.
+type commitment struct {
+	cpu, link float64
+	mem       int64
+}
+
+// Admit places a stream, preferring the least-CPU-loaded scheduler NI whose
+// CPU, link, and memory all stay under the admission ceiling, paired with
+// the least-loaded producer NI on the same segment. It returns ErrAdmission
+// when nothing fits.
+func (c *Cluster) Admit(req StreamRequest) (*Placement, error) {
+	if err := req.validate(); err != nil {
+		return nil, err
+	}
+	bufCap := req.BufCap
+	if bufCap == 0 {
+		bufCap = 64
+	}
+	frameRate := float64(sim.Second) / float64(req.Period)
+	cpuNeed := frameRate * cpuPerFrame.Seconds()
+	var best *SchedulerNI
+	var bestNode *Node
+	for _, n := range c.Nodes {
+		for _, s := range n.Schedulers {
+			if s.Card.Link == nil || s.failed {
+				continue
+			}
+			linkNeed := frameRate * s.Card.Link.WireTime(req.FrameBytes).Seconds()
+			memNeed := int64(bufCap) * req.FrameBytes
+			if s.cpuLoad+cpuNeed > maxUtil || s.linkLoad+linkNeed > maxUtil {
+				continue
+			}
+			if s.memLoad+memNeed > s.Card.Mem.Size()*7/10 {
+				continue
+			}
+			if best == nil || s.cpuLoad < best.cpuLoad {
+				best = s
+				bestNode = n
+			}
+		}
+	}
+	if best == nil {
+		c.Rejected++
+		return nil, fmt.Errorf("%w: %s (rate %.1f/s, %d B frames)", ErrAdmission, req.Name, frameRate, req.FrameBytes)
+	}
+	// Least-loaded producer NI on the same segment (fall back to any on the
+	// node).
+	seg := bestNode.segOf[best.Card]
+	var prod *ProducerNI
+	for _, p := range bestNode.Producers {
+		if bestNode.segOf[p.Card] != seg {
+			continue
+		}
+		if prod == nil || p.streams < prod.streams {
+			prod = p
+		}
+	}
+	if prod == nil {
+		for _, p := range bestNode.Producers {
+			if prod == nil || p.streams < prod.streams {
+				prod = p
+			}
+		}
+	}
+	if prod == nil {
+		c.Rejected++
+		return nil, fmt.Errorf("%w: %s: no producer NI available", ErrAdmission, req.Name)
+	}
+
+	c.nextID++
+	id := c.nextID
+	spec := dwcs.StreamSpec{
+		ID:     id,
+		Name:   req.Name,
+		Period: req.Period,
+		Loss:   req.Loss,
+		Lossy:  req.Lossy,
+		BufCap: bufCap,
+	}
+	if err := best.Ext.AddStream(spec); err != nil {
+		return nil, err
+	}
+	linkNeed := frameRate * best.Card.Link.WireTime(req.FrameBytes).Seconds()
+	memNeed := int64(bufCap) * req.FrameBytes
+	best.cpuLoad += cpuNeed
+	best.linkLoad += linkNeed
+	best.memLoad += memNeed
+	best.streams++
+	best.specs[id] = qos.Stream{
+		Name: req.Name, Period: req.Period, FrameBytes: req.FrameBytes, Loss: req.Loss,
+	}
+	prod.streams++
+	c.Placed++
+
+	client := fmt.Sprintf("client-%d", id)
+	return &Placement{
+		StreamID:  id,
+		Node:      bestNode,
+		Scheduler: best,
+		Producer:  prod,
+		Client:    client,
+		commit:    &commitment{cpu: cpuNeed, link: linkNeed, mem: memNeed},
+	}, nil
+}
+
+// Start begins streaming an admitted placement: a producer task on the
+// disk card reads the clip and feeds the scheduler card over the shared
+// PCI segment (path B), looping `loops` times.
+func (c *Cluster) Start(p *Placement, clip *mpeg.Clip, injectEvery sim.Time, loops int) *nic.Producer {
+	return p.Scheduler.Ext.SpawnPeerProducer(p.Producer.Card, clip, p.StreamID, p.Client, injectEvery, loops)
+}
+
+// Release tears down an admitted stream: the scheduler forgets it and its
+// committed CPU, link, and memory return to the admission budget.
+func (c *Cluster) Release(p *Placement) error {
+	if err := p.Scheduler.Ext.Sched.RemoveStream(p.StreamID); err != nil {
+		return err
+	}
+	if ct := p.commit; ct != nil {
+		p.Scheduler.cpuLoad -= ct.cpu
+		p.Scheduler.linkLoad -= ct.link
+		p.Scheduler.memLoad -= ct.mem
+	}
+	delete(p.Scheduler.specs, p.StreamID)
+	p.Scheduler.streams--
+	p.Producer.streams--
+	c.Placed--
+	return nil
+}
+
+// AttachClient creates a measuring client for a placement and wires it to
+// the SAN switch.
+func (c *Cluster) AttachClient(p *Placement) *netsim.Client {
+	cl := netsim.NewClient(c.Eng, p.Client)
+	c.Switch.Attach(p.Client, netsim.Fast100(c.Eng, "san-"+p.Client, cl))
+	return cl
+}
+
+// FailScheduler takes a scheduler NI out of service (card fault, §6's
+// "careful construction" concern): its placements are returned so the
+// caller can re-admit the affected streams on surviving cards. The failed
+// card's scheduler stops accepting streams; in-flight frames on its wire
+// are lost with the card.
+func (c *Cluster) FailScheduler(s *SchedulerNI, placements []*Placement) []*Placement {
+	s.failed = true
+	var affected []*Placement
+	for _, p := range placements {
+		if p.Scheduler != s {
+			continue
+		}
+		// Tear down bookkeeping; the dead card's DWCS state is gone.
+		_ = p.Scheduler.Ext.Sched.RemoveStream(p.StreamID)
+		delete(s.specs, p.StreamID)
+		s.streams--
+		p.Producer.streams--
+		c.Placed--
+		affected = append(affected, p)
+	}
+	return affected
+}
+
+// Readmit re-places a stream that was on a failed card, reusing its
+// original request shape.
+func (c *Cluster) Readmit(old *Placement, req StreamRequest) (*Placement, error) {
+	return c.Admit(req)
+}
+
+// TotalMem reports committed ring memory across all scheduler NIs.
+func (c *Cluster) TotalMem() int64 {
+	var tot int64
+	for _, n := range c.Nodes {
+		for _, s := range n.Schedulers {
+			tot += s.memLoad
+		}
+	}
+	return tot
+}
+
+// Capacity reports how many streams of the given request shape the cluster
+// would admit in total, without mutating state beyond a scratch copy — used
+// by sizing tools. It simply admits into a fresh identical cluster.
+func Capacity(cfgs []NodeConfig, req StreamRequest) int {
+	eng := sim.NewEngine(1)
+	scratch := New(eng, cfgs)
+	n := 0
+	for {
+		r := req
+		r.Name = fmt.Sprintf("%s-%d", req.Name, n)
+		if _, err := scratch.Admit(r); err != nil {
+			return n
+		}
+		n++
+		if n > 1_000_000 {
+			return n
+		}
+	}
+}

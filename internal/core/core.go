@@ -1,0 +1,191 @@
+// Package core implements the DVCM — the Distributed Virtual Communication
+// Machine of §2 — the paper's runtime-extension architecture that the media
+// scheduler plugs into.
+//
+// The DVCM has three layers (Figure 2):
+//
+//  1. A host-side API: each node's application programs access DVCM
+//     "communication instructions" through what looks like a memory-mapped
+//     device. Here that is VCM.Invoke, and the host-to-NI crossing cost is
+//     modelled as programmed-I/O writes on the card's PCI segment.
+//  2. Low-level runtime support on the NI: supplied by internal/rtos and
+//     internal/nic (VxWorks task support, memory, device access).
+//  3. Run-time extensions supporting specific applications' needs — the
+//     Extension interface. The media scheduler of §3 is one such extension
+//     (internal/nic.SchedulerExt); tests register toy extensions.
+//
+// A DVCM instance ties the per-NI VCMs of a cluster together and routes
+// instructions by node name.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Errors returned by VCM operations.
+var (
+	ErrNoExtension  = errors.New("dvcm: no such extension")
+	ErrDupExtension = errors.New("dvcm: extension already registered")
+	ErrNoVCM        = errors.New("dvcm: no such VCM")
+	ErrBadOp        = errors.New("dvcm: extension does not implement op")
+)
+
+// Instr is one communication instruction issued through the DVCM API.
+type Instr struct {
+	Ext string // target extension name
+	Op  string // operation
+	Arg any    // operation argument
+}
+
+// Extension is a service loaded into a VCM at run time, "extended and
+// specialized much like extensible OS kernels ... SPIN and Exokernel" (§2).
+type Extension interface {
+	// Name identifies the extension for instruction routing.
+	Name() string
+	// Attach is called once when the extension is loaded.
+	Attach(v *VCM) error
+	// Invoke executes one operation. Unknown ops return ErrBadOp.
+	Invoke(op string, arg any) (any, error)
+}
+
+// Crossing models the cost of delivering an instruction from a host program
+// into the NI-resident VCM (PIO writes over the PCI segment plus a doorbell).
+// Implementations invoke deliver when the instruction has crossed; a nil
+// Crossing delivers synchronously (intra-card calls).
+type Crossing interface {
+	Cross(words int64, deliver func())
+}
+
+// CrossingFunc adapts a function to Crossing.
+type CrossingFunc func(words int64, deliver func())
+
+// Cross implements Crossing.
+func (f CrossingFunc) Cross(words int64, deliver func()) { f(words, deliver) }
+
+// VCM is the virtual communication machine resident on one NI (or, for the
+// host-based baseline, on a host CPU).
+type VCM struct {
+	name string
+	exts map[string]Extension
+
+	// Crossing, if set, is charged for every Invoke arriving from the host
+	// side via InvokeAsync.
+	Crossing Crossing
+
+	// Invocations counts instructions executed.
+	Invocations int64
+}
+
+// NewVCM returns an empty VCM.
+func NewVCM(name string) *VCM {
+	return &VCM{name: name, exts: make(map[string]Extension)}
+}
+
+// Name returns the VCM's name.
+func (v *VCM) Name() string { return v.name }
+
+// Register loads an extension at run time.
+func (v *VCM) Register(ext Extension) error {
+	if _, dup := v.exts[ext.Name()]; dup {
+		return fmt.Errorf("%w: %s", ErrDupExtension, ext.Name())
+	}
+	if err := ext.Attach(v); err != nil {
+		return fmt.Errorf("dvcm: attach %s: %w", ext.Name(), err)
+	}
+	v.exts[ext.Name()] = ext
+	return nil
+}
+
+// Unregister removes an extension.
+func (v *VCM) Unregister(name string) error {
+	if _, ok := v.exts[name]; !ok {
+		return fmt.Errorf("%w: %s", ErrNoExtension, name)
+	}
+	delete(v.exts, name)
+	return nil
+}
+
+// Extensions lists registered extension names, sorted.
+func (v *VCM) Extensions() []string {
+	names := make([]string, 0, len(v.exts))
+	for n := range v.exts {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Invoke executes an instruction synchronously on the VCM — the path used
+// by code already running on the card.
+func (v *VCM) Invoke(in Instr) (any, error) {
+	ext, ok := v.exts[in.Ext]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoExtension, in.Ext)
+	}
+	v.Invocations++
+	return ext.Invoke(in.Op, in.Arg)
+}
+
+// InvokeAsync executes an instruction from the host side: the instruction
+// words cross to the card (paying the Crossing cost) and the result is
+// delivered to the callback. words sizes the PIO transfer; done may be nil.
+func (v *VCM) InvokeAsync(in Instr, words int64, done func(any, error)) {
+	run := func() {
+		res, err := v.Invoke(in)
+		if done != nil {
+			done(res, err)
+		}
+	}
+	if v.Crossing == nil {
+		run()
+		return
+	}
+	v.Crossing.Cross(words, run)
+}
+
+// DVCM is the cluster-wide distributed machine: one VCM per node/NI.
+type DVCM struct {
+	vcms map[string]*VCM
+}
+
+// NewDVCM returns an empty distributed machine.
+func NewDVCM() *DVCM { return &DVCM{vcms: make(map[string]*VCM)} }
+
+// Attach adds a node's VCM under its name.
+func (d *DVCM) Attach(v *VCM) error {
+	if _, dup := d.vcms[v.Name()]; dup {
+		return fmt.Errorf("dvcm: node %s already attached", v.Name())
+	}
+	d.vcms[v.Name()] = v
+	return nil
+}
+
+// VCM returns the named node's VCM.
+func (d *DVCM) VCM(name string) (*VCM, error) {
+	v, ok := d.vcms[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoVCM, name)
+	}
+	return v, nil
+}
+
+// Nodes lists attached VCM names, sorted.
+func (d *DVCM) Nodes() []string {
+	names := make([]string, 0, len(d.vcms))
+	for n := range d.vcms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Invoke routes an instruction to the named node synchronously.
+func (d *DVCM) Invoke(node string, in Instr) (any, error) {
+	v, err := d.VCM(node)
+	if err != nil {
+		return nil, err
+	}
+	return v.Invoke(in)
+}

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/bus"
+	"repro/internal/sim"
+)
+
+// echoExt is a toy extension.
+type echoExt struct {
+	name     string
+	attached *VCM
+	failAt   bool
+}
+
+func (e *echoExt) Name() string { return e.name }
+func (e *echoExt) Attach(v *VCM) error {
+	if e.failAt {
+		return errors.New("boom")
+	}
+	e.attached = v
+	return nil
+}
+func (e *echoExt) Invoke(op string, arg any) (any, error) {
+	if op != "echo" {
+		return nil, ErrBadOp
+	}
+	return arg, nil
+}
+
+func TestRegisterAndInvoke(t *testing.T) {
+	v := NewVCM("ni0")
+	ext := &echoExt{name: "echo"}
+	if err := v.Register(ext); err != nil {
+		t.Fatal(err)
+	}
+	if ext.attached != v {
+		t.Fatal("Attach not called with owning VCM")
+	}
+	got, err := v.Invoke(Instr{Ext: "echo", Op: "echo", Arg: 42})
+	if err != nil || got != 42 {
+		t.Fatalf("Invoke = %v, %v", got, err)
+	}
+	if v.Invocations != 1 {
+		t.Fatalf("invocations = %d", v.Invocations)
+	}
+}
+
+func TestInvokeErrors(t *testing.T) {
+	v := NewVCM("ni0")
+	v.Register(&echoExt{name: "echo"})
+	if _, err := v.Invoke(Instr{Ext: "nope"}); !errors.Is(err, ErrNoExtension) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := v.Invoke(Instr{Ext: "echo", Op: "nope"}); !errors.Is(err, ErrBadOp) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDuplicateAndFailedRegistration(t *testing.T) {
+	v := NewVCM("ni0")
+	v.Register(&echoExt{name: "echo"})
+	if err := v.Register(&echoExt{name: "echo"}); !errors.Is(err, ErrDupExtension) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := v.Register(&echoExt{name: "bad", failAt: true}); err == nil {
+		t.Fatal("failed Attach should fail registration")
+	}
+	if got := v.Extensions(); len(got) != 1 || got[0] != "echo" {
+		t.Fatalf("extensions = %v", got)
+	}
+}
+
+func TestUnregister(t *testing.T) {
+	v := NewVCM("ni0")
+	v.Register(&echoExt{name: "echo"})
+	if err := v.Unregister("echo"); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Unregister("echo"); !errors.Is(err, ErrNoExtension) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestInvokeAsyncWithoutCrossingIsSynchronous(t *testing.T) {
+	v := NewVCM("ni0")
+	v.Register(&echoExt{name: "echo"})
+	var got any
+	v.InvokeAsync(Instr{Ext: "echo", Op: "echo", Arg: "hi"}, 4, func(res any, err error) {
+		got = res
+	})
+	if got != "hi" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestInvokeAsyncPaysPCICrossing(t *testing.T) {
+	eng := sim.NewEngine(1)
+	seg := bus.New(eng, bus.PCI("pci0"))
+	v := NewVCM("ni0")
+	v.Crossing = CrossingFunc(func(words int64, deliver func()) {
+		seg.PIOWrite(words, deliver)
+	})
+	v.Register(&echoExt{name: "echo"})
+	var doneAt sim.Time
+	v.InvokeAsync(Instr{Ext: "echo", Op: "echo", Arg: 1}, 8, func(any, error) {
+		doneAt = eng.Now()
+	})
+	eng.Run()
+	want := sim.Time(8) * seg.PIOWriteTime()
+	if doneAt != want {
+		t.Fatalf("crossed at %v, want %v (8 PIO words)", doneAt, want)
+	}
+	if seg.Stats.PIOWrites != 8 {
+		t.Fatalf("bus writes = %d", seg.Stats.PIOWrites)
+	}
+}
+
+func TestDVCMRouting(t *testing.T) {
+	d := NewDVCM()
+	a, b := NewVCM("node-a"), NewVCM("node-b")
+	a.Register(&echoExt{name: "echo"})
+	if err := d.Attach(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Attach(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Attach(a); err == nil {
+		t.Fatal("duplicate attach should fail")
+	}
+	if got := d.Nodes(); len(got) != 2 || got[0] != "node-a" || got[1] != "node-b" {
+		t.Fatalf("nodes = %v", got)
+	}
+	if res, err := d.Invoke("node-a", Instr{Ext: "echo", Op: "echo", Arg: 7}); err != nil || res != 7 {
+		t.Fatalf("invoke = %v, %v", res, err)
+	}
+	if _, err := d.Invoke("node-b", Instr{Ext: "echo"}); !errors.Is(err, ErrNoExtension) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := d.Invoke("gone", Instr{}); !errors.Is(err, ErrNoVCM) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := d.VCM("gone"); !errors.Is(err, ErrNoVCM) {
+		t.Fatalf("err = %v", err)
+	}
+}

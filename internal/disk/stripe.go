@@ -1,0 +1,114 @@
+package disk
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Stripe reads across several spindles RAID-0 style. The paper points at
+// the Tiger fileserver's "stripe-based disk and machine scheduling" (§5)
+// and the I2O consortium's RAID storage subsystems as the scaling path for
+// stream sourcing; Stripe is that substrate: consecutive stripe units live
+// on consecutive disks, and a logical read fans out to every spindle it
+// touches in parallel.
+type Stripe struct {
+	disks []*Disk
+	unit  int64
+
+	// Reads counts logical reads served.
+	Reads int64
+}
+
+// NewStripe stripes across disks with the given unit (bytes per disk per
+// stripe row).
+func NewStripe(disks []*Disk, unit int64) *Stripe {
+	if len(disks) == 0 {
+		panic("disk: stripe needs at least one disk")
+	}
+	if unit <= 0 {
+		panic(fmt.Sprintf("disk: bad stripe unit %d", unit))
+	}
+	return &Stripe{disks: disks, unit: unit}
+}
+
+// Width returns the number of spindles.
+func (s *Stripe) Width() int { return len(s.disks) }
+
+// Read performs a logical read of n bytes at off, invoking done when every
+// covered spindle has delivered its part. Sub-reads proceed in parallel on
+// their respective disks.
+func (s *Stripe) Read(off, n int64, done func()) {
+	if n <= 0 {
+		if done != nil {
+			done()
+		}
+		return
+	}
+	s.Reads++
+	remaining := 0
+	type span struct {
+		disk     int
+		diskOff  int64
+		diskSpan int64
+	}
+	var spans []span
+	for cur := off; cur < off+n; {
+		row := cur / (s.unit * int64(len(s.disks)))
+		within := cur % (s.unit * int64(len(s.disks)))
+		d := int(within / s.unit)
+		uOff := within % s.unit
+		take := s.unit - uOff
+		if max := off + n - cur; take > max {
+			take = max
+		}
+		spans = append(spans, span{
+			disk:     d,
+			diskOff:  row*s.unit + uOff,
+			diskSpan: take,
+		})
+		cur += take
+	}
+	remaining = len(spans)
+	for _, sp := range spans {
+		s.disks[sp.disk].Read(sp.diskOff, sp.diskSpan, func() {
+			remaining--
+			if remaining == 0 && done != nil {
+				done()
+			}
+		})
+	}
+}
+
+// StripedFS adapts a Stripe to the FS interface (raw striped volume, no
+// filesystem metadata — the Tiger-style layout where frame locations are
+// known by schedule).
+type StripedFS struct {
+	Stripe *Stripe
+}
+
+// Read implements FS.
+func (f *StripedFS) Read(off, n int64, done func()) { f.Stripe.Read(off, n, done) }
+
+// Name implements FS.
+func (f *StripedFS) Name() string {
+	return fmt.Sprintf("stripe%d", f.Stripe.Width())
+}
+
+// Degrade multiplies every subsequent access time of d by factor —
+// modelling a disk that has started remapping sectors or retrying reads
+// (fault injection for robustness tests). factor 1 restores health.
+func (d *Disk) Degrade(factor int64) {
+	if factor < 1 {
+		panic(fmt.Sprintf("disk: bad degrade factor %d", factor))
+	}
+	d.degrade = factor
+}
+
+// degradeTime applies the current degradation factor.
+func (d *Disk) degradeTime(t sim.Time) sim.Time {
+	if d.degrade > 1 {
+		return t * sim.Time(d.degrade)
+	}
+	return t
+}

@@ -1,0 +1,149 @@
+package disk
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func newStripe(eng *sim.Engine, width int, unit int64) *Stripe {
+	var disks []*Disk
+	for i := 0; i < width; i++ {
+		disks = append(disks, New(eng, DefaultSCSI("d")))
+	}
+	return NewStripe(disks, unit)
+}
+
+func TestStripeParallelSpeedup(t *testing.T) {
+	// A 64 KB read from one disk vs striped over 4 disks at 16 KB units:
+	// the striped read overlaps the four accesses.
+	engOne := sim.NewEngine(1)
+	one := New(engOne, DefaultSCSI("single"))
+	var tOne sim.Time
+	one.Read(0, 64<<10, func() { tOne = engOne.Now() })
+	engOne.Run()
+
+	engFour := sim.NewEngine(1)
+	four := newStripe(engFour, 4, 16<<10)
+	var tFour sim.Time
+	four.Read(0, 64<<10, func() { tFour = engFour.Now() })
+	engFour.Run()
+
+	if tFour >= tOne {
+		t.Fatalf("striped read %v not faster than single-disk %v", tFour, tOne)
+	}
+}
+
+func TestStripeLayout(t *testing.T) {
+	eng := sim.NewEngine(1)
+	s := newStripe(eng, 2, 1000)
+	// Read spanning rows: offsets 500..2500 touch disk0 [500,1000) + row1
+	// [1000,1500)... verify by byte counts per spindle.
+	s.Read(500, 2000, nil)
+	eng.Run()
+	got0 := s.disks[0].Stats.BytesRead
+	got1 := s.disks[1].Stats.BytesRead
+	if got0+got1 != 2000 {
+		t.Fatalf("bytes = %d + %d, want 2000 total", got0, got1)
+	}
+	if got0 != 1000 || got1 != 1000 {
+		t.Fatalf("unbalanced: disk0=%d disk1=%d", got0, got1)
+	}
+}
+
+func TestStripeZeroLength(t *testing.T) {
+	eng := sim.NewEngine(1)
+	s := newStripe(eng, 2, 512)
+	done := false
+	s.Read(100, 0, func() { done = true })
+	if !done {
+		t.Fatal("zero read should complete immediately")
+	}
+}
+
+func TestStripeValidation(t *testing.T) {
+	eng := sim.NewEngine(1)
+	for _, f := range []func(){
+		func() { NewStripe(nil, 512) },
+		func() { NewStripe([]*Disk{New(eng, DefaultSCSI("d"))}, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestStripedFSName(t *testing.T) {
+	eng := sim.NewEngine(1)
+	fs := &StripedFS{Stripe: newStripe(eng, 3, 512)}
+	if fs.Name() != "stripe3" {
+		t.Fatalf("name = %q", fs.Name())
+	}
+	done := false
+	fs.Read(0, 100, func() { done = true })
+	eng.Run()
+	if !done {
+		t.Fatal("read did not complete")
+	}
+}
+
+func TestDegradeSlowsDisk(t *testing.T) {
+	engA := sim.NewEngine(1)
+	healthy := New(engA, DefaultSCSI("h"))
+	var tH sim.Time
+	healthy.Read(0, 1000, func() { tH = engA.Now() })
+	engA.Run()
+
+	engB := sim.NewEngine(1)
+	sick := New(engB, DefaultSCSI("s"))
+	sick.Degrade(3)
+	var tS sim.Time
+	sick.Read(0, 1000, func() { tS = engB.Now() })
+	engB.Run()
+
+	if tS != 3*tH {
+		t.Fatalf("degraded read %v, want 3× healthy %v", tS, tH)
+	}
+	sick.Degrade(1) // recovery restores health
+	engB2 := sim.NewEngine(1)
+	_ = engB2
+}
+
+func TestDegradeValidation(t *testing.T) {
+	eng := sim.NewEngine(1)
+	d := New(eng, DefaultSCSI("d"))
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	d.Degrade(0)
+}
+
+// Property: striping conserves bytes and balances within one unit across
+// spindles for unit-aligned reads.
+func TestStripeConservationProperty(t *testing.T) {
+	f := func(off16, n16 uint16, width8, unitSeed uint8) bool {
+		width := int(width8)%6 + 1
+		unit := int64(unitSeed)%2048 + 64
+		eng := sim.NewEngine(1)
+		s := newStripe(eng, width, unit)
+		off, n := int64(off16), int64(n16)+1
+		s.Read(off, n, nil)
+		eng.Run()
+		var total int64
+		for _, d := range s.disks {
+			total += d.Stats.BytesRead
+		}
+		return total == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,170 @@
+// Package dvcmnet distributes the VCM across cluster nodes: "a
+// cluster-wide, programmable distributed virtual communication machine
+// (DVCM) executes 'close' to the network, on the CoProcessors ... The
+// cluster-wide services executed by this machine are available to nodes'
+// application programs as communication instructions" (§2, Figure 2).
+//
+// An Endpoint attaches one node's VCM to the system-area switch under an
+// address; Invoke sends an instruction to a remote endpoint as a
+// control-plane packet and delivers the reply (or the remote error)
+// asynchronously. Instruction processing on the remote side pays that
+// card's NI CPU before replying, like any other DVCM extension work.
+package dvcmnet
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// reqBytes/respBytes size the control packets on the wire (instruction
+// header plus marshalled argument descriptor).
+const (
+	reqBytes  = 128
+	respBytes = 96
+)
+
+// ErrTimeout reports a remote invocation that received no reply in time.
+var ErrTimeout = errors.New("dvcmnet: invocation timed out")
+
+type kind uint8
+
+const (
+	kindRequest kind = iota
+	kindReply
+)
+
+type message struct {
+	kind  kind
+	id    uint32
+	from  string
+	instr core.Instr
+	reply any
+	err   string
+}
+
+// Endpoint is one node's presence in the distributed machine.
+type Endpoint struct {
+	eng  *sim.Engine
+	addr string
+	vcm  *core.VCM
+	out  *netsim.Link // toward the switch
+
+	// ProcessCost is the NI CPU charged per remote instruction before the
+	// reply is sent (the extension runs on the card).
+	ProcessCost sim.Time
+	// Timeout bounds each Invoke; 0 disables timeouts (reliable SAN).
+	Timeout sim.Time
+
+	nextID  uint32
+	pending map[uint32]*call
+
+	// Served counts remote instructions executed here; Issued counts
+	// invocations sent from here.
+	Served int64
+	Issued int64
+}
+
+type call struct {
+	done  func(any, error)
+	timer *sim.Event
+}
+
+// Attach joins the endpoint to the switch under addr. The VCM may be nil
+// for pure-client endpoints.
+func Attach(eng *sim.Engine, sw *netsim.Switch, addr string, vcm *core.VCM) *Endpoint {
+	e := &Endpoint{
+		eng:         eng,
+		addr:        addr,
+		vcm:         vcm,
+		ProcessCost: 50 * sim.Microsecond,
+		pending:     make(map[uint32]*call),
+	}
+	e.out = netsim.Fast100(eng, addr+"-dvcm", sw)
+	sw.Attach(addr, netsim.Fast100(eng, "sw-"+addr, e))
+	return e
+}
+
+// Addr returns the endpoint's SAN address.
+func (e *Endpoint) Addr() string { return e.addr }
+
+// Invoke executes an instruction on the remote endpoint, delivering the
+// result (or error) to done. done may be nil for fire-and-forget control.
+func (e *Endpoint) Invoke(remote string, in core.Instr, done func(any, error)) {
+	e.nextID++
+	id := e.nextID
+	e.Issued++
+	c := &call{done: done}
+	if done != nil {
+		e.pending[id] = c
+		if e.Timeout > 0 {
+			c.timer = e.eng.After(e.Timeout, func() {
+				if _, still := e.pending[id]; still {
+					delete(e.pending, id)
+					done(nil, fmt.Errorf("%w: %s/%s on %s", ErrTimeout, in.Ext, in.Op, remote))
+				}
+			})
+		}
+	}
+	e.out.Send(&netsim.Packet{
+		Src:   e.addr,
+		Dst:   remote,
+		Bytes: reqBytes,
+		Data:  &message{kind: kindRequest, id: id, from: e.addr, instr: in},
+	}, nil)
+}
+
+// Deliver implements netsim.Port for packets arriving from the switch.
+func (e *Endpoint) Deliver(p *netsim.Packet) {
+	m, ok := p.Data.(*message)
+	if !ok {
+		return // not control-plane traffic for us
+	}
+	switch m.kind {
+	case kindRequest:
+		e.serve(m)
+	case kindReply:
+		c, ok := e.pending[m.id]
+		if !ok {
+			return // timed out or duplicate
+		}
+		delete(e.pending, m.id)
+		if c.timer != nil {
+			c.timer.Cancel()
+		}
+		if c.done == nil {
+			return
+		}
+		if m.err != "" {
+			c.done(nil, errors.New(m.err))
+			return
+		}
+		c.done(m.reply, nil)
+	}
+}
+
+func (e *Endpoint) serve(m *message) {
+	e.eng.After(e.ProcessCost, func() {
+		e.Served++
+		reply := &message{kind: kindReply, id: m.id, from: e.addr}
+		if e.vcm == nil {
+			reply.err = "dvcmnet: endpoint " + e.addr + " hosts no VCM"
+		} else if res, err := e.vcm.Invoke(m.instr); err != nil {
+			reply.err = err.Error()
+		} else {
+			reply.reply = res
+		}
+		e.out.Send(&netsim.Packet{
+			Src:   e.addr,
+			Dst:   m.from,
+			Bytes: respBytes,
+			Data:  reply,
+		}, nil)
+	})
+}
+
+// Pending reports invocations awaiting replies.
+func (e *Endpoint) Pending() int { return len(e.pending) }

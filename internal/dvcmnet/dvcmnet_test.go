@@ -1,0 +1,179 @@
+package dvcmnet
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/bus"
+	"repro/internal/core"
+	"repro/internal/dwcs"
+	"repro/internal/fixed"
+	"repro/internal/netsim"
+	"repro/internal/nic"
+	"repro/internal/sim"
+)
+
+// echoExt is a toy remote extension.
+type echoExt struct{}
+
+func (echoExt) Name() string           { return "echo" }
+func (echoExt) Attach(*core.VCM) error { return nil }
+func (echoExt) Invoke(op string, arg any) (any, error) {
+	if op != "echo" {
+		return nil, core.ErrBadOp
+	}
+	return arg, nil
+}
+
+func twoNodes(t *testing.T) (*sim.Engine, *Endpoint, *Endpoint) {
+	t.Helper()
+	eng := sim.NewEngine(5)
+	sw := netsim.NewSwitch(eng, "san", 90*sim.Microsecond)
+	vcmB := core.NewVCM("node-b")
+	if err := vcmB.Register(echoExt{}); err != nil {
+		t.Fatal(err)
+	}
+	a := Attach(eng, sw, "node-a", nil) // client-only
+	b := Attach(eng, sw, "node-b", vcmB)
+	return eng, a, b
+}
+
+func TestRemoteInvocation(t *testing.T) {
+	eng, a, b := twoNodes(t)
+	var got any
+	var doneAt sim.Time
+	a.Invoke("node-b", core.Instr{Ext: "echo", Op: "echo", Arg: 42}, func(res any, err error) {
+		if err != nil {
+			t.Errorf("remote error: %v", err)
+		}
+		got = res
+		doneAt = eng.Now()
+	})
+	eng.Run()
+	if got != 42 {
+		t.Fatalf("reply = %v", got)
+	}
+	// The round trip costs real network + processing time.
+	if doneAt < 200*sim.Microsecond {
+		t.Fatalf("round trip %v implausibly fast", doneAt)
+	}
+	if a.Issued != 1 || b.Served != 1 || a.Pending() != 0 {
+		t.Fatalf("issued=%d served=%d pending=%d", a.Issued, b.Served, a.Pending())
+	}
+}
+
+func TestRemoteErrorPropagates(t *testing.T) {
+	eng, a, _ := twoNodes(t)
+	var gotErr error
+	a.Invoke("node-b", core.Instr{Ext: "missing"}, func(_ any, err error) { gotErr = err })
+	eng.Run()
+	if gotErr == nil || !strings.Contains(gotErr.Error(), "no such extension") {
+		t.Fatalf("err = %v", gotErr)
+	}
+}
+
+func TestNoVCMEndpointError(t *testing.T) {
+	eng := sim.NewEngine(6)
+	sw := netsim.NewSwitch(eng, "san", 10*sim.Microsecond)
+	a := Attach(eng, sw, "a", nil)
+	Attach(eng, sw, "b", nil) // also no VCM
+	var gotErr error
+	a.Invoke("b", core.Instr{Ext: "echo"}, func(_ any, err error) { gotErr = err })
+	eng.Run()
+	if gotErr == nil || !strings.Contains(gotErr.Error(), "hosts no VCM") {
+		t.Fatalf("err = %v", gotErr)
+	}
+}
+
+func TestTimeoutOnSilentRemote(t *testing.T) {
+	eng := sim.NewEngine(6)
+	sw := netsim.NewSwitch(eng, "san", 10*sim.Microsecond)
+	a := Attach(eng, sw, "a", nil)
+	a.Timeout = 5 * sim.Millisecond
+	var gotErr error
+	a.Invoke("ghost", core.Instr{Ext: "echo"}, func(_ any, err error) { gotErr = err })
+	eng.Run()
+	if !errors.Is(gotErr, ErrTimeout) {
+		t.Fatalf("err = %v", gotErr)
+	}
+	if a.Pending() != 0 {
+		t.Fatal("timed-out call left pending")
+	}
+}
+
+func TestConcurrentInvocationsMatchReplies(t *testing.T) {
+	eng, a, _ := twoNodes(t)
+	const n = 50
+	got := make(map[int]bool)
+	for i := 0; i < n; i++ {
+		i := i
+		a.Invoke("node-b", core.Instr{Ext: "echo", Op: "echo", Arg: i}, func(res any, err error) {
+			if err != nil {
+				t.Errorf("call %d: %v", i, err)
+				return
+			}
+			if res != i {
+				t.Errorf("call %d got reply %v", i, res)
+			}
+			got[i] = true
+		})
+	}
+	eng.Run()
+	if len(got) != n {
+		t.Fatalf("completed %d of %d", len(got), n)
+	}
+}
+
+// The cluster-wide story: a host application on node A drives the media
+// scheduler running on node B's NI entirely through remote DVCM
+// instructions.
+func TestRemoteMediaSchedulerControl(t *testing.T) {
+	eng := sim.NewEngine(8)
+	sw := netsim.NewSwitch(eng, "san", 90*sim.Microsecond)
+	client := netsim.NewClient(eng, "player")
+	sw.Attach("player", netsim.Fast100(eng, "sw-player", client))
+
+	pci := bus.New(eng, bus.PCI("b-pci0"))
+	card := nic.New(eng, nic.Config{Name: "b-ni", PCI: pci, CacheOn: true})
+	card.ConnectEthernet(netsim.Fast100(eng, "b-ni-eth", sw))
+	ext, err := card.LoadScheduler(nic.SchedulerConfig{WorkConserving: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	Attach(eng, sw, "node-b", card.VCM)
+	appA := Attach(eng, sw, "node-a", nil)
+
+	appA.Invoke("node-b", core.Instr{Ext: "dwcs", Op: "addStream", Arg: dwcs.StreamSpec{
+		ID: 1, Name: "remote", Period: 10 * sim.Millisecond,
+		Loss: fixed.New(1, 2), Lossy: true, BufCap: 16,
+	}}, func(_ any, err error) {
+		if err != nil {
+			t.Errorf("remote addStream: %v", err)
+		}
+	})
+	for i := 0; i < 5; i++ {
+		appA.Invoke("node-b", core.Instr{Ext: "dwcs", Op: "enqueue", Arg: nic.EnqueueArgs{
+			StreamID: 1, Packet: dwcs.Packet{Bytes: 900, Payload: nic.AddrPayload("player")},
+		}}, nil)
+	}
+	eng.RunUntil(sim.Second)
+	if ext.Sent != 5 {
+		t.Fatalf("remote-driven scheduler sent %d of 5", ext.Sent)
+	}
+	if client.Received != 5 {
+		t.Fatalf("player received %d of 5", client.Received)
+	}
+	var stats dwcs.StreamStats
+	appA.Invoke("node-b", core.Instr{Ext: "dwcs", Op: "stats", Arg: 1},
+		func(res any, err error) {
+			if err == nil {
+				stats = res.(dwcs.StreamStats)
+			}
+		})
+	eng.Run()
+	if stats.Serviced != 5 {
+		t.Fatalf("remote stats = %+v", stats)
+	}
+}

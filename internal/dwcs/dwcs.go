@@ -1,0 +1,891 @@
+// Package dwcs implements Dynamic Window-Constrained Scheduling, the media
+// scheduler the paper embeds on the i960 RD network interface (§3).
+//
+// Each stream i carries two attributes (§3.1.2):
+//
+//   - Deadline: the latest time a packet can commence service, derived from
+//     the maximum allowable time between servicing consecutive packets in
+//     the same stream (the stream period T). Successive packets' deadlines
+//     are offset by T.
+//   - Loss-tolerance x/y: at most x packets may be lost or sent late per
+//     window of y consecutive packets.
+//
+// The scheduler keeps a current window (x', y') per stream, picks the
+// highest-precedence head-of-line packet across streams, and adjusts
+// windows on every service and every deadline miss. The precedence rules
+// and window adjustments follow the DWCS papers the paper builds on
+// ([32, 33]; see DESIGN.md §4 for the reconstruction notes). Two precedence
+// variants are provided: LossFirst (lowest window-constraint first — the
+// variant this paper uses) and EDFFirst (the later RTSS'00 formulation), as
+// an ablation.
+//
+// All descriptor-touching operations charge a cpu.Meter, so the same code
+// measured on the simulated i960 RD reproduces the Table 1–3
+// microbenchmarks, and measured on a host CPU model reproduces the
+// host-scheduler comparison.
+package dwcs
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/cpu"
+	"repro/internal/fixed"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// Precedence selects the pairwise packet-ordering variant.
+type Precedence int
+
+// Precedence variants.
+const (
+	// LossFirst orders by lowest window-constraint, breaking ties earliest
+	// deadline first — the ordering used by the paper.
+	LossFirst Precedence = iota
+	// EDFFirst orders earliest deadline first, breaking ties by lowest
+	// window-constraint — the later RTSS'00 formulation (ablation).
+	EDFFirst
+)
+
+// String names the variant.
+func (p Precedence) String() string {
+	switch p {
+	case LossFirst:
+		return "lossFirst"
+	case EDFFirst:
+		return "edfFirst"
+	default:
+		return fmt.Sprintf("Precedence(%d)", int(p))
+	}
+}
+
+// SelectorKind chooses the next-packet search structure (§3.1.1 calls for
+// an extensible design decoupling scheduling analysis from schedule
+// representation).
+type SelectorKind int
+
+// Selector kinds (§3.1.1 lists all four schedule representations).
+const (
+	// Scan linearly walks head-of-line packets — what the embedded i960
+	// implementation does ("the scheduler loops through the frame
+	// descriptors and picks the eligible descriptor", §4.2.1).
+	Scan SelectorKind = iota
+	// Heaps maintains the Figure 4(a) priority structure with O(log n)
+	// updates per head change.
+	Heaps
+	// SortedList keeps streams in a precedence-sorted list: O(1) best,
+	// O(n) per head change.
+	SortedList
+	// Calendar buckets streams by head deadline. Valid only with the
+	// EDFFirst precedence, whose primary key is the deadline.
+	Calendar
+)
+
+// String names the selector.
+func (k SelectorKind) String() string {
+	switch k {
+	case Heaps:
+		return "heaps"
+	case SortedList:
+		return "sortedList"
+	case Calendar:
+		return "calendar"
+	default:
+		return "scan"
+	}
+}
+
+// Errors returned by scheduler operations.
+var (
+	ErrUnknownStream = errors.New("dwcs: unknown stream")
+	ErrDuplicateID   = errors.New("dwcs: duplicate stream id")
+	ErrBufferFull    = errors.New("dwcs: stream buffer full")
+	ErrBadSpec       = errors.New("dwcs: invalid stream spec")
+)
+
+// StreamSpec declares one media stream.
+type StreamSpec struct {
+	ID     int
+	Name   string
+	Period sim.Time   // deadline offset T between consecutive packets
+	Loss   fixed.Frac // loss-tolerance x/y (x of every y packets may be lost/late)
+	Lossy  bool       // true: drop late packets; false: transmit them late
+	BufCap int        // circular-buffer capacity in descriptors
+}
+
+func (s StreamSpec) validate() error {
+	x, y := s.Loss.Num, s.Loss.Den
+	if y == 0 {
+		y = 1
+	}
+	switch {
+	case s.Period <= 0:
+		return fmt.Errorf("%w: period must be positive", ErrBadSpec)
+	case s.BufCap <= 0:
+		return fmt.Errorf("%w: buffer capacity must be positive", ErrBadSpec)
+	case x < 0 || y < 1 || x > y:
+		return fmt.Errorf("%w: loss-tolerance %v must satisfy 0 ≤ x ≤ y", ErrBadSpec, s.Loss)
+	}
+	return nil
+}
+
+// Packet is a frame descriptor queued for service.
+type Packet struct {
+	StreamID int
+	Seq      int64
+	Bytes    int64
+	Offset   int64 // media-file offset, carried for producers
+	Enqueued sim.Time
+	Deadline sim.Time
+	Payload  any
+
+	missed bool
+	slot   uint32
+}
+
+// StreamStats counts per-stream scheduler outcomes.
+type StreamStats struct {
+	Enqueued      int64
+	Serviced      int64
+	BytesServiced int64
+	Dropped       int64
+	Late          int64 // serviced after their deadline (lossless streams)
+	Violations    int64 // misses while the current window allowed no loss
+	RejectedFull  int64 // enqueue attempts bounced off a full ring
+}
+
+type stream struct {
+	spec  StreamSpec
+	ring  *Ring
+	x, y  int64 // original window (losses allowed / window size)
+	cx    int64 // losses still allowed in the current window
+	cy    int64 // packets remaining in the current window
+	last  sim.Time
+	seq   int64
+	stats StreamStats
+
+	heapIdx int   // position in the heap selector, -1 if absent
+	listIdx int   // position in the sorted-list selector, -1 if absent
+	calKey  int64 // calendar bucket key, noBucket if absent
+
+	paused   bool
+	pausedAt sim.Time
+}
+
+// head returns the stream's head-of-line descriptor, charging descriptor
+// reads, or nil. Paused streams present no head.
+func (st *stream) headPacket(s *Scheduler) *Packet {
+	if st.paused {
+		return nil
+	}
+	slot, ok := st.ring.Peek()
+	if !ok {
+		return nil
+	}
+	s.meter.MemRead(6) // deadline, window, length, address words of the descriptor
+	return &s.table[slot]
+}
+
+// Config parameterizes a Scheduler.
+type Config struct {
+	Precedence Precedence
+	Selector   SelectorKind
+	// WorkConserving dispatches the best packet immediately (the Table 1–3
+	// microbenchmark mode). When false the scheduler paces: a packet
+	// becomes eligible EligibleEarly before its deadline.
+	WorkConserving bool
+	EligibleEarly  sim.Time
+	// Meter receives the operation charges; nil disables cost accounting.
+	Meter *cpu.Meter
+	// Now supplies the scheduler's clock; nil means a constant zero clock.
+	Now func() sim.Time
+	// DecisionOverhead is charged (in cycles) once per Schedule call —
+	// timestamp-counter reads and RTOS task overhead around each decision.
+	DecisionOverhead int64
+	// NewStore allocates the word store backing each stream's ring; nil
+	// uses plain pinned-DRAM stores (Table 2). Supplying register-file
+	// regions reproduces Table 3.
+	NewStore func(words int) mem.WordStore
+	// MaxDescriptors bounds the descriptor table; 0 means unbounded.
+	MaxDescriptors int
+	// MaxDropsPerDecision bounds how many late packets one Schedule call
+	// may retire (0 = unbounded). The paper's host implementation considers
+	// one head packet per scheduling pass, so a starved scheduler pays a
+	// full pass — including its wait for the CPU — per late frame; that is
+	// what stretches Figure 8's queuing delays to ~30 s under 60% load.
+	MaxDropsPerDecision int
+}
+
+// Decision reports the outcome of one Schedule call.
+type Decision struct {
+	Packet    *Packet   // dispatched packet, nil if none
+	Late      bool      // dispatched after its deadline
+	Dropped   []*Packet // lossy-stream packets dropped for missing deadlines
+	WaitUntil sim.Time  // paced mode: when the best packet becomes eligible (0 if none queued)
+}
+
+// Idle reports whether the scheduler had nothing to do at all.
+func (d Decision) Idle() bool {
+	return d.Packet == nil && len(d.Dropped) == 0 && d.WaitUntil == 0
+}
+
+// Scheduler is a DWCS instance.
+type Scheduler struct {
+	cfg   Config
+	meter *cpu.Meter
+	now   func() sim.Time
+
+	streams map[int]*stream
+	order   []*stream // insertion order, for deterministic scans
+	table   []Packet
+	free    []uint32
+
+	sel    selector
+	rrNext int // round-robin cursor for DequeueFCFS
+
+	// TotalDecisions counts Schedule calls that examined streams.
+	TotalDecisions int64
+}
+
+// New returns a Scheduler for cfg.
+func New(cfg Config) *Scheduler {
+	if cfg.Now == nil {
+		cfg.Now = func() sim.Time { return 0 }
+	}
+	if cfg.NewStore == nil {
+		meter := cfg.Meter
+		cfg.NewStore = func(words int) mem.WordStore {
+			return mem.NewDRAMStore(meter, words)
+		}
+	}
+	s := &Scheduler{
+		cfg:     cfg,
+		meter:   cfg.Meter,
+		now:     cfg.Now,
+		streams: make(map[int]*stream),
+	}
+	switch cfg.Selector {
+	case Heaps:
+		s.sel = &heapSelector{}
+	case SortedList:
+		s.sel = &listSelector{}
+	case Calendar:
+		if cfg.Precedence != EDFFirst {
+			panic("dwcs: the calendar selector requires the EDFFirst precedence (its primary key is the deadline)")
+		}
+		s.sel = newCalendarSelector()
+	default:
+		s.sel = scanSelector{}
+	}
+	return s
+}
+
+// selector is a schedule representation: it tracks streams and finds the
+// precedence winner among head-of-line packets.
+type selector interface {
+	add(s *Scheduler, st *stream)
+	remove(s *Scheduler, st *stream)
+	fix(s *Scheduler, st *stream) // st's head or window changed
+	best(s *Scheduler) (*stream, *Packet)
+}
+
+// scanSelector is the embedded implementation: no auxiliary structure,
+// linear walk on every decision.
+type scanSelector struct{}
+
+func (scanSelector) add(*Scheduler, *stream)    {}
+func (scanSelector) remove(*Scheduler, *stream) {}
+func (scanSelector) fix(*Scheduler, *stream)    {}
+func (scanSelector) best(s *Scheduler) (*stream, *Packet) {
+	var bestSt *stream
+	var bestP *Packet
+	for _, st := range s.order {
+		s.meter.Branch(1)
+		p := st.headPacket(s)
+		if p == nil {
+			continue
+		}
+		// Encode the stream's priority value from its current window
+		// (Figure 4: head packets "encode stream priority values").
+		s.meter.Frac(1)
+		s.meter.MemRead(2)
+		s.meter.MemWrite(2)
+		s.meter.Call(1)
+		if bestSt == nil || s.cmpStreams(st, p, bestSt, bestP) < 0 {
+			bestSt, bestP = st, p
+		}
+	}
+	return bestSt, bestP
+}
+
+// heapSelector adapts streamHeap to the selector interface.
+type heapSelector struct {
+	h streamHeap
+}
+
+func (hs *heapSelector) add(s *Scheduler, st *stream) { hs.h.push(s, st) }
+func (hs *heapSelector) remove(s *Scheduler, st *stream) {
+	if st.heapIdx >= 0 {
+		hs.h.remove(s, st)
+	}
+}
+func (hs *heapSelector) fix(s *Scheduler, st *stream)         { hs.h.fix(s, st) }
+func (hs *heapSelector) best(s *Scheduler) (*stream, *Packet) { return hs.h.best(s) }
+
+// AddStream registers a stream. The zero-value Loss means 0/1: no losses
+// allowed.
+func (s *Scheduler) AddStream(spec StreamSpec) error {
+	if err := spec.validate(); err != nil {
+		return err
+	}
+	if _, dup := s.streams[spec.ID]; dup {
+		return fmt.Errorf("%w: %d", ErrDuplicateID, spec.ID)
+	}
+	loss := spec.Loss
+	y := loss.Den
+	if y == 0 {
+		y = 1
+	}
+	st := &stream{
+		spec:    spec,
+		ring:    NewRing(s.cfg.NewStore(spec.BufCap), s.meter),
+		x:       loss.Num,
+		y:       y,
+		cx:      loss.Num,
+		cy:      y,
+		heapIdx: -1,
+		listIdx: -1,
+		calKey:  noBucket,
+	}
+	s.streams[spec.ID] = st
+	s.order = append(s.order, st)
+	s.sel.add(s, st)
+	return nil
+}
+
+// RemoveStream deregisters a stream, discarding any queued packets.
+func (s *Scheduler) RemoveStream(id int) error {
+	st, ok := s.streams[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownStream, id)
+	}
+	for {
+		slot, ok := st.ring.Pop()
+		if !ok {
+			break
+		}
+		s.freeSlot(slot)
+	}
+	delete(s.streams, id)
+	for i, o := range s.order {
+		if o == st {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+	s.sel.remove(s, st)
+	return nil
+}
+
+// StreamIDs returns the registered stream ids in insertion order.
+func (s *Scheduler) StreamIDs() []int {
+	ids := make([]int, len(s.order))
+	for i, st := range s.order {
+		ids[i] = st.spec.ID
+	}
+	return ids
+}
+
+// Stats returns a copy of the stream's statistics.
+func (s *Scheduler) Stats(id int) (StreamStats, error) {
+	st, ok := s.streams[id]
+	if !ok {
+		return StreamStats{}, fmt.Errorf("%w: %d", ErrUnknownStream, id)
+	}
+	return st.stats, nil
+}
+
+// Window returns the stream's current window (x', y') for tests and
+// monitoring.
+func (s *Scheduler) Window(id int) (x, y int64, err error) {
+	st, ok := s.streams[id]
+	if !ok {
+		return 0, 0, fmt.Errorf("%w: %d", ErrUnknownStream, id)
+	}
+	return st.cx, st.cy, nil
+}
+
+// QueueLen returns the number of packets queued on stream id (0 if the
+// stream is unknown).
+func (s *Scheduler) QueueLen(id int) int {
+	if st, ok := s.streams[id]; ok {
+		return st.ring.Len()
+	}
+	return 0
+}
+
+// Len returns the total number of queued packets across streams.
+func (s *Scheduler) Len() int {
+	n := 0
+	for _, st := range s.order {
+		n += st.ring.Len()
+	}
+	return n
+}
+
+func (s *Scheduler) allocSlot() (uint32, bool) {
+	if n := len(s.free); n > 0 {
+		slot := s.free[n-1]
+		s.free = s.free[:n-1]
+		s.meter.MemRead(1)
+		s.meter.MemWrite(1)
+		return slot, true
+	}
+	if s.cfg.MaxDescriptors > 0 && len(s.table) >= s.cfg.MaxDescriptors {
+		return 0, false
+	}
+	s.table = append(s.table, Packet{})
+	return uint32(len(s.table) - 1), true
+}
+
+func (s *Scheduler) freeSlot(slot uint32) {
+	s.free = append(s.free, slot)
+	s.meter.MemWrite(1)
+}
+
+// Enqueue queues a packet on stream id. Bytes, Offset, and Payload are
+// taken from p; Seq, Enqueued, and Deadline are assigned by the scheduler
+// (successive deadlines are offset by the stream period).
+func (s *Scheduler) Enqueue(id int, p Packet) error {
+	st, ok := s.streams[id]
+	s.meter.MemRead(1)
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownStream, id)
+	}
+	slot, ok := s.allocSlot()
+	if !ok {
+		st.stats.RejectedFull++
+		return fmt.Errorf("%w: descriptor table exhausted", ErrBufferFull)
+	}
+	now := s.now()
+	base := st.last
+	if now > base {
+		base = now
+	}
+	p.StreamID = id
+	p.Seq = st.seq
+	p.Enqueued = now
+	p.Deadline = base + st.spec.Period
+	p.missed = false
+	p.slot = slot
+	s.meter.MemWrite(6) // descriptor fields
+	s.meter.Int(3)
+	s.table[slot] = p
+	if !st.ring.Push(slot) {
+		s.freeSlot(slot)
+		st.stats.RejectedFull++
+		return fmt.Errorf("%w: stream %d ring (cap %d)", ErrBufferFull, id, st.ring.Cap())
+	}
+	st.last = p.Deadline
+	st.seq++
+	st.stats.Enqueued++
+	s.sel.fix(s, st)
+	return nil
+}
+
+// cmpStreams orders stream a's head packet pa against stream b's head pb;
+// negative means a is serviced first. It charges the meter for the fraction
+// and integer comparisons the rules perform.
+func (s *Scheduler) cmpStreams(a *stream, pa *Packet, b *stream, pb *Packet) int {
+	m := s.meter
+	lossCmp := func() int {
+		// Encoded priority values compare with integer ops; the fraction
+		// arithmetic that *produces* them is charged where the encoding
+		// happens (selection loop / heap comparator).
+		m.Int(2)
+		return fixed.New(a.cx, a.cy).Cmp(fixed.New(b.cx, b.cy))
+	}
+	deadlineCmp := func() int {
+		m.Int(1)
+		m.Branch(1)
+		switch {
+		case pa.Deadline < pb.Deadline:
+			return -1
+		case pa.Deadline > pb.Deadline:
+			return 1
+		default:
+			return 0
+		}
+	}
+	tieRules := func() int {
+		// Equal deadlines and equal window-constraint values.
+		m.Int(2)
+		m.Branch(2)
+		if a.cx == 0 && b.cx == 0 {
+			// Zero constraints: highest window-denominator first.
+			switch {
+			case a.cy > b.cy:
+				return -1
+			case a.cy < b.cy:
+				return 1
+			}
+		} else if a.cx != 0 && b.cx != 0 {
+			// Equal non-zero constraints: lowest window-numerator first.
+			switch {
+			case a.cx < b.cx:
+				return -1
+			case a.cx > b.cx:
+				return 1
+			}
+		}
+		// All other cases: first-come-first-served, with stream id as the
+		// final deterministic tie-break so every selector implementation
+		// makes the identical choice.
+		m.Int(1)
+		switch {
+		case pa.Enqueued < pb.Enqueued:
+			return -1
+		case pa.Enqueued > pb.Enqueued:
+			return 1
+		case a.spec.ID < b.spec.ID:
+			return -1
+		case a.spec.ID > b.spec.ID:
+			return 1
+		default:
+			return 0
+		}
+	}
+
+	var c int
+	switch s.cfg.Precedence {
+	case EDFFirst:
+		if c = deadlineCmp(); c != 0 {
+			return c
+		}
+		if c = lossCmp(); c != 0 {
+			return c
+		}
+	default: // LossFirst
+		if c = lossCmp(); c != 0 {
+			return c
+		}
+		if c = deadlineCmp(); c != 0 {
+			return c
+		}
+	}
+	return tieRules()
+}
+
+// selectBest returns the stream whose head packet wins the precedence
+// rules, with that head, or nils.
+func (s *Scheduler) selectBest() (*stream, *Packet) {
+	return s.sel.best(s)
+}
+
+// eligibleAt returns when p may be dispatched in paced mode.
+func (s *Scheduler) eligibleAt(p *Packet) sim.Time {
+	e := p.Deadline - s.cfg.EligibleEarly
+	if e < p.Enqueued {
+		e = p.Enqueued
+	}
+	return e
+}
+
+// selectEligible returns the precedence winner among heads already eligible
+// at now. When no head is eligible it returns the earliest upcoming
+// eligibility instead (0 if nothing is queued). Paced selection always
+// walks the streams (the embedded NI implementation is a paced scan); the
+// structured selectors serve the work-conserving benchmarks.
+func (s *Scheduler) selectEligible(now sim.Time) (*stream, *Packet, sim.Time) {
+	var bestSt *stream
+	var bestP *Packet
+	var wait sim.Time
+	for _, st := range s.order {
+		s.meter.Branch(1)
+		p := st.headPacket(s)
+		if p == nil {
+			continue
+		}
+		s.meter.Int(2)
+		if e := s.eligibleAt(p); now < e {
+			if wait == 0 || e < wait {
+				wait = e
+			}
+			continue
+		}
+		s.meter.Frac(1) // priority encode, as in the scan
+		s.meter.MemRead(2)
+		s.meter.MemWrite(2)
+		s.meter.Call(1)
+		if bestSt == nil || s.cmpStreams(st, p, bestSt, bestP) < 0 {
+			bestSt, bestP = st, p
+		}
+	}
+	return bestSt, bestP, wait
+}
+
+// adjustServiced applies the window-constraint adjustment for a packet of
+// st serviced before its deadline.
+func (s *Scheduler) adjustServiced(st *stream) {
+	s.meter.Frac(2) // window update + priority re-encode arithmetic
+	s.meter.MemRead(2)
+	s.meter.MemWrite(2)
+	s.meter.Branch(2)
+	if st.cx > 0 {
+		st.cy--
+		if st.cx == st.cy {
+			st.cx, st.cy = st.x, st.y
+		}
+		return
+	}
+	st.cy--
+	if st.cy == 0 {
+		st.cx, st.cy = st.x, st.y
+	}
+}
+
+// adjustMissed applies the adjustment for a head packet of st that missed
+// its deadline, returning whether the miss was a violation (no loss budget
+// left in the current window).
+func (s *Scheduler) adjustMissed(st *stream) (violation bool) {
+	s.meter.Frac(1)
+	s.meter.MemRead(2)
+	s.meter.MemWrite(2)
+	s.meter.Branch(2)
+	if st.cx > 0 {
+		st.cx--
+		st.cy--
+		if st.cy == 0 {
+			st.cx, st.cy = st.x, st.y
+		}
+		return false
+	}
+	st.stats.Violations++
+	st.cy--
+	if st.cy == 0 {
+		st.cx, st.cy = st.x, st.y
+	}
+	return true
+}
+
+// processMisses walks every stream and handles head packets whose deadlines
+// have passed: lossy streams drop them (possibly several), lossless streams
+// take the window adjustment once and keep the packet at the head for late
+// transmission.
+func (s *Scheduler) processMisses(now sim.Time, d *Decision) {
+	for _, st := range s.order {
+		if s.cfg.MaxDropsPerDecision > 0 && len(d.Dropped) >= s.cfg.MaxDropsPerDecision {
+			return
+		}
+		changed := false
+		for {
+			s.meter.Branch(1)
+			p := st.headPacket(s)
+			if p == nil || now <= p.Deadline {
+				break
+			}
+			s.meter.Int(1)
+			if p.missed {
+				break // lossless head already accounted
+			}
+			p.missed = true
+			s.adjustMissed(st)
+			changed = true
+			if !st.spec.Lossy {
+				break
+			}
+			st.ring.Pop()
+			dropped := *p // copy out before the descriptor slot is recycled
+			s.freeSlot(p.slot)
+			st.stats.Dropped++
+			d.Dropped = append(d.Dropped, &dropped)
+			if s.cfg.MaxDropsPerDecision > 0 && len(d.Dropped) >= s.cfg.MaxDropsPerDecision {
+				break
+			}
+		}
+		if changed {
+			s.sel.fix(s, st)
+		}
+	}
+}
+
+// Reconfigure changes a live stream's period and loss-tolerance — the
+// paper's §3.1 point that a scheduler close to the network "may be
+// reconfigured based on network condition parameters" without crossing the
+// I/O bus. Queued packets keep their assigned deadlines; new enqueues use
+// the new period, and the current window restarts under the new
+// constraint.
+func (s *Scheduler) Reconfigure(id int, period sim.Time, loss fixed.Frac) error {
+	st, ok := s.streams[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownStream, id)
+	}
+	probe := st.spec
+	probe.Period = period
+	probe.Loss = loss
+	if err := probe.validate(); err != nil {
+		return err
+	}
+	st.spec = probe
+	y := loss.Den
+	if y == 0 {
+		y = 1
+	}
+	st.x, st.y = loss.Num, y
+	st.cx, st.cy = st.x, st.y
+	s.meter.MemWrite(4)
+	s.sel.fix(s, st)
+	return nil
+}
+
+// Pause suspends a stream: its queued packets stop competing for service
+// and stop accruing deadline misses — the VCR pause a media server must
+// offer. Pausing a paused stream is a no-op.
+func (s *Scheduler) Pause(id int) error {
+	st, ok := s.streams[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownStream, id)
+	}
+	if st.paused {
+		return nil
+	}
+	st.paused = true
+	st.pausedAt = s.now()
+	s.sel.fix(s, st)
+	return nil
+}
+
+// Resume reactivates a paused stream, shifting every queued packet's
+// deadline (and the stream's deadline chain) by the paused duration so
+// nothing is spuriously late the instant playback continues.
+func (s *Scheduler) Resume(id int) error {
+	st, ok := s.streams[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownStream, id)
+	}
+	if !st.paused {
+		return nil
+	}
+	shift := s.now() - st.pausedAt
+	st.paused = false
+	st.last += shift
+	// Rebase deadlines of everything queued. Ring order is head..tail;
+	// walk by popping and re-pushing through the descriptor table.
+	n := st.ring.Len()
+	for i := 0; i < n; i++ {
+		slot, _ := st.ring.Pop()
+		s.table[slot].Deadline += shift
+		s.meter.MemWrite(1)
+		st.ring.Push(slot)
+	}
+	s.sel.fix(s, st)
+	return nil
+}
+
+// Paused reports whether the stream is paused.
+func (s *Scheduler) Paused(id int) bool {
+	if st, ok := s.streams[id]; ok {
+		return st.paused
+	}
+	return false
+}
+
+// StreamSnapshot is one stream's state for monitoring.
+type StreamSnapshot struct {
+	Spec    StreamSpec
+	Stats   StreamStats
+	Queued  int
+	WindowX int64
+	WindowY int64
+	Paused  bool
+}
+
+// Snapshot returns every stream's state in insertion order — the
+// monitoring view a management client reads over the DVCM.
+func (s *Scheduler) Snapshot() []StreamSnapshot {
+	out := make([]StreamSnapshot, 0, len(s.order))
+	for _, st := range s.order {
+		out = append(out, StreamSnapshot{
+			Spec:    st.spec,
+			Stats:   st.stats,
+			Queued:  st.ring.Len(),
+			WindowX: st.cx,
+			WindowY: st.cy,
+			Paused:  st.paused,
+		})
+	}
+	return out
+}
+
+// DequeueFCFS pops the next queued packet in plain round-robin order
+// without evaluating any precedence rules or window adjustments — the
+// microbenchmarks' "time w/o Scheduler" path, where "the address of the
+// frame to be dispatched is readily available and does not need scheduler
+// rules" (§4.2). Only the ring and descriptor accesses are charged.
+func (s *Scheduler) DequeueFCFS() *Packet {
+	for range s.order {
+		st := s.order[s.rrNext%len(s.order)]
+		s.rrNext++
+		s.meter.Branch(1)
+		slot, ok := st.ring.Pop()
+		if !ok {
+			continue
+		}
+		s.meter.MemRead(2) // frame address + length from the descriptor
+		pkt := s.table[slot]
+		s.freeSlot(slot)
+		st.stats.Serviced++
+		st.stats.BytesServiced += pkt.Bytes
+		s.sel.fix(s, st)
+		return &pkt
+	}
+	return nil
+}
+
+// Schedule makes one scheduling decision at the configured clock's current
+// time: process deadline misses, pick the highest-precedence head packet,
+// and (if eligible) dequeue it for dispatch. The caller transmits the
+// returned packet; transmission cost is the caller's (the microbenchmarks'
+// "time w/o scheduler" path).
+func (s *Scheduler) Schedule() Decision {
+	now := s.now()
+	s.meter.ChargeCycles(s.cfg.DecisionOverhead)
+	s.TotalDecisions++
+	var d Decision
+	s.processMisses(now, &d)
+	var st *stream
+	var p *Packet
+	if s.cfg.WorkConserving {
+		st, p = s.selectBest()
+		if st == nil {
+			return d
+		}
+	} else {
+		// Paced mode: precedence applies among the *eligible* heads only.
+		// Sleeping on the global best's eligibility would let a lower-
+		// priority head's deadline expire unserved, so when nothing is
+		// eligible the wakeup is the earliest eligibility across streams.
+		var wait sim.Time
+		st, p, wait = s.selectEligible(now)
+		if st == nil {
+			d.WaitUntil = wait
+			return d
+		}
+	}
+	st.ring.Pop()
+	pkt := *p // copy out before the descriptor slot is recycled
+	s.freeSlot(p.slot)
+	late := pkt.missed || now > pkt.Deadline
+	s.adjustServiced(st)
+	st.stats.Serviced++
+	st.stats.BytesServiced += pkt.Bytes
+	if late {
+		st.stats.Late++
+	}
+	s.meter.MemWrite(3) // stats updates
+	s.sel.fix(s, st)
+	d.Packet = &pkt
+	d.Late = late
+	return d
+}

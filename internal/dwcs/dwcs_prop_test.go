@@ -1,0 +1,282 @@
+package dwcs
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/fixed"
+	"repro/internal/sim"
+)
+
+// randomWorkload drives a scheduler through a deterministic pseudo-random
+// sequence of enqueues, clock advances, and Schedule calls, returning the
+// dispatch/drop trace.
+type traceEvent struct {
+	kind   byte // 'D' dispatched, 'X' dropped, 'W' wait
+	stream int
+	seq    int64
+}
+
+func driveRandom(sel SelectorKind, prec Precedence, seed int64, steps int) []traceEvent {
+	rng := rand.New(rand.NewSource(seed))
+	clk := &testClock{}
+	s := New(Config{WorkConserving: true, Selector: sel, Precedence: prec, Now: clk.Now})
+	nStreams := rng.Intn(5) + 2
+	for i := 0; i < nStreams; i++ {
+		x := int64(rng.Intn(4))
+		y := x + int64(rng.Intn(4)) + 1
+		s.AddStream(StreamSpec{
+			ID:     i,
+			Period: sim.Time(rng.Intn(20)+1) * sim.Millisecond,
+			Loss:   fixed.New(x, y),
+			Lossy:  rng.Intn(2) == 0,
+			BufCap: 8,
+		})
+	}
+	var trace []traceEvent
+	for step := 0; step < steps; step++ {
+		switch rng.Intn(6) {
+		case 0, 1: // enqueue
+			id := rng.Intn(nStreams)
+			s.Enqueue(id, Packet{Bytes: int64(rng.Intn(1000))}) // full rings just bounce
+		case 2: // advance clock
+			clk.now += sim.Time(rng.Intn(10)) * sim.Millisecond
+		case 3: // pause/resume churn
+			id := rng.Intn(nStreams)
+			if rng.Intn(2) == 0 {
+				s.Pause(id)
+			} else {
+				s.Resume(id)
+			}
+		case 4: // reconfigure
+			id := rng.Intn(nStreams)
+			x := int64(rng.Intn(3))
+			s.Reconfigure(id, sim.Time(rng.Intn(20)+1)*sim.Millisecond,
+				fixed.New(x, x+int64(rng.Intn(3))+1))
+		default: // schedule
+			d := s.Schedule()
+			for _, p := range d.Dropped {
+				trace = append(trace, traceEvent{'X', p.StreamID, p.Seq})
+			}
+			if d.Packet != nil {
+				trace = append(trace, traceEvent{'D', d.Packet.StreamID, d.Packet.Seq})
+			}
+		}
+	}
+	// Drain with everything resumed so every selector sees the same tail.
+	for i := 0; i < nStreams; i++ {
+		s.Resume(i)
+	}
+	for i := 0; i < steps; i++ {
+		d := s.Schedule()
+		if d.Packet == nil && len(d.Dropped) == 0 {
+			break
+		}
+		for _, p := range d.Dropped {
+			trace = append(trace, traceEvent{'X', p.StreamID, p.Seq})
+		}
+		if d.Packet != nil {
+			trace = append(trace, traceEvent{'D', d.Packet.StreamID, d.Packet.Seq})
+		}
+	}
+	return trace
+}
+
+// Property: the Heaps selector dispatches exactly the same sequence as the
+// linear Scan for any workload and both precedence variants.
+func TestHeapSelectorMatchesScan(t *testing.T) {
+	for _, prec := range []Precedence{LossFirst, EDFFirst} {
+		f := func(seed int64) bool {
+			a := driveRandom(Scan, prec, seed, 300)
+			b := driveRandom(Heaps, prec, seed, 300)
+			if len(a) != len(b) {
+				return false
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+			t.Fatalf("precedence %v: %v", prec, err)
+		}
+	}
+}
+
+// Property: window invariants hold after any operation sequence:
+// 0 ≤ x' ≤ x is NOT required (x' counts remaining losses ≤ x), but always
+// 0 ≤ x' ≤ y', 1 ≤ y' ≤ y.
+func TestWindowInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		clk := &testClock{}
+		s := New(Config{WorkConserving: true, Now: clk.Now})
+		type lim struct{ x, y int64 }
+		lims := map[int]lim{}
+		for i := 0; i < 4; i++ {
+			x := int64(rng.Intn(3))
+			y := x + int64(rng.Intn(3)) + 1
+			lims[i] = lim{x, y}
+			s.AddStream(StreamSpec{ID: i, Period: sim.Millisecond * sim.Time(rng.Intn(5)+1),
+				Loss: fixed.New(x, y), Lossy: rng.Intn(2) == 0, BufCap: 8})
+		}
+		for step := 0; step < 200; step++ {
+			switch rng.Intn(3) {
+			case 0:
+				s.Enqueue(rng.Intn(4), Packet{})
+			case 1:
+				clk.now += sim.Time(rng.Intn(8)) * sim.Millisecond
+			default:
+				s.Schedule()
+			}
+			for i := 0; i < 4; i++ {
+				cx, cy, _ := s.Window(i)
+				l := lims[i]
+				if cx < 0 || cx > cy || cy < 1 || cy > l.y || cx > l.x {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: packet conservation — everything enqueued is eventually
+// serviced, dropped, or still queued; nothing is duplicated or lost.
+func TestPacketConservation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		clk := &testClock{}
+		s := New(Config{WorkConserving: true, Now: clk.Now})
+		for i := 0; i < 3; i++ {
+			s.AddStream(StreamSpec{ID: i, Period: sim.Millisecond,
+				Loss: fixed.New(1, 2), Lossy: i%2 == 0, BufCap: 4})
+		}
+		for step := 0; step < 300; step++ {
+			switch rng.Intn(3) {
+			case 0:
+				s.Enqueue(rng.Intn(3), Packet{})
+			case 1:
+				clk.now += sim.Time(rng.Intn(4)) * sim.Millisecond
+			default:
+				s.Schedule()
+			}
+		}
+		for i := 0; i < 3; i++ {
+			st, _ := s.Stats(i)
+			if st.Enqueued != st.Serviced+st.Dropped+int64(s.QueueLen(i)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a zero-loss-tolerance lossless stream is never dropped and all
+// its packets are eventually serviced in order.
+func TestLosslessZeroToleranceNeverDrops(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		clk := &testClock{}
+		s := New(Config{WorkConserving: true, Now: clk.Now})
+		s.AddStream(StreamSpec{ID: 0, Period: sim.Millisecond, Loss: fixed.New(0, 1), BufCap: 64})
+		s.AddStream(StreamSpec{ID: 1, Period: sim.Millisecond, Loss: fixed.New(1, 2), Lossy: true, BufCap: 64})
+		var want int64
+		var got []int64
+		for step := 0; step < 200; step++ {
+			switch rng.Intn(3) {
+			case 0:
+				if s.Enqueue(0, Packet{}) == nil {
+					want++
+				}
+				s.Enqueue(1, Packet{})
+			case 1:
+				clk.now += sim.Time(rng.Intn(20)) * sim.Millisecond
+			default:
+				if d := s.Schedule(); d.Packet != nil && d.Packet.StreamID == 0 {
+					got = append(got, d.Packet.Seq)
+				}
+			}
+		}
+		// Drain.
+		for i := 0; i < 1000 && s.Len() > 0; i++ {
+			if d := s.Schedule(); d.Packet != nil && d.Packet.StreamID == 0 {
+				got = append(got, d.Packet.Seq)
+			}
+		}
+		st, _ := s.Stats(0)
+		if st.Dropped != 0 || int64(len(got)) != want {
+			return false
+		}
+		for i, seq := range got {
+			if seq != int64(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: with two equal-priority backlogged streams, work-conserving
+// DWCS shares service approximately equally (fairness, paper §5).
+func TestFairShareBetweenEqualStreams(t *testing.T) {
+	clk := &testClock{}
+	s := New(Config{WorkConserving: true, Now: clk.Now})
+	s.AddStream(StreamSpec{ID: 0, Period: 10 * sim.Millisecond, Loss: fixed.New(1, 2), Lossy: true, BufCap: 512})
+	s.AddStream(StreamSpec{ID: 1, Period: 10 * sim.Millisecond, Loss: fixed.New(1, 2), Lossy: true, BufCap: 512})
+	for i := 0; i < 400; i++ {
+		s.Enqueue(0, Packet{})
+		s.Enqueue(1, Packet{})
+	}
+	counts := map[int]int{}
+	for i := 0; i < 400; i++ {
+		d := s.Schedule()
+		if d.Packet == nil {
+			t.Fatal("starved with backlog")
+		}
+		counts[d.Packet.StreamID]++
+	}
+	if diff := counts[0] - counts[1]; diff < -20 || diff > 20 {
+		t.Fatalf("unfair split: %v", counts)
+	}
+}
+
+// Property: the scheduler picks the same stream regardless of stream
+// insertion order when keys strictly differ.
+func TestSelectionInsertionOrderIndependent(t *testing.T) {
+	build := func(order []int) int {
+		clk := &testClock{}
+		s := New(Config{WorkConserving: true, Now: clk.Now})
+		specs := map[int]StreamSpec{
+			0: spec(0, 10*sim.Millisecond, fixed.New(1, 2)),
+			1: spec(1, 10*sim.Millisecond, fixed.New(1, 4)),
+			2: spec(2, 10*sim.Millisecond, fixed.New(1, 8)),
+		}
+		for _, id := range order {
+			s.AddStream(specs[id])
+		}
+		for _, id := range order {
+			s.Enqueue(id, Packet{})
+		}
+		d := s.Schedule()
+		return d.Packet.StreamID
+	}
+	perms := [][]int{{0, 1, 2}, {2, 1, 0}, {1, 2, 0}, {2, 0, 1}}
+	for _, p := range perms {
+		if got := build(p); got != 2 {
+			t.Fatalf("order %v picked stream %d, want 2", p, got)
+		}
+	}
+}

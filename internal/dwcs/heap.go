@@ -1,0 +1,120 @@
+package dwcs
+
+// streamHeap is the Heaps selector: a binary min-heap of streams ordered by
+// the full precedence comparator applied to their head-of-line packets —
+// the Figure 4(a) structure (the paper splits it into a loss-tolerance heap
+// and a deadline heap; because the precedence rules form one lexicographic
+// total order, a single heap keyed on that order selects identically).
+//
+// Streams with empty rings order after every stream with a queued packet,
+// so the heap top is the winner whenever any packet is queued. Whenever a
+// stream's head or window changes, the scheduler calls fix, which restores
+// the heap invariant in O(log n) comparisons; each comparison charges the
+// meter exactly as the linear scan's comparisons do.
+type streamHeap struct {
+	items []*stream
+}
+
+// less orders item i before item j, charging the scheduler's meter.
+func (h *streamHeap) less(s *Scheduler, i, j int) bool {
+	s.meter.Branch(1)
+	s.meter.Frac(1) // encode the pair's priority values
+	pi := h.items[i].headPacket(s)
+	pj := h.items[j].headPacket(s)
+	switch {
+	case pi == nil:
+		return false
+	case pj == nil:
+		return true
+	}
+	return s.cmpStreams(h.items[i], pi, h.items[j], pj) < 0
+}
+
+func (h *streamHeap) swap(i, j int) {
+	h.items[i], h.items[j] = h.items[j], h.items[i]
+	h.items[i].heapIdx = i
+	h.items[j].heapIdx = j
+}
+
+func (h *streamHeap) up(s *Scheduler, i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(s, i, parent) {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *streamHeap) down(s *Scheduler, i int) {
+	n := len(h.items)
+	for {
+		l, r := 2*i+1, 2*i+2
+		if l >= n {
+			return
+		}
+		min := l
+		if r < n && h.less(s, r, l) {
+			min = r
+		}
+		if !h.less(s, min, i) {
+			return
+		}
+		h.swap(i, min)
+		i = min
+	}
+}
+
+// push inserts st.
+func (h *streamHeap) push(s *Scheduler, st *stream) {
+	st.heapIdx = len(h.items)
+	h.items = append(h.items, st)
+	h.up(s, st.heapIdx)
+}
+
+// fix restores the invariant after st's key (head packet or window)
+// changed.
+func (h *streamHeap) fix(s *Scheduler, st *stream) {
+	if st.heapIdx < 0 {
+		h.push(s, st)
+		return
+	}
+	i := st.heapIdx
+	h.down(s, i)
+	if st.heapIdx == i { // didn't move down; maybe it moves up
+		h.up(s, i)
+	}
+}
+
+// remove deletes st from the heap.
+func (h *streamHeap) remove(s *Scheduler, st *stream) {
+	i := st.heapIdx
+	last := len(h.items) - 1
+	if i != last {
+		h.swap(i, last)
+	}
+	h.items = h.items[:last]
+	st.heapIdx = -1
+	if i < last {
+		moved := h.items[i]
+		h.down(s, i)
+		if moved.heapIdx == i {
+			h.up(s, i)
+		}
+	}
+}
+
+// best returns the winning stream and its head packet, or nils when no
+// packets are queued anywhere.
+func (h *streamHeap) best(s *Scheduler) (*stream, *Packet) {
+	if len(h.items) == 0 {
+		return nil, nil
+	}
+	st := h.items[0]
+	p := st.headPacket(s)
+	if p == nil {
+		return nil, nil
+	}
+	return st, p
+}

@@ -1,0 +1,147 @@
+package dwcs
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/fixed"
+	"repro/internal/sim"
+)
+
+func TestPauseExcludesStreamFromService(t *testing.T) {
+	clk := &testClock{}
+	s := newScheduler(clk)
+	mustAdd(t, s, spec(1, 10*sim.Millisecond, fixed.New(0, 1))) // would win every time
+	mustAdd(t, s, spec(2, 10*sim.Millisecond, fixed.New(1, 2)))
+	for i := 0; i < 3; i++ {
+		mustEnqueue(t, s, 1, Packet{})
+		mustEnqueue(t, s, 2, Packet{})
+	}
+	if err := s.Pause(1); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Paused(1) || s.Paused(2) {
+		t.Fatal("pause state wrong")
+	}
+	for i := 0; i < 3; i++ {
+		d := s.Schedule()
+		if d.Packet == nil || d.Packet.StreamID != 2 {
+			t.Fatalf("dispatch %d = %+v, want stream 2 only", i, d.Packet)
+		}
+	}
+	if d := s.Schedule(); d.Packet != nil {
+		t.Fatal("paused stream dispatched")
+	}
+}
+
+func TestPausedStreamAccruesNoMisses(t *testing.T) {
+	clk := &testClock{}
+	s := newScheduler(clk)
+	mustAdd(t, s, spec(1, 10*sim.Millisecond, fixed.New(1, 2)))
+	mustEnqueue(t, s, 1, Packet{})
+	s.Pause(1)
+	clk.now = 10 * sim.Second // far past every deadline
+	d := s.Schedule()
+	if len(d.Dropped) != 0 {
+		t.Fatalf("paused stream dropped %d packets", len(d.Dropped))
+	}
+	st, _ := s.Stats(1)
+	if st.Dropped != 0 || st.Violations != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestResumeRebasesDeadlines(t *testing.T) {
+	clk := &testClock{}
+	s := newScheduler(clk)
+	T := 10 * sim.Millisecond
+	mustAdd(t, s, spec(1, T, fixed.New(1, 2)))
+	for i := 0; i < 3; i++ {
+		mustEnqueue(t, s, 1, Packet{}) // deadlines 10, 20, 30 ms
+	}
+	s.Pause(1)
+	clk.now = 5 * sim.Second
+	if err := s.Resume(1); err != nil {
+		t.Fatal(err)
+	}
+	// Shift = 5 s: deadlines become 5.010, 5.020, 5.030 — nothing late.
+	for i := 1; i <= 3; i++ {
+		d := s.Schedule()
+		if d.Packet == nil {
+			t.Fatalf("dispatch %d missing", i)
+		}
+		want := 5*sim.Second + sim.Time(i)*T
+		if d.Packet.Deadline != want {
+			t.Fatalf("deadline = %v, want %v", d.Packet.Deadline, want)
+		}
+		if d.Late || len(d.Dropped) != 0 {
+			t.Fatalf("resume produced lateness: %+v", d)
+		}
+	}
+	// The deadline chain continues from the shifted base.
+	mustEnqueue(t, s, 1, Packet{})
+	if d := s.Schedule(); d.Packet.Deadline != 5*sim.Second+4*T {
+		t.Fatalf("post-resume chain deadline = %v", d.Packet.Deadline)
+	}
+}
+
+func TestPauseResumeIdempotentAndValidated(t *testing.T) {
+	clk := &testClock{}
+	s := newScheduler(clk)
+	mustAdd(t, s, spec(1, sim.Millisecond, fixed.New(1, 2)))
+	if err := s.Pause(9); !errors.Is(err, ErrUnknownStream) {
+		t.Errorf("pause unknown: %v", err)
+	}
+	if err := s.Resume(9); !errors.Is(err, ErrUnknownStream) {
+		t.Errorf("resume unknown: %v", err)
+	}
+	if err := s.Resume(1); err != nil { // resume of running stream: no-op
+		t.Errorf("resume running: %v", err)
+	}
+	s.Pause(1)
+	if err := s.Pause(1); err != nil { // double pause: no-op
+		t.Errorf("double pause: %v", err)
+	}
+	if s.Paused(9) {
+		t.Error("unknown stream reported paused")
+	}
+}
+
+func TestPauseWorksAcrossSelectors(t *testing.T) {
+	for _, sel := range []SelectorKind{Scan, Heaps, SortedList} {
+		clk := &testClock{}
+		s := New(Config{WorkConserving: true, Selector: sel, Now: clk.Now})
+		mustAdd(t, s, spec(1, 10*sim.Millisecond, fixed.New(0, 1)))
+		mustAdd(t, s, spec(2, 10*sim.Millisecond, fixed.New(1, 2)))
+		mustEnqueue(t, s, 1, Packet{})
+		mustEnqueue(t, s, 2, Packet{})
+		s.Pause(1)
+		if d := s.Schedule(); d.Packet == nil || d.Packet.StreamID != 2 {
+			t.Fatalf("%v: got %+v, want stream 2", sel, d.Packet)
+		}
+		s.Resume(1)
+		if d := s.Schedule(); d.Packet == nil || d.Packet.StreamID != 1 {
+			t.Fatalf("%v: after resume got %+v, want stream 1", sel, d.Packet)
+		}
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	clk := &testClock{}
+	s := newScheduler(clk)
+	mustAdd(t, s, spec(1, 10*sim.Millisecond, fixed.New(1, 2)))
+	mustAdd(t, s, spec(2, 20*sim.Millisecond, fixed.New(0, 1)))
+	mustEnqueue(t, s, 1, Packet{})
+	mustEnqueue(t, s, 1, Packet{})
+	s.Pause(2)
+	snap := s.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot = %d streams", len(snap))
+	}
+	if snap[0].Spec.ID != 1 || snap[0].Queued != 2 || snap[0].WindowX != 1 || snap[0].WindowY != 2 {
+		t.Fatalf("stream 1 snapshot = %+v", snap[0])
+	}
+	if !snap[1].Paused || snap[1].Queued != 0 {
+		t.Fatalf("stream 2 snapshot = %+v", snap[1])
+	}
+}

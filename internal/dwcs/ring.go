@@ -1,0 +1,79 @@
+package dwcs
+
+import (
+	"repro/internal/cpu"
+	"repro/internal/mem"
+)
+
+// Ring is the per-stream circular buffer of Figure 4(b): a single-producer,
+// single-consumer queue of frame-descriptor slots with separate head and
+// tail pointers, which "eliminates the need for synchronization between the
+// scheduler that selects the next packet for service, and the server that
+// queues packets to be scheduled."
+//
+// The ring stores 32-bit descriptor-table indices ("we store addresses of
+// frame descriptors in the circular buffer", §4.2) in a mem.WordStore, so
+// the same code runs over pinned card DRAM (Table 2) or the hardware-queue
+// register file (Table 3), charging the appropriate operation class.
+type Ring struct {
+	store mem.WordStore
+	meter *cpu.Meter
+	head  int // next slot to pop
+	tail  int // next slot to fill
+	n     int // occupancy
+}
+
+// NewRing returns an empty ring over store. Capacity is store.Cap().
+func NewRing(store mem.WordStore, meter *cpu.Meter) *Ring {
+	if store.Cap() == 0 {
+		panic("dwcs: ring store has zero capacity")
+	}
+	return &Ring{store: store, meter: meter}
+}
+
+// Cap returns the ring capacity.
+func (r *Ring) Cap() int { return r.store.Cap() }
+
+// Len returns the current occupancy.
+func (r *Ring) Len() int { return r.n }
+
+// Push appends a descriptor slot at the tail, returning false if full.
+// Cost: tail/occupancy pointer reads, one word write, pointer update.
+func (r *Ring) Push(slot uint32) bool {
+	r.meter.MemRead(2) // tail + occupancy
+	r.meter.Branch(1)
+	if r.n == r.store.Cap() {
+		return false
+	}
+	r.store.WriteWord(r.tail, slot)
+	r.tail = (r.tail + 1) % r.store.Cap()
+	r.n++
+	r.meter.MemWrite(2) // tail + occupancy
+	r.meter.Int(2)
+	return true
+}
+
+// Peek returns the head descriptor slot without consuming it.
+func (r *Ring) Peek() (uint32, bool) {
+	r.meter.MemRead(2) // head + occupancy
+	r.meter.Branch(1)
+	if r.n == 0 {
+		return 0, false
+	}
+	return r.store.ReadWord(r.head), true
+}
+
+// Pop consumes and returns the head descriptor slot.
+func (r *Ring) Pop() (uint32, bool) {
+	r.meter.MemRead(2)
+	r.meter.Branch(1)
+	if r.n == 0 {
+		return 0, false
+	}
+	v := r.store.ReadWord(r.head)
+	r.head = (r.head + 1) % r.store.Cap()
+	r.n--
+	r.meter.MemWrite(2) // head + occupancy
+	r.meter.Int(2)
+	return v, true
+}

@@ -1,0 +1,135 @@
+package dwcs
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cpu"
+	"repro/internal/mem"
+)
+
+func newTestRing(cap int) *Ring {
+	return NewRing(mem.NewDRAMStore(nil, cap), nil)
+}
+
+func TestRingFIFO(t *testing.T) {
+	r := newTestRing(4)
+	for i := uint32(0); i < 4; i++ {
+		if !r.Push(i) {
+			t.Fatalf("push %d failed", i)
+		}
+	}
+	if r.Push(9) {
+		t.Fatal("push into full ring succeeded")
+	}
+	for i := uint32(0); i < 4; i++ {
+		v, ok := r.Pop()
+		if !ok || v != i {
+			t.Fatalf("pop = %d,%v, want %d", v, ok, i)
+		}
+	}
+	if _, ok := r.Pop(); ok {
+		t.Fatal("pop from empty ring succeeded")
+	}
+}
+
+func TestRingWraparound(t *testing.T) {
+	r := newTestRing(3)
+	for round := uint32(0); round < 10; round++ {
+		if !r.Push(round) {
+			t.Fatalf("round %d push failed", round)
+		}
+		v, ok := r.Pop()
+		if !ok || v != round {
+			t.Fatalf("round %d pop = %d", round, v)
+		}
+	}
+	if r.Len() != 0 {
+		t.Fatalf("len = %d", r.Len())
+	}
+}
+
+func TestRingPeekDoesNotConsume(t *testing.T) {
+	r := newTestRing(2)
+	if _, ok := r.Peek(); ok {
+		t.Fatal("peek on empty succeeded")
+	}
+	r.Push(7)
+	for i := 0; i < 3; i++ {
+		v, ok := r.Peek()
+		if !ok || v != 7 {
+			t.Fatalf("peek = %d,%v", v, ok)
+		}
+	}
+	if r.Len() != 1 {
+		t.Fatalf("len = %d after peeks", r.Len())
+	}
+}
+
+func TestRingZeroCapPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewRing(mem.NewDRAMStore(nil, 0), nil)
+}
+
+func TestRingChargesStoreOps(t *testing.T) {
+	m := cpu.NewMeter(cpu.I960RD())
+	dram := NewRing(mem.NewDRAMStore(m, 8), m)
+	dram.Push(1)
+	dram.Peek()
+	dram.Pop()
+	if m.Count(cpu.OpMemRead) == 0 || m.Count(cpu.OpMemWrite) == 0 {
+		t.Fatal("DRAM ring should charge memory ops")
+	}
+
+	m2 := cpu.NewMeter(cpu.I960RD())
+	hw := NewRing(mem.NewRegisterFile(m2), m2)
+	hw.Push(1)
+	hw.Pop()
+	if m2.Count(cpu.OpRegRead) == 0 || m2.Count(cpu.OpRegWrite) == 0 {
+		t.Fatal("register ring should charge register ops")
+	}
+}
+
+// Property: a ring behaves like a bounded FIFO queue.
+func TestRingMatchesModelQueue(t *testing.T) {
+	f := func(ops []uint8, capSeed uint8) bool {
+		cap := int(capSeed)%16 + 1
+		r := newTestRing(cap)
+		var model []uint32
+		for i, op := range ops {
+			if op%2 == 0 { // push
+				v := uint32(i)
+				got := r.Push(v)
+				want := len(model) < cap
+				if got != want {
+					return false
+				}
+				if want {
+					model = append(model, v)
+				}
+			} else { // pop
+				v, ok := r.Pop()
+				if ok != (len(model) > 0) {
+					return false
+				}
+				if ok {
+					if v != model[0] {
+						return false
+					}
+					model = model[1:]
+				}
+			}
+			if r.Len() != len(model) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

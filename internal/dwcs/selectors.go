@@ -1,0 +1,216 @@
+package dwcs
+
+import (
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// This file implements the remaining schedule representations §3.1.1 calls
+// for ("This allows different data structures to be used for
+// experimentation (FCFS circular buffers, sorted lists, heaps or calendar
+// queues) with different packet schedule representations"):
+//
+//   - listSelector — a sorted list of streams ordered by the precedence
+//     comparator: O(log n) search + O(n) shift per head change, O(1) best.
+//   - calendarSelector — a calendar queue bucketing streams by head-packet
+//     deadline. Only valid with the EDFFirst precedence variant, whose
+//     primary key *is* the deadline; under LossFirst a calendar cannot find
+//     the winner without inspecting every stream.
+//
+// The FCFS circular buffers are the per-stream rings themselves
+// (DequeueFCFS); Scan and Heaps live in dwcs.go/heap.go.
+
+// listSelector keeps streams sorted best-first by the live precedence
+// order. Streams with empty rings sort last (same rule as the heap).
+type listSelector struct {
+	items []*stream
+}
+
+// lessStreams orders a before b by the full precedence comparator with
+// empty rings last, charging the meter.
+func (s *Scheduler) lessStreams(a, b *stream) bool {
+	s.meter.Branch(1)
+	pa := a.headPacket(s)
+	pb := b.headPacket(s)
+	switch {
+	case pa == nil:
+		return false
+	case pb == nil:
+		return true
+	}
+	return s.cmpStreams(a, pa, b, pb) < 0
+}
+
+func (l *listSelector) insert(s *Scheduler, st *stream) {
+	i := sort.Search(len(l.items), func(i int) bool {
+		return s.lessStreams(st, l.items[i])
+	})
+	l.items = append(l.items, nil)
+	copy(l.items[i+1:], l.items[i:])
+	l.items[i] = st
+	// Shifting list entries costs memory traffic proportional to the tail.
+	s.meter.MemWrite(len(l.items) - i)
+	for j := i; j < len(l.items); j++ {
+		l.items[j].listIdx = j
+	}
+	s.meter.Int(len(l.items) - i)
+}
+
+func (l *listSelector) removeAt(s *Scheduler, i int) {
+	copy(l.items[i:], l.items[i+1:])
+	l.items = l.items[:len(l.items)-1]
+	s.meter.MemWrite(len(l.items) - i + 1)
+	for j := i; j < len(l.items); j++ {
+		l.items[j].listIdx = j
+	}
+	s.meter.Int(len(l.items) - i + 1)
+}
+
+func (l *listSelector) add(s *Scheduler, st *stream) {
+	l.insert(s, st)
+}
+
+func (l *listSelector) remove(s *Scheduler, st *stream) {
+	l.removeAt(s, st.listIdx)
+	st.listIdx = -1
+}
+
+func (l *listSelector) fix(s *Scheduler, st *stream) {
+	if st.listIdx < 0 {
+		l.insert(s, st)
+		return
+	}
+	l.removeAt(s, st.listIdx)
+	l.insert(s, st)
+}
+
+func (l *listSelector) best(s *Scheduler) (*stream, *Packet) {
+	if len(l.items) == 0 {
+		return nil, nil
+	}
+	st := l.items[0]
+	p := st.headPacket(s)
+	if p == nil {
+		return nil, nil
+	}
+	return st, p
+}
+
+// calendarWidth is the deadline span of one calendar bucket.
+const calendarWidth = 10 * sim.Millisecond
+
+// calendarSelector buckets streams by floor(headDeadline / width). All
+// deadlines in bucket k precede all deadlines in bucket k+1, so under
+// EDFFirst the winner lives in the earliest non-empty bucket; the full
+// comparator breaks ties within it.
+type calendarSelector struct {
+	buckets map[int64][]*stream
+	keys    []int64 // sorted active bucket keys
+}
+
+func newCalendarSelector() *calendarSelector {
+	return &calendarSelector{buckets: make(map[int64][]*stream)}
+}
+
+func (c *calendarSelector) keyOf(s *Scheduler, st *stream) (int64, bool) {
+	p := st.headPacket(s)
+	if p == nil {
+		return 0, false
+	}
+	return int64(p.Deadline / calendarWidth), true
+}
+
+func (c *calendarSelector) addKey(k int64) {
+	i := sort.Search(len(c.keys), func(i int) bool { return c.keys[i] >= k })
+	if i < len(c.keys) && c.keys[i] == k {
+		return
+	}
+	c.keys = append(c.keys, 0)
+	copy(c.keys[i+1:], c.keys[i:])
+	c.keys[i] = k
+}
+
+func (c *calendarSelector) dropKey(k int64) {
+	i := sort.Search(len(c.keys), func(i int) bool { return c.keys[i] >= k })
+	if i < len(c.keys) && c.keys[i] == k {
+		c.keys = append(c.keys[:i], c.keys[i+1:]...)
+	}
+}
+
+func (c *calendarSelector) add(s *Scheduler, st *stream) {
+	k, ok := c.keyOf(s, st)
+	if !ok {
+		st.calKey = noBucket
+		return
+	}
+	c.put(s, st, k)
+}
+
+func (c *calendarSelector) put(s *Scheduler, st *stream, k int64) {
+	c.buckets[k] = append(c.buckets[k], st)
+	st.calKey = k
+	c.addKey(k)
+	s.meter.MemWrite(2) // bucket link update
+	s.meter.Int(2)
+}
+
+func (c *calendarSelector) take(s *Scheduler, st *stream) {
+	if st.calKey == noBucket {
+		return
+	}
+	b := c.buckets[st.calKey]
+	for i, o := range b {
+		s.meter.Branch(1)
+		if o == st {
+			b = append(b[:i], b[i+1:]...)
+			break
+		}
+	}
+	if len(b) == 0 {
+		delete(c.buckets, st.calKey)
+		c.dropKey(st.calKey)
+	} else {
+		c.buckets[st.calKey] = b
+	}
+	st.calKey = noBucket
+	s.meter.MemWrite(2)
+}
+
+func (c *calendarSelector) remove(s *Scheduler, st *stream) { c.take(s, st) }
+
+func (c *calendarSelector) fix(s *Scheduler, st *stream) {
+	k, ok := c.keyOf(s, st)
+	if st.calKey != noBucket && ok && st.calKey == k {
+		return // same bucket: nothing to move
+	}
+	c.take(s, st)
+	if ok {
+		c.put(s, st, k)
+	}
+}
+
+func (c *calendarSelector) best(s *Scheduler) (*stream, *Packet) {
+	if len(c.keys) == 0 {
+		return nil, nil
+	}
+	bucket := c.buckets[c.keys[0]]
+	var bestSt *stream
+	var bestP *Packet
+	for _, st := range bucket {
+		s.meter.Branch(1)
+		p := st.headPacket(s)
+		if p == nil {
+			continue
+		}
+		s.meter.Frac(1) // priority encode, as in the scan
+		s.meter.MemRead(2)
+		s.meter.MemWrite(2)
+		if bestSt == nil || s.cmpStreams(st, p, bestSt, bestP) < 0 {
+			bestSt, bestP = st, p
+		}
+	}
+	return bestSt, bestP
+}
+
+const noBucket = int64(-1 << 62)

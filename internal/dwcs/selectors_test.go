@@ -1,0 +1,147 @@
+package dwcs
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/fixed"
+	"repro/internal/sim"
+)
+
+func TestSortedListSelectorMatchesScan(t *testing.T) {
+	for _, prec := range []Precedence{LossFirst, EDFFirst} {
+		f := func(seed int64) bool {
+			a := driveRandom(Scan, prec, seed, 300)
+			b := driveRandom(SortedList, prec, seed, 300)
+			if len(a) != len(b) {
+				return false
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+			t.Fatalf("precedence %v: %v", prec, err)
+		}
+	}
+}
+
+func TestCalendarSelectorMatchesScanUnderEDF(t *testing.T) {
+	f := func(seed int64) bool {
+		a := driveRandom(Scan, EDFFirst, seed, 300)
+		b := driveRandom(Calendar, EDFFirst, seed, 300)
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCalendarRequiresEDFFirst(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("calendar + LossFirst should panic at construction")
+		}
+	}()
+	New(Config{Selector: Calendar, Precedence: LossFirst})
+}
+
+func TestSelectorKindNames(t *testing.T) {
+	names := map[SelectorKind]string{
+		Scan: "scan", Heaps: "heaps", SortedList: "sortedList", Calendar: "calendar",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}
+
+func TestSortedListRemoveStream(t *testing.T) {
+	clk := &testClock{}
+	s := New(Config{WorkConserving: true, Selector: SortedList, Now: clk.Now})
+	for i := 0; i < 4; i++ {
+		mustAdd(t, s, spec(i, 10*sim.Millisecond, fixed.New(1, int64(i)+2)))
+		mustEnqueue(t, s, i, Packet{})
+	}
+	if err := s.RemoveStream(1); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for {
+		d := s.Schedule()
+		if d.Packet == nil {
+			break
+		}
+		seen[d.Packet.StreamID] = true
+	}
+	if seen[1] {
+		t.Fatal("removed stream dispatched")
+	}
+	if !seen[0] || !seen[2] || !seen[3] {
+		t.Fatalf("missing dispatches: %v", seen)
+	}
+}
+
+func TestCalendarRemoveStream(t *testing.T) {
+	clk := &testClock{}
+	s := New(Config{WorkConserving: true, Selector: Calendar, Precedence: EDFFirst, Now: clk.Now})
+	for i := 0; i < 3; i++ {
+		mustAdd(t, s, spec(i, sim.Time(i+1)*10*sim.Millisecond, fixed.New(1, 2)))
+		mustEnqueue(t, s, i, Packet{})
+	}
+	if err := s.RemoveStream(0); err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for {
+		d := s.Schedule()
+		if d.Packet == nil {
+			break
+		}
+		if d.Packet.StreamID == 0 {
+			t.Fatal("removed stream dispatched")
+		}
+		count++
+	}
+	if count != 2 {
+		t.Fatalf("dispatched %d, want 2", count)
+	}
+}
+
+// All four selectors drain a mixed workload completely and identically in
+// count.
+func TestAllSelectorsDrainEqually(t *testing.T) {
+	counts := map[SelectorKind]int{}
+	for _, sel := range []SelectorKind{Scan, Heaps, SortedList, Calendar} {
+		clk := &testClock{}
+		s := New(Config{WorkConserving: true, Selector: sel, Precedence: EDFFirst, Now: clk.Now})
+		for i := 0; i < 6; i++ {
+			mustAdd(t, s, spec(i, sim.Time(i%3+1)*5*sim.Millisecond, fixed.New(int64(i%2), 3)))
+		}
+		for j := 0; j < 60; j++ {
+			mustEnqueue(t, s, j%6, Packet{Bytes: 100})
+		}
+		n := 0
+		for s.Schedule().Packet != nil {
+			n++
+		}
+		counts[sel] = n
+	}
+	for sel, n := range counts {
+		if n != 60 {
+			t.Errorf("%v drained %d of 60", sel, n)
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/dwcs"
+	"repro/internal/fixed"
+	"repro/internal/nic"
+	"repro/internal/sim"
+)
+
+// ScalingPoint is one stream-count measurement of the paper's future-work
+// study ("Experimentation is underway for studying bandwidth allocations
+// for a large number of streams", §6).
+type ScalingPoint struct {
+	Streams       int
+	Selector      dwcs.SelectorKind
+	CyclesPerDec  int64
+	MicrosPerDec  float64 // at the i960 RD's 66 MHz
+	DecisionsPerS float64 // sustainable decision rate on the NI
+}
+
+// RunStreamScaling measures per-decision scheduling cost on the i960 RD as
+// the stream count grows, for both the embedded linear scan and the
+// Figure 4(a) heap structure.
+func RunStreamScaling(counts []int) ([]ScalingPoint, *Result) {
+	var points []ScalingPoint
+	res := &Result{
+		ID:    "Scaling",
+		Title: "Decision cost vs stream count (future-work study, §6)",
+	}
+	for _, sel := range []dwcs.SelectorKind{dwcs.Scan, dwcs.Heaps, dwcs.SortedList, dwcs.Calendar} {
+		for _, n := range counts {
+			p := measureScaling(sel, n)
+			points = append(points, p)
+			res.Add(fmt.Sprintf("%s, %d streams", sel, n), "µs/decision", 0, p.MicrosPerDec)
+		}
+	}
+	res.Note("the heap and calendar structures keep decision cost near-flat; the scan " +
+		"(and the sorted list's shifts) grow with n — the scalability argument behind Figure 4(a)")
+	return points, res
+}
+
+func measureScaling(sel dwcs.SelectorKind, streams int) ScalingPoint {
+	eng := sim.NewEngine(1)
+	card := nic.New(eng, nic.Config{Name: "scale", CacheOn: true})
+	sched := card.NewBenchScheduler(nic.SchedulerConfig{
+		Selector: sel,
+		// The calendar queue requires the deadline-primary variant; use it
+		// for every selector so the comparison is apples to apples.
+		Precedence:     dwcs.EDFFirst,
+		WorkConserving: true,
+	})
+	for s := 0; s < streams; s++ {
+		if err := sched.AddStream(dwcs.StreamSpec{
+			ID:     s,
+			Period: sim.Second,
+			Loss:   fixed.New(int64(s%3), int64(s%3)+2),
+			Lossy:  true,
+			BufCap: 8,
+		}); err != nil {
+			panic(err)
+		}
+	}
+	perStream := 6
+	for j := 0; j < streams*perStream; j++ {
+		if err := sched.Enqueue(j%streams, dwcs.Packet{Bytes: 1000}); err != nil {
+			panic(err)
+		}
+	}
+	card.Meter.Reset()
+	decisions := 0
+	for sched.Schedule().Packet != nil {
+		decisions++
+	}
+	cycles := card.Meter.Cycles() / int64(decisions)
+	us := card.Meter.Model.Duration(cycles).Microseconds()
+	return ScalingPoint{
+		Streams:       streams,
+		Selector:      sel,
+		CyclesPerDec:  cycles,
+		MicrosPerDec:  us,
+		DecisionsPerS: 1e6 / us,
+	}
+}

@@ -1,0 +1,281 @@
+// Package host implements the host-CPU-based DWCS configuration the paper
+// compares against (§4.2.3): the same dwcs.Scheduler code, but running as a
+// Solaris process bound to one CPU with `pbind`, paying system-call and
+// context-switch costs, competing with web-server load in the hostos run
+// queues, and transmitting through a dumb Intel 82557 NI.
+//
+// The host scheduler's CPU demand per decision is tiny (tens of µs on a
+// 200–300 MHz processor), but every decision must *wait its turn* on the
+// time-shared CPU. Under web load that queueing delays decisions past frame
+// deadlines; DWCS then drops late packets of lossy streams — which is
+// exactly the bandwidth collapse of Figure 7 and the queuing-delay blow-up
+// of Figure 8. The NI-based scheduler of internal/nic never competes for
+// the host CPU, which is Figures 9 and 10.
+package host
+
+import (
+	"fmt"
+
+	"repro/internal/cpu"
+	"repro/internal/dwcs"
+	"repro/internal/hostos"
+	"repro/internal/mpeg"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// perDecisionSyscalls models the gettimeofday/poll traffic around each
+// host-scheduler decision.
+const perDecisionSyscalls = 3
+
+// SchedulerConfig parameterizes the host-based scheduler process.
+type SchedulerConfig struct {
+	CPU            int // processor the process is bound to (pbind)
+	Model          *cpu.Model
+	Precedence     dwcs.Precedence
+	WorkConserving bool
+	EligibleEarly  sim.Time
+	// DecisionOverheadCycles covers shared-memory synchronization and
+	// library overhead per decision; 0 uses the value calibrated to the
+	// ≈50 µs UltraSPARC figure the paper quotes.
+	DecisionOverheadCycles int64
+}
+
+// DefaultHostDecisionOverhead reproduces the ≈50 µs quiescent scheduling
+// overhead reported for the host-based DWCS on a 300 MHz UltraSPARC.
+const DefaultHostDecisionOverhead = 14600
+
+// Scheduler is the host-resident DWCS process.
+type Scheduler struct {
+	Sched *dwcs.Scheduler
+	Meter *cpu.Meter
+
+	// QDelay tracks queuing delay per stream (Figure 8).
+	QDelay map[int]*stats.DelayTracker
+	// Trace, when set, records dispatch/drop events.
+	Trace *trace.Log
+	// Sent/Dropped count outcomes.
+	Sent    int64
+	Dropped int64
+
+	eng   *sim.Engine
+	sys   *hostos.System
+	cfg   SchedulerConfig
+	stack netsim.StackProfile
+	link  *netsim.Link
+	lap   *cpu.Lap
+
+	running bool       // a decision's CPU demand is queued or executing
+	waitEv  *sim.Event // pending paced wakeup
+	dst     map[int]string
+}
+
+// NewScheduler creates the process. link is the 82557 NI the host transmits
+// through (frames flow host memory → I/O bus → NI → wire; the I/O-bus DMA
+// is folded into the stack cost, as it is pipelined by the NI).
+func NewScheduler(eng *sim.Engine, sys *hostos.System, link *netsim.Link, cfg SchedulerConfig) *Scheduler {
+	if cfg.Model == nil {
+		cfg.Model = cpu.UltraSparc300()
+	}
+	if cfg.DecisionOverheadCycles == 0 {
+		cfg.DecisionOverheadCycles = DefaultHostDecisionOverhead
+	}
+	meter := cpu.NewMeter(cfg.Model)
+	meter.Arith = cpu.NativeFP // host builds use the FPU
+	h := &Scheduler{
+		Meter:  meter,
+		QDelay: make(map[int]*stats.DelayTracker),
+		eng:    eng,
+		sys:    sys,
+		cfg:    cfg,
+		stack:  netsim.HostStack(),
+		link:   link,
+		dst:    make(map[int]string),
+	}
+	h.Sched = dwcs.New(dwcs.Config{
+		Precedence:          cfg.Precedence,
+		WorkConserving:      cfg.WorkConserving,
+		EligibleEarly:       cfg.EligibleEarly,
+		Meter:               meter,
+		Now:                 eng.Now,
+		DecisionOverhead:    cfg.DecisionOverheadCycles,
+		MaxDropsPerDecision: 1, // one head packet per scheduling pass
+	})
+	h.lap = cpu.StartLap(meter)
+	return h
+}
+
+// AddStream registers a stream delivered to client address dst.
+func (h *Scheduler) AddStream(spec dwcs.StreamSpec, dst string) error {
+	if err := h.Sched.AddStream(spec); err != nil {
+		return err
+	}
+	h.QDelay[spec.ID] = &stats.DelayTracker{Name: spec.Name}
+	h.dst[spec.ID] = dst
+	return nil
+}
+
+// Enqueue queues a packet (producer side) and pokes the process.
+func (h *Scheduler) Enqueue(id int, p dwcs.Packet) error {
+	if err := h.Sched.Enqueue(id, p); err != nil {
+		return err
+	}
+	h.pump()
+	return nil
+}
+
+// wakeupSlice is the CPU demand of getting the woken scheduler process back
+// onto the processor and through its decision code — what the process must
+// *queue for* before the scheduling decision executes. This queueing is the
+// degradation mechanism of §4.2.3: under load the decision runs late, the
+// head frame has missed its deadline by then, and DWCS drops it.
+const wakeupSlice = 120 * sim.Microsecond
+
+// pump advances the process state machine: at most one decision's CPU
+// demand is outstanding at a time, mirroring the single scheduler process.
+// Every decision first queues for the bound CPU; Schedule() executes only
+// once the process actually runs.
+func (h *Scheduler) pump() {
+	if h.running {
+		return
+	}
+	if h.waitEv != nil {
+		h.waitEv.Cancel()
+		h.waitEv = nil
+	}
+	h.running = true
+	h.sys.Submit(h.cfg.CPU, wakeupSlice, func() {
+		d := h.Sched.Schedule()
+		h.Meter.Syscall(perDecisionSyscalls)
+		demand := h.lap.Take()
+		h.Dropped += int64(len(d.Dropped))
+		for _, p := range d.Dropped {
+			h.Trace.Record(trace.KindDrop, "host/dwcs", p.StreamID, p.Seq, "deadline missed")
+		}
+		switch {
+		case d.Packet != nil:
+			p := d.Packet
+			// Per-frame protocol work also competes for the bound CPU.
+			h.sys.Submit(h.cfg.CPU, demand+h.stack.Tx, func() {
+				h.running = false
+				if t := h.QDelay[p.StreamID]; t != nil {
+					t.Record(h.eng.Now() - p.Enqueued)
+				}
+				h.Sent++
+				h.Trace.Recordf(trace.KindDispatch, "host/dwcs", p.StreamID, p.Seq,
+					"qdelay=%v", h.eng.Now()-p.Enqueued)
+				if h.link != nil {
+					h.link.Send(&netsim.Packet{
+						Src:      "host",
+						Dst:      h.dst[p.StreamID],
+						StreamID: p.StreamID,
+						Seq:      p.Seq,
+						Bytes:    p.Bytes,
+						Enqueued: p.Enqueued,
+						Deadline: p.Deadline,
+					}, nil)
+				}
+				h.pump()
+			})
+		case d.WaitUntil > 0:
+			h.running = false
+			if h.eng.Now() >= d.WaitUntil {
+				h.pump()
+				return
+			}
+			h.waitEv = h.eng.At(d.WaitUntil, func() {
+				h.waitEv = nil
+				h.pump()
+			})
+		case len(d.Dropped) > 0:
+			h.running = false
+			h.pump()
+		default:
+			h.running = false
+			// Idle: the next Enqueue pumps again.
+		}
+	})
+}
+
+// Producer injects segmented MPEG frames into a host or NI scheduler at a
+// fixed rate, modelling the paper's MPEG segmentation program running as an
+// application thread. Each injection costs a little CPU on the host (read
+// from the filesystem cache plus segmentation work).
+type Producer struct {
+	Injected int64
+	Stalled  int64
+
+	stop func()
+}
+
+// EnqueueTarget abstracts where producers inject (host scheduler or a
+// DVCM/NI extension).
+type EnqueueTarget interface {
+	Enqueue(id int, p dwcs.Packet) error
+}
+
+// ProducerConfig drives one producer.
+type ProducerConfig struct {
+	Clip        *mpeg.Clip
+	StreamID    int
+	Every       sim.Time // injection period
+	PerFrameCPU sim.Time // host CPU per *mean-size* frame; scaled by frame size
+	CPU         int      // hostos CPU for that work, or hostos.AnyCPU
+	Loop        bool     // cycle through the clip forever
+}
+
+// StartProducer begins injecting into target until Stop.
+func StartProducer(eng *sim.Engine, sys *hostos.System, target EnqueueTarget, cfg ProducerConfig) *Producer {
+	if cfg.Every <= 0 {
+		panic("host: producer period must be positive")
+	}
+	p := &Producer{}
+	i := 0
+	p.stop = eng.Every(cfg.Every, func() {
+		if i >= len(cfg.Clip.Frames) {
+			if !cfg.Loop {
+				p.stop()
+				return
+			}
+			i = 0
+		}
+		f := cfg.Clip.Frames[i]
+		work := func() {
+			err := target.Enqueue(cfg.StreamID, dwcs.Packet{Bytes: f.Size, Offset: f.Offset})
+			if err != nil {
+				p.Stalled++ // ring full: frame dropped at the producer
+				return
+			}
+			p.Injected++
+		}
+		if cfg.PerFrameCPU > 0 && sys != nil {
+			// Segmentation + copy cost scales with frame size (I frames
+			// cost several times what B frames do).
+			mean := cfg.Clip.MeanFrameSize()
+			d := cfg.PerFrameCPU
+			if mean > 0 {
+				d = sim.Time(int64(d) * f.Size / mean)
+			}
+			sys.Submit(cfg.CPU, d, work)
+		} else {
+			work()
+		}
+		i++
+	})
+	return p
+}
+
+// Stop halts the producer.
+func (p *Producer) Stop() {
+	if p.stop != nil {
+		p.stop()
+		p.stop = nil
+	}
+}
+
+// String summarizes the producer.
+func (p *Producer) String() string {
+	return fmt.Sprintf("injected=%d stalled=%d", p.Injected, p.Stalled)
+}

@@ -1,0 +1,182 @@
+// Package hostos models the Solaris x86 host of the quad Pentium Pro
+// server: multiple CPUs, a time-sharing run queue per CPU, processor
+// binding (the paper binds the DWCS process with Solaris `pbind`), and a
+// Perfmeter-style utilization sampler (Figure 6).
+//
+// The model is deliberately coarser than the NI's RTOS model: host work is
+// submitted as CPU demands that are sliced into scheduling quanta and
+// round-robined per CPU. What matters for the reproduction is the
+// *queueing* a small, latency-sensitive job (a DWCS scheduling decision
+// plus a protocol-stack traversal, a few hundred µs) experiences behind
+// web-request service bursts — that queueing is what degrades the
+// host-based scheduler in Figures 7 and 8 while the NI-based scheduler of
+// Figure 9/10 never sees it.
+package hostos
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// AnyCPU submits work to the currently least-loaded CPU.
+const AnyCPU = -1
+
+// Job is one schedulable CPU demand.
+type job struct {
+	remaining sim.Time
+	done      func()
+}
+
+// CPU is one processor's run queue.
+type CPU struct {
+	eng     *sim.Engine
+	id      int
+	quantum sim.Time
+	queue   []*job
+	running *job
+
+	// BusyTime accumulates executed demand.
+	BusyTime sim.Time
+}
+
+func (c *CPU) load() sim.Time {
+	var l sim.Time
+	if c.running != nil {
+		l += c.running.remaining
+	}
+	for _, j := range c.queue {
+		l += j.remaining
+	}
+	return l
+}
+
+func (c *CPU) submit(j *job) {
+	c.queue = append(c.queue, j)
+	c.kick()
+}
+
+func (c *CPU) kick() {
+	if c.running != nil || len(c.queue) == 0 {
+		return
+	}
+	j := c.queue[0]
+	c.queue = c.queue[1:]
+	c.running = j
+	slice := j.remaining
+	if slice > c.quantum {
+		slice = c.quantum
+	}
+	c.eng.After(slice, func() {
+		c.BusyTime += slice
+		j.remaining -= slice
+		c.running = nil
+		if j.remaining > 0 {
+			c.queue = append(c.queue, j) // round-robin: back of the queue
+		} else if j.done != nil {
+			j.done()
+		}
+		c.kick()
+	})
+}
+
+// Utilization returns the fraction of elapsed time this CPU was busy.
+func (c *CPU) Utilization() float64 {
+	if c.eng.Now() == 0 {
+		return 0
+	}
+	return float64(c.BusyTime) / float64(c.eng.Now())
+}
+
+// System is the host: a set of CPUs sharing nothing but the sampler.
+type System struct {
+	eng  *sim.Engine
+	cpus []*CPU
+
+	lastBusy   sim.Time
+	lastSample sim.Time
+}
+
+// New returns a host with n CPUs and the given scheduling quantum.
+func New(eng *sim.Engine, n int, quantum sim.Time) *System {
+	if n <= 0 {
+		panic("hostos: need at least one CPU")
+	}
+	s := &System{eng: eng}
+	for i := 0; i < n; i++ {
+		s.cpus = append(s.cpus, &CPU{eng: eng, id: i, quantum: quantum})
+	}
+	return s
+}
+
+// NumCPU returns the number of online CPUs.
+func (s *System) NumCPU() int { return len(s.cpus) }
+
+// CPU returns processor i.
+func (s *System) CPU(i int) *CPU { return s.cpus[i] }
+
+// Submit queues d of CPU demand on processor cpu (AnyCPU picks the least
+// loaded), invoking done when it has fully executed.
+func (s *System) Submit(cpu int, d sim.Time, done func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("hostos: negative demand %v", d))
+	}
+	if d == 0 {
+		if done != nil {
+			done()
+		}
+		return
+	}
+	target := cpu
+	if cpu == AnyCPU {
+		target = 0
+		best := s.cpus[0].load()
+		for i := 1; i < len(s.cpus); i++ {
+			if l := s.cpus[i].load(); l < best {
+				best = l
+				target = i
+			}
+		}
+	} else if cpu < 0 || cpu >= len(s.cpus) {
+		panic(fmt.Sprintf("hostos: no CPU %d", cpu))
+	}
+	s.cpus[target].submit(&job{remaining: d, done: done})
+}
+
+// QueueLen returns how many jobs are waiting (not running) on cpu i.
+func (s *System) QueueLen(i int) int { return len(s.cpus[i].queue) }
+
+// TotalUtilization returns the average utilization across CPUs since t=0.
+func (s *System) TotalUtilization() float64 {
+	if s.eng.Now() == 0 {
+		return 0
+	}
+	var busy sim.Time
+	for _, c := range s.cpus {
+		busy += c.BusyTime
+	}
+	return float64(busy) / float64(s.eng.Now()) / float64(len(s.cpus))
+}
+
+// SampleUtilization appends a Perfmeter-style sample (percent CPU used over
+// the interval since the previous sample) to series every period, until the
+// returned stop function is called.
+func (s *System) SampleUtilization(period sim.Time, series *stats.Series) (stop func()) {
+	s.lastBusy = 0
+	s.lastSample = s.eng.Now()
+	return s.eng.Every(period, func() {
+		var busy sim.Time
+		for _, c := range s.cpus {
+			busy += c.BusyTime
+		}
+		interval := s.eng.Now() - s.lastSample
+		if interval <= 0 {
+			return
+		}
+		pct := 100 * float64(busy-s.lastBusy) / float64(interval) / float64(len(s.cpus))
+		series.Add(s.eng.Now(), pct)
+		s.lastBusy = busy
+		s.lastSample = s.eng.Now()
+	})
+}

@@ -1,0 +1,34 @@
+package i2o
+
+import (
+	"repro/internal/core"
+)
+
+// VCMBridge exposes a card's VCM as an I2O device: DVCM communication
+// instructions travel as private-function (0xFF) message frames, which is
+// how the paper's host-side DVCM API reaches the NI-resident extensions on
+// I2O boards ("these extensions are implemented as device drivers
+// interacting with the I2O boards via PCI interfaces", §2).
+type VCMBridge struct {
+	ID  TID
+	VCM *core.VCM
+}
+
+// TID implements Device.
+func (b *VCMBridge) TID() TID { return b.ID }
+
+// Handle implements Device: route the embedded instruction into the VCM.
+func (b *VCMBridge) Handle(f *Frame) (any, uint8) {
+	if f.Function != FnPrivate {
+		return nil, StatusErrBadFunction
+	}
+	in, ok := f.Payload.(core.Instr)
+	if !ok {
+		return "i2o: private frame payload is not a DVCM instruction", StatusErrAborted
+	}
+	res, err := b.VCM.Invoke(in)
+	if err != nil {
+		return err.Error(), StatusErrAborted
+	}
+	return res, StatusSuccess
+}

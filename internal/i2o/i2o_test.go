@@ -1,0 +1,284 @@
+package i2o
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bus"
+	"repro/internal/core"
+	"repro/internal/dwcs"
+	"repro/internal/fixed"
+	"repro/internal/nic"
+	"repro/internal/sim"
+)
+
+func newIOP(eng *sim.Engine, mutate ...func(*Config)) (*IOP, *HostDriver) {
+	cfg := Config{Name: "iop0", PCI: bus.New(eng, bus.PCI("pci0"))}
+	for _, m := range mutate {
+		m(&cfg)
+	}
+	iop := NewIOP(eng, cfg)
+	return iop, NewHostDriver(iop)
+}
+
+func TestExecStatusGet(t *testing.T) {
+	eng := sim.NewEngine(1)
+	iop, drv := newIOP(eng)
+	var got map[string]int
+	drv.Submit(ExecutiveTID, FnExecStatusGet, nil, func(reply any, status uint8) {
+		if status != StatusSuccess {
+			t.Errorf("status = %#x", status)
+		}
+		got = reply.(map[string]int)
+	})
+	eng.Run()
+	if got == nil {
+		t.Fatal("no reply")
+	}
+	if got["devices"] != 1 {
+		t.Errorf("devices = %d, want 1 (executive)", got["devices"])
+	}
+	if iop.Posted != 1 || iop.Replied != 1 {
+		t.Errorf("posted/replied = %d/%d", iop.Posted, iop.Replied)
+	}
+}
+
+func TestNopAndBadFunction(t *testing.T) {
+	eng := sim.NewEngine(1)
+	_, drv := newIOP(eng)
+	var nopStatus, badStatus uint8 = 0xEE, 0xEE
+	drv.Submit(ExecutiveTID, FnUtilNop, nil, func(_ any, s uint8) { nopStatus = s })
+	drv.Submit(ExecutiveTID, FnUtilEventAck, nil, func(_ any, s uint8) { badStatus = s })
+	eng.Run()
+	if nopStatus != StatusSuccess {
+		t.Errorf("nop status = %#x", nopStatus)
+	}
+	if badStatus != StatusErrBadFunction {
+		t.Errorf("unsupported-function status = %#x", badStatus)
+	}
+}
+
+func TestUnknownTarget(t *testing.T) {
+	eng := sim.NewEngine(1)
+	iop, drv := newIOP(eng)
+	var status uint8
+	drv.Submit(TID(99), FnUtilNop, nil, func(_ any, s uint8) { status = s })
+	eng.Run()
+	if status != StatusErrNoDevice {
+		t.Fatalf("status = %#x", status)
+	}
+	if iop.Faulted != 1 {
+		t.Fatalf("faulted = %d", iop.Faulted)
+	}
+}
+
+func TestDeviceRoundTrip(t *testing.T) {
+	eng := sim.NewEngine(1)
+	iop, drv := newIOP(eng)
+	echo := DeviceFunc{ID: 5, Fn: func(f *Frame) (any, uint8) {
+		return f.Payload, StatusSuccess
+	}}
+	if err := iop.AttachDevice(echo); err != nil {
+		t.Fatal(err)
+	}
+	if err := iop.AttachDevice(echo); err == nil {
+		t.Fatal("duplicate TID should fail")
+	}
+	var got any
+	drv.Submit(5, FnPrivate, "hello", func(reply any, status uint8) { got = reply })
+	eng.Run()
+	if got != "hello" {
+		t.Fatalf("reply = %v", got)
+	}
+}
+
+func TestMessagingCostsPCITime(t *testing.T) {
+	eng := sim.NewEngine(1)
+	seg := bus.New(eng, bus.PCI("pci0"))
+	iop := NewIOP(eng, Config{Name: "iop0", PCI: seg})
+	drv := NewHostDriver(iop)
+	var doneAt sim.Time
+	drv.Submit(ExecutiveTID, FnUtilNop, nil, func(any, uint8) { doneAt = eng.Now() })
+	eng.Run()
+	// The round trip pays alloc read + frame-post writes + dispatch +
+	// reply reads + MFA return: well over the bare PIO write time, and the
+	// bus must actually have carried words both ways.
+	if doneAt < 60*sim.Microsecond {
+		t.Fatalf("round trip = %v, implausibly fast", doneAt)
+	}
+	if seg.Stats.PIOReads == 0 || seg.Stats.PIOWrites == 0 {
+		t.Fatalf("bus stats = %+v", seg.Stats)
+	}
+}
+
+func TestInboundExhaustionRetries(t *testing.T) {
+	eng := sim.NewEngine(1)
+	_, drv := newIOP(eng, func(c *Config) { c.InboundMFAs = 2 })
+	done := 0
+	for i := 0; i < 20; i++ {
+		drv.Submit(ExecutiveTID, FnUtilNop, nil, func(any, uint8) { done++ })
+	}
+	eng.Run()
+	if done != 20 {
+		t.Fatalf("completed %d of 20 with a 2-frame inbound pool", done)
+	}
+}
+
+func TestOutboundExhaustionStallsThenDelivers(t *testing.T) {
+	eng := sim.NewEngine(1)
+	_, drv := newIOP(eng, func(c *Config) { c.OutboundMFAs = 1 })
+	done := 0
+	for i := 0; i < 10; i++ {
+		drv.Submit(ExecutiveTID, FnUtilNop, nil, func(any, uint8) { done++ })
+	}
+	eng.Run()
+	if done != 10 {
+		t.Fatalf("completed %d of 10 with a 1-frame outbound pool", done)
+	}
+}
+
+func TestVCMBridgeCarriesDVCMInstructions(t *testing.T) {
+	// Full stack: host OSM → I2O frames → VCM bridge → media-scheduler
+	// extension on the card.
+	eng := sim.NewEngine(1)
+	seg := bus.New(eng, bus.PCI("pci0"))
+	card := nic.New(eng, nic.Config{Name: "ni0", PCI: seg, CacheOn: true})
+	ext, err := card.LoadScheduler(nic.SchedulerConfig{WorkConserving: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	iop := NewIOP(eng, Config{Name: "ni0-iop", PCI: seg})
+	if err := iop.AttachDevice(&VCMBridge{ID: 1, VCM: card.VCM}); err != nil {
+		t.Fatal(err)
+	}
+	drv := NewHostDriver(iop)
+
+	spec := dwcs.StreamSpec{ID: 7, Name: "s", Period: 10 * sim.Millisecond,
+		Loss: fixed.New(1, 2), Lossy: true, BufCap: 8}
+	drv.Submit(1, FnPrivate, core.Instr{Ext: "dwcs", Op: "addStream", Arg: spec},
+		func(_ any, status uint8) {
+			if status != StatusSuccess {
+				t.Errorf("addStream status = %#x", status)
+			}
+		})
+	for i := 0; i < 3; i++ {
+		drv.Submit(1, FnPrivate, core.Instr{Ext: "dwcs", Op: "enqueue",
+			Arg: nic.EnqueueArgs{StreamID: 7, Packet: dwcs.Packet{Bytes: 500}}}, nil)
+	}
+	eng.RunUntil(sim.Second)
+	if ext.Sent != 3 {
+		t.Fatalf("scheduler sent %d frames, want 3", ext.Sent)
+	}
+	var stats dwcs.StreamStats
+	drv.Submit(1, FnPrivate, core.Instr{Ext: "dwcs", Op: "stats", Arg: 7},
+		func(reply any, status uint8) {
+			stats = reply.(dwcs.StreamStats)
+		})
+	eng.Run()
+	if stats.Serviced != 3 {
+		t.Fatalf("stats over I2O = %+v", stats)
+	}
+}
+
+func TestVCMBridgeErrors(t *testing.T) {
+	eng := sim.NewEngine(1)
+	_, drv := newIOP(eng)
+	iop := drv.iop
+	vcm := core.NewVCM("ni0")
+	iop.AttachDevice(&VCMBridge{ID: 2, VCM: vcm})
+	var s1, s2 uint8
+	drv.Submit(2, FnUtilNop, nil, func(_ any, s uint8) { s1 = s })            // wrong function
+	drv.Submit(2, FnPrivate, "not-an-instr", func(_ any, s uint8) { s2 = s }) // bad payload
+	var s3 uint8
+	drv.Submit(2, FnPrivate, core.Instr{Ext: "none"}, func(_ any, s uint8) { s3 = s }) // unknown ext
+	eng.Run()
+	if s1 != StatusErrBadFunction || s2 != StatusErrAborted || s3 != StatusErrAborted {
+		t.Fatalf("statuses = %#x %#x %#x", s1, s2, s3)
+	}
+}
+
+// Property: every submitted message gets exactly one completion, for any
+// pool sizes.
+func TestCompletionConservation(t *testing.T) {
+	f := func(nMsgs, inPool, outPool uint8) bool {
+		n := int(nMsgs)%64 + 1
+		eng := sim.NewEngine(9)
+		iop := NewIOP(eng, Config{
+			Name:         "iop",
+			PCI:          bus.New(eng, bus.PCI("p")),
+			InboundMFAs:  int(inPool)%8 + 1,
+			OutboundMFAs: int(outPool)%8 + 1,
+		})
+		drv := NewHostDriver(iop)
+		done := 0
+		for i := 0; i < n; i++ {
+			drv.Submit(ExecutiveTID, FnUtilNop, nil, func(any, uint8) { done++ })
+		}
+		eng.Run()
+		return done == n && drv.Outstanding() == 0 && iop.Replied == int64(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnsolicitedEvents(t *testing.T) {
+	eng := sim.NewEngine(1)
+	iop, drv := newIOP(eng)
+	// The event's ack lands on a device so we can observe it.
+	acks := 0
+	iop.AttachDevice(DeviceFunc{ID: 4, Fn: func(f *Frame) (any, uint8) {
+		if f.Function == FnUtilEventAck {
+			acks++
+		}
+		return nil, StatusSuccess
+	}})
+	var got Event
+	drv.OnEvent(0x77, func(e Event) { got = e })
+	eng.At(10*sim.Microsecond, func() { iop.PostEvent(4, 0x77, "link-down") })
+	eng.Run()
+	if got.Code != 0x77 || got.From != 4 || got.Data != "link-down" {
+		t.Fatalf("event = %+v", got)
+	}
+	if drv.Events != 1 {
+		t.Fatalf("events = %d", drv.Events)
+	}
+	if acks != 1 {
+		t.Fatalf("acks = %d, want the OSM's automatic event ack", acks)
+	}
+}
+
+func TestUnhandledEventStillCountsAndAcks(t *testing.T) {
+	eng := sim.NewEngine(1)
+	iop, drv := newIOP(eng)
+	iop.AttachDevice(DeviceFunc{ID: 4, Fn: func(*Frame) (any, uint8) { return nil, StatusSuccess }})
+	eng.At(sim.Microsecond, func() { iop.PostEvent(4, 0x99, nil) })
+	eng.Run()
+	if drv.Events != 1 {
+		t.Fatalf("events = %d", drv.Events)
+	}
+	if drv.Outstanding() != 0 {
+		t.Fatal("event handling leaked a pending transaction")
+	}
+}
+
+func TestEventWithExhaustedOutboundPoolRetries(t *testing.T) {
+	eng := sim.NewEngine(1)
+	iop, drv := newIOP(eng, func(c *Config) { c.OutboundMFAs = 1 })
+	iop.AttachDevice(DeviceFunc{ID: 4, Fn: func(*Frame) (any, uint8) { return nil, StatusSuccess }})
+	seen := 0
+	drv.OnEvent(1, func(Event) { seen++ })
+	// Saturate the outbound pool with regular traffic while posting events.
+	for i := 0; i < 5; i++ {
+		drv.Submit(ExecutiveTID, FnUtilNop, nil, nil)
+	}
+	eng.At(sim.Microsecond, func() {
+		for i := 0; i < 3; i++ {
+			iop.PostEvent(4, 1, i)
+		}
+	})
+	eng.Run()
+	if seen != 3 {
+		t.Fatalf("events seen = %d of 3", seen)
+	}
+}

@@ -1,0 +1,314 @@
+// Package mpeg provides a synthetic MPEG-1 workload: a generator that emits
+// clips with a realistic GOP structure (I/P/B frame mix and size skew), a
+// simplified bitstream encoder, and a segmenter that splits the bitstream
+// back into frames.
+//
+// The paper streams MPEG-1 video segmented into I, P and B frames by "an
+// MPEG segmentation program developed in [33, 32]" which "emulates the MPEG
+// file segmentation process in an MPEG player" (§4.1). The original clips
+// are unavailable, so Generate produces clips with the same shape; by
+// default GenerateDefault yields the exact 773665-byte file size Table 5
+// DMA-transfers, split into the 151 frames the Table 1/2 microbenchmarks
+// schedule.
+//
+// The bitstream uses real MPEG-1 start codes (sequence header 0x000001B3,
+// picture 0x00000100, sequence end 0x000001B7) with a simplified picture
+// header, and payload bytes are drawn from 0x20–0xFF so no payload byte run
+// can alias a start code; Segment therefore recovers frame boundaries
+// exactly, like a player's segmenter.
+package mpeg
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// FrameType is an MPEG-1 picture coding type.
+type FrameType byte
+
+// MPEG-1 picture coding types.
+const (
+	IFrame FrameType = 1
+	PFrame FrameType = 2
+	BFrame FrameType = 3
+)
+
+// String returns "I", "P" or "B".
+func (t FrameType) String() string {
+	switch t {
+	case IFrame:
+		return "I"
+	case PFrame:
+		return "P"
+	case BFrame:
+		return "B"
+	default:
+		return fmt.Sprintf("FrameType(%d)", byte(t))
+	}
+}
+
+// Frame describes one segmented frame.
+type Frame struct {
+	Index  int       // position in the clip
+	Type   FrameType // I, P or B
+	Size   int64     // total bytes including picture header
+	Offset int64     // byte offset within the encoded file
+}
+
+// Clip is a segmented MPEG sequence.
+type Clip struct {
+	Frames []Frame
+	FPS    int
+	Bytes  int64 // total encoded size including sequence header/end code
+}
+
+// MeanFrameSize returns the average frame size in bytes.
+func (c *Clip) MeanFrameSize() int64 {
+	if len(c.Frames) == 0 {
+		return 0
+	}
+	var sum int64
+	for _, f := range c.Frames {
+		sum += f.Size
+	}
+	return sum / int64(len(c.Frames))
+}
+
+// CountByType returns how many frames of each type the clip has.
+func (c *Clip) CountByType() (i, p, b int) {
+	for _, f := range c.Frames {
+		switch f.Type {
+		case IFrame:
+			i++
+		case PFrame:
+			p++
+		case BFrame:
+			b++
+		}
+	}
+	return
+}
+
+// BitrateBps returns the clip's nominal bit rate at its frame rate.
+func (c *Clip) BitrateBps() int64 {
+	if len(c.Frames) == 0 || c.FPS == 0 {
+		return 0
+	}
+	return c.Bytes * 8 * int64(c.FPS) / int64(len(c.Frames))
+}
+
+// ByType splits the clip's frames into I, P, and B lists — the layered-
+// streaming decomposition that maps MPEG onto DWCS: all packets in one
+// stream share a loss-tolerance (§3.1.2, "At any time, all packets in the
+// same stream have the same loss-tolerance"), so a server that must not
+// lose reference frames schedules I frames as a zero-loss stream, P frames
+// with a small tolerance, and B frames as the lossy layer.
+func (c *Clip) ByType() (i, p, b []Frame) {
+	for _, f := range c.Frames {
+		switch f.Type {
+		case IFrame:
+			i = append(i, f)
+		case PFrame:
+			p = append(p, f)
+		case BFrame:
+			b = append(b, f)
+		}
+	}
+	return
+}
+
+// GenConfig parameterizes clip generation.
+type GenConfig struct {
+	Frames     int    // number of frames
+	FPS        int    // nominal frame rate
+	GOPPattern string // e.g. "IBBPBBPBB"; must start with 'I'
+	TargetSize int64  // total encoded size to hit exactly; 0 = derive from MeanFrame
+	MeanFrame  int64  // mean frame size when TargetSize == 0
+	Seed       int64  // deterministic generation seed
+}
+
+// DefaultConfig is the workload used by the paper's microbenchmarks:
+// 151 frames totalling exactly 773665 bytes.
+func DefaultConfig() GenConfig {
+	return GenConfig{
+		Frames:     151,
+		FPS:        30,
+		GOPPattern: "IBBPBBPBB",
+		TargetSize: 773665,
+		Seed:       1960, // i960, naturally
+	}
+}
+
+// Relative size weights per frame type (I:P:B ≈ 5:2:1, typical MPEG-1).
+var typeWeight = map[FrameType]int64{IFrame: 50, PFrame: 20, BFrame: 10}
+
+// headerSize is the encoded per-picture header: 4-byte start code,
+// 2-byte temporal reference, 1-byte coding type.
+const headerSize = 7
+
+// seqHeaderSize is the leading sequence header; endCodeSize the trailer.
+const (
+	seqHeaderSize = 12
+	endCodeSize   = 4
+)
+
+// Generate produces a clip per cfg. Frame sizes follow the GOP type weights
+// with deterministic ±25% jitter; when TargetSize is set the sizes are
+// scaled and the remainder folded into the final frame so the total encoded
+// size matches exactly.
+func Generate(cfg GenConfig) (*Clip, error) {
+	if cfg.Frames <= 0 {
+		return nil, errors.New("mpeg: Frames must be positive")
+	}
+	if cfg.GOPPattern == "" || cfg.GOPPattern[0] != 'I' {
+		return nil, fmt.Errorf("mpeg: GOP pattern %q must start with I", cfg.GOPPattern)
+	}
+	if cfg.FPS <= 0 {
+		return nil, errors.New("mpeg: FPS must be positive")
+	}
+	types := make([]FrameType, cfg.Frames)
+	for i := range types {
+		switch cfg.GOPPattern[i%len(cfg.GOPPattern)] {
+		case 'I':
+			types[i] = IFrame
+		case 'P':
+			types[i] = PFrame
+		case 'B':
+			types[i] = BFrame
+		default:
+			return nil, fmt.Errorf("mpeg: bad GOP symbol %q", cfg.GOPPattern[i%len(cfg.GOPPattern)])
+		}
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	weights := make([]int64, cfg.Frames)
+	var wsum int64
+	for i, ft := range types {
+		w := typeWeight[ft]
+		// ±25% deterministic jitter.
+		w = w * int64(75+rng.Intn(51)) / 100
+		weights[i] = w
+		wsum += w
+	}
+
+	payloadBudget := cfg.TargetSize - seqHeaderSize - endCodeSize - int64(cfg.Frames*headerSize)
+	if cfg.TargetSize == 0 {
+		mean := cfg.MeanFrame
+		if mean == 0 {
+			mean = 4096
+		}
+		payloadBudget = (mean - headerSize) * int64(cfg.Frames)
+	}
+	if payloadBudget < int64(cfg.Frames) {
+		return nil, fmt.Errorf("mpeg: target size too small for %d frames", cfg.Frames)
+	}
+
+	clip := &Clip{FPS: cfg.FPS}
+	off := int64(seqHeaderSize)
+	var used int64
+	for i := range types {
+		payload := payloadBudget * weights[i] / wsum
+		if payload < 1 {
+			payload = 1
+		}
+		if i == cfg.Frames-1 {
+			payload = payloadBudget - used // fold remainder into last frame
+		}
+		used += payload
+		size := payload + headerSize
+		clip.Frames = append(clip.Frames, Frame{
+			Index: i, Type: types[i], Size: size, Offset: off,
+		})
+		off += size
+	}
+	clip.Bytes = off + endCodeSize
+	return clip, nil
+}
+
+// GenerateDefault produces the paper's default workload and panics on the
+// (impossible) config error — convenient for benchmarks and examples.
+func GenerateDefault() *Clip {
+	c, err := Generate(DefaultConfig())
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Start codes.
+var (
+	seqStartCode = []byte{0x00, 0x00, 0x01, 0xB3}
+	picStartCode = []byte{0x00, 0x00, 0x01, 0x00}
+	endCode      = []byte{0x00, 0x00, 0x01, 0xB7}
+)
+
+// Encode serializes the clip into a bitstream. Payload bytes are 0x20–0xFF
+// so start codes cannot occur inside payloads.
+func Encode(c *Clip, seed int64) []byte {
+	out := make([]byte, 0, c.Bytes)
+	out = append(out, seqStartCode...)
+	var wh [8]byte
+	binary.BigEndian.PutUint32(wh[:4], 352<<12|240) // 352×240 SIF, packed
+	binary.BigEndian.PutUint32(wh[4:], uint32(c.FPS))
+	out = append(out, wh[:]...)
+	rng := rand.New(rand.NewSource(seed))
+	for _, f := range c.Frames {
+		out = append(out, picStartCode...)
+		var tr [2]byte
+		binary.BigEndian.PutUint16(tr[:], uint16(f.Index))
+		out = append(out, tr[:]...)
+		out = append(out, byte(f.Type))
+		for j := int64(0); j < f.Size-headerSize; j++ {
+			out = append(out, byte(0x20+rng.Intn(0xE0)))
+		}
+	}
+	out = append(out, endCode...)
+	return out
+}
+
+// Segment parses an encoded bitstream back into a clip — the player-side
+// segmentation step the paper runs as its stream producer. It returns an
+// error on malformed input.
+func Segment(data []byte) (*Clip, error) {
+	if len(data) < seqHeaderSize+endCodeSize {
+		return nil, errors.New("mpeg: stream too short")
+	}
+	if string(data[:4]) != string(seqStartCode) {
+		return nil, errors.New("mpeg: missing sequence header")
+	}
+	fps := int(binary.BigEndian.Uint32(data[8:12]))
+	clip := &Clip{FPS: fps}
+	i := seqHeaderSize
+	for i+4 <= len(data) {
+		if string(data[i:i+4]) == string(endCode) {
+			clip.Bytes = int64(i + endCodeSize)
+			return clip, nil
+		}
+		if string(data[i:i+4]) != string(picStartCode) {
+			return nil, fmt.Errorf("mpeg: expected picture start code at %d", i)
+		}
+		if i+headerSize > len(data) {
+			return nil, errors.New("mpeg: truncated picture header")
+		}
+		idx := int(binary.BigEndian.Uint16(data[i+4 : i+6]))
+		ft := FrameType(data[i+6])
+		if ft != IFrame && ft != PFrame && ft != BFrame {
+			return nil, fmt.Errorf("mpeg: bad coding type %d at %d", ft, i)
+		}
+		// Scan to the next start code.
+		j := i + headerSize
+		for j+3 <= len(data) && !(data[j] == 0 && data[j+1] == 0 && data[j+2] == 1) {
+			j++
+		}
+		if j+3 > len(data) {
+			return nil, errors.New("mpeg: unterminated picture")
+		}
+		clip.Frames = append(clip.Frames, Frame{
+			Index: idx, Type: ft, Size: int64(j - i), Offset: int64(i),
+		})
+		i = j
+	}
+	return nil, errors.New("mpeg: missing sequence end code")
+}

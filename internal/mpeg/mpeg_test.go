@@ -1,0 +1,198 @@
+package mpeg
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultClipMatchesPaperWorkload(t *testing.T) {
+	c := GenerateDefault()
+	if len(c.Frames) != 151 {
+		t.Fatalf("frames = %d, want 151 (Table 1/2 workload)", len(c.Frames))
+	}
+	if c.Bytes != 773665 {
+		t.Fatalf("total = %d bytes, want 773665 (Table 5 file)", c.Bytes)
+	}
+}
+
+func TestGOPStructure(t *testing.T) {
+	c := GenerateDefault()
+	i, p, b := c.CountByType()
+	// IBBPBBPBB over 151 frames: I every 9th.
+	if i != 17 {
+		t.Errorf("I frames = %d, want 17", i)
+	}
+	if p == 0 || b == 0 {
+		t.Errorf("missing P (%d) or B (%d) frames", p, b)
+	}
+	if b <= p || p <= i {
+		t.Errorf("expected B > P > I counts, got I=%d P=%d B=%d", i, p, b)
+	}
+	if c.Frames[0].Type != IFrame {
+		t.Error("clip must start with an I frame")
+	}
+}
+
+func TestIFramesLargerOnAverage(t *testing.T) {
+	c := GenerateDefault()
+	var iSum, bSum, iN, bN int64
+	for _, f := range c.Frames {
+		switch f.Type {
+		case IFrame:
+			iSum += f.Size
+			iN++
+		case BFrame:
+			bSum += f.Size
+			bN++
+		}
+	}
+	if iSum/iN <= 2*(bSum/bN) {
+		t.Fatalf("mean I (%d) should be well above mean B (%d)", iSum/iN, bSum/bN)
+	}
+}
+
+func TestOffsetsAreContiguous(t *testing.T) {
+	c := GenerateDefault()
+	off := int64(seqHeaderSize)
+	for i, f := range c.Frames {
+		if f.Offset != off {
+			t.Fatalf("frame %d offset = %d, want %d", i, f.Offset, off)
+		}
+		if f.Size <= headerSize {
+			t.Fatalf("frame %d size %d too small", i, f.Size)
+		}
+		off += f.Size
+	}
+	if c.Bytes != off+endCodeSize {
+		t.Fatalf("Bytes = %d, want %d", c.Bytes, off+endCodeSize)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := GenerateDefault()
+	b := GenerateDefault()
+	for i := range a.Frames {
+		if a.Frames[i] != b.Frames[i] {
+			t.Fatalf("frame %d differs between runs", i)
+		}
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	bad := []GenConfig{
+		{Frames: 0, FPS: 30, GOPPattern: "I"},
+		{Frames: 10, FPS: 30, GOPPattern: "BBI"},
+		{Frames: 10, FPS: 30, GOPPattern: ""},
+		{Frames: 10, FPS: 0, GOPPattern: "I"},
+		{Frames: 10, FPS: 30, GOPPattern: "IXB"},
+		{Frames: 1000, FPS: 30, GOPPattern: "I", TargetSize: 100},
+	}
+	for i, cfg := range bad {
+		if _, err := Generate(cfg); err == nil {
+			t.Errorf("config %d should fail: %+v", i, cfg)
+		}
+	}
+}
+
+func TestGenerateWithMeanFrame(t *testing.T) {
+	c, err := Generate(GenConfig{Frames: 50, FPS: 24, GOPPattern: "IPB", MeanFrame: 2000, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := c.MeanFrameSize()
+	if mean < 1500 || mean > 2500 {
+		t.Fatalf("mean frame = %d, want ≈2000", mean)
+	}
+}
+
+func TestBitrate(t *testing.T) {
+	c := GenerateDefault()
+	// 773665 B × 8 × 30 fps / 151 frames ≈ 1.23 Mbps — typical MPEG-1.
+	bps := c.BitrateBps()
+	if bps < 1_000_000 || bps > 1_500_000 {
+		t.Fatalf("bitrate = %d bps, want ≈1.23M", bps)
+	}
+	empty := &Clip{}
+	if empty.BitrateBps() != 0 || empty.MeanFrameSize() != 0 {
+		t.Error("empty clip should report zero rate and size")
+	}
+}
+
+func TestEncodeSegmentRoundTrip(t *testing.T) {
+	c := GenerateDefault()
+	data := Encode(c, 99)
+	if int64(len(data)) != c.Bytes {
+		t.Fatalf("encoded %d bytes, want %d", len(data), c.Bytes)
+	}
+	got, err := Segment(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.FPS != c.FPS {
+		t.Errorf("fps = %d, want %d", got.FPS, c.FPS)
+	}
+	if len(got.Frames) != len(c.Frames) {
+		t.Fatalf("segmented %d frames, want %d", len(got.Frames), len(c.Frames))
+	}
+	for i := range got.Frames {
+		if got.Frames[i] != c.Frames[i] {
+			t.Fatalf("frame %d: got %+v, want %+v", i, got.Frames[i], c.Frames[i])
+		}
+	}
+	if got.Bytes != c.Bytes {
+		t.Errorf("segmented Bytes = %d, want %d", got.Bytes, c.Bytes)
+	}
+}
+
+func TestSegmentRejectsMalformed(t *testing.T) {
+	good := Encode(GenerateDefault(), 99)
+	cases := map[string][]byte{
+		"too short":    good[:8],
+		"bad magic":    append([]byte{1, 2, 3, 4}, good[4:]...),
+		"truncated":    good[:len(good)-10],
+		"bad type":     corruptType(good),
+		"no end":       good[:len(good)-endCodeSize],
+		"garbage body": append(append([]byte{}, good[:seqHeaderSize]...), 0xFF, 0xFF, 0xFF, 0xFF),
+	}
+	for name, data := range cases {
+		if _, err := Segment(data); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func corruptType(good []byte) []byte {
+	bad := append([]byte{}, good...)
+	bad[seqHeaderSize+6] = 9 // invalid coding type in first picture header
+	return bad
+}
+
+func TestFrameTypeString(t *testing.T) {
+	if IFrame.String() != "I" || PFrame.String() != "P" || BFrame.String() != "B" {
+		t.Error("frame type names wrong")
+	}
+	if FrameType(7).String() != "FrameType(7)" {
+		t.Error("unknown type name wrong")
+	}
+}
+
+// Property: for any valid config, generation conserves the byte budget and
+// encode/segment round-trips.
+func TestGenerateRoundTripProperty(t *testing.T) {
+	f := func(frames uint8, seed int64) bool {
+		n := int(frames)%100 + 2
+		cfg := GenConfig{Frames: n, FPS: 25, GOPPattern: "IBBPBB", MeanFrame: 1200, Seed: seed}
+		c, err := Generate(cfg)
+		if err != nil {
+			return false
+		}
+		got, err := Segment(Encode(c, seed))
+		if err != nil {
+			return false
+		}
+		return len(got.Frames) == n && got.Bytes == c.Bytes
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,120 @@
+package mpeg
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Player models the client-side MPEG player the paper streams to: frames
+// arrive over the network into a playout buffer; a display process consumes
+// one frame per display interval. If the buffer runs dry the player stalls
+// (a visible glitch) and rebuffers until StartThreshold frames are queued
+// again — the end-user-facing QoS metric behind the paper's delay-jitter
+// and loss discussion (§1, §3.1.2: consumers "buffer frames for display").
+type Player struct {
+	eng *sim.Engine
+
+	// FPS is the display rate; StartThreshold the frames buffered before
+	// (re)starting playback.
+	FPS            int
+	StartThreshold int
+
+	buffered int
+	playing  bool
+	started  bool
+	stop     func()
+
+	// Displayed counts frames shown; Stalls counts underflow events;
+	// StallTime accumulates time spent rebuffering; MaxBuffered tracks the
+	// deepest playout queue.
+	Displayed   int64
+	Stalls      int64
+	StallTime   sim.Time
+	MaxBuffered int
+
+	stallStart sim.Time
+
+	// OnStall and OnResume observe glitch boundaries.
+	OnStall  func(at sim.Time)
+	OnResume func(at sim.Time)
+}
+
+// NewPlayer returns a player displaying at fps, starting after threshold
+// buffered frames.
+func NewPlayer(eng *sim.Engine, fps, threshold int) *Player {
+	if fps <= 0 || threshold <= 0 {
+		panic(fmt.Sprintf("mpeg: bad player fps=%d threshold=%d", fps, threshold))
+	}
+	return &Player{eng: eng, FPS: fps, StartThreshold: threshold}
+}
+
+// interval is the display period.
+func (p *Player) interval() sim.Time {
+	return sim.Time(int64(sim.Second) / int64(p.FPS))
+}
+
+// Receive buffers one arrived frame, (re)starting playback at threshold.
+func (p *Player) Receive() {
+	p.buffered++
+	if p.buffered > p.MaxBuffered {
+		p.MaxBuffered = p.buffered
+	}
+	if !p.playing && p.buffered >= p.StartThreshold {
+		p.resume()
+	}
+}
+
+func (p *Player) resume() {
+	p.playing = true
+	if p.started && p.stallStart != 0 {
+		p.StallTime += p.eng.Now() - p.stallStart
+		p.stallStart = 0
+		if p.OnResume != nil {
+			p.OnResume(p.eng.Now())
+		}
+	}
+	p.started = true
+	p.stop = p.eng.Every(p.interval(), p.tick)
+}
+
+func (p *Player) tick() {
+	if p.buffered == 0 {
+		// Underflow: stall and rebuffer.
+		p.playing = false
+		p.Stalls++
+		p.stallStart = p.eng.Now()
+		if p.OnStall != nil {
+			p.OnStall(p.eng.Now())
+		}
+		p.stop()
+		return
+	}
+	p.buffered--
+	p.Displayed++
+}
+
+// Buffered reports the current playout-queue depth.
+func (p *Player) Buffered() int { return p.buffered }
+
+// Playing reports whether the display process is running.
+func (p *Player) Playing() bool { return p.playing }
+
+// Close stops the display process (end of session). Pending stall time is
+// finalized.
+func (p *Player) Close() {
+	if p.playing && p.stop != nil {
+		p.stop()
+		p.playing = false
+	}
+	if p.stallStart != 0 {
+		p.StallTime += p.eng.Now() - p.stallStart
+		p.stallStart = 0
+	}
+}
+
+// String summarizes playback quality.
+func (p *Player) String() string {
+	return fmt.Sprintf("player: displayed=%d stalls=%d stall-time=%v max-buffer=%d",
+		p.Displayed, p.Stalls, p.StallTime, p.MaxBuffered)
+}

@@ -1,0 +1,115 @@
+package mpeg
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestPlayerStartsAtThreshold(t *testing.T) {
+	eng := sim.NewEngine(1)
+	p := NewPlayer(eng, 10, 3) // 100ms interval
+	p.Receive()
+	p.Receive()
+	if p.Playing() {
+		t.Fatal("started below threshold")
+	}
+	p.Receive()
+	if !p.Playing() {
+		t.Fatal("did not start at threshold")
+	}
+	eng.RunUntil(350 * sim.Millisecond)
+	if p.Displayed != 3 {
+		t.Fatalf("displayed = %d, want 3", p.Displayed)
+	}
+}
+
+func TestPlayerSmoothPlayback(t *testing.T) {
+	eng := sim.NewEngine(1)
+	p := NewPlayer(eng, 10, 2)
+	// Frames arrive exactly at the display rate: no stalls.
+	for i := 0; i < 30; i++ {
+		at := sim.Time(i) * 100 * sim.Millisecond
+		eng.At(at, p.Receive)
+	}
+	// Stop just before the feed ends; running past it would count the
+	// end-of-stream underflow as a stall.
+	eng.RunUntil(3 * sim.Second)
+	p.Close()
+	if p.Stalls != 0 {
+		t.Fatalf("stalls = %d on a smooth feed", p.Stalls)
+	}
+	if p.Displayed < 27 {
+		t.Fatalf("displayed = %d", p.Displayed)
+	}
+}
+
+func TestPlayerStallsOnUnderflow(t *testing.T) {
+	eng := sim.NewEngine(1)
+	p := NewPlayer(eng, 10, 2)
+	var stallAt, resumeAt sim.Time
+	p.OnStall = func(at sim.Time) { stallAt = at }
+	p.OnResume = func(at sim.Time) { resumeAt = at }
+	// Two frames arrive, play out, then a 1s gap before the feed resumes.
+	eng.At(0, p.Receive)
+	eng.At(0, p.Receive)
+	for i := 0; i < 5; i++ {
+		eng.At(sim.Time(1500+i*100)*sim.Millisecond, p.Receive)
+	}
+	eng.RunUntil(2050 * sim.Millisecond) // before the feed's own end
+	p.Close()
+	if p.Stalls != 1 {
+		t.Fatalf("stalls = %d, want 1", p.Stalls)
+	}
+	if stallAt == 0 || resumeAt <= stallAt {
+		t.Fatalf("stall window = [%v, %v]", stallAt, resumeAt)
+	}
+	if p.StallTime <= 0 {
+		t.Fatalf("stall time = %v", p.StallTime)
+	}
+}
+
+func TestPlayerCloseDuringStallFinalizesTime(t *testing.T) {
+	eng := sim.NewEngine(1)
+	p := NewPlayer(eng, 10, 1)
+	eng.At(0, p.Receive)
+	eng.RunUntil(2 * sim.Second) // plays 1 frame, stalls
+	if p.Stalls != 1 {
+		t.Fatalf("stalls = %d", p.Stalls)
+	}
+	p.Close()
+	if p.StallTime <= 0 {
+		t.Fatal("stall time not finalized on Close")
+	}
+}
+
+func TestPlayerMaxBuffered(t *testing.T) {
+	eng := sim.NewEngine(1)
+	p := NewPlayer(eng, 10, 100) // never starts
+	for i := 0; i < 7; i++ {
+		p.Receive()
+	}
+	if p.MaxBuffered != 7 || p.Buffered() != 7 {
+		t.Fatalf("max=%d cur=%d", p.MaxBuffered, p.Buffered())
+	}
+	if p.String() == "" {
+		t.Fatal("empty summary")
+	}
+}
+
+func TestPlayerValidation(t *testing.T) {
+	eng := sim.NewEngine(1)
+	for _, f := range []func(){
+		func() { NewPlayer(eng, 0, 1) },
+		func() { NewPlayer(eng, 10, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

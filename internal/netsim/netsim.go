@@ -1,0 +1,365 @@
+// Package netsim models the 100 Mbps switched Ethernet between the server's
+// NIs and the remote MPEG clients.
+//
+// Calibration anchors from the paper:
+//
+//   - A full-size Ethernet frame takes ≈ 120 µs on a 100 Mbps link (§4.2:
+//     the 65 µs scheduling overhead "corresponds to around half an Ethernet
+//     frame time").
+//   - End-to-end delivery of a 1000-byte media frame, including protocol
+//     stack traversal at both ends and wire transmission, is ≈ 1.2 ms when
+//     the sender's stack runs on the 66 MHz i960 RD (Table 4, "1.2net").
+//
+// Stack traversal costs are deliberately *not* inside Link: the sending
+// stack runs on whichever processor drives the NI (the i960 or a host CPU),
+// so internal/nic and internal/host charge it there. Link models
+// serialization, propagation, and per-MTU framing overhead; Switch models
+// store-and-forward forwarding; Client models the remote player's receive
+// stack and records delivery statistics.
+package netsim
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Ethernet framing constants.
+const (
+	MTU = 1500 // max payload bytes per Ethernet frame
+	// PerFrameOverhead counts preamble (8) + MAC header (14) + FCS (4) +
+	// inter-frame gap (12) + IP (20) + UDP (8) bytes of wire time per frame.
+	PerFrameOverhead = 66
+)
+
+// Packet is one media frame in flight (possibly spanning several Ethernet
+// frames on the wire).
+type Packet struct {
+	Src, Dst string
+	StreamID int
+	Seq      int64
+	Bytes    int64    // media payload size
+	Enqueued sim.Time // when the producer queued it (for queuing delay)
+	Sent     sim.Time // when the sender handed it to the wire
+	Deadline sim.Time // scheduler deadline, for lateness accounting
+	Data     any      // opaque payload for control-plane traffic (DVCM RPC)
+}
+
+// Port is anything that can accept a delivered packet.
+type Port interface {
+	Deliver(p *Packet)
+}
+
+// PortFunc adapts a function to the Port interface.
+type PortFunc func(p *Packet)
+
+// Deliver implements Port.
+func (f PortFunc) Deliver(p *Packet) { f(p) }
+
+// Framing computes how many bits a media payload of n bytes occupies on a
+// particular link technology.
+type Framing interface {
+	// WireBits returns total bits on the wire for an n-byte payload.
+	WireBits(n int64) int64
+	// Name identifies the technology.
+	Name() string
+}
+
+// EthernetFraming fragments payloads into MTU-sized frames, each paying
+// PerFrameOverhead bytes.
+type EthernetFraming struct{}
+
+// WireBits implements Framing.
+func (EthernetFraming) WireBits(n int64) int64 {
+	frames := (n + MTU - 1) / MTU
+	if frames == 0 {
+		frames = 1
+	}
+	return (n + frames*PerFrameOverhead) * 8
+}
+
+// Name implements Framing.
+func (EthernetFraming) Name() string { return "ethernet" }
+
+// ATMFraming carries payloads in AAL5 PDUs over 53-byte cells with 48-byte
+// payloads — the FORE SBA-200 interconnect the DVCM was first built on
+// (§5). The AAL5 trailer adds 8 bytes and the PDU pads to a cell multiple.
+type ATMFraming struct{}
+
+// WireBits implements Framing.
+func (ATMFraming) WireBits(n int64) int64 {
+	pdu := n + 8 // AAL5 trailer
+	cells := (pdu + 47) / 48
+	if cells == 0 {
+		cells = 1
+	}
+	return cells * 53 * 8
+}
+
+// Name implements Framing.
+func (ATMFraming) Name() string { return "atm-aal5" }
+
+// Link is one half-duplex transmit path at a fixed bit rate. Transmissions
+// serialize FIFO; each completes after wire time plus propagation and is
+// then delivered to the attached port.
+type Link struct {
+	eng     *sim.Engine
+	name    string
+	bps     int64
+	prop    sim.Time
+	dst     Port
+	res     *sim.Resource
+	framing Framing
+
+	// DropEvery, when positive, drops every k-th packet after serialization
+	// (deterministic loss injection for robustness tests).
+	DropEvery int64
+
+	// Stats counts traffic.
+	Packets int64
+	Bytes   int64
+	Dropped int64
+}
+
+// NewLink returns a link of rate bps from the sender to dst.
+func NewLink(eng *sim.Engine, name string, bps int64, prop sim.Time, dst Port) *Link {
+	if bps <= 0 {
+		panic("netsim: link rate must be positive")
+	}
+	return &Link{eng: eng, name: name, bps: bps, prop: prop, dst: dst,
+		res: sim.NewResource(eng, name), framing: EthernetFraming{}}
+}
+
+// NewATM returns an OC-3 (155.52 Mbps) ATM link with AAL5 framing and 2 µs
+// propagation — the FORE-style system-area interconnect of the original
+// DVCM (§5).
+func NewATM(eng *sim.Engine, name string, dst Port) *Link {
+	l := NewLink(eng, name, 155_520_000, 2*sim.Microsecond, dst)
+	l.framing = ATMFraming{}
+	return l
+}
+
+// Framing returns the link's framing model.
+func (l *Link) Framing() Framing { return l.framing }
+
+// Fast100 returns a 100 Mbps link with 2 µs propagation.
+func Fast100(eng *sim.Engine, name string, dst Port) *Link {
+	return NewLink(eng, name, 100_000_000, 2*sim.Microsecond, dst)
+}
+
+// WireTime returns the serialization time of a media payload of n bytes,
+// including the link technology's framing overhead.
+func (l *Link) WireTime(n int64) sim.Time {
+	bits := l.framing.WireBits(n)
+	// Split the division so huge payloads don't overflow int64 nanoseconds.
+	secs := bits / l.bps
+	rem := bits % l.bps
+	return sim.Time(secs)*sim.Second + sim.Time(rem*int64(sim.Second)/l.bps)
+}
+
+// Send transmits p. onWire (may be nil) runs when the sender's transmitter
+// is free again; delivery to the destination port happens after propagation.
+func (l *Link) Send(p *Packet, onWire func()) {
+	l.res.Acquire(func() {
+		p.Sent = l.eng.Now()
+		t := l.WireTime(p.Bytes)
+		l.Packets++
+		l.Bytes += p.Bytes
+		l.eng.After(t, func() {
+			l.res.Release()
+			if onWire != nil {
+				onWire()
+			}
+		})
+		if l.DropEvery > 0 && l.Packets%l.DropEvery == 0 {
+			l.Dropped++
+			return
+		}
+		l.eng.After(t+l.prop, func() {
+			if l.dst != nil {
+				l.dst.Deliver(p)
+			}
+		})
+	})
+}
+
+// Name returns the link name.
+func (l *Link) Name() string { return l.name }
+
+// Utilization reports the transmit utilization of the link.
+func (l *Link) Utilization() float64 { return l.res.Utilization() }
+
+// Switch is a store-and-forward Ethernet switch: it receives a packet on
+// any input, waits one forwarding latency plus the output serialization of
+// the attached output link, and delivers it based on Dst address.
+type Switch struct {
+	eng     *sim.Engine
+	name    string
+	latency sim.Time
+	ports   map[string]*Link
+	groups  map[string][]string
+
+	// Forwarded counts packets switched.
+	Forwarded int64
+}
+
+// NewSwitch returns a switch with the given forwarding latency.
+func NewSwitch(eng *sim.Engine, name string, latency sim.Time) *Switch {
+	return &Switch{eng: eng, name: name, latency: latency, ports: make(map[string]*Link)}
+}
+
+// Attach binds destination address addr to an output link.
+func (s *Switch) Attach(addr string, out *Link) { s.ports[addr] = out }
+
+// AttachPort binds addr to a port directly (zero-cost output, used for
+// locally attached measurement taps).
+func (s *Switch) AttachPort(addr string, out Port) {
+	l := NewLink(s.eng, s.name+"→"+addr, 100_000_000, 0, out)
+	s.ports[addr] = l
+}
+
+// JoinGroup subscribes a destination address to a multicast group: packets
+// addressed to the group fan out to every member — the multicast delivery
+// the paper's introduction cites as the network-level scalability technique
+// for media ("researchers have designed multicast techniques", §1).
+func (s *Switch) JoinGroup(group, member string) {
+	if s.groups == nil {
+		s.groups = make(map[string][]string)
+	}
+	s.groups[group] = append(s.groups[group], member)
+}
+
+// LeaveGroup removes a member from a group.
+func (s *Switch) LeaveGroup(group, member string) {
+	ms := s.groups[group]
+	for i, m := range ms {
+		if m == member {
+			s.groups[group] = append(ms[:i], ms[i+1:]...)
+			return
+		}
+	}
+}
+
+// GroupSize reports a group's membership.
+func (s *Switch) GroupSize(group string) int { return len(s.groups[group]) }
+
+// Deliver implements Port: forward by destination address, fanning out to
+// group members when the destination is a multicast group. Unknown
+// destinations are dropped (counted nowhere, like a real L2 flood we don't
+// model).
+func (s *Switch) Deliver(p *Packet) {
+	if members, ok := s.groups[p.Dst]; ok {
+		for _, m := range members {
+			cp := *p
+			cp.Dst = m
+			s.Deliver(&cp)
+		}
+		return
+	}
+	out, ok := s.ports[p.Dst]
+	if !ok {
+		return
+	}
+	s.Forwarded++
+	s.eng.After(s.latency, func() { out.Send(p, nil) })
+}
+
+// Client models a remote MPEG player: a receive stack delay, delivery
+// statistics, and optional per-stream bandwidth metering.
+type Client struct {
+	eng     *sim.Engine
+	Name    string
+	RxStack sim.Time
+
+	// OnFrame, if set, observes every delivered packet after the receive
+	// stack.
+	OnFrame func(p *Packet)
+
+	// BW, if set, meters goodput.
+	BW *stats.BandwidthMeter
+
+	Received  int64
+	RecvBytes int64
+	Late      int64
+	Latencies []sim.Time // send-to-delivered per packet
+	Gaps      []sim.Time // inter-arrival gaps (delay-jitter raw data)
+
+	lastArrival sim.Time
+	gotFirst    bool
+}
+
+// NewClient returns a client with a 200 µs receive stack.
+func NewClient(eng *sim.Engine, name string) *Client {
+	return &Client{eng: eng, Name: name, RxStack: 200 * sim.Microsecond}
+}
+
+// Deliver implements Port.
+func (c *Client) Deliver(p *Packet) {
+	c.eng.After(c.RxStack, func() {
+		c.Received++
+		c.RecvBytes += p.Bytes
+		c.Latencies = append(c.Latencies, c.eng.Now()-p.Sent)
+		if c.gotFirst {
+			c.Gaps = append(c.Gaps, c.eng.Now()-c.lastArrival)
+		}
+		c.gotFirst = true
+		c.lastArrival = c.eng.Now()
+		if p.Deadline != 0 && c.eng.Now() > p.Deadline {
+			c.Late++
+		}
+		if c.BW != nil {
+			c.BW.Deliver(c.eng.Now(), int(p.Bytes))
+		}
+		if c.OnFrame != nil {
+			c.OnFrame(p)
+		}
+	})
+}
+
+// MeanLatency returns the mean send-to-delivered latency.
+func (c *Client) MeanLatency() sim.Time {
+	return stats.Summarize(c.Latencies).Mean
+}
+
+// Jitter returns the mean absolute deviation of inter-arrival gaps — the
+// delay-jitter metric of §4.2.3 ("frames are serviced at a rate with lower
+// variability ... more uniform jitter-delay variation").
+func (c *Client) Jitter() sim.Time {
+	if len(c.Gaps) == 0 {
+		return 0
+	}
+	var sum sim.Time
+	for _, g := range c.Gaps {
+		sum += g
+	}
+	mean := sum / sim.Time(len(c.Gaps))
+	var dev sim.Time
+	for _, g := range c.Gaps {
+		d := g - mean
+		if d < 0 {
+			d = -d
+		}
+		dev += d
+	}
+	return dev / sim.Time(len(c.Gaps))
+}
+
+// String summarizes the client's deliveries.
+func (c *Client) String() string {
+	return fmt.Sprintf("%s: %d frames, %d bytes, %d late", c.Name, c.Received, c.RecvBytes, c.Late)
+}
+
+// StackProfile bundles the per-packet protocol processing costs a sender
+// pays before the wire. The i960 profile reproduces the 1.2 ms end-to-end
+// figure; the host profile is faster because the stack runs at 200 MHz.
+type StackProfile struct {
+	Name string
+	Tx   sim.Time // sender-side UDP/IP + driver per media frame
+}
+
+// I960Stack is protocol processing on the 66 MHz i960 RD.
+func I960Stack() StackProfile { return StackProfile{Name: "i960", Tx: 830 * sim.Microsecond} }
+
+// HostStack is protocol processing on a 200 MHz host CPU (Intel 82557 NI).
+func HostStack() StackProfile { return StackProfile{Name: "host", Tx: 190 * sim.Microsecond} }

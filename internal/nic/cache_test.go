@@ -1,0 +1,119 @@
+package nic
+
+import (
+	"testing"
+
+	"repro/internal/dwcs"
+
+	"repro/internal/cache"
+	"repro/internal/disk"
+	"repro/internal/mpeg"
+	"repro/internal/sim"
+)
+
+// TestCacheFrontedProducer fronts the producer card's filesystem with a
+// media cache: the second pass over a looping clip never touches the disk,
+// the §1 proxy/caching technique composed with NI scheduling.
+func TestCacheFrontedProducer(t *testing.T) {
+	r := newRig(t, true)
+	d := disk.New(r.eng, disk.DefaultSCSI("ni-disk"))
+	fs := cache.New(r.eng, disk.NewDOSFS(d), "clip", 1<<20, 0)
+	r.card.AttachDisk(d, fs)
+
+	ext, _ := r.card.LoadScheduler(SchedulerConfig{EligibleEarly: 10 * sim.Millisecond})
+	ext.AddStream(streamSpec(1, 20*sim.Millisecond))
+	clip, _ := mpeg.Generate(mpeg.GenConfig{Frames: 25, FPS: 30, GOPPattern: "IBB", MeanFrame: 1500, Seed: 5})
+	ext.SpawnLocalProducer(clip, 1, "client-1", 20*sim.Millisecond, 2) // two passes
+
+	r.eng.RunUntil(5 * sim.Second)
+	if r.client.Received != 50 {
+		t.Fatalf("client received %d of 50", r.client.Received)
+	}
+	if d.Stats.Reads != 25 {
+		t.Fatalf("disk reads = %d, want 25 (second pass cached)", d.Stats.Reads)
+	}
+	if fs.Hits != 25 {
+		t.Fatalf("cache hits = %d", fs.Hits)
+	}
+}
+
+func TestStoreKindAndPayloadHelpers(t *testing.T) {
+	if StoreDRAM.String() != "dram" || StoreHardwareQueue.String() != "hw-queue" {
+		t.Error("store kind names")
+	}
+	if AddrPayload("client-9").ClientAddr() != "client-9" {
+		t.Error("AddrPayload")
+	}
+}
+
+func TestBenchSchedulerStandsAlone(t *testing.T) {
+	eng := sim.NewEngine(1)
+	card := New(eng, Config{Name: "bench", CacheOn: true})
+	sched := card.NewBenchScheduler(SchedulerConfig{WorkConserving: true})
+	if err := sched.AddStream(streamSpec(1, sim.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.Enqueue(1, dwcsPacket(700)); err != nil {
+		t.Fatal(err)
+	}
+	if d := sched.Schedule(); d.Packet == nil {
+		t.Fatal("bench scheduler did not dispatch")
+	}
+	// No task was spawned: the engine has nothing scheduler-related queued.
+	if card.Kernel.Switches != 0 {
+		t.Fatalf("bench scheduler spawned kernel activity: %d switches", card.Kernel.Switches)
+	}
+}
+
+func TestPeerRelayStreamsAllFrames(t *testing.T) {
+	r := newRig(t, true)
+	src := New(r.eng, Config{Name: "src", PCI: r.pci})
+	d := disk.New(r.eng, disk.DefaultSCSI("sd"))
+	src.AttachDisk(d, disk.NewDOSFS(d))
+	clip, _ := mpeg.Generate(mpeg.GenConfig{Frames: 30, FPS: 30, GOPPattern: "IBB", MeanFrame: 1200, Seed: 6})
+	done := false
+	r.card.SpawnPeerRelay(src, clip, "client-1", 0, 30, func() { done = true })
+	r.eng.RunUntil(10 * sim.Second)
+	if !done {
+		t.Fatal("peer relay did not finish")
+	}
+	if r.client.Received != 30 {
+		t.Fatalf("client received %d of 30", r.client.Received)
+	}
+	if r.pci.Stats.DMATransfers < 30 {
+		t.Fatalf("PCI DMA transfers = %d", r.pci.Stats.DMATransfers)
+	}
+}
+
+func dwcsPacket(n int64) dwcs.Packet { return dwcs.Packet{Bytes: n} }
+
+func TestPauseResumeInstructions(t *testing.T) {
+	r := newRig(t, true)
+	ext, _ := r.card.LoadScheduler(SchedulerConfig{EligibleEarly: 10 * sim.Millisecond})
+	ext.AddStream(streamSpec(1, 20*sim.Millisecond))
+	for i := 0; i < 5; i++ {
+		ext.Enqueue(1, dwcsPacket(800))
+	}
+	if _, err := ext.Invoke("pause", 1); err != nil {
+		t.Fatal(err)
+	}
+	r.eng.RunUntil(2 * sim.Second)
+	if ext.Sent != 0 {
+		t.Fatalf("paused stream sent %d frames", ext.Sent)
+	}
+	if _, err := ext.Invoke("resume", 1); err != nil {
+		t.Fatal(err)
+	}
+	r.eng.RunUntil(4 * sim.Second)
+	if ext.Sent != 5 {
+		t.Fatalf("after resume sent %d of 5", ext.Sent)
+	}
+	if ext.Dropped != 0 {
+		t.Fatalf("resume caused %d drops", ext.Dropped)
+	}
+	for _, op := range []string{"pause", "resume"} {
+		if _, err := ext.Invoke(op, "bad"); err == nil {
+			t.Errorf("%s with bad arg should fail", op)
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package nic
+
+import (
+	"testing"
+
+	"repro/internal/bus"
+	"repro/internal/disk"
+	"repro/internal/dwcs"
+	"repro/internal/mpeg"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// TestDiskDegradationSlowsButDoesNotWedge injects a 5× disk slowdown in
+// the middle of a streaming session: the producer falls behind, but the
+// scheduler keeps draining and the session completes after recovery.
+func TestDiskDegradationSlowsButDoesNotWedge(t *testing.T) {
+	r := newRig(t, true)
+	d := disk.New(r.eng, disk.DefaultSCSI("ni-disk"))
+	r.card.AttachDisk(d, disk.NewDOSFS(d))
+	ext, _ := r.card.LoadScheduler(SchedulerConfig{EligibleEarly: 10 * sim.Millisecond})
+	ext.AddStream(streamSpec(1, 20*sim.Millisecond))
+	clip, _ := mpeg.Generate(mpeg.GenConfig{Frames: 120, FPS: 30, GOPPattern: "IBB", MeanFrame: 1200, Seed: 3})
+	ext.SpawnLocalProducer(clip, 1, "client-1", 20*sim.Millisecond, 1)
+
+	r.eng.At(500*sim.Millisecond, func() { d.Degrade(5) })
+	r.eng.At(1500*sim.Millisecond, func() { d.Degrade(1) })
+	r.eng.RunUntil(10 * sim.Second)
+
+	if r.client.Received != 120 {
+		t.Fatalf("client received %d of 120 frames", r.client.Received)
+	}
+	if r.card.Mem.Used() != 0 {
+		t.Fatalf("leaked %d bytes of card memory across the fault", r.card.Mem.Used())
+	}
+}
+
+// TestLossyLinkDoesNotStallScheduler drops every 4th frame on the wire;
+// the scheduler must keep pacing and account every frame as sent.
+func TestLossyLinkDoesNotStallScheduler(t *testing.T) {
+	eng := sim.NewEngine(7)
+	pci := bus.New(eng, bus.PCI("pci0"))
+	card := New(eng, Config{Name: "ni0", PCI: pci, CacheOn: true})
+	client := netsim.NewClient(eng, "client-1")
+	sw := netsim.NewSwitch(eng, "sw0", 90*sim.Microsecond)
+	lossy := netsim.Fast100(eng, "sw-c1", client)
+	lossy.DropEvery = 4
+	sw.Attach("client-1", lossy)
+	card.ConnectEthernet(netsim.Fast100(eng, "ni0-eth", sw))
+
+	ext, _ := card.LoadScheduler(SchedulerConfig{WorkConserving: true})
+	ext.AddStream(streamSpec(1, 10*sim.Millisecond))
+	for i := 0; i < 40; i++ {
+		ext.Enqueue(1, dwcs.Packet{Bytes: 1000})
+	}
+	eng.RunUntil(2 * sim.Second)
+	if ext.Sent != 40 {
+		t.Fatalf("sent = %d", ext.Sent)
+	}
+	if lossy.Dropped != 10 {
+		t.Fatalf("wire dropped %d, want 10", lossy.Dropped)
+	}
+	if client.Received != 30 {
+		t.Fatalf("client received %d, want 30", client.Received)
+	}
+}
+
+// TestProducerOutrunsMemoryBudget drives a card with tiny memory: the
+// producer must stall on allocation failures instead of crashing, and
+// everything that was admitted must still be delivered.
+func TestProducerOutrunsMemoryBudget(t *testing.T) {
+	eng := sim.NewEngine(7)
+	pci := bus.New(eng, bus.PCI("pci0"))
+	card := New(eng, Config{Name: "ni0", PCI: pci, Memory: 8 << 10}) // 8 KB card
+	d := disk.New(eng, disk.DefaultSCSI("dd"))
+	card.AttachDisk(d, disk.NewDOSFS(d))
+	client := netsim.NewClient(eng, "client-1")
+	sw := netsim.NewSwitch(eng, "sw0", 90*sim.Microsecond)
+	sw.Attach("client-1", netsim.Fast100(eng, "sw-c1", client))
+	card.ConnectEthernet(netsim.Fast100(eng, "ni0-eth", sw))
+
+	ext, _ := card.LoadScheduler(SchedulerConfig{EligibleEarly: 10 * sim.Millisecond})
+	ext.AddStream(streamSpec(1, 20*sim.Millisecond))
+	clip, _ := mpeg.Generate(mpeg.GenConfig{Frames: 40, FPS: 30, GOPPattern: "IBB", MeanFrame: 3000, Seed: 3})
+	prod := ext.SpawnLocalProducer(clip, 1, "client-1", 5*sim.Millisecond, 1)
+	eng.RunUntil(15 * sim.Second)
+	if prod.Stalled == 0 {
+		t.Fatal("expected allocation stalls on an 8 KB card")
+	}
+	if client.Received != 40 {
+		t.Fatalf("client received %d of 40", client.Received)
+	}
+	if card.Mem.Used() != 0 {
+		t.Fatalf("leaked %d bytes", card.Mem.Used())
+	}
+}
+
+// TestStreamRemovalMidSession removes a stream while its producer is
+// running: already-dispatched frames arrive, further enqueues bounce, and
+// the other stream is unaffected.
+func TestStreamRemovalMidSession(t *testing.T) {
+	r := newRig(t, true)
+	ext, _ := r.card.LoadScheduler(SchedulerConfig{WorkConserving: true})
+	ext.AddStream(streamSpec(1, 10*sim.Millisecond))
+	ext.AddStream(streamSpec(2, 10*sim.Millisecond))
+	for i := 0; i < 10; i++ {
+		ext.Enqueue(1, dwcs.Packet{Bytes: 500})
+		ext.Enqueue(2, dwcs.Packet{Bytes: 500})
+	}
+	r.eng.RunUntil(20 * sim.Millisecond)
+	if _, err := ext.Invoke("removeStream", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := ext.Enqueue(1, dwcs.Packet{Bytes: 500}); err == nil {
+		t.Fatal("enqueue to removed stream should fail")
+	}
+	r.eng.RunUntil(2 * sim.Second)
+	st2, _ := ext.Sched.Stats(2)
+	if st2.Serviced != 10 {
+		t.Fatalf("stream 2 serviced %d of 10 after stream 1 removal", st2.Serviced)
+	}
+}
+
+// TestSchedulerSurvivesEmptyAndBurstyPhases alternates idle periods with
+// bursts, exercising the idle-wait/kick paths.
+func TestSchedulerSurvivesEmptyAndBurstyPhases(t *testing.T) {
+	r := newRig(t, true)
+	ext, _ := r.card.LoadScheduler(SchedulerConfig{WorkConserving: true})
+	ext.AddStream(streamSpec(1, 5*sim.Millisecond))
+	total := 0
+	for phase := 0; phase < 5; phase++ {
+		at := sim.Time(phase) * 300 * sim.Millisecond
+		r.eng.At(at, func() {
+			for i := 0; i < 7; i++ {
+				if ext.Enqueue(1, dwcs.Packet{Bytes: 400}) == nil {
+					total++
+				}
+			}
+		})
+	}
+	r.eng.RunUntil(3 * sim.Second)
+	if int(ext.Sent) != total {
+		t.Fatalf("sent %d of %d across idle/burst phases", ext.Sent, total)
+	}
+}

@@ -1,0 +1,704 @@
+// Package nic models the Intel i960 RD I2O network interface card: a 66 MHz
+// co-processor running a VxWorks-style kernel, 4 MB of local pinned memory,
+// the 1004-register hardware-queue file, two 100 Mbps Ethernet ports, two
+// SCSI ports with optionally attached disks, and a PCI interface to the
+// host (§1, §3.1.2).
+//
+// A Card hosts a core.VCM; LoadScheduler registers the paper's media-
+// scheduler extension (SchedulerExt), which runs the real dwcs.Scheduler as
+// a kernel task whose CPU consumption comes from the cpu.Meter charges the
+// scheduler code performs. Producer tasks stream MPEG frames into the
+// scheduler from NI-attached disks (path C of Figure 3) or across the PCI
+// bus from a peer card (path B).
+package nic
+
+import (
+	"fmt"
+
+	"repro/internal/bus"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/disk"
+	"repro/internal/dwcs"
+	"repro/internal/fixed"
+	"repro/internal/mem"
+	"repro/internal/mpeg"
+	"repro/internal/netsim"
+	"repro/internal/rtos"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Task priorities on the NI kernel (VxWorks style: lower = higher).
+const (
+	PrioScheduler = 50  // the DWCS scheduler task
+	PrioRelay     = 80  // store-and-forward relay tasks
+	PrioProducer  = 100 // frame producer tasks
+)
+
+// Dispatch-path cost constants, calibrated against the Table 1–3
+// "w/o Scheduler" columns: handing one frame descriptor to the Ethernet
+// transmit machinery costs a fixed driver block plus descriptor/buffer
+// administration memory traffic plus one fraction operation (a per-stream
+// rate-statistics update that the paper's software-FP build pays library
+// cost for).
+const (
+	txDriverCycles = 1715
+	txMemReads     = 13
+	txMemWrites    = 8
+)
+
+// Config describes one card.
+type Config struct {
+	Name    string
+	PCI     *bus.Bus       // segment the card sits on
+	CacheOn bool           // data-cache state (the disk driver forces it off, §4.2)
+	Arith   cpu.Arithmetic // softFP or fixed-point build of the scheduler
+	Memory  int64          // installed local memory; 0 = 4 MB
+	Model   *cpu.Model     // nil = i960 RD 66 MHz
+	Seed    int64          // reserved for stochastic card behaviour
+}
+
+// Card is one I2O NI.
+type Card struct {
+	Eng    *sim.Engine
+	Name   string
+	Kernel *rtos.Kernel
+	Meter  *cpu.Meter
+	Mem    *mem.Memory
+	Regs   *mem.RegisterFile
+	PCI    *bus.Bus
+	Link   *netsim.Link // Ethernet port 0, nil until connected
+	Disk   *disk.Disk   // SCSI port 0, nil unless attached
+	FS     disk.FS
+	Stack  netsim.StackProfile
+	VCM    *core.VCM
+	TSC    *rtos.Timestamp
+
+	// FramesSent counts frames handed to the wire by any path on this card.
+	FramesSent int64
+}
+
+// New boots a card.
+func New(eng *sim.Engine, cfg Config) *Card {
+	model := cfg.Model
+	if model == nil {
+		model = cpu.I960RD()
+	}
+	size := cfg.Memory
+	if size == 0 {
+		size = mem.DefaultCardMemory
+	}
+	meter := cpu.NewMeter(model)
+	meter.CacheOn = cfg.CacheOn
+	meter.Arith = cfg.Arith
+	c := &Card{
+		Eng:    eng,
+		Name:   cfg.Name,
+		Kernel: rtos.NewKernel(eng, cfg.Name, model.Duration(model.CtxSwitch)),
+		Meter:  meter,
+		Mem:    mem.NewMemory(size),
+		Regs:   mem.NewRegisterFile(meter),
+		PCI:    cfg.PCI,
+		Stack:  netsim.I960Stack(),
+		VCM:    core.NewVCM(cfg.Name),
+		TSC:    rtos.NewTimestamp(eng, model.ClockHz, 32),
+	}
+	if cfg.PCI != nil {
+		c.VCM.Crossing = core.CrossingFunc(func(words int64, deliver func()) {
+			cfg.PCI.PIOWrite(words, deliver)
+		})
+	}
+	return c
+}
+
+// ConnectEthernet attaches the card's Ethernet port 0 to a link.
+func (c *Card) ConnectEthernet(l *netsim.Link) { c.Link = l }
+
+// AttachDisk attaches a disk and its filesystem to a SCSI port. Attaching a
+// disk disables the data cache, as the paper's VxWorks driver does (§4.2).
+func (c *Card) AttachDisk(d *disk.Disk, fs disk.FS) {
+	c.Disk = d
+	c.FS = fs
+	c.Meter.CacheOn = false
+}
+
+// ChargeDispatch charges the cost of handing one frame to the transmitter.
+func (c *Card) ChargeDispatch() {
+	c.Meter.ChargeCycles(txDriverCycles)
+	c.Meter.MemRead(txMemReads)
+	c.Meter.MemWrite(txMemWrites)
+	c.Meter.Frac(1)
+}
+
+// FrameBuf marks a packet payload as occupying card memory; the dispatch
+// path frees it once the frame is on the wire (single-copy design, §3.1.2).
+type FrameBuf struct {
+	Mem  *mem.Memory
+	Addr mem.Addr
+}
+
+// Release frees the frame's card memory.
+func (f FrameBuf) Release() { f.Mem.Free(f.Addr) }
+
+// releaser is any payload owning card memory (FrameBuf or wrappers
+// embedding it).
+type releaser interface{ Release() }
+
+func releasePayload(p any) {
+	if r, ok := p.(releaser); ok {
+		r.Release()
+	}
+}
+
+// Send pays protocol encapsulation on the card CPU and puts the frame on
+// the wire. It must be called from a kernel task on this card.
+func (c *Card) Send(tc *rtos.TaskCtx, pkt *netsim.Packet) { c.send(tc, pkt, nil) }
+
+// send pays protocol encapsulation on the card CPU and puts the frame on
+// the wire. It must be called from a kernel task.
+func (c *Card) send(tc *rtos.TaskCtx, pkt *netsim.Packet, payload any) {
+	tc.Run(c.Stack.Tx)
+	c.FramesSent++
+	if c.Link == nil {
+		releasePayload(payload)
+		return
+	}
+	c.Link.Send(pkt, func() { releasePayload(payload) })
+}
+
+// StoreKind selects where the scheduler's descriptor rings live.
+type StoreKind int
+
+// Descriptor stores.
+const (
+	// StoreDRAM keeps rings in pinned card memory (Table 2).
+	StoreDRAM StoreKind = iota
+	// StoreHardwareQueue keeps rings in the 1004-register memory-mapped
+	// file (Table 3).
+	StoreHardwareQueue
+)
+
+// String names the store kind.
+func (k StoreKind) String() string {
+	if k == StoreHardwareQueue {
+		return "hw-queue"
+	}
+	return "dram"
+}
+
+// SchedulerConfig configures the media-scheduler extension.
+type SchedulerConfig struct {
+	Store          StoreKind
+	Precedence     dwcs.Precedence
+	Selector       dwcs.SelectorKind
+	WorkConserving bool
+	EligibleEarly  sim.Time
+	// DecisionOverheadCycles models the per-decision fixed costs the
+	// operation-level charges don't capture: two timestamp-counter reads,
+	// wind-kernel loop overhead, and heap bookkeeping. 0 uses the value
+	// calibrated against Table 2.
+	DecisionOverheadCycles int64
+	MaxDescriptors         int
+	// DispatchQueue > 0 decouples scheduling and dispatch (§3.1.1): the
+	// scheduler task deposits decisions in a FIFO of that depth and a
+	// separate dispatcher task drains it. Decisions can then be made at a
+	// higher rate, at the cost of additional queuing delay and jitter in
+	// the dispatch queue. 0 keeps scheduling and dispatch coupled (the
+	// paper's memory-conserving default).
+	DispatchQueue int
+}
+
+// DefaultDecisionOverhead is calibrated so the fixed-point, cache-enabled
+// configuration reproduces the ≈66.8 µs scheduling overhead of Table 2.
+const DefaultDecisionOverhead = 4020
+
+// SchedulerExt is the DVCM media-scheduler extension of §3.1: a
+// dwcs.Scheduler plus the kernel task that runs it.
+type SchedulerExt struct {
+	Card  *Card
+	Sched *dwcs.Scheduler
+
+	// QDelay tracks queuing delay per stream (Figures 8 and 10).
+	QDelay map[int]*stats.DelayTracker
+	// OnDispatch observes every dispatched packet (before the wire).
+	OnDispatch func(p *dwcs.Packet)
+	// Trace, when set, records enqueue/dispatch/drop events.
+	Trace *trace.Log
+
+	// Sent and Dropped count scheduler outcomes.
+	Sent    int64
+	Dropped int64
+
+	work *rtos.Semaphore
+	kick func() // wakes a paced sleep early; nil when not sleeping
+	task *rtos.Task
+	regB int // next free register-file word for ring allocation
+
+	// decoupled-dispatch state (nil/unused when coupled)
+	dispatchQ   []*dwcs.Packet
+	dispatchSem *rtos.Semaphore
+	dispatchCap int
+}
+
+// buildScheduler constructs the DWCS instance for cfg, allocating ring
+// stores from the register file when requested. next tracks register-file
+// allocation across streams.
+func (c *Card) buildScheduler(cfg SchedulerConfig, next *int) *dwcs.Scheduler {
+	if cfg.DecisionOverheadCycles == 0 {
+		cfg.DecisionOverheadCycles = DefaultDecisionOverhead
+	}
+	newStore := func(words int) mem.WordStore {
+		if cfg.Store == StoreHardwareQueue {
+			if *next+words > mem.HardwareQueueRegisters {
+				panic(fmt.Sprintf("nic %s: hardware queue exhausted (%d + %d words)", c.Name, *next, words))
+			}
+			r := mem.NewRegion(c.Regs, *next, words)
+			*next += words
+			return r
+		}
+		return mem.NewDRAMStore(c.Meter, words)
+	}
+	return dwcs.New(dwcs.Config{
+		Precedence:       cfg.Precedence,
+		Selector:         cfg.Selector,
+		WorkConserving:   cfg.WorkConserving,
+		EligibleEarly:    cfg.EligibleEarly,
+		Meter:            c.Meter,
+		Now:              c.Eng.Now,
+		DecisionOverhead: cfg.DecisionOverheadCycles,
+		NewStore:         newStore,
+		MaxDescriptors:   cfg.MaxDescriptors,
+	})
+}
+
+// NewBenchScheduler builds the scheduler exactly as LoadScheduler does but
+// without registering the extension or starting its task — the meter-driven
+// Table 1–3 microbenchmarks step it by hand.
+func (c *Card) NewBenchScheduler(cfg SchedulerConfig) *dwcs.Scheduler {
+	var next int
+	return c.buildScheduler(cfg, &next)
+}
+
+// LoadScheduler creates the extension, registers it on the card's VCM under
+// the name "dwcs", and starts the scheduler task.
+func (c *Card) LoadScheduler(cfg SchedulerConfig) (*SchedulerExt, error) {
+	ext := &SchedulerExt{
+		Card:   c,
+		QDelay: make(map[int]*stats.DelayTracker),
+	}
+	ext.Sched = c.buildScheduler(cfg, &ext.regB)
+	ext.work = rtos.NewSemaphore(c.Kernel, c.Name+"/work", 0)
+	if err := c.VCM.Register(ext); err != nil {
+		return nil, err
+	}
+	if cfg.DispatchQueue > 0 {
+		ext.dispatchCap = cfg.DispatchQueue
+		ext.dispatchSem = rtos.NewSemaphore(c.Kernel, c.Name+"/dispatchq", 0)
+		c.Kernel.Spawn(c.Name+"/dispatch", PrioScheduler+1, ext.runDispatcher)
+	}
+	ext.task = c.Kernel.Spawn(c.Name+"/dwcs", PrioScheduler, ext.run)
+	return ext, nil
+}
+
+// Name implements core.Extension.
+func (ext *SchedulerExt) Name() string { return "dwcs" }
+
+// Attach implements core.Extension.
+func (ext *SchedulerExt) Attach(*core.VCM) error { return nil }
+
+// EnqueueArgs is the argument of the "enqueue" instruction.
+type EnqueueArgs struct {
+	StreamID int
+	Packet   dwcs.Packet
+}
+
+// ReconfigureArgs is the argument of the "reconfigure" instruction — the
+// network-near rate/loss adaptation of §3.1.
+type ReconfigureArgs struct {
+	StreamID int
+	Period   sim.Time
+	Loss     fixed.Frac
+}
+
+// Invoke implements core.Extension: the DVCM instruction set of the media
+// scheduler.
+func (ext *SchedulerExt) Invoke(op string, arg any) (any, error) {
+	switch op {
+	case "addStream":
+		spec, ok := arg.(dwcs.StreamSpec)
+		if !ok {
+			return nil, fmt.Errorf("dwcs ext: addStream wants StreamSpec, got %T", arg)
+		}
+		if err := ext.Sched.AddStream(spec); err != nil {
+			return nil, err
+		}
+		ext.QDelay[spec.ID] = &stats.DelayTracker{Name: spec.Name}
+		return nil, nil
+	case "removeStream":
+		id, ok := arg.(int)
+		if !ok {
+			return nil, fmt.Errorf("dwcs ext: removeStream wants int, got %T", arg)
+		}
+		return nil, ext.Sched.RemoveStream(id)
+	case "enqueue":
+		ea, ok := arg.(EnqueueArgs)
+		if !ok {
+			return nil, fmt.Errorf("dwcs ext: enqueue wants EnqueueArgs, got %T", arg)
+		}
+		return nil, ext.Enqueue(ea.StreamID, ea.Packet)
+	case "stats":
+		id, ok := arg.(int)
+		if !ok {
+			return nil, fmt.Errorf("dwcs ext: stats wants int, got %T", arg)
+		}
+		return ext.Sched.Stats(id)
+	case "snapshot":
+		return ext.Sched.Snapshot(), nil
+	case "pause":
+		id, ok := arg.(int)
+		if !ok {
+			return nil, fmt.Errorf("dwcs ext: pause wants int, got %T", arg)
+		}
+		return nil, ext.Sched.Pause(id)
+	case "resume":
+		id, ok := arg.(int)
+		if !ok {
+			return nil, fmt.Errorf("dwcs ext: resume wants int, got %T", arg)
+		}
+		if err := ext.Sched.Resume(id); err != nil {
+			return nil, err
+		}
+		// Freshly-eligible packets may need the task's attention.
+		if ext.kick != nil {
+			ext.kick()
+		} else {
+			ext.work.Give()
+		}
+		return nil, nil
+	case "reconfigure":
+		ra, ok := arg.(ReconfigureArgs)
+		if !ok {
+			return nil, fmt.Errorf("dwcs ext: reconfigure wants ReconfigureArgs, got %T", arg)
+		}
+		return nil, ext.Sched.Reconfigure(ra.StreamID, ra.Period, ra.Loss)
+	default:
+		return nil, core.ErrBadOp
+	}
+}
+
+// AddStream registers a stream directly (card-local callers).
+func (ext *SchedulerExt) AddStream(spec dwcs.StreamSpec) error {
+	_, err := ext.Invoke("addStream", spec)
+	return err
+}
+
+// Enqueue queues a packet and wakes the scheduler task.
+func (ext *SchedulerExt) Enqueue(id int, p dwcs.Packet) error {
+	if err := ext.Sched.Enqueue(id, p); err != nil {
+		return err
+	}
+	ext.Trace.Recordf(trace.KindEnqueue, ext.Card.Name+"/dwcs", id, -1, "%dB", p.Bytes)
+	if ext.kick != nil {
+		ext.kick()
+	} else {
+		ext.work.Give()
+	}
+	return nil
+}
+
+// run is the scheduler task body.
+func (ext *SchedulerExt) run(tc *rtos.TaskCtx) {
+	c := ext.Card
+	lap := cpu.StartLap(c.Meter)
+	for {
+		d := ext.Sched.Schedule()
+		tc.Charge(lap) // decision CPU time at i960 speed
+		ext.Dropped += int64(len(d.Dropped))
+		for _, p := range d.Dropped {
+			ext.Trace.Record(trace.KindDrop, c.Name+"/dwcs", p.StreamID, p.Seq, "deadline missed")
+			releasePayload(p.Payload)
+		}
+		switch {
+		case d.Packet != nil:
+			p := d.Packet
+			if ext.dispatchSem != nil {
+				// Decoupled mode: hand the decision to the dispatcher. A
+				// full dispatch queue back-pressures the scheduler task.
+				for len(ext.dispatchQ) >= ext.dispatchCap {
+					tc.Sleep(sim.Millisecond)
+				}
+				ext.dispatchQ = append(ext.dispatchQ, p)
+				ext.dispatchSem.Give()
+				continue
+			}
+			ext.dispatch(tc, lap, p)
+		case d.WaitUntil > 0:
+			ext.sleepUntil(tc, d.WaitUntil)
+		case len(d.Dropped) > 0:
+			// progress was made; loop for the next decision
+		default:
+			ext.work.Take(tc) // idle until a producer enqueues
+		}
+	}
+}
+
+// dispatch charges the dispatch path and transmits p. It must run on the
+// card.
+func (ext *SchedulerExt) dispatch(tc *rtos.TaskCtx, lap *cpu.Lap, p *dwcs.Packet) {
+	c := ext.Card
+	c.ChargeDispatch()
+	tc.Charge(lap)
+	if t := ext.QDelay[p.StreamID]; t != nil {
+		t.Record(tc.Now() - p.Enqueued)
+	}
+	ext.Sent++
+	ext.Trace.Recordf(trace.KindDispatch, c.Name+"/dwcs", p.StreamID, p.Seq,
+		"qdelay=%v", tc.Now()-p.Enqueued)
+	if ext.OnDispatch != nil {
+		ext.OnDispatch(p)
+	}
+	c.send(tc, &netsim.Packet{
+		Src:      c.Name,
+		Dst:      streamDst(p),
+		StreamID: p.StreamID,
+		Seq:      p.Seq,
+		Bytes:    p.Bytes,
+		Enqueued: p.Enqueued,
+		Deadline: p.Deadline,
+	}, p.Payload)
+}
+
+// runDispatcher is the decoupled-dispatch task: it drains the dispatch
+// FIFO, paying the dispatch and protocol costs, while the scheduler task
+// keeps making decisions.
+func (ext *SchedulerExt) runDispatcher(tc *rtos.TaskCtx) {
+	lap := cpu.StartLap(ext.Card.Meter)
+	for {
+		ext.dispatchSem.Take(tc)
+		p := ext.dispatchQ[0]
+		ext.dispatchQ = ext.dispatchQ[1:]
+		ext.dispatch(tc, lap, p)
+	}
+}
+
+// streamDst extracts the client address from the packet payload when the
+// producer tagged one.
+func streamDst(p *dwcs.Packet) string {
+	if a, ok := p.Payload.(Addressed); ok {
+		return a.ClientAddr()
+	}
+	return fmt.Sprintf("client-%d", p.StreamID)
+}
+
+// Addressed lets payloads carry an explicit client address.
+type Addressed interface{ ClientAddr() string }
+
+// AddrPayload is a payload carrying only a destination address.
+type AddrPayload string
+
+// ClientAddr implements Addressed.
+func (a AddrPayload) ClientAddr() string { return string(a) }
+
+// sleepUntil blocks the scheduler task until `until` or until a new
+// enqueue kicks it, whichever comes first.
+func (ext *SchedulerExt) sleepUntil(tc *rtos.TaskCtx, until sim.Time) {
+	if until <= ext.Card.Eng.Now() {
+		return // charging the decision's CPU time already passed the target
+	}
+	fired := false
+	tc.Await(func(done func()) {
+		once := func() {
+			if fired {
+				return
+			}
+			fired = true
+			ext.kick = nil
+			done()
+		}
+		ev := ext.Card.Eng.At(until, once)
+		ext.kick = func() {
+			ev.Cancel()
+			once()
+		}
+	})
+}
+
+// Producer is a frame source feeding a scheduler extension.
+type Producer struct {
+	Injected int64
+	Stalled  int64 // injection attempts deferred because the ring was full
+}
+
+// SpawnLocalProducer streams clip from the card's own attached disk into
+// the local scheduler — path C of Figure 3 (disk → NI CPU → network, no
+// I/O bus, no host). Frames are injected every injectEvery (0 = flat out),
+// looping over the clip `loops` times (≤0 = once). dst is the client
+// address frames are delivered to.
+func (ext *SchedulerExt) SpawnLocalProducer(clip *mpeg.Clip, streamID int, dst string, injectEvery sim.Time, loops int) *Producer {
+	c := ext.Card
+	if c.FS == nil {
+		panic("nic: SpawnLocalProducer needs an attached disk")
+	}
+	if loops <= 0 {
+		loops = 1
+	}
+	p := &Producer{}
+	c.Kernel.Spawn(fmt.Sprintf("%s/prod%d", c.Name, streamID), PrioProducer, func(tc *rtos.TaskCtx) {
+		next := tc.Now()
+		for loop := 0; loop < loops; loop++ {
+			for _, f := range clip.Frames {
+				tc.Await(func(done func()) { c.FS.Read(f.Offset, f.Size, done) })
+				addr := allocWithBackoff(tc, c.Mem, f.Size, p)
+				pkt := dwcs.Packet{Bytes: f.Size, Offset: f.Offset,
+					Payload: addressedBuf{FrameBuf{c.Mem, addr}, dst}}
+				for ext.Enqueue(streamID, pkt) != nil {
+					p.Stalled++
+					tc.Sleep(injectOrDefault(injectEvery))
+				}
+				p.Injected++
+				if injectEvery > 0 {
+					next += injectEvery
+					tc.SleepUntil(next)
+				}
+			}
+		}
+	})
+	return p
+}
+
+// allocWithBackoff retries a card-memory allocation until dispatches free
+// frames — memory pressure stalls the producer, it never loses a frame.
+func allocWithBackoff(tc *rtos.TaskCtx, m *mem.Memory, n int64, p *Producer) mem.Addr {
+	for {
+		addr, err := m.Alloc(n)
+		if err == nil {
+			return addr
+		}
+		p.Stalled++
+		tc.Sleep(10 * sim.Millisecond)
+	}
+}
+
+func injectOrDefault(d sim.Time) sim.Time {
+	if d > 0 {
+		return d
+	}
+	return 5 * sim.Millisecond
+}
+
+// addressedBuf is a FrameBuf plus a client address.
+type addressedBuf struct {
+	FrameBuf
+	dst string
+}
+
+func (a addressedBuf) ClientAddr() string { return a.dst }
+
+// SpawnPeerProducer streams clip from src's attached disk, DMAs each frame
+// across the PCI bus into this scheduler card, and enqueues it — path B of
+// Figure 3 (disk → I/O bus → scheduler NI → network; no host CPU or
+// memory).
+func (ext *SchedulerExt) SpawnPeerProducer(src *Card, clip *mpeg.Clip, streamID int, dst string, injectEvery sim.Time, loops int) *Producer {
+	if src.FS == nil {
+		panic("nic: SpawnPeerProducer needs a disk on the source card")
+	}
+	if src.PCI == nil || ext.Card.PCI == nil {
+		panic("nic: SpawnPeerProducer needs both cards on a PCI segment")
+	}
+	if loops <= 0 {
+		loops = 1
+	}
+	sched := ext.Card
+	p := &Producer{}
+	src.Kernel.Spawn(fmt.Sprintf("%s/peer%d", src.Name, streamID), PrioProducer, func(tc *rtos.TaskCtx) {
+		next := tc.Now()
+		for loop := 0; loop < loops; loop++ {
+			for _, f := range clip.Frames {
+				tc.Await(func(done func()) { src.FS.Read(f.Offset, f.Size, done) })
+				addr := allocWithBackoff(tc, sched.Mem, f.Size, p)
+				// Card-to-card peer DMA of the frame body.
+				tc.Await(func(done func()) { src.PCI.DMA(f.Size, done) })
+				pkt := dwcs.Packet{Bytes: f.Size, Offset: f.Offset,
+					Payload: addressedBuf{FrameBuf{sched.Mem, addr}, dst}}
+				for ext.Enqueue(streamID, pkt) != nil {
+					p.Stalled++
+					tc.Sleep(injectOrDefault(injectEvery))
+				}
+				p.Injected++
+				if injectEvery > 0 {
+					next += injectEvery
+					tc.SleepUntil(next)
+				}
+			}
+		}
+	})
+	return p
+}
+
+// SpawnRelay streams clip from the card's attached disk straight to dst
+// with no scheduler — the Experiment II configuration of Table 4
+// (NI disk → NI CPU → network). perFrame receives each frame's disk-to-
+// wire-handoff start time; done fires after the last frame is handed to
+// the transmitter.
+func (c *Card) SpawnRelay(clip *mpeg.Clip, dst string, frameBytes int64, frames int, done func()) *rtos.Task {
+	if c.FS == nil {
+		panic("nic: SpawnRelay needs an attached disk")
+	}
+	return c.Kernel.Spawn(c.Name+"/relay", PrioRelay, func(tc *rtos.TaskCtx) {
+		for i := 0; i < frames; i++ {
+			f := clip.Frames[i%len(clip.Frames)]
+			sz := frameBytes
+			if sz == 0 {
+				sz = f.Size
+			}
+			tc.Await(func(cb func()) { c.FS.Read(f.Offset, sz, cb) })
+			c.send(tc, &netsim.Packet{Src: c.Name, Dst: dst, Bytes: sz, Seq: int64(i)}, nil)
+		}
+		if done != nil {
+			done()
+		}
+	})
+}
+
+// SpawnPeerRelay implements Experiment III of Table 4: src reads each frame
+// from its disk, DMAs it across the PCI bus to this card, and this card
+// transmits it (disk → I/O bus → NI CPU → network).
+func (c *Card) SpawnPeerRelay(src *Card, clip *mpeg.Clip, dst string, frameBytes int64, frames int, done func()) {
+	if src.FS == nil {
+		panic("nic: SpawnPeerRelay needs a disk on the source card")
+	}
+	type handoff struct{ seq int64 }
+	queue := make([]handoff, 0, 8)
+	ready := rtos.NewSemaphore(c.Kernel, c.Name+"/relayq", 0)
+	c.Kernel.Spawn(c.Name+"/peer-relay", PrioRelay, func(tc *rtos.TaskCtx) {
+		for sent := 0; sent < frames; sent++ {
+			ready.Take(tc)
+			h := queue[0]
+			queue = queue[1:]
+			f := clip.Frames[int(h.seq)%len(clip.Frames)]
+			sz := frameBytes
+			if sz == 0 {
+				sz = f.Size
+			}
+			c.send(tc, &netsim.Packet{Src: c.Name, Dst: dst, Bytes: sz, Seq: h.seq}, nil)
+		}
+		if done != nil {
+			done()
+		}
+	})
+	src.Kernel.Spawn(src.Name+"/peer-reader", PrioProducer, func(tc *rtos.TaskCtx) {
+		for i := 0; i < frames; i++ {
+			f := clip.Frames[i%len(clip.Frames)]
+			sz := frameBytes
+			if sz == 0 {
+				sz = f.Size
+			}
+			tc.Await(func(cb func()) { src.FS.Read(f.Offset, sz, cb) })
+			tc.Await(func(cb func()) { src.PCI.DMA(sz, cb) })
+			queue = append(queue, handoff{seq: int64(i)})
+			ready.Give()
+		}
+	})
+}

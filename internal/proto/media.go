@@ -1,0 +1,188 @@
+package proto
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// MediaHeaderLen is the size of the media framing header that rides inside
+// each UDP datagram: magic(4) stream(4) seq(4) frameSize(4) fragOff(4).
+const MediaHeaderLen = 20
+
+// MediaMagic identifies DWCS media datagrams ("DWCS").
+const MediaMagic = 0x44574353
+
+// MaxMediaPayload is the media payload per datagram such that the whole
+// UDP/IP packet fits one Ethernet frame.
+const MaxMediaPayload = EthMTU - IPv4HeaderLen - UDPHeaderLen - MediaHeaderLen
+
+// MediaHeader describes one fragment of one media frame.
+type MediaHeader struct {
+	StreamID  uint32
+	Seq       uint32 // frame sequence number within the stream
+	FrameSize uint32 // total size of the media frame
+	FragOff   uint32 // offset of this fragment within the frame
+}
+
+// ErrBadMagic reports a non-media datagram.
+var ErrBadMagic = errors.New("proto: bad media magic")
+
+// MarshalMedia prepends the media header to a fragment payload.
+func MarshalMedia(h MediaHeader, frag []byte) []byte {
+	out := make([]byte, MediaHeaderLen+len(frag))
+	binary.BigEndian.PutUint32(out[0:4], MediaMagic)
+	binary.BigEndian.PutUint32(out[4:8], h.StreamID)
+	binary.BigEndian.PutUint32(out[8:12], h.Seq)
+	binary.BigEndian.PutUint32(out[12:16], h.FrameSize)
+	binary.BigEndian.PutUint32(out[16:20], h.FragOff)
+	copy(out[MediaHeaderLen:], frag)
+	return out
+}
+
+// UnmarshalMedia splits a datagram payload into header and fragment.
+func UnmarshalMedia(b []byte) (MediaHeader, []byte, error) {
+	if len(b) < MediaHeaderLen {
+		return MediaHeader{}, nil, ErrTooShort
+	}
+	if binary.BigEndian.Uint32(b[0:4]) != MediaMagic {
+		return MediaHeader{}, nil, ErrBadMagic
+	}
+	h := MediaHeader{
+		StreamID:  binary.BigEndian.Uint32(b[4:8]),
+		Seq:       binary.BigEndian.Uint32(b[8:12]),
+		FrameSize: binary.BigEndian.Uint32(b[12:16]),
+		FragOff:   binary.BigEndian.Uint32(b[16:20]),
+	}
+	if int(h.FragOff)+len(b)-MediaHeaderLen > int(h.FrameSize) {
+		return MediaHeader{}, nil, fmt.Errorf("proto: fragment exceeds frame (%d+%d > %d)",
+			h.FragOff, len(b)-MediaHeaderLen, h.FrameSize)
+	}
+	return h, b[MediaHeaderLen:], nil
+}
+
+// FragmentFrame splits one media frame into datagram payloads, each at most
+// MaxMediaPayload of media data. A zero-length frame yields one empty
+// fragment so the receiver still observes the sequence number.
+func FragmentFrame(streamID, seq uint32, frame []byte) [][]byte {
+	if len(frame) == 0 {
+		return [][]byte{MarshalMedia(MediaHeader{StreamID: streamID, Seq: seq}, nil)}
+	}
+	var out [][]byte
+	for off := 0; off < len(frame); off += MaxMediaPayload {
+		end := off + MaxMediaPayload
+		if end > len(frame) {
+			end = len(frame)
+		}
+		out = append(out, MarshalMedia(MediaHeader{
+			StreamID:  streamID,
+			Seq:       seq,
+			FrameSize: uint32(len(frame)),
+			FragOff:   uint32(off),
+		}, frame[off:end]))
+	}
+	return out
+}
+
+// Reassembler rebuilds media frames from fragments, per stream. Frames may
+// interleave across streams but fragments of one frame are assumed to
+// arrive in order within their stream (UDP on a single path), with gaps
+// allowed — an incomplete frame is discarded when a fragment of a newer
+// frame arrives (a player can't use half a frame late).
+type Reassembler struct {
+	// OnFrame receives each completed frame.
+	OnFrame func(streamID, seq uint32, frame []byte)
+
+	partial map[uint32]*partialFrame
+
+	// Completed and Discarded count reassembly outcomes.
+	Completed int64
+	Discarded int64
+}
+
+type partialFrame struct {
+	seq  uint32
+	buf  []byte
+	got  int
+	want int
+}
+
+// NewReassembler returns an empty reassembler.
+func NewReassembler(onFrame func(streamID, seq uint32, frame []byte)) *Reassembler {
+	return &Reassembler{OnFrame: onFrame, partial: make(map[uint32]*partialFrame)}
+}
+
+// Ingest consumes one datagram payload. Malformed datagrams are reported as
+// errors and ignored.
+func (r *Reassembler) Ingest(b []byte) error {
+	h, frag, err := UnmarshalMedia(b)
+	if err != nil {
+		return err
+	}
+	p := r.partial[h.StreamID]
+	if p != nil && p.seq != h.Seq {
+		// Newer (or re-ordered) frame: the half-built one is lost.
+		r.Discarded++
+		delete(r.partial, h.StreamID)
+		p = nil
+	}
+	if p == nil {
+		p = &partialFrame{
+			seq:  h.Seq,
+			buf:  make([]byte, h.FrameSize),
+			want: int(h.FrameSize),
+		}
+		r.partial[h.StreamID] = p
+	}
+	copy(p.buf[h.FragOff:], frag)
+	p.got += len(frag)
+	if p.got >= p.want {
+		delete(r.partial, h.StreamID)
+		r.Completed++
+		if r.OnFrame != nil {
+			r.OnFrame(h.StreamID, h.Seq, p.buf)
+		}
+	}
+	return nil
+}
+
+// Pending reports streams with incomplete frames.
+func (r *Reassembler) Pending() int { return len(r.partial) }
+
+// BuildMediaPacket wraps one media fragment in UDP, IPv4, and Ethernet —
+// the full encapsulation the NI's transmit path performs.
+func BuildMediaPacket(srcMAC, dstMAC MAC, srcIP, dstIP IP, srcPort, dstPort uint16, ipID uint16, fragment []byte) []byte {
+	udp := MarshalUDP(UDPHeader{SrcPort: srcPort, DstPort: dstPort}, srcIP, dstIP, fragment)
+	ip := MarshalIPv4(IPv4Header{
+		ID:       ipID,
+		TTL:      64,
+		Protocol: ProtoUDP,
+		Src:      srcIP,
+		Dst:      dstIP,
+		DontFrag: true, // media fragments are sized to fit the MTU
+	}, udp)
+	return MarshalEth(EthFrame{Dst: dstMAC, Src: srcMAC, EtherType: EtherTypeIPv4, Payload: ip})
+}
+
+// ParseMediaPacket reverses BuildMediaPacket, verifying every layer.
+func ParseMediaPacket(wire []byte) (MediaHeader, []byte, error) {
+	eth, err := UnmarshalEth(wire)
+	if err != nil {
+		return MediaHeader{}, nil, err
+	}
+	if eth.EtherType != EtherTypeIPv4 {
+		return MediaHeader{}, nil, ErrBadVersion
+	}
+	iph, ipPayload, err := UnmarshalIPv4(eth.Payload)
+	if err != nil {
+		return MediaHeader{}, nil, err
+	}
+	if iph.Protocol != ProtoUDP {
+		return MediaHeader{}, nil, ErrNotUDP
+	}
+	_, udpPayload, err := UnmarshalUDP(ipPayload, iph.Src, iph.Dst)
+	if err != nil {
+		return MediaHeader{}, nil, err
+	}
+	return UnmarshalMedia(udpPayload)
+}

@@ -1,0 +1,234 @@
+// Package proto implements the wire protocols the NI's transmit path
+// speaks: Ethernet II framing with FCS, IPv4 with header checksum and
+// fragmentation, UDP with checksum, and the media framing layer that
+// carries one MPEG frame across several datagrams and reassembles it at
+// the client.
+//
+// The simulation charges protocol *time* in internal/netsim; this package
+// supplies the actual *bytes* for the paths that touch a real network
+// (cmd/dwcsd) and for tests that want to verify the encapsulation the
+// paper's NI performs ("transfers of frames from host CPU memory to the
+// network via the NI with suitable protocol encapsulation", §3.1).
+package proto
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Header sizes.
+const (
+	EthHeaderLen  = 14
+	EthFCSLen     = 4
+	IPv4HeaderLen = 20
+	UDPHeaderLen  = 8
+	// EthMTU is the classic Ethernet payload limit.
+	EthMTU = 1500
+)
+
+// EtherTypeIPv4 is the Ethernet type for IPv4.
+const EtherTypeIPv4 = 0x0800
+
+// ProtoUDP is the IPv4 protocol number for UDP.
+const ProtoUDP = 17
+
+// Errors returned by decoders.
+var (
+	ErrTooShort    = errors.New("proto: buffer too short")
+	ErrBadFCS      = errors.New("proto: ethernet FCS mismatch")
+	ErrBadChecksum = errors.New("proto: checksum mismatch")
+	ErrBadVersion  = errors.New("proto: not IPv4")
+	ErrNotUDP      = errors.New("proto: not UDP")
+)
+
+// MAC is an Ethernet address.
+type MAC [6]byte
+
+// String renders the MAC conventionally.
+func (m MAC) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", m[0], m[1], m[2], m[3], m[4], m[5])
+}
+
+// IP is an IPv4 address.
+type IP [4]byte
+
+// String renders dotted quad.
+func (ip IP) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d", ip[0], ip[1], ip[2], ip[3])
+}
+
+// EthFrame is an Ethernet II frame.
+type EthFrame struct {
+	Dst, Src  MAC
+	EtherType uint16
+	Payload   []byte
+}
+
+// MarshalEth serializes the frame with a trailing CRC-32 FCS.
+func MarshalEth(f EthFrame) []byte {
+	out := make([]byte, EthHeaderLen+len(f.Payload)+EthFCSLen)
+	copy(out[0:6], f.Dst[:])
+	copy(out[6:12], f.Src[:])
+	binary.BigEndian.PutUint16(out[12:14], f.EtherType)
+	copy(out[14:], f.Payload)
+	fcs := crc32.ChecksumIEEE(out[:EthHeaderLen+len(f.Payload)])
+	binary.BigEndian.PutUint32(out[EthHeaderLen+len(f.Payload):], fcs)
+	return out
+}
+
+// UnmarshalEth parses and verifies a frame.
+func UnmarshalEth(b []byte) (EthFrame, error) {
+	if len(b) < EthHeaderLen+EthFCSLen {
+		return EthFrame{}, ErrTooShort
+	}
+	body := b[:len(b)-EthFCSLen]
+	want := binary.BigEndian.Uint32(b[len(b)-EthFCSLen:])
+	if crc32.ChecksumIEEE(body) != want {
+		return EthFrame{}, ErrBadFCS
+	}
+	var f EthFrame
+	copy(f.Dst[:], b[0:6])
+	copy(f.Src[:], b[6:12])
+	f.EtherType = binary.BigEndian.Uint16(b[12:14])
+	f.Payload = append([]byte(nil), body[EthHeaderLen:]...)
+	return f, nil
+}
+
+// IPv4Header is the fixed 20-byte IPv4 header (no options).
+type IPv4Header struct {
+	TOS        uint8
+	TotalLen   uint16
+	ID         uint16
+	DontFrag   bool
+	MoreFrags  bool
+	FragOffset uint16 // in 8-byte units
+	TTL        uint8
+	Protocol   uint8
+	Src, Dst   IP
+}
+
+// MarshalIPv4 serializes header+payload, computing the header checksum.
+func MarshalIPv4(h IPv4Header, payload []byte) []byte {
+	h.TotalLen = uint16(IPv4HeaderLen + len(payload))
+	out := make([]byte, IPv4HeaderLen+len(payload))
+	out[0] = 0x45 // version 4, IHL 5
+	out[1] = h.TOS
+	binary.BigEndian.PutUint16(out[2:4], h.TotalLen)
+	binary.BigEndian.PutUint16(out[4:6], h.ID)
+	flags := h.FragOffset & 0x1FFF
+	if h.DontFrag {
+		flags |= 0x4000
+	}
+	if h.MoreFrags {
+		flags |= 0x2000
+	}
+	binary.BigEndian.PutUint16(out[6:8], flags)
+	out[8] = h.TTL
+	out[9] = h.Protocol
+	copy(out[12:16], h.Src[:])
+	copy(out[16:20], h.Dst[:])
+	binary.BigEndian.PutUint16(out[10:12], Checksum(out[:IPv4HeaderLen]))
+	copy(out[IPv4HeaderLen:], payload)
+	return out
+}
+
+// UnmarshalIPv4 parses and verifies a packet, returning header and payload.
+func UnmarshalIPv4(b []byte) (IPv4Header, []byte, error) {
+	if len(b) < IPv4HeaderLen {
+		return IPv4Header{}, nil, ErrTooShort
+	}
+	if b[0]>>4 != 4 || b[0]&0x0F != 5 {
+		return IPv4Header{}, nil, ErrBadVersion
+	}
+	if Checksum(b[:IPv4HeaderLen]) != 0 {
+		return IPv4Header{}, nil, fmt.Errorf("%w: ipv4 header", ErrBadChecksum)
+	}
+	var h IPv4Header
+	h.TOS = b[1]
+	h.TotalLen = binary.BigEndian.Uint16(b[2:4])
+	if int(h.TotalLen) > len(b) {
+		return IPv4Header{}, nil, ErrTooShort
+	}
+	h.ID = binary.BigEndian.Uint16(b[4:6])
+	flags := binary.BigEndian.Uint16(b[6:8])
+	h.DontFrag = flags&0x4000 != 0
+	h.MoreFrags = flags&0x2000 != 0
+	h.FragOffset = flags & 0x1FFF
+	h.TTL = b[8]
+	h.Protocol = b[9]
+	copy(h.Src[:], b[12:16])
+	copy(h.Dst[:], b[16:20])
+	return h, append([]byte(nil), b[IPv4HeaderLen:h.TotalLen]...), nil
+}
+
+// Checksum is the RFC 1071 Internet checksum (one's-complement sum of
+// 16-bit words, complemented).
+func Checksum(b []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(b); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(b[i : i+2]))
+	}
+	if len(b)%2 == 1 {
+		sum += uint32(b[len(b)-1]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xFFFF + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// UDPHeader is the 8-byte UDP header.
+type UDPHeader struct {
+	SrcPort, DstPort uint16
+}
+
+// MarshalUDP serializes header+payload with the pseudo-header checksum.
+func MarshalUDP(h UDPHeader, src, dst IP, payload []byte) []byte {
+	out := make([]byte, UDPHeaderLen+len(payload))
+	binary.BigEndian.PutUint16(out[0:2], h.SrcPort)
+	binary.BigEndian.PutUint16(out[2:4], h.DstPort)
+	binary.BigEndian.PutUint16(out[4:6], uint16(len(out)))
+	copy(out[UDPHeaderLen:], payload)
+	binary.BigEndian.PutUint16(out[6:8], udpChecksum(out, src, dst))
+	return out
+}
+
+func udpChecksum(seg []byte, src, dst IP) uint16 {
+	pseudo := make([]byte, 12+len(seg))
+	copy(pseudo[0:4], src[:])
+	copy(pseudo[4:8], dst[:])
+	pseudo[9] = ProtoUDP
+	binary.BigEndian.PutUint16(pseudo[10:12], uint16(len(seg)))
+	copy(pseudo[12:], seg)
+	ck := Checksum(pseudo)
+	if ck == 0 {
+		ck = 0xFFFF // RFC 768: transmitted as all ones
+	}
+	return ck
+}
+
+// UnmarshalUDP parses and verifies a segment given the IP endpoints.
+func UnmarshalUDP(b []byte, src, dst IP) (UDPHeader, []byte, error) {
+	if len(b) < UDPHeaderLen {
+		return UDPHeader{}, nil, ErrTooShort
+	}
+	length := binary.BigEndian.Uint16(b[4:6])
+	if int(length) > len(b) || length < UDPHeaderLen {
+		return UDPHeader{}, nil, ErrTooShort
+	}
+	seg := append([]byte(nil), b[:length]...)
+	got := binary.BigEndian.Uint16(seg[6:8])
+	if got != 0 { // checksum 0 = disabled
+		binary.BigEndian.PutUint16(seg[6:8], 0)
+		want := udpChecksum(seg, src, dst)
+		if got != want {
+			return UDPHeader{}, nil, fmt.Errorf("%w: udp", ErrBadChecksum)
+		}
+	}
+	return UDPHeader{
+		SrcPort: binary.BigEndian.Uint16(seg[0:2]),
+		DstPort: binary.BigEndian.Uint16(seg[2:4]),
+	}, seg[UDPHeaderLen:], nil
+}

@@ -1,0 +1,362 @@
+package proto
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+var (
+	macA = MAC{0x00, 0xA0, 0xC9, 0x11, 0x22, 0x33}
+	macB = MAC{0x00, 0xA0, 0xC9, 0x44, 0x55, 0x66}
+	ipA  = IP{10, 0, 0, 1}
+	ipB  = IP{10, 0, 0, 2}
+)
+
+func TestEthRoundTrip(t *testing.T) {
+	in := EthFrame{Dst: macB, Src: macA, EtherType: EtherTypeIPv4, Payload: []byte("hello world")}
+	wire := MarshalEth(in)
+	out, err := UnmarshalEth(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Dst != in.Dst || out.Src != in.Src || out.EtherType != in.EtherType {
+		t.Fatalf("header mismatch: %+v", out)
+	}
+	if !bytes.Equal(out.Payload, in.Payload) {
+		t.Fatalf("payload mismatch: %q", out.Payload)
+	}
+}
+
+func TestEthRejectsCorruption(t *testing.T) {
+	wire := MarshalEth(EthFrame{Dst: macB, Src: macA, EtherType: EtherTypeIPv4, Payload: []byte("data")})
+	for i := range wire {
+		bad := append([]byte(nil), wire...)
+		bad[i] ^= 0xFF
+		if _, err := UnmarshalEth(bad); !errors.Is(err, ErrBadFCS) {
+			t.Fatalf("corruption at byte %d not detected: %v", i, err)
+		}
+	}
+	if _, err := UnmarshalEth(wire[:10]); !errors.Is(err, ErrTooShort) {
+		t.Fatalf("short frame: %v", err)
+	}
+}
+
+func TestIPv4RoundTrip(t *testing.T) {
+	h := IPv4Header{TOS: 0x10, ID: 777, TTL: 64, Protocol: ProtoUDP, Src: ipA, Dst: ipB,
+		MoreFrags: true, FragOffset: 12}
+	payload := []byte("ip payload bytes")
+	wire := MarshalIPv4(h, payload)
+	got, body, err := UnmarshalIPv4(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != 777 || got.TTL != 64 || got.Protocol != ProtoUDP ||
+		got.Src != ipA || got.Dst != ipB || !got.MoreFrags || got.FragOffset != 12 {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	if !bytes.Equal(body, payload) {
+		t.Fatalf("payload mismatch")
+	}
+}
+
+func TestIPv4ChecksumDetectsHeaderCorruption(t *testing.T) {
+	wire := MarshalIPv4(IPv4Header{TTL: 64, Protocol: ProtoUDP, Src: ipA, Dst: ipB}, []byte("x"))
+	for i := 0; i < IPv4HeaderLen; i++ {
+		bad := append([]byte(nil), wire...)
+		bad[i] ^= 0x55
+		if _, _, err := UnmarshalIPv4(bad); err == nil {
+			t.Fatalf("header corruption at byte %d not detected", i)
+		}
+	}
+}
+
+func TestIPv4Validation(t *testing.T) {
+	if _, _, err := UnmarshalIPv4([]byte{0x45}); !errors.Is(err, ErrTooShort) {
+		t.Errorf("short: %v", err)
+	}
+	wire := MarshalIPv4(IPv4Header{TTL: 1, Protocol: 1, Src: ipA, Dst: ipB}, nil)
+	wire[0] = 0x65 // version 6
+	if _, _, err := UnmarshalIPv4(wire); !errors.Is(err, ErrBadVersion) {
+		t.Errorf("version: %v", err)
+	}
+}
+
+func TestUDPRoundTrip(t *testing.T) {
+	seg := MarshalUDP(UDPHeader{SrcPort: 9960, DstPort: 9961}, ipA, ipB, []byte("frame data"))
+	h, payload, err := UnmarshalUDP(seg, ipA, ipB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.SrcPort != 9960 || h.DstPort != 9961 {
+		t.Fatalf("ports: %+v", h)
+	}
+	if string(payload) != "frame data" {
+		t.Fatalf("payload: %q", payload)
+	}
+}
+
+func TestUDPChecksumCoversPseudoHeader(t *testing.T) {
+	seg := MarshalUDP(UDPHeader{SrcPort: 1, DstPort: 2}, ipA, ipB, []byte("data"))
+	// Same segment presented with the wrong source IP must fail: the
+	// pseudo-header is part of the checksum.
+	if _, _, err := UnmarshalUDP(seg, IP{9, 9, 9, 9}, ipB); !errors.Is(err, ErrBadChecksum) {
+		t.Fatalf("pseudo-header not covered: %v", err)
+	}
+	// Payload corruption must fail too.
+	bad := append([]byte(nil), seg...)
+	bad[len(bad)-1] ^= 1
+	if _, _, err := UnmarshalUDP(bad, ipA, ipB); !errors.Is(err, ErrBadChecksum) {
+		t.Fatalf("payload corruption not detected: %v", err)
+	}
+	if _, _, err := UnmarshalUDP(seg[:4], ipA, ipB); !errors.Is(err, ErrTooShort) {
+		t.Fatalf("short: %v", err)
+	}
+}
+
+func TestChecksumKnownVector(t *testing.T) {
+	// RFC 1071 example: the checksum of a buffer including its own correct
+	// checksum field verifies to zero.
+	b := MarshalIPv4(IPv4Header{TTL: 64, Protocol: ProtoUDP, Src: ipA, Dst: ipB}, nil)
+	if got := Checksum(b[:IPv4HeaderLen]); got != 0 {
+		t.Fatalf("self-check = %#x, want 0", got)
+	}
+	if Checksum([]byte{0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7}) != ^uint16(0xddf2) {
+		t.Fatal("RFC 1071 example mismatch")
+	}
+}
+
+func TestMediaHeaderRoundTrip(t *testing.T) {
+	h := MediaHeader{StreamID: 3, Seq: 99, FrameSize: 1000, FragOff: 500}
+	frag := bytes.Repeat([]byte{0xAB}, 500)
+	b := MarshalMedia(h, frag)
+	got, body, err := UnmarshalMedia(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != h || !bytes.Equal(body, frag) {
+		t.Fatalf("mismatch: %+v", got)
+	}
+	if _, _, err := UnmarshalMedia(b[:10]); !errors.Is(err, ErrTooShort) {
+		t.Errorf("short: %v", err)
+	}
+	b[0] = 0
+	if _, _, err := UnmarshalMedia(b); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("magic: %v", err)
+	}
+	over := MarshalMedia(MediaHeader{FrameSize: 10, FragOff: 8}, []byte{1, 2, 3, 4})
+	if _, _, err := UnmarshalMedia(over); err == nil {
+		t.Error("fragment overflow not detected")
+	}
+}
+
+func TestFragmentAndReassemble(t *testing.T) {
+	frame := make([]byte, 3*MaxMediaPayload+123)
+	for i := range frame {
+		frame[i] = byte(i * 7)
+	}
+	frags := FragmentFrame(5, 42, frame)
+	if len(frags) != 4 {
+		t.Fatalf("fragments = %d, want 4", len(frags))
+	}
+	var gotStream, gotSeq uint32
+	var got []byte
+	r := NewReassembler(func(s, q uint32, f []byte) {
+		gotStream, gotSeq = s, q
+		got = f
+	})
+	for _, f := range frags {
+		if err := r.Ingest(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if gotStream != 5 || gotSeq != 42 {
+		t.Fatalf("ids = %d/%d", gotStream, gotSeq)
+	}
+	if !bytes.Equal(got, frame) {
+		t.Fatal("reassembled frame differs")
+	}
+	if r.Completed != 1 || r.Pending() != 0 {
+		t.Fatalf("completed=%d pending=%d", r.Completed, r.Pending())
+	}
+}
+
+func TestReassemblerDiscardsIncompleteOnNewFrame(t *testing.T) {
+	frameA := make([]byte, 2*MaxMediaPayload)
+	frameB := []byte("tiny")
+	fragsA := FragmentFrame(1, 1, frameA)
+	fragsB := FragmentFrame(1, 2, frameB)
+	done := 0
+	r := NewReassembler(func(_, seq uint32, f []byte) {
+		done++
+		if seq != 2 || !bytes.Equal(f, frameB) {
+			t.Fatalf("wrong frame completed: seq=%d", seq)
+		}
+	})
+	r.Ingest(fragsA[0]) // first half of A, second half lost
+	r.Ingest(fragsB[0]) // B arrives: A must be discarded
+	if done != 1 || r.Discarded != 1 {
+		t.Fatalf("done=%d discarded=%d", done, r.Discarded)
+	}
+}
+
+func TestReassemblerInterleavedStreams(t *testing.T) {
+	fa := bytes.Repeat([]byte{1}, 2*MaxMediaPayload)
+	fb := bytes.Repeat([]byte{2}, 2*MaxMediaPayload)
+	a := FragmentFrame(1, 0, fa)
+	b := FragmentFrame(2, 0, fb)
+	completed := map[uint32][]byte{}
+	r := NewReassembler(func(s, _ uint32, f []byte) { completed[s] = f })
+	r.Ingest(a[0])
+	r.Ingest(b[0])
+	r.Ingest(a[1])
+	r.Ingest(b[1])
+	if !bytes.Equal(completed[1], fa) || !bytes.Equal(completed[2], fb) {
+		t.Fatal("interleaved streams not reassembled independently")
+	}
+}
+
+func TestZeroLengthFrame(t *testing.T) {
+	frags := FragmentFrame(1, 7, nil)
+	if len(frags) != 1 {
+		t.Fatalf("fragments = %d", len(frags))
+	}
+	seen := false
+	r := NewReassembler(func(_, seq uint32, f []byte) {
+		seen = true
+		if seq != 7 || len(f) != 0 {
+			t.Fatalf("seq=%d len=%d", seq, len(f))
+		}
+	})
+	if err := r.Ingest(frags[0]); err != nil {
+		t.Fatal(err)
+	}
+	if !seen {
+		t.Fatal("empty frame not delivered")
+	}
+}
+
+func TestFullStackMediaPacket(t *testing.T) {
+	frame := bytes.Repeat([]byte{0xCD}, 900)
+	frags := FragmentFrame(9, 1, frame)
+	wire := BuildMediaPacket(macA, macB, ipA, ipB, 9960, 9961, 1234, frags[0])
+	if len(wire) > EthHeaderLen+EthMTU+EthFCSLen {
+		t.Fatalf("packet exceeds Ethernet frame: %d bytes", len(wire))
+	}
+	h, frag, err := ParseMediaPacket(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.StreamID != 9 || h.Seq != 1 || int(h.FrameSize) != len(frame) {
+		t.Fatalf("header: %+v", h)
+	}
+	if !bytes.Equal(frag, frame) {
+		t.Fatal("fragment mismatch")
+	}
+	// Any single-bit corruption anywhere must be caught by some layer.
+	for _, i := range []int{0, 20, 40, 60, len(wire) - 1} {
+		bad := append([]byte(nil), wire...)
+		bad[i] ^= 0x01
+		if _, _, err := ParseMediaPacket(bad); err == nil {
+			t.Fatalf("corruption at %d undetected", i)
+		}
+	}
+}
+
+// Property: fragment+reassemble is the identity for any frame content.
+func TestFragmentReassembleProperty(t *testing.T) {
+	f := func(frame []byte, stream, seq uint32) bool {
+		var got []byte
+		ok := false
+		r := NewReassembler(func(s, q uint32, f []byte) {
+			ok = s == stream && q == seq
+			got = f
+		})
+		for _, frag := range FragmentFrame(stream, seq, frame) {
+			if r.Ingest(frag) != nil {
+				return false
+			}
+		}
+		return ok && bytes.Equal(got, frame)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every layer round-trips arbitrary payloads.
+func TestLayerRoundTripProperty(t *testing.T) {
+	f := func(payload []byte, sport, dport uint16) bool {
+		seg := MarshalUDP(UDPHeader{SrcPort: sport, DstPort: dport}, ipA, ipB, payload)
+		h, body, err := UnmarshalUDP(seg, ipA, ipB)
+		if err != nil || h.SrcPort != sport || h.DstPort != dport || !bytes.Equal(body, payload) {
+			return false
+		}
+		ip := MarshalIPv4(IPv4Header{TTL: 3, Protocol: ProtoUDP, Src: ipA, Dst: ipB}, seg)
+		_, ipBody, err := UnmarshalIPv4(ip)
+		if err != nil || !bytes.Equal(ipBody, seg) {
+			return false
+		}
+		eth := MarshalEth(EthFrame{Dst: macB, Src: macA, EtherType: EtherTypeIPv4, Payload: ip})
+		fr, err := UnmarshalEth(eth)
+		return err == nil && bytes.Equal(fr.Payload, ip)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if macA.String() != "00:a0:c9:11:22:33" {
+		t.Errorf("MAC = %s", macA)
+	}
+	if ipA.String() != "10.0.0.1" {
+		t.Errorf("IP = %s", ipA)
+	}
+}
+
+// Property: parsers never panic and never return garbage-accepted results
+// on arbitrary byte soup.
+func TestParsersRobustToRandomBytes(t *testing.T) {
+	f := func(raw []byte) bool {
+		// Any of these may error; none may panic.
+		_, _ = UnmarshalEth(raw)
+		_, _, _ = UnmarshalIPv4(raw)
+		_, _, _ = UnmarshalUDP(raw, ipA, ipB)
+		_, _, _ = UnmarshalMedia(raw)
+		_, _, _ = ParseMediaPacket(raw)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a reassembler fed arbitrary interleavings of valid fragments
+// and garbage never completes a frame with wrong content.
+func TestReassemblerRobustness(t *testing.T) {
+	f := func(garbage [][]byte, frame []byte, seed uint32) bool {
+		ok := true
+		r := NewReassembler(func(_, _ uint32, got []byte) {
+			if !bytes.Equal(got, frame) {
+				ok = false
+			}
+		})
+		frags := FragmentFrame(1, seed, frame)
+		gi := 0
+		for _, fr := range frags {
+			if gi < len(garbage) {
+				_ = r.Ingest(garbage[gi]) // errors ignored; must not corrupt
+				gi++
+			}
+			if err := r.Ingest(fr); err != nil {
+				return false
+			}
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

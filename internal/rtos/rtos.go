@@ -1,0 +1,401 @@
+// Package rtos models the embedded VxWorks configuration the paper boots on
+// each i960 RD card: a priority-preemptive "wind"-style task scheduler,
+// binary semaphores, blocking I/O waits, and the timestamp-counter rollover
+// management the paper adds to the kernel (§2).
+//
+// Tasks are Go routines driven in strict handoff by the simulation engine:
+// exactly one task (or the kernel) executes at any instant and control
+// passes through channels, so the simulation stays deterministic. A task
+// consumes simulated CPU with Run (or Charge, which drains a cpu.Meter
+// lap), blocks with Sleep/Await/Take, and the kernel always runs the
+// highest-priority ready task, paying a context-switch cost on every
+// switch. A CPU burst is not preempted mid-flight (bursts in this system
+// are microseconds long); preemption happens at burst and blocking
+// boundaries.
+package rtos
+
+import (
+	"fmt"
+
+	"repro/internal/cpu"
+	"repro/internal/sim"
+)
+
+// TaskState enumerates task lifecycle states.
+type TaskState int
+
+// Task states.
+const (
+	Ready TaskState = iota
+	Running
+	Blocked
+	Exited
+)
+
+type yieldKind int
+
+const (
+	yBlocked yieldKind = iota
+	yBurst
+	yExited
+)
+
+// Task is one VxWorks-style task.
+type Task struct {
+	name string
+	prio int // lower number = higher priority, VxWorks style
+	seq  int64
+
+	state       TaskState
+	wakePending bool
+	sliceUsed   sim.Time // CPU consumed since last dispatch (time slicing)
+	resume      chan struct{}
+	yielded     chan yieldKind
+
+	// CPUTime accumulates simulated CPU consumed by this task.
+	CPUTime sim.Time
+}
+
+// Name returns the task name.
+func (t *Task) Name() string { return t.name }
+
+// Priority returns the task priority.
+func (t *Task) Priority() int { return t.prio }
+
+// State returns the task state.
+func (t *Task) State() TaskState { return t.state }
+
+// Kernel is one processor's task scheduler.
+type Kernel struct {
+	eng     *sim.Engine
+	name    string
+	ctxCost sim.Time
+
+	ready           []*Task // sorted by (prio, seq)
+	running         *Task
+	last            *Task
+	spawnSeq        int64
+	dispatchPending bool
+
+	// TimeSlice, when positive, enables VxWorks kernelTimeSlice-style
+	// round-robin among equal-priority tasks: a task whose burst ends is
+	// also preempted by a *ready equal-priority* task once it has consumed
+	// at least TimeSlice since it last got the CPU.
+	TimeSlice sim.Time
+
+	// Switches counts context switches (task-to-task transitions).
+	Switches int64
+	// BusyTime accumulates CPU time consumed by all tasks.
+	BusyTime sim.Time
+}
+
+// NewKernel returns a kernel on eng charging ctxCost per context switch.
+func NewKernel(eng *sim.Engine, name string, ctxCost sim.Time) *Kernel {
+	return &Kernel{eng: eng, name: name, ctxCost: ctxCost}
+}
+
+// Name returns the kernel's name.
+func (k *Kernel) Name() string { return k.name }
+
+// Engine returns the simulation engine the kernel runs on.
+func (k *Kernel) Engine() *sim.Engine { return k.eng }
+
+// Utilization reports the fraction of elapsed simulated time this kernel's
+// tasks spent on the CPU.
+func (k *Kernel) Utilization() float64 {
+	if k.eng.Now() == 0 {
+		return 0
+	}
+	return float64(k.BusyTime) / float64(k.eng.Now())
+}
+
+// TaskCtx is the API visible to a running task body.
+type TaskCtx struct {
+	k *Kernel
+	t *Task
+}
+
+// Kernel returns the owning kernel.
+func (tc *TaskCtx) Kernel() *Kernel { return tc.k }
+
+// Now returns the current simulated time.
+func (tc *TaskCtx) Now() sim.Time { return tc.k.eng.Now() }
+
+// Spawn creates a task; it becomes ready immediately and runs when it is
+// the highest-priority ready task.
+func (k *Kernel) Spawn(name string, prio int, body func(tc *TaskCtx)) *Task {
+	k.spawnSeq++
+	t := &Task{
+		name:    name,
+		prio:    prio,
+		seq:     k.spawnSeq,
+		state:   Ready,
+		resume:  make(chan struct{}),
+		yielded: make(chan yieldKind),
+	}
+	go func() {
+		<-t.resume
+		body(&TaskCtx{k: k, t: t})
+		t.state = Exited
+		t.yielded <- yExited
+	}()
+	k.enqueueReady(t)
+	k.kick()
+	return t
+}
+
+func (k *Kernel) enqueueReady(t *Task) {
+	t.state = Ready
+	k.spawnSeq++
+	t.seq = k.spawnSeq // append at the back of this priority class
+	i := len(k.ready)
+	for i > 0 {
+		prev := k.ready[i-1]
+		if prev.prio < t.prio || (prev.prio == t.prio && prev.seq < t.seq) {
+			break
+		}
+		i--
+	}
+	k.ready = append(k.ready, nil)
+	copy(k.ready[i+1:], k.ready[i:])
+	k.ready[i] = t
+}
+
+// kick schedules a dispatch if the CPU is idle.
+func (k *Kernel) kick() {
+	if k.running != nil || k.dispatchPending || len(k.ready) == 0 {
+		return
+	}
+	k.dispatchPending = true
+	k.eng.After(0, k.dispatch)
+}
+
+func (k *Kernel) dispatch() {
+	k.dispatchPending = false
+	if k.running != nil || len(k.ready) == 0 {
+		return
+	}
+	t := k.ready[0]
+	k.ready = k.ready[1:]
+	if k.last != t && k.last != nil && k.ctxCost > 0 {
+		// Pay the switch cost, then run.
+		k.Switches++
+		k.running = t // reserve the CPU during the switch
+		k.eng.After(k.ctxCost, func() { k.resumeTask(t) })
+		return
+	}
+	if k.last != t {
+		k.Switches++
+	}
+	k.running = t
+	k.resumeTask(t)
+}
+
+// resumeTask hands the CPU to t and processes its next yield.
+func (k *Kernel) resumeTask(t *Task) {
+	k.running = t
+	k.last = t
+	t.state = Running
+	t.sliceUsed = 0
+	t.resume <- struct{}{}
+	kind := <-t.yielded
+	switch kind {
+	case yBurst:
+		// CPU stays reserved; the burst-completion event resumes the task.
+	case yBlocked, yExited:
+		k.running = nil
+		k.kick()
+	}
+}
+
+// wake makes t ready; if t has not yet blocked (a completion raced ahead of
+// the block), the wakeup is remembered.
+func (k *Kernel) wake(t *Task) {
+	switch t.state {
+	case Blocked:
+		k.enqueueReady(t)
+		k.kick()
+	case Exited:
+		// ignore
+	default:
+		t.wakePending = true
+	}
+}
+
+// block parks the calling task until wake. Must be called from the task's
+// own goroutine.
+func (tc *TaskCtx) block() {
+	t := tc.t
+	if t.wakePending {
+		t.wakePending = false
+		return
+	}
+	t.state = Blocked
+	t.yielded <- yBlocked
+	<-t.resume
+}
+
+// Run consumes d of simulated CPU, holding the processor.
+func (tc *TaskCtx) Run(d sim.Time) {
+	if d < 0 {
+		panic(fmt.Sprintf("rtos %s: negative run %v", tc.t.name, d))
+	}
+	if d == 0 {
+		return
+	}
+	t := tc.t
+	k := tc.k
+	t.CPUTime += d
+	k.BusyTime += d
+	k.eng.After(d, func() {
+		t.sliceUsed += d
+		// Burst boundary: a preemption point. A higher-priority ready task
+		// always takes the CPU; with time slicing enabled, an equal-
+		// priority ready task does too once this task's slice is spent.
+		preempt := len(k.ready) > 0 && k.ready[0].prio < t.prio
+		if !preempt && k.TimeSlice > 0 && t.sliceUsed >= k.TimeSlice {
+			preempt = len(k.ready) > 0 && k.ready[0].prio == t.prio
+		}
+		if preempt {
+			k.running = nil
+			k.enqueueReady(t)
+			k.kick()
+			return
+		}
+		t.state = Running
+		t.resume <- struct{}{}
+		kind := <-t.yielded
+		switch kind {
+		case yBurst:
+			// another burst follows; CPU stays held
+		case yBlocked, yExited:
+			k.running = nil
+			k.kick()
+		}
+	})
+	t.state = Running
+	t.yielded <- yBurst
+	<-t.resume
+}
+
+// Charge consumes CPU for all cycles accumulated on lap since its last
+// Take — the bridge between cpu.Meter-instrumented code and task time.
+func (tc *TaskCtx) Charge(lap *cpu.Lap) { tc.Run(lap.Take()) }
+
+// Sleep blocks the task for d.
+func (tc *TaskCtx) Sleep(d sim.Time) {
+	if d <= 0 {
+		return
+	}
+	t := tc.t
+	tc.k.eng.After(d, func() { tc.k.wake(t) })
+	tc.block()
+}
+
+// SleepUntil blocks the task until absolute time at (no-op if in the past).
+func (tc *TaskCtx) SleepUntil(at sim.Time) {
+	now := tc.k.eng.Now()
+	if at > now {
+		tc.Sleep(at - now)
+	}
+}
+
+// Await starts an asynchronous operation and blocks until its completion
+// callback fires. start receives the completion function to pass to the
+// substrate (disk read, DMA, link send, ...).
+func (tc *TaskCtx) Await(start func(done func())) {
+	t := tc.t
+	start(func() { tc.k.wake(t) })
+	tc.block()
+}
+
+// Semaphore is a counting semaphore usable from tasks (Take) and from
+// interrupt context, i.e. plain engine callbacks (Give).
+type Semaphore struct {
+	k       *Kernel
+	name    string
+	count   int
+	waiters []*Task
+}
+
+// NewSemaphore returns a semaphore with an initial count.
+func NewSemaphore(k *Kernel, name string, initial int) *Semaphore {
+	return &Semaphore{k: k, name: name, count: initial}
+}
+
+// Take decrements the semaphore, blocking the calling task while the count
+// is zero.
+func (s *Semaphore) Take(tc *TaskCtx) {
+	if s.count > 0 {
+		s.count--
+		return
+	}
+	s.waiters = append(s.waiters, tc.t)
+	tc.block()
+}
+
+// TryTake decrements without blocking, reporting success.
+func (s *Semaphore) TryTake() bool {
+	if s.count > 0 {
+		s.count--
+		return true
+	}
+	return false
+}
+
+// Give increments the semaphore, waking the longest-waiting task if any.
+func (s *Semaphore) Give() {
+	if len(s.waiters) > 0 {
+		t := s.waiters[0]
+		s.waiters = s.waiters[1:]
+		s.k.wake(t)
+		return
+	}
+	s.count++
+}
+
+// Count returns the current count (waiters imply 0).
+func (s *Semaphore) Count() int { return s.count }
+
+// Timestamp models the i960 RD free-running timestamp counter: a width-
+// limited register incrementing at a fixed rate. The paper adds "timestamp
+// counter rollover management" to VxWorks; Extended reconstructs a
+// monotonic 64-bit count from the rolling register, provided it is read at
+// least once per wrap period.
+type Timestamp struct {
+	eng  *sim.Engine
+	hz   int64
+	bits uint
+
+	lastRaw  uint64
+	rollBase uint64
+}
+
+// NewTimestamp returns a counter of the given register width and rate.
+func NewTimestamp(eng *sim.Engine, hz int64, bits uint) *Timestamp {
+	if bits == 0 || bits > 63 {
+		panic("rtos: timestamp width must be 1..63")
+	}
+	return &Timestamp{eng: eng, hz: hz, bits: bits}
+}
+
+// Raw returns the rolling register value at the current simulated time.
+func (ts *Timestamp) Raw() uint64 {
+	ticks := uint64(ts.eng.Now()) * uint64(ts.hz) / uint64(sim.Second)
+	return ticks & ((1 << ts.bits) - 1)
+}
+
+// Extended returns a monotonic tick count, applying rollover management.
+func (ts *Timestamp) Extended() uint64 {
+	raw := ts.Raw()
+	if raw < ts.lastRaw {
+		ts.rollBase += 1 << ts.bits
+	}
+	ts.lastRaw = raw
+	return ts.rollBase + raw
+}
+
+// WrapPeriod returns how long the register takes to wrap.
+func (ts *Timestamp) WrapPeriod() sim.Time {
+	return sim.Time(uint64(sim.Second) * (1 << ts.bits) / uint64(ts.hz))
+}

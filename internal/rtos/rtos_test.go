@@ -1,0 +1,433 @@
+package rtos
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cpu"
+	"repro/internal/sim"
+)
+
+func TestSingleTaskRuns(t *testing.T) {
+	eng := sim.NewEngine(1)
+	k := NewKernel(eng, "ni0", 0)
+	ran := false
+	k.Spawn("t", 100, func(tc *TaskCtx) {
+		tc.Run(10 * sim.Microsecond)
+		ran = true
+	})
+	eng.Run()
+	if !ran {
+		t.Fatal("task did not run")
+	}
+	if eng.Now() != 10*sim.Microsecond {
+		t.Fatalf("now = %v", eng.Now())
+	}
+}
+
+func TestPriorityOrder(t *testing.T) {
+	eng := sim.NewEngine(1)
+	k := NewKernel(eng, "ni0", 0)
+	var order []string
+	for _, spec := range []struct {
+		name string
+		prio int
+	}{{"low", 200}, {"high", 50}, {"mid", 100}} {
+		spec := spec
+		k.Spawn(spec.name, spec.prio, func(tc *TaskCtx) {
+			order = append(order, spec.name)
+			tc.Run(sim.Microsecond)
+		})
+	}
+	eng.Run()
+	want := []string{"high", "mid", "low"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestRunHoldsCPUExclusively(t *testing.T) {
+	eng := sim.NewEngine(1)
+	k := NewKernel(eng, "ni0", 0)
+	var aDone, bStart sim.Time
+	k.Spawn("a", 10, func(tc *TaskCtx) {
+		tc.Run(100 * sim.Microsecond)
+		aDone = tc.Now()
+	})
+	k.Spawn("b", 20, func(tc *TaskCtx) {
+		bStart = tc.Now()
+		tc.Run(50 * sim.Microsecond)
+	})
+	eng.Run()
+	if bStart < aDone {
+		t.Fatalf("b started at %v before a finished at %v", bStart, aDone)
+	}
+}
+
+func TestSleepYieldsCPU(t *testing.T) {
+	eng := sim.NewEngine(1)
+	k := NewKernel(eng, "ni0", 0)
+	var trace []string
+	k.Spawn("sleeper", 10, func(tc *TaskCtx) {
+		trace = append(trace, "s1")
+		tc.Sleep(100 * sim.Microsecond)
+		trace = append(trace, "s2")
+	})
+	k.Spawn("worker", 20, func(tc *TaskCtx) {
+		tc.Run(10 * sim.Microsecond)
+		trace = append(trace, "w")
+	})
+	eng.Run()
+	want := []string{"s1", "w", "s2"}
+	if len(trace) != 3 || trace[0] != want[0] || trace[1] != want[1] || trace[2] != want[2] {
+		t.Fatalf("trace = %v, want %v", trace, want)
+	}
+}
+
+func TestHigherPriorityWakeupPreemptsAtBoundary(t *testing.T) {
+	eng := sim.NewEngine(1)
+	k := NewKernel(eng, "ni0", 0)
+	var highRanAt sim.Time
+	k.Spawn("high", 10, func(tc *TaskCtx) {
+		tc.Sleep(30 * sim.Microsecond)
+		highRanAt = tc.Now()
+	})
+	k.Spawn("low", 200, func(tc *TaskCtx) {
+		for i := 0; i < 10; i++ {
+			tc.Run(10 * sim.Microsecond) // bursts; preemption at boundaries
+		}
+	})
+	eng.Run()
+	// high wakes at 30µs, exactly a burst boundary of low; it must run
+	// right there, not after all of low's bursts (100µs).
+	if highRanAt != 30*sim.Microsecond {
+		t.Fatalf("high ran at %v, want 30µs", highRanAt)
+	}
+}
+
+func TestContextSwitchCostCharged(t *testing.T) {
+	eng := sim.NewEngine(1)
+	ctx := 5 * sim.Microsecond
+	k := NewKernel(eng, "ni0", ctx)
+	var bDone sim.Time
+	k.Spawn("a", 10, func(tc *TaskCtx) { tc.Run(10 * sim.Microsecond) })
+	k.Spawn("b", 20, func(tc *TaskCtx) {
+		tc.Run(10 * sim.Microsecond)
+		bDone = tc.Now()
+	})
+	eng.Run()
+	// a runs 0-10 (first dispatch: no previous task → no switch), switch 5,
+	// b runs 15-25.
+	if bDone != 25*sim.Microsecond {
+		t.Fatalf("b done at %v, want 25µs", bDone)
+	}
+	if k.Switches == 0 {
+		t.Fatal("no switches counted")
+	}
+}
+
+func TestAwaitCompletesAfterCallback(t *testing.T) {
+	eng := sim.NewEngine(1)
+	k := NewKernel(eng, "ni0", 0)
+	var done sim.Time
+	k.Spawn("io", 10, func(tc *TaskCtx) {
+		tc.Await(func(cb func()) {
+			eng.After(70*sim.Microsecond, cb)
+		})
+		done = tc.Now()
+	})
+	eng.Run()
+	if done != 70*sim.Microsecond {
+		t.Fatalf("await done at %v", done)
+	}
+}
+
+func TestAwaitImmediateCompletionDoesNotDeadlock(t *testing.T) {
+	eng := sim.NewEngine(1)
+	k := NewKernel(eng, "ni0", 0)
+	finished := false
+	k.Spawn("io", 10, func(tc *TaskCtx) {
+		tc.Await(func(cb func()) { cb() }) // completes synchronously
+		finished = true
+	})
+	eng.Run()
+	if !finished {
+		t.Fatal("task stuck on pre-completed await")
+	}
+}
+
+func TestSemaphoreBlocksAndWakes(t *testing.T) {
+	eng := sim.NewEngine(1)
+	k := NewKernel(eng, "ni0", 0)
+	sem := NewSemaphore(k, "frames", 0)
+	var got sim.Time
+	k.Spawn("consumer", 10, func(tc *TaskCtx) {
+		sem.Take(tc)
+		got = tc.Now()
+	})
+	k.Spawn("producer", 20, func(tc *TaskCtx) {
+		tc.Sleep(40 * sim.Microsecond)
+		sem.Give()
+	})
+	eng.Run()
+	if got != 40*sim.Microsecond {
+		t.Fatalf("consumer resumed at %v", got)
+	}
+}
+
+func TestSemaphoreCountsAndTryTake(t *testing.T) {
+	eng := sim.NewEngine(1)
+	k := NewKernel(eng, "ni0", 0)
+	sem := NewSemaphore(k, "s", 2)
+	if !sem.TryTake() || !sem.TryTake() {
+		t.Fatal("initial counts should succeed")
+	}
+	if sem.TryTake() {
+		t.Fatal("empty TryTake succeeded")
+	}
+	sem.Give()
+	if sem.Count() != 1 {
+		t.Fatalf("count = %d", sem.Count())
+	}
+}
+
+func TestSemaphoreGiveFromInterruptContext(t *testing.T) {
+	eng := sim.NewEngine(1)
+	k := NewKernel(eng, "ni0", 0)
+	sem := NewSemaphore(k, "irq", 0)
+	served := 0
+	k.Spawn("worker", 10, func(tc *TaskCtx) {
+		for i := 0; i < 3; i++ {
+			sem.Take(tc)
+			served++
+			tc.Run(5 * sim.Microsecond)
+		}
+	})
+	for i := 1; i <= 3; i++ {
+		eng.At(sim.Time(i)*100*sim.Microsecond, sem.Give)
+	}
+	eng.Run()
+	if served != 3 {
+		t.Fatalf("served = %d", served)
+	}
+}
+
+func TestChargeDrainsMeterLap(t *testing.T) {
+	eng := sim.NewEngine(1)
+	k := NewKernel(eng, "ni0", 0)
+	m := cpu.NewMeter(cpu.I960RD())
+	lap := cpu.StartLap(m)
+	var took sim.Time
+	k.Spawn("t", 10, func(tc *TaskCtx) {
+		m.Int(660) // 660 cycles = 10 µs at 66 MHz
+		tc.Charge(lap)
+		took = tc.Now()
+	})
+	eng.Run()
+	if took != 10*sim.Microsecond {
+		t.Fatalf("charge consumed %v, want 10µs", took)
+	}
+}
+
+func TestNegativeRunPanics(t *testing.T) {
+	eng := sim.NewEngine(1)
+	k := NewKernel(eng, "ni0", 0)
+	panicked := false
+	k.Spawn("bad", 10, func(tc *TaskCtx) {
+		defer func() {
+			if recover() != nil {
+				panicked = true
+			}
+		}()
+		tc.Run(-1)
+	})
+	eng.Run()
+	if !panicked {
+		t.Fatal("expected panic")
+	}
+}
+
+func TestUtilizationAccounting(t *testing.T) {
+	eng := sim.NewEngine(1)
+	k := NewKernel(eng, "ni0", 0)
+	k.Spawn("t", 10, func(tc *TaskCtx) {
+		tc.Run(25 * sim.Microsecond)
+		tc.Sleep(75 * sim.Microsecond)
+	})
+	eng.Run()
+	u := k.Utilization()
+	if u < 0.24 || u > 0.26 {
+		t.Fatalf("utilization = %v, want 0.25", u)
+	}
+}
+
+func TestFIFOWithinSamePriority(t *testing.T) {
+	eng := sim.NewEngine(1)
+	k := NewKernel(eng, "ni0", 0)
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		k.Spawn("t", 100, func(tc *TaskCtx) {
+			order = append(order, i)
+			tc.Run(sim.Microsecond)
+		})
+	}
+	eng.Run()
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("order = %v", order)
+		}
+	}
+}
+
+func TestTimestampRaw(t *testing.T) {
+	eng := sim.NewEngine(1)
+	ts := NewTimestamp(eng, 66_000_000, 32)
+	eng.RunUntil(sim.Second)
+	if got := ts.Raw(); got != 66_000_000 {
+		t.Fatalf("raw after 1s = %d, want 66e6", got)
+	}
+}
+
+func TestTimestampRolloverManagement(t *testing.T) {
+	eng := sim.NewEngine(1)
+	// 16-bit counter at 66 MHz wraps every ~0.99 ms.
+	ts := NewTimestamp(eng, 66_000_000, 16)
+	wrap := ts.WrapPeriod()
+	if wrap.Microseconds() < 900 || wrap.Microseconds() > 1100 {
+		t.Fatalf("wrap period = %v", wrap)
+	}
+	var last uint64
+	// Sample twice per wrap for 20 wraps: Extended must be monotonic.
+	step := wrap / 2
+	for i := 0; i < 40; i++ {
+		eng.RunUntil(eng.Now() + step)
+		got := ts.Extended()
+		if got < last {
+			t.Fatalf("Extended went backwards: %d < %d at %v", got, last, eng.Now())
+		}
+		last = got
+	}
+	if last < 39*uint64(step)*66/1000 { // sanity: roughly hz*elapsed
+		t.Fatalf("Extended = %d, too small", last)
+	}
+}
+
+func TestTimestampWidthValidation(t *testing.T) {
+	eng := sim.NewEngine(1)
+	for _, bits := range []uint{0, 64} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("bits=%d: expected panic", bits)
+				}
+			}()
+			NewTimestamp(eng, 1000, bits)
+		}()
+	}
+}
+
+// Property: N equal-priority tasks each running a burst complete in spawn
+// order with total time = sum of bursts.
+func TestKernelSerializationProperty(t *testing.T) {
+	f := func(bursts []uint8) bool {
+		eng := sim.NewEngine(1)
+		k := NewKernel(eng, "k", 0)
+		var total sim.Time
+		var order []int
+		for i, b := range bursts {
+			i := i
+			d := sim.Time(b) * sim.Microsecond
+			total += d
+			k.Spawn("t", 50, func(tc *TaskCtx) {
+				tc.Run(d)
+				order = append(order, i)
+			})
+		}
+		eng.Run()
+		if eng.Now() != total {
+			return false
+		}
+		for i := range order {
+			if order[i] != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeSliceRoundRobinsEqualPriority(t *testing.T) {
+	eng := sim.NewEngine(1)
+	k := NewKernel(eng, "ni0", 0)
+	k.TimeSlice = 20 * sim.Microsecond
+	var firstB sim.Time
+	work := func(name string, mark *sim.Time) func(*TaskCtx) {
+		return func(tc *TaskCtx) {
+			for i := 0; i < 4; i++ {
+				tc.Run(10 * sim.Microsecond)
+				if mark != nil && *mark == 0 {
+					*mark = tc.Now()
+				}
+			}
+		}
+	}
+	k.Spawn("a", 100, work("a", nil))
+	k.Spawn("b", 100, work("b", &firstB))
+	eng.Run()
+	// Without slicing, "a" runs all 40 µs first and b's first burst ends at
+	// 50 µs. With a 20 µs slice the CPU rotates after two bursts, so b's
+	// first burst completes at 30 µs.
+	if firstB != 30*sim.Microsecond {
+		t.Fatalf("b's first burst completed at %v, want 30µs (sliced rotation)", firstB)
+	}
+	if eng.Now() < 80*sim.Microsecond {
+		t.Fatalf("total = %v, want both tasks' 80µs of work", eng.Now())
+	}
+}
+
+func TestNoTimeSliceRunsToBlock(t *testing.T) {
+	eng := sim.NewEngine(1)
+	k := NewKernel(eng, "ni0", 0)
+	var order []string
+	work := func(name string) func(*TaskCtx) {
+		return func(tc *TaskCtx) {
+			for i := 0; i < 3; i++ {
+				tc.Run(10 * sim.Microsecond)
+				order = append(order, name)
+			}
+		}
+	}
+	k.Spawn("a", 100, work("a"))
+	k.Spawn("b", 100, work("b"))
+	eng.Run()
+	want := []string{"a", "a", "a", "b", "b", "b"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestTimeSliceDoesNotStarveLowerPriority(t *testing.T) {
+	eng := sim.NewEngine(1)
+	k := NewKernel(eng, "ni0", 0)
+	k.TimeSlice = 10 * sim.Microsecond
+	done := false
+	k.Spawn("high", 50, func(tc *TaskCtx) {
+		tc.Run(30 * sim.Microsecond)
+	})
+	k.Spawn("low", 200, func(tc *TaskCtx) {
+		tc.Run(10 * sim.Microsecond)
+		done = true
+	})
+	eng.Run()
+	if !done {
+		t.Fatal("low-priority task starved")
+	}
+}

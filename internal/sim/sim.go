@@ -1,0 +1,271 @@
+// Package sim is a deterministic discrete-event simulation kernel.
+//
+// Every substrate in this reproduction — the i960 RD network interface, the
+// PCI bus, the disks, the Ethernet, the host OS — advances a shared virtual
+// clock owned by an Engine. Events are callbacks ordered by (time, insertion
+// sequence), so two runs with the same seed replay identically; there are no
+// goroutines and no wall-clock dependencies, which keeps the reproduced
+// tables and figures stable across machines.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+)
+
+// Time is a point in simulated time (or a duration between two such
+// points), in nanoseconds.
+type Time int64
+
+// Convenient duration units.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Microseconds returns t as a float64 count of microseconds (reporting only).
+func (t Time) Microseconds() float64 { return float64(t) / float64(Microsecond) }
+
+// Milliseconds returns t as a float64 count of milliseconds (reporting only).
+func (t Time) Milliseconds() float64 { return float64(t) / float64(Millisecond) }
+
+// Seconds returns t as float64 seconds (reporting only).
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// String renders the time with an adaptive unit.
+func (t Time) String() string {
+	switch {
+	case t >= Second:
+		return fmt.Sprintf("%.3fs", t.Seconds())
+	case t >= Millisecond:
+		return fmt.Sprintf("%.3fms", t.Milliseconds())
+	case t >= Microsecond:
+		return fmt.Sprintf("%.3fµs", t.Microseconds())
+	default:
+		return fmt.Sprintf("%dns", int64(t))
+	}
+}
+
+// Event is a scheduled callback. Cancel detaches it without disturbing the
+// rest of the timeline.
+type Event struct {
+	at    Time
+	seq   uint64
+	fn    func()
+	index int // heap index, -1 once popped or cancelled
+}
+
+// Cancel prevents the event from firing. Safe to call more than once and
+// after the event has fired.
+func (ev *Event) Cancel() { ev.fn = nil }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine owns the virtual clock and the pending-event queue.
+type Engine struct {
+	now    Time
+	events eventHeap
+	seq    uint64
+	rng    *rand.Rand
+}
+
+// NewEngine returns an engine at time zero with a deterministic RNG.
+func NewEngine(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand exposes the engine's deterministic random source. All stochastic
+// substrate behaviour (disk seek spread, web request jitter) must draw from
+// it so runs stay reproducible.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// At schedules fn at absolute time t. Scheduling in the past panics: it
+// always indicates a modelling bug.
+func (e *Engine) At(t Time, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, e.now))
+	}
+	e.seq++
+	ev := &Event{at: t, seq: e.seq, fn: fn}
+	heap.Push(&e.events, ev)
+	return ev
+}
+
+// After schedules fn d nanoseconds from now. Negative d panics.
+func (e *Engine) After(d Time, fn func()) *Event { return e.At(e.now+d, fn) }
+
+// Every schedules fn at now+period, then every period thereafter, until the
+// returned stop function is called. fn observes the tick time via Now.
+func (e *Engine) Every(period Time, fn func()) (stop func()) {
+	stopped := false
+	var tick func()
+	tick = func() {
+		if stopped {
+			return
+		}
+		fn()
+		if !stopped {
+			e.After(period, tick)
+		}
+	}
+	e.After(period, tick)
+	return func() { stopped = true }
+}
+
+// Step fires the earliest pending event. It returns false when no events
+// remain. Cancelled events are skipped without advancing the clock.
+func (e *Engine) Step() bool {
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(*Event)
+		if ev.fn == nil {
+			continue
+		}
+		e.now = ev.at
+		fn := ev.fn
+		ev.fn = nil
+		fn()
+		return true
+	}
+	return false
+}
+
+// Run fires events until none remain.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil fires events with time ≤ t, then sets the clock to t. Events
+// scheduled beyond t remain pending.
+func (e *Engine) RunUntil(t Time) {
+	for len(e.events) > 0 && e.events[0].at <= t {
+		if !e.Step() {
+			break
+		}
+	}
+	if e.now < t {
+		e.now = t
+	}
+}
+
+// Pending reports how many events (including cancelled ones not yet
+// reaped) are queued. Intended for tests.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Resource is a single server with a FIFO queue — the building block for
+// bus arbitration, disk heads, and CPU cores. A holder acquires it, keeps it
+// for some simulated time, and releases it; waiters are granted in arrival
+// order.
+type Resource struct {
+	eng   *Engine
+	name  string
+	busy  bool
+	queue []func()
+
+	// BusyTime accumulates total held time, for utilization reporting.
+	BusyTime  Time
+	lastStart Time
+}
+
+// NewResource returns an idle resource attached to eng.
+func NewResource(eng *Engine, name string) *Resource {
+	return &Resource{eng: eng, name: name}
+}
+
+// Name returns the resource's diagnostic name.
+func (r *Resource) Name() string { return r.name }
+
+// Busy reports whether the resource is currently held.
+func (r *Resource) Busy() bool { return r.busy }
+
+// QueueLen reports how many acquirers are waiting.
+func (r *Resource) QueueLen() int { return len(r.queue) }
+
+// Acquire requests the resource; granted runs (possibly immediately, within
+// this call) once the resource is free and it is this requester's turn. The
+// holder must call Release exactly once.
+func (r *Resource) Acquire(granted func()) {
+	if !r.busy {
+		r.busy = true
+		r.lastStart = r.eng.Now()
+		granted()
+		return
+	}
+	r.queue = append(r.queue, granted)
+}
+
+// Release frees the resource and hands it to the next waiter, if any. The
+// next grant runs immediately within this call at the current time.
+func (r *Resource) Release() {
+	if !r.busy {
+		panic("sim: Release of idle resource " + r.name)
+	}
+	r.BusyTime += r.eng.Now() - r.lastStart
+	if len(r.queue) == 0 {
+		r.busy = false
+		return
+	}
+	next := r.queue[0]
+	r.queue = r.queue[1:]
+	r.lastStart = r.eng.Now()
+	next()
+}
+
+// Use acquires the resource, holds it for d, then releases it and calls
+// done (done may be nil). It models a simple service demand.
+func (r *Resource) Use(d Time, done func()) {
+	r.Acquire(func() {
+		r.eng.After(d, func() {
+			r.Release()
+			if done != nil {
+				done()
+			}
+		})
+	})
+}
+
+// Utilization returns the fraction of [0, now] the resource was held.
+func (r *Resource) Utilization() float64 {
+	total := r.eng.Now()
+	if total == 0 {
+		return 0
+	}
+	busy := r.BusyTime
+	if r.busy {
+		busy += r.eng.Now() - r.lastStart
+	}
+	return float64(busy) / float64(total)
+}

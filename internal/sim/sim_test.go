@@ -1,0 +1,248 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineOrdersEventsByTime(t *testing.T) {
+	e := NewEngine(1)
+	var got []Time
+	e.At(30*Microsecond, func() { got = append(got, e.Now()) })
+	e.At(10*Microsecond, func() { got = append(got, e.Now()) })
+	e.At(20*Microsecond, func() { got = append(got, e.Now()) })
+	e.Run()
+	want := []Time{10 * Microsecond, 20 * Microsecond, 30 * Microsecond}
+	if len(got) != 3 {
+		t.Fatalf("fired %d events, want 3", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("event %d fired at %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTieBreakIsInsertionOrder(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(5*Microsecond, func() { got = append(got, i) })
+	}
+	e.Run()
+	if !sort.IntsAreSorted(got) {
+		t.Fatalf("same-time events fired out of insertion order: %v", got)
+	}
+}
+
+func TestAfterSchedulesRelative(t *testing.T) {
+	e := NewEngine(1)
+	var at Time
+	e.At(100, func() {
+		e.After(50, func() { at = e.Now() })
+	})
+	e.Run()
+	if at != 150 {
+		t.Fatalf("After fired at %v, want 150", at)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	e := NewEngine(1)
+	e.At(100, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic scheduling in the past")
+			}
+		}()
+		e.At(50, func() {})
+	})
+	e.Run()
+}
+
+func TestCancelSkipsEvent(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	ev := e.At(10, func() { fired = true })
+	ev.Cancel()
+	e.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if e.Now() != 0 {
+		t.Fatalf("clock advanced to %v for cancelled event", e.Now())
+	}
+}
+
+func TestRunUntilLeavesLaterEvents(t *testing.T) {
+	e := NewEngine(1)
+	count := 0
+	e.At(10, func() { count++ })
+	e.At(20, func() { count++ })
+	e.At(30, func() { count++ })
+	e.RunUntil(20)
+	if count != 2 {
+		t.Fatalf("fired %d events, want 2", count)
+	}
+	if e.Now() != 20 {
+		t.Fatalf("now = %v, want 20", e.Now())
+	}
+	e.Run()
+	if count != 3 {
+		t.Fatalf("fired %d events total, want 3", count)
+	}
+}
+
+func TestRunUntilAdvancesIdleClock(t *testing.T) {
+	e := NewEngine(1)
+	e.RunUntil(500)
+	if e.Now() != 500 {
+		t.Fatalf("now = %v, want 500", e.Now())
+	}
+}
+
+func TestEveryTicksUntilStopped(t *testing.T) {
+	e := NewEngine(1)
+	var ticks []Time
+	var stop func()
+	stop = e.Every(10, func() {
+		ticks = append(ticks, e.Now())
+		if len(ticks) == 3 {
+			stop()
+		}
+	})
+	e.Run()
+	if len(ticks) != 3 {
+		t.Fatalf("got %d ticks, want 3: %v", len(ticks), ticks)
+	}
+	for i, at := range ticks {
+		if want := Time(10 * (i + 1)); at != want {
+			t.Errorf("tick %d at %v, want %v", i, at, want)
+		}
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	run := func() []int64 {
+		e := NewEngine(42)
+		var trace []int64
+		for i := 0; i < 100; i++ {
+			d := Time(e.Rand().Intn(1000) + 1)
+			e.After(d, func() { trace = append(trace, int64(e.Now())) })
+		}
+		e.Run()
+		return trace
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestResourceFIFO(t *testing.T) {
+	e := NewEngine(1)
+	r := NewResource(e, "bus")
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		e.At(Time(i), func() {
+			r.Use(100, func() { order = append(order, i) })
+		})
+	}
+	e.Run()
+	if !sort.IntsAreSorted(order) || len(order) != 5 {
+		t.Fatalf("grants out of FIFO order: %v", order)
+	}
+	// 5 sequential 100ns holds finish at 100, 200, ... 500.
+	if e.Now() != 500 {
+		t.Fatalf("finished at %v, want 500", e.Now())
+	}
+}
+
+func TestResourceSerializesHolders(t *testing.T) {
+	e := NewEngine(1)
+	r := NewResource(e, "disk")
+	active := 0
+	maxActive := 0
+	for i := 0; i < 8; i++ {
+		r.Acquire(func() {
+			active++
+			if active > maxActive {
+				maxActive = active
+			}
+			e.After(10, func() {
+				active--
+				r.Release()
+			})
+		})
+	}
+	e.Run()
+	if maxActive != 1 {
+		t.Fatalf("resource held by %d at once", maxActive)
+	}
+}
+
+func TestReleaseIdlePanics(t *testing.T) {
+	e := NewEngine(1)
+	r := NewResource(e, "x")
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	r.Release()
+}
+
+func TestResourceUtilization(t *testing.T) {
+	e := NewEngine(1)
+	r := NewResource(e, "cpu")
+	r.Use(100, nil)
+	e.Run()
+	e.RunUntil(200)
+	got := r.Utilization()
+	if got < 0.49 || got > 0.51 {
+		t.Fatalf("utilization = %v, want ~0.5", got)
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := map[Time]string{
+		5:               "5ns",
+		3 * Microsecond: "3.000µs",
+		2 * Millisecond: "2.000ms",
+		1 * Second:      "1.000s",
+	}
+	for in, want := range cases {
+		if got := in.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int64(in), got, want)
+		}
+	}
+}
+
+// Property: RunUntil never runs events scheduled after the horizon.
+func TestRunUntilHorizonProperty(t *testing.T) {
+	f := func(offsets []uint16, horizon uint16) bool {
+		e := NewEngine(7)
+		ok := true
+		for _, off := range offsets {
+			at := Time(off)
+			e.At(at, func() {
+				if e.Now() > Time(horizon) {
+					ok = false
+				}
+			})
+		}
+		e.RunUntil(Time(horizon))
+		return ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,312 @@
+// Package stats collects the measurements the paper reports: per-stream
+// bandwidth over time windows (Figures 7 and 9), queuing delay per frame
+// sent (Figures 8 and 10), CPU utilization over time (Figure 6), and simple
+// latency summaries for the microbenchmark tables.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// Point is one (time, value) sample of a time series.
+type Point struct {
+	At    sim.Time
+	Value float64
+}
+
+// Series is an append-only time series.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Add appends a sample.
+func (s *Series) Add(at sim.Time, v float64) { s.Points = append(s.Points, Point{at, v}) }
+
+// Len returns the number of samples.
+func (s *Series) Len() int { return len(s.Points) }
+
+// Last returns the most recent sample value, or 0 if empty.
+func (s *Series) Last() float64 {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	return s.Points[len(s.Points)-1].Value
+}
+
+// Max returns the maximum sample value, or 0 if empty.
+func (s *Series) Max() float64 {
+	max := math.Inf(-1)
+	for _, p := range s.Points {
+		if p.Value > max {
+			max = p.Value
+		}
+	}
+	if math.IsInf(max, -1) {
+		return 0
+	}
+	return max
+}
+
+// Min returns the minimum sample value, or 0 if empty.
+func (s *Series) Min() float64 {
+	min := math.Inf(1)
+	for _, p := range s.Points {
+		if p.Value < min {
+			min = p.Value
+		}
+	}
+	if math.IsInf(min, 1) {
+		return 0
+	}
+	return min
+}
+
+// Mean returns the arithmetic mean of the sample values, or 0 if empty.
+func (s *Series) Mean() float64 {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, p := range s.Points {
+		sum += p.Value
+	}
+	return sum / float64(len(s.Points))
+}
+
+// MeanAfter returns the mean of samples at or after t — the "settling"
+// value the paper quotes for bandwidth curves.
+func (s *Series) MeanAfter(t sim.Time) float64 {
+	sum, n := 0.0, 0
+	for _, p := range s.Points {
+		if p.At >= t {
+			sum += p.Value
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// MaxAfter returns the maximum of samples at or after t.
+func (s *Series) MaxAfter(t sim.Time) float64 {
+	max := math.Inf(-1)
+	for _, p := range s.Points {
+		if p.At >= t && p.Value > max {
+			max = p.Value
+		}
+	}
+	if math.IsInf(max, -1) {
+		return 0
+	}
+	return max
+}
+
+// CSV renders the series as "time_ms,value" lines for plotting.
+func (s *Series) CSV() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "time_ms,%s\n", s.Name)
+	for _, p := range s.Points {
+		fmt.Fprintf(&b, "%.3f,%.3f\n", p.At.Milliseconds(), p.Value)
+	}
+	return b.String()
+}
+
+// BandwidthMeter converts per-frame byte deliveries into a bandwidth-vs-time
+// series, sampling every Window like the paper's per-interval bandwidth
+// plots (bps on the y axis, ms on the x axis).
+type BandwidthMeter struct {
+	Window sim.Time
+	Series Series
+
+	winStart sim.Time
+	winBytes int64
+}
+
+// NewBandwidthMeter returns a meter that emits one bps sample per window.
+func NewBandwidthMeter(name string, window sim.Time) *BandwidthMeter {
+	return &BandwidthMeter{Window: window, Series: Series{Name: name}}
+}
+
+// Deliver records n bytes delivered at time at. Windows with no deliveries
+// emit zero samples so stalls are visible in the curve.
+func (m *BandwidthMeter) Deliver(at sim.Time, n int) {
+	for at >= m.winStart+m.Window {
+		m.flush()
+	}
+	m.winBytes += int64(n)
+}
+
+// FlushUntil emits samples for all complete windows up to t.
+func (m *BandwidthMeter) FlushUntil(t sim.Time) {
+	for t >= m.winStart+m.Window {
+		m.flush()
+	}
+}
+
+func (m *BandwidthMeter) flush() {
+	end := m.winStart + m.Window
+	bps := float64(m.winBytes*8) / m.Window.Seconds()
+	m.Series.Add(end, bps)
+	m.winStart = end
+	m.winBytes = 0
+}
+
+// DelayTracker records the queuing delay of each frame sent, indexed by
+// send order — the x axis of Figures 8 and 10 ("Frame# Sent").
+type DelayTracker struct {
+	Name   string
+	Delays []sim.Time
+}
+
+// Record notes that the n-th sent frame waited d between enqueue and
+// dispatch.
+func (t *DelayTracker) Record(d sim.Time) { t.Delays = append(t.Delays, d) }
+
+// Max returns the largest recorded delay.
+func (t *DelayTracker) Max() sim.Time {
+	var max sim.Time
+	for _, d := range t.Delays {
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Mean returns the mean recorded delay.
+func (t *DelayTracker) Mean() sim.Time {
+	if len(t.Delays) == 0 {
+		return 0
+	}
+	var sum sim.Time
+	for _, d := range t.Delays {
+		sum += d
+	}
+	return sum / sim.Time(len(t.Delays))
+}
+
+// CSV renders "frame,delay_ms" lines.
+func (t *DelayTracker) CSV() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "frame,%s_delay_ms\n", t.Name)
+	for i, d := range t.Delays {
+		fmt.Fprintf(&b, "%d,%.3f\n", i+1, d.Milliseconds())
+	}
+	return b.String()
+}
+
+// Histogram buckets sim.Time samples into fixed-width bins for
+// distribution reports (delay-jitter spreads, latency tails).
+type Histogram struct {
+	Width   sim.Time
+	Counts  []int64
+	N       int64
+	Overmax int64 // samples beyond the last bin
+}
+
+// NewHistogram returns a histogram of `bins` buckets of the given width.
+func NewHistogram(width sim.Time, bins int) *Histogram {
+	if width <= 0 || bins <= 0 {
+		panic("stats: bad histogram shape")
+	}
+	return &Histogram{Width: width, Counts: make([]int64, bins)}
+}
+
+// Add records one sample.
+func (h *Histogram) Add(v sim.Time) {
+	h.N++
+	if v < 0 {
+		v = 0
+	}
+	i := int(v / h.Width)
+	if i >= len(h.Counts) {
+		h.Overmax++
+		return
+	}
+	h.Counts[i]++
+}
+
+// Quantile returns an upper bound for the q-quantile (0 < q ≤ 1) at bucket
+// resolution; samples beyond the last bin return the histogram's top edge.
+func (h *Histogram) Quantile(q float64) sim.Time {
+	if h.N == 0 {
+		return 0
+	}
+	target := int64(q * float64(h.N))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i, c := range h.Counts {
+		cum += c
+		if cum >= target {
+			return sim.Time(i+1) * h.Width
+		}
+	}
+	return sim.Time(len(h.Counts)) * h.Width
+}
+
+// String renders a compact text bar chart of the non-empty buckets.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	max := int64(1)
+	for _, c := range h.Counts {
+		if c > max {
+			max = c
+		}
+	}
+	for i, c := range h.Counts {
+		if c == 0 {
+			continue
+		}
+		bar := int(40 * c / max)
+		fmt.Fprintf(&b, "%12v %6d %s"+"\n", sim.Time(i)*h.Width, c, strings.Repeat("#", bar))
+	}
+	if h.Overmax > 0 {
+		fmt.Fprintf(&b, "%12s %6d (beyond range)"+"\n", ">max", h.Overmax)
+	}
+	return b.String()
+}
+
+// Summary holds order statistics of a latency sample set, for the
+// microbenchmark tables.
+type Summary struct {
+	N                   int
+	Mean, Min, Max, P50 sim.Time
+	Total               sim.Time
+}
+
+// Summarize computes a Summary over samples. It does not modify its input.
+func Summarize(samples []sim.Time) Summary {
+	if len(samples) == 0 {
+		return Summary{}
+	}
+	sorted := append([]sim.Time(nil), samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var total sim.Time
+	for _, s := range sorted {
+		total += s
+	}
+	return Summary{
+		N:     len(sorted),
+		Mean:  total / sim.Time(len(sorted)),
+		Min:   sorted[0],
+		Max:   sorted[len(sorted)-1],
+		P50:   sorted[len(sorted)/2],
+		Total: total,
+	}
+}
+
+// String renders the summary compactly.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v min=%v max=%v total=%v",
+		s.N, s.Mean, s.P50, s.Min, s.Max, s.Total)
+}

@@ -1,0 +1,182 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestSeriesBasics(t *testing.T) {
+	var s Series
+	if s.Last() != 0 || s.Max() != 0 || s.Min() != 0 || s.Mean() != 0 {
+		t.Fatal("empty series should report zeros")
+	}
+	s.Add(10, 1)
+	s.Add(20, 5)
+	s.Add(30, 3)
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if s.Last() != 3 {
+		t.Errorf("Last = %v", s.Last())
+	}
+	if s.Max() != 5 {
+		t.Errorf("Max = %v", s.Max())
+	}
+	if s.Min() != 1 {
+		t.Errorf("Min = %v", s.Min())
+	}
+	if got := s.Mean(); math.Abs(got-3) > 1e-9 {
+		t.Errorf("Mean = %v", got)
+	}
+}
+
+func TestSeriesAfterWindows(t *testing.T) {
+	var s Series
+	s.Add(10, 100)
+	s.Add(20, 200)
+	s.Add(30, 400)
+	if got := s.MeanAfter(20); math.Abs(got-300) > 1e-9 {
+		t.Errorf("MeanAfter(20) = %v, want 300", got)
+	}
+	if got := s.MaxAfter(25); got != 400 {
+		t.Errorf("MaxAfter(25) = %v, want 400", got)
+	}
+	if got := s.MeanAfter(100); got != 0 {
+		t.Errorf("MeanAfter past end = %v, want 0", got)
+	}
+	if got := s.MaxAfter(100); got != 0 {
+		t.Errorf("MaxAfter past end = %v, want 0", got)
+	}
+}
+
+func TestSeriesCSV(t *testing.T) {
+	s := Series{Name: "bw"}
+	s.Add(2*sim.Millisecond, 42)
+	got := s.CSV()
+	if !strings.HasPrefix(got, "time_ms,bw\n") {
+		t.Errorf("CSV header: %q", got)
+	}
+	if !strings.Contains(got, "2.000,42.000") {
+		t.Errorf("CSV body: %q", got)
+	}
+}
+
+func TestBandwidthMeterWindows(t *testing.T) {
+	m := NewBandwidthMeter("s1", sim.Second)
+	// 1250 bytes in window 1 → 10000 bps; nothing in window 2.
+	m.Deliver(100*sim.Millisecond, 1000)
+	m.Deliver(900*sim.Millisecond, 250)
+	m.FlushUntil(2 * sim.Second)
+	if m.Series.Len() != 2 {
+		t.Fatalf("got %d samples, want 2", m.Series.Len())
+	}
+	if got := m.Series.Points[0].Value; math.Abs(got-10000) > 1e-6 {
+		t.Errorf("window 1 = %v bps, want 10000", got)
+	}
+	if got := m.Series.Points[1].Value; got != 0 {
+		t.Errorf("empty window = %v bps, want 0", got)
+	}
+}
+
+func TestBandwidthMeterLateDeliveryOpensWindows(t *testing.T) {
+	m := NewBandwidthMeter("s1", sim.Second)
+	m.Deliver(3500*sim.Millisecond, 125)
+	m.FlushUntil(4 * sim.Second)
+	if m.Series.Len() != 4 {
+		t.Fatalf("got %d samples, want 4", m.Series.Len())
+	}
+	for i := 0; i < 3; i++ {
+		if m.Series.Points[i].Value != 0 {
+			t.Errorf("window %d = %v, want 0", i, m.Series.Points[i].Value)
+		}
+	}
+	if got := m.Series.Points[3].Value; math.Abs(got-1000) > 1e-6 {
+		t.Errorf("window 4 = %v bps, want 1000", got)
+	}
+}
+
+func TestDelayTracker(t *testing.T) {
+	var d DelayTracker
+	d.Name = "s1"
+	if d.Max() != 0 || d.Mean() != 0 {
+		t.Fatal("empty tracker should report zero")
+	}
+	d.Record(10 * sim.Millisecond)
+	d.Record(30 * sim.Millisecond)
+	d.Record(20 * sim.Millisecond)
+	if got := d.Max(); got != 30*sim.Millisecond {
+		t.Errorf("Max = %v", got)
+	}
+	if got := d.Mean(); got != 20*sim.Millisecond {
+		t.Errorf("Mean = %v", got)
+	}
+	if !strings.Contains(d.CSV(), "2,30.000") {
+		t.Errorf("CSV: %q", d.CSV())
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]sim.Time{30, 10, 20, 40})
+	if s.N != 4 || s.Min != 10 || s.Max != 40 || s.Mean != 25 || s.Total != 100 {
+		t.Fatalf("Summary = %+v", s)
+	}
+	if s.P50 != 30 { // index 2 of sorted [10 20 30 40]
+		t.Errorf("P50 = %v", s.P50)
+	}
+	if Summarize(nil).N != 0 {
+		t.Error("empty summarize should be zero")
+	}
+}
+
+func TestSummarizeDoesNotMutate(t *testing.T) {
+	in := []sim.Time{3, 1, 2}
+	Summarize(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Fatalf("input mutated: %v", in)
+	}
+}
+
+// Property: total bytes delivered equals sum over windows of bps*window.
+func TestBandwidthMeterConservesBytes(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		m := NewBandwidthMeter("x", 100*sim.Millisecond)
+		var total int64
+		at := sim.Time(0)
+		for _, sz := range sizes {
+			at += sim.Time(sz) * sim.Microsecond
+			m.Deliver(at, int(sz))
+			total += int64(sz)
+		}
+		m.FlushUntil(at + 100*sim.Millisecond)
+		var sum float64
+		for _, p := range m.Series.Points {
+			sum += p.Value * (100 * sim.Millisecond).Seconds() / 8
+		}
+		return math.Abs(sum-float64(total)) < 1e-3
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Summarize mean is between min and max.
+func TestSummaryBounds(t *testing.T) {
+	f := func(raw []uint32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		in := make([]sim.Time, len(raw))
+		for i, v := range raw {
+			in[i] = sim.Time(v)
+		}
+		s := Summarize(in)
+		return s.Min <= s.Mean && s.Mean <= s.Max && s.Min <= s.P50 && s.P50 <= s.Max
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

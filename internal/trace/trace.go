@@ -1,0 +1,189 @@
+// Package trace is a lightweight structured event log for the simulated
+// server: substrates record what happened and when (simulated time), and
+// tools dump, filter, or summarize the log. It is the reproduction's
+// equivalent of the instrumentation the paper says it "built ... to measure
+// desired performance parameters at the scheduler card or at the remote
+// client end" (§4.1).
+//
+// The log is a bounded ring: old events are overwritten once the capacity
+// is reached, like an on-card trace buffer would be.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// Kind classifies events.
+type Kind uint8
+
+// Event kinds.
+const (
+	KindEnqueue Kind = iota
+	KindDispatch
+	KindDrop
+	KindMiss
+	KindIO
+	KindBus
+	KindNet
+	KindUser
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	"enqueue", "dispatch", "drop", "miss", "io", "bus", "net", "user",
+}
+
+// String names the kind.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Event is one trace record.
+type Event struct {
+	At     sim.Time
+	Kind   Kind
+	Source string // component, e.g. "ni0/dwcs"
+	Stream int    // stream id, -1 when not stream-related
+	Seq    int64  // sequence number, -1 when not applicable
+	Note   string
+}
+
+// String renders one line.
+func (e Event) String() string {
+	b := fmt.Sprintf("%12v %-8s %-14s", e.At, e.Kind, e.Source)
+	if e.Stream >= 0 {
+		b += fmt.Sprintf(" s%d", e.Stream)
+	}
+	if e.Seq >= 0 {
+		b += fmt.Sprintf("#%d", e.Seq)
+	}
+	if e.Note != "" {
+		b += " " + e.Note
+	}
+	return b
+}
+
+// Log is a bounded event ring.
+type Log struct {
+	eng    *sim.Engine
+	events []Event
+	next   int
+	full   bool
+
+	// Dropped counts events lost to the bound (always 0 until the ring
+	// wraps; afterwards it counts overwrites).
+	Dropped int64
+	// Enabled gates recording; a disabled log costs one branch per Record.
+	Enabled bool
+}
+
+// New returns an enabled log of the given capacity.
+func New(eng *sim.Engine, capacity int) *Log {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	return &Log{eng: eng, events: make([]Event, capacity), Enabled: true}
+}
+
+// Record appends an event at the current simulated time.
+func (l *Log) Record(kind Kind, source string, stream int, seq int64, note string) {
+	if l == nil || !l.Enabled {
+		return
+	}
+	if l.full {
+		l.Dropped++
+	}
+	l.events[l.next] = Event{
+		At: l.eng.Now(), Kind: kind, Source: source, Stream: stream, Seq: seq, Note: note,
+	}
+	l.next++
+	if l.next == len(l.events) {
+		l.next = 0
+		l.full = true
+	}
+}
+
+// Recordf is Record with a formatted note.
+func (l *Log) Recordf(kind Kind, source string, stream int, seq int64, format string, args ...any) {
+	if l == nil || !l.Enabled {
+		return
+	}
+	l.Record(kind, source, stream, seq, fmt.Sprintf(format, args...))
+}
+
+// Len returns the number of retained events.
+func (l *Log) Len() int {
+	if l.full {
+		return len(l.events)
+	}
+	return l.next
+}
+
+// Events returns retained events in chronological order.
+func (l *Log) Events() []Event {
+	if !l.full {
+		return append([]Event(nil), l.events[:l.next]...)
+	}
+	out := make([]Event, 0, len(l.events))
+	out = append(out, l.events[l.next:]...)
+	out = append(out, l.events[:l.next]...)
+	return out
+}
+
+// Filter returns retained events matching the predicate.
+func (l *Log) Filter(keep func(Event) bool) []Event {
+	var out []Event
+	for _, e := range l.Events() {
+		if keep(e) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// ByKind returns retained events of one kind.
+func (l *Log) ByKind(k Kind) []Event {
+	return l.Filter(func(e Event) bool { return e.Kind == k })
+}
+
+// ByStream returns retained events of one stream.
+func (l *Log) ByStream(id int) []Event {
+	return l.Filter(func(e Event) bool { return e.Stream == id })
+}
+
+// Dump writes the retained events to w, one per line.
+func (l *Log) Dump(w io.Writer) error {
+	for _, e := range l.Events() {
+		if _, err := fmt.Fprintln(w, e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Summary tallies retained events by kind.
+func (l *Log) Summary() string {
+	var counts [numKinds]int
+	for _, e := range l.Events() {
+		if int(e.Kind) < len(counts) {
+			counts[e.Kind]++
+		}
+	}
+	var parts []string
+	for k, n := range counts {
+		if n > 0 {
+			parts = append(parts, fmt.Sprintf("%s=%d", Kind(k), n))
+		}
+	}
+	if l.Dropped > 0 {
+		parts = append(parts, fmt.Sprintf("overwritten=%d", l.Dropped))
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,137 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestRecordAndEvents(t *testing.T) {
+	eng := sim.NewEngine(1)
+	l := New(eng, 16)
+	eng.At(10*sim.Microsecond, func() {
+		l.Record(KindEnqueue, "ni0/dwcs", 1, 0, "")
+	})
+	eng.At(20*sim.Microsecond, func() {
+		l.Recordf(KindDispatch, "ni0/dwcs", 1, 0, "late=%v", false)
+	})
+	eng.Run()
+	evs := l.Events()
+	if len(evs) != 2 || l.Len() != 2 {
+		t.Fatalf("events = %d", len(evs))
+	}
+	if evs[0].At != 10*sim.Microsecond || evs[0].Kind != KindEnqueue {
+		t.Fatalf("first = %+v", evs[0])
+	}
+	if evs[1].Note != "late=false" {
+		t.Fatalf("note = %q", evs[1].Note)
+	}
+}
+
+func TestRingOverwritesOldest(t *testing.T) {
+	eng := sim.NewEngine(1)
+	l := New(eng, 4)
+	for i := 0; i < 10; i++ {
+		l.Record(KindUser, "x", i, -1, "")
+	}
+	evs := l.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained = %d", len(evs))
+	}
+	for i, e := range evs {
+		if e.Stream != 6+i {
+			t.Fatalf("retained wrong window: %+v", evs)
+		}
+	}
+	if l.Dropped != 6 {
+		t.Fatalf("dropped = %d", l.Dropped)
+	}
+}
+
+func TestFilters(t *testing.T) {
+	eng := sim.NewEngine(1)
+	l := New(eng, 0) // default capacity
+	l.Record(KindDrop, "a", 1, 5, "")
+	l.Record(KindDispatch, "a", 2, 6, "")
+	l.Record(KindDrop, "b", 2, 7, "")
+	if got := l.ByKind(KindDrop); len(got) != 2 {
+		t.Fatalf("ByKind = %d", len(got))
+	}
+	if got := l.ByStream(2); len(got) != 2 {
+		t.Fatalf("ByStream = %d", len(got))
+	}
+}
+
+func TestDisabledAndNil(t *testing.T) {
+	eng := sim.NewEngine(1)
+	l := New(eng, 8)
+	l.Enabled = false
+	l.Record(KindUser, "x", -1, -1, "")
+	if l.Len() != 0 {
+		t.Fatal("disabled log recorded")
+	}
+	var nilLog *Log
+	nilLog.Record(KindUser, "x", -1, -1, "") // must not panic
+	nilLog.Recordf(KindUser, "x", -1, -1, "%d", 1)
+}
+
+func TestDumpAndSummary(t *testing.T) {
+	eng := sim.NewEngine(1)
+	l := New(eng, 8)
+	l.Record(KindMiss, "ni0", 3, 9, "deadline passed")
+	l.Record(KindMiss, "ni0", 3, 10, "")
+	l.Record(KindIO, "disk0", -1, -1, "read 8k")
+	var sb strings.Builder
+	if err := l.Dump(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "miss") || !strings.Contains(out, "s3#9") ||
+		!strings.Contains(out, "deadline passed") {
+		t.Fatalf("dump: %s", out)
+	}
+	sum := l.Summary()
+	if !strings.Contains(sum, "miss=2") || !strings.Contains(sum, "io=1") {
+		t.Fatalf("summary: %s", sum)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindDispatch.String() != "dispatch" {
+		t.Error("kind name")
+	}
+	if Kind(200).String() != "Kind(200)" {
+		t.Error("unknown kind name")
+	}
+}
+
+// Property: the ring retains exactly the last min(n, cap) events in order.
+func TestRingRetentionProperty(t *testing.T) {
+	f := func(n uint8, capSeed uint8) bool {
+		cap := int(capSeed)%32 + 1
+		eng := sim.NewEngine(1)
+		l := New(eng, cap)
+		for i := 0; i < int(n); i++ {
+			l.Record(KindUser, "x", i, -1, "")
+		}
+		evs := l.Events()
+		want := int(n)
+		if want > cap {
+			want = cap
+		}
+		if len(evs) != want {
+			return false
+		}
+		for i, e := range evs {
+			if e.Stream != int(n)-want+i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,112 @@
+package webload
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/hostos"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+func runProfile(t *testing.T, prof Profile, nCPU int, dur sim.Time) (*hostos.System, *Generator, *stats.Series) {
+	t.Helper()
+	eng := sim.NewEngine(42)
+	sys := hostos.New(eng, nCPU, 10*sim.Millisecond)
+	g := NewGenerator(eng, sys, prof)
+	g.Start()
+	var series stats.Series
+	sys.SampleUtilization(sim.Second, &series)
+	eng.RunUntil(dur)
+	g.Stop()
+	return sys, g, &series
+}
+
+func TestNoLoadGeneratesNothing(t *testing.T) {
+	sys, g, _ := runProfile(t, NoLoad(), 2, 10*sim.Second)
+	if g.Requests != 0 {
+		t.Fatalf("requests = %d", g.Requests)
+	}
+	if sys.TotalUtilization() != 0 {
+		t.Fatalf("utilization = %v", sys.TotalUtilization())
+	}
+}
+
+func TestTargetUtilization45(t *testing.T) {
+	sys, _, _ := runProfile(t, TargetUtilization("45%", 45, 2), 2, 100*sim.Second)
+	got := sys.TotalUtilization() * 100
+	if math.Abs(got-45) > 8 {
+		t.Fatalf("utilization = %.1f%%, want ≈45", got)
+	}
+}
+
+func TestTargetUtilization60(t *testing.T) {
+	sys, _, _ := runProfile(t, TargetUtilization("60%", 60, 2), 2, 100*sim.Second)
+	got := sys.TotalUtilization() * 100
+	if math.Abs(got-60) > 8 {
+		t.Fatalf("utilization = %.1f%%, want ≈60", got)
+	}
+}
+
+func TestLoadIsBursty(t *testing.T) {
+	// Figure 6's 60% curve has peaks above 80%: per-second samples must
+	// spread well around the mean.
+	_, _, series := runProfile(t, TargetUtilization("60%", 60, 2), 2, 100*sim.Second)
+	if series.Max() < 70 {
+		t.Fatalf("max sample = %.1f%%, expected bursts above 70", series.Max())
+	}
+	if series.Min() > 55 {
+		t.Fatalf("min sample = %.1f%%, expected troughs below 55", series.Min())
+	}
+}
+
+func TestRequestsComplete(t *testing.T) {
+	_, g, _ := runProfile(t, TargetUtilization("45%", 45, 2), 2, 30*sim.Second)
+	if g.Requests == 0 {
+		t.Fatal("no requests issued")
+	}
+	// Under-loaded system: nearly everything completes within the run.
+	if float64(g.Completed) < 0.9*float64(g.Requests) {
+		t.Fatalf("completed %d of %d", g.Completed, g.Requests)
+	}
+}
+
+func TestStopHaltsLoad(t *testing.T) {
+	eng := sim.NewEngine(42)
+	sys := hostos.New(eng, 2, 10*sim.Millisecond)
+	g := NewGenerator(eng, sys, TargetUtilization("60%", 60, 2))
+	g.Start()
+	eng.RunUntil(5 * sim.Second)
+	g.Stop()
+	g.Stop() // idempotent
+	before := g.Requests
+	eng.RunUntil(10 * sim.Second)
+	if g.Requests != before {
+		t.Fatalf("requests kept arriving after Stop: %d → %d", before, g.Requests)
+	}
+}
+
+func TestDaemonsImposeLightLoad(t *testing.T) {
+	eng := sim.NewEngine(42)
+	sys := hostos.New(eng, 2, 10*sim.Millisecond)
+	stop := Daemons(eng, sys)
+	eng.RunUntil(20 * sim.Second)
+	stop()
+	u := sys.TotalUtilization() * 100
+	if u <= 0 || u > 3 {
+		t.Fatalf("daemon load = %.2f%%, want small but nonzero", u)
+	}
+}
+
+func TestGeneratorString(t *testing.T) {
+	g := NewGenerator(sim.NewEngine(1), hostos.New(sim.NewEngine(1), 1, sim.Millisecond), NoLoad())
+	if g.String() != "no-load" {
+		t.Fatalf("String = %q", g.String())
+	}
+	g2 := NewGenerator(sim.NewEngine(1), hostos.New(sim.NewEngine(1), 1, sim.Millisecond),
+		TargetUtilization("x", 45, 2))
+	if !strings.Contains(g2.String(), "req /") {
+		t.Fatalf("String = %q", g2.String())
+	}
+}
