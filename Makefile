@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: all test race bench repro build clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The parallel harness fans simulation runs across goroutines; the race
+# detector is the canary for any shared state leaking between runs.
+race:
+	$(GO) test -race ./...
+
+# Kernel + scheduler fast-path benchmarks. Compare against the committed
+# baseline with ./bench_compare.sh.
+bench:
+	$(GO) test -run xxx -bench 'BenchmarkEngine|BenchmarkSimulationThroughput|BenchmarkMissScan' \
+		-benchmem -benchtime 0.5s ./...
+
+# Regenerate every table and figure of the paper's evaluation section.
+repro:
+	$(GO) run ./cmd/reprogen
+
+clean:
+	$(GO) clean ./...

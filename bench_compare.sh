@@ -1,0 +1,63 @@
+#!/bin/sh
+# bench_compare.sh — benchstat-style comparison of the kernel/scheduler
+# fast-path benchmarks against the committed baseline.
+#
+#   ./bench_compare.sh           compare current ns/op to BENCH_BASELINE.json
+#   ./bench_compare.sh -update   re-measure and rewrite BENCH_BASELINE.json
+#
+# The baseline is a flat JSON object: one "BenchmarkName": ns_per_op pair per
+# line, so plain awk can read it and diffs stay line-per-benchmark.
+set -e
+cd "$(dirname "$0")"
+
+BASELINE=BENCH_BASELINE.json
+BENCHES='BenchmarkEngine|BenchmarkSimulationThroughput|BenchmarkMissScan'
+
+run_benches() {
+	go test -run xxx -bench "$BENCHES" -benchmem -benchtime 0.5s ./... 2>/dev/null
+}
+
+if [ "$1" = "-update" ]; then
+	run_benches | awk '
+	/^Benchmark/ {
+		name = $1; sub(/-[0-9]+$/, "", name)
+		lines[++n] = sprintf("  \"%s\": %s", name, $3)
+	}
+	END {
+		print "{"
+		for (i = 1; i <= n; i++) printf "%s%s\n", lines[i], (i < n ? "," : "")
+		print "}"
+	}' > "$BASELINE"
+	echo "wrote $BASELINE"
+	exit 0
+fi
+
+if [ ! -f "$BASELINE" ]; then
+	echo "no $BASELINE — run ./bench_compare.sh -update first" >&2
+	exit 1
+fi
+
+run_benches | awk -v baseline="$BASELINE" '
+BEGIN {
+	while ((getline line < baseline) > 0) {
+		gsub(/[",:{}]/, " ", line)
+		n = split(line, f, " ")
+		if (n >= 2) base[f[1]] = f[2]
+	}
+	printf "%-42s %12s %12s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta"
+}
+/^Benchmark/ {
+	name = $1; sub(/-[0-9]+$/, "", name)
+	ns = $3
+	if (name in base) {
+		d = (ns - base[name]) / base[name] * 100
+		printf "%-42s %12.2f %12.2f %+8.1f%%\n", name, base[name], ns, d
+		seen[name] = 1
+	} else {
+		printf "%-42s %12s %12.2f %9s\n", name, "(none)", ns, "new"
+	}
+}
+END {
+	for (name in base) if (!(name in seen))
+		printf "%-42s %12.2f %12s %9s\n", name, base[name], "(gone)", "removed"
+}'

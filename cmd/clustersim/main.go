@@ -15,6 +15,7 @@ import (
 	"os"
 
 	"repro/internal/cluster"
+	"repro/internal/experiments"
 	"repro/internal/fixed"
 	"repro/internal/mpeg"
 	"repro/internal/netsim"
@@ -110,15 +111,33 @@ func main() {
 }
 
 func runSweep(cfgs []cluster.NodeConfig, req cluster.StreamRequest) {
-	fmt.Println("period_ms  frame_B  capacity(streams)  committed_bw_kbps")
+	// Each sweep cell binary-searches admission on a private cluster; fan
+	// the grid across the worker pool and print rows in grid order.
+	type cell struct {
+		periodMs int
+		frame    int64
+	}
+	var cells []cell
 	for _, periodMs := range []int{40, 80, 160, 320} {
 		for _, frame := range []int64{1500, 5000, 15000} {
-			r := req
-			r.Period = sim.Time(periodMs) * sim.Millisecond
-			r.FrameBytes = frame
-			n := cluster.Capacity(cfgs, r)
-			bw := float64(n) * float64(frame*8) / (float64(periodMs) / 1000) / 1000
-			fmt.Printf("%9d  %7d  %17d  %17.0f\n", periodMs, frame, n, bw)
+			cells = append(cells, cell{periodMs, frame})
 		}
+	}
+	jobs := make([]func() int, len(cells))
+	for i, c := range cells {
+		c := c
+		jobs[i] = func() int {
+			r := req
+			r.Period = sim.Time(c.periodMs) * sim.Millisecond
+			r.FrameBytes = c.frame
+			return cluster.Capacity(cfgs, r)
+		}
+	}
+	caps := experiments.Collect(jobs)
+	fmt.Println("period_ms  frame_B  capacity(streams)  committed_bw_kbps")
+	for i, c := range cells {
+		n := caps[i]
+		bw := float64(n) * float64(c.frame*8) / (float64(c.periodMs) / 1000) / 1000
+		fmt.Printf("%9d  %7d  %17d  %17.0f\n", c.periodMs, c.frame, n, bw)
 	}
 }

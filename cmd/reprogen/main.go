@@ -33,38 +33,38 @@ func main() {
 	dur := sim.Time(*durSec) * sim.Second
 	all := *table == 0 && *figure == 0 && !*headline && !*scaling
 
-	var hostFigs *experiments.HostFigures
-	var niFigs *experiments.NIFigures
+	// Every table, figure bundle, and sweep is an independent simulation:
+	// fan the selected set across the worker pool, then print in the fixed
+	// report order so the output is byte-identical to a sequential run.
+	var (
+		hostFigs                             *experiments.HostFigures
+		niFigs                               *experiments.NIFigures
+		t1, t2, t3, t4, t5, headlineRes, sca *experiments.Result
+	)
 	needHost := all || (*figure >= 6 && *figure <= 8)
 	needNI := all || *figure == 9 || *figure == 10
-	if needHost {
-		hostFigs = experiments.RunHostFigures(dur)
-	}
-	if needNI {
-		niFigs = experiments.RunNIFigures(dur / 2)
-	}
 
-	if all || *table == 1 {
-		fmt.Print(experiments.RunTable1())
+	var jobs []func()
+	add := func(cond bool, job func()) {
+		if cond {
+			jobs = append(jobs, job)
+		}
 	}
-	if all || *table == 2 {
-		fmt.Print(experiments.RunTable2())
-	}
-	if all || *table == 3 {
-		fmt.Print(experiments.RunTable3())
-	}
-	if all || *table == 4 {
-		fmt.Print(experiments.RunTable4())
-	}
-	if all || *table == 5 {
-		fmt.Print(experiments.RunTable5())
-	}
-	if all || *headline {
-		fmt.Print(experiments.RunHeadline())
-	}
-	if all || *scaling {
-		_, res := experiments.RunStreamScaling([]int{4, 16, 64, 256})
-		fmt.Print(res)
+	add(needHost, func() { hostFigs = experiments.RunHostFigures(dur) })
+	add(needNI, func() { niFigs = experiments.RunNIFigures(dur / 2) })
+	add(all || *table == 1, func() { t1 = experiments.RunTable1() })
+	add(all || *table == 2, func() { t2 = experiments.RunTable2() })
+	add(all || *table == 3, func() { t3 = experiments.RunTable3() })
+	add(all || *table == 4, func() { t4 = experiments.RunTable4() })
+	add(all || *table == 5, func() { t5 = experiments.RunTable5() })
+	add(all || *headline, func() { headlineRes = experiments.RunHeadline() })
+	add(all || *scaling, func() { _, sca = experiments.RunStreamScaling([]int{4, 16, 64, 256}) })
+	experiments.Parallel(jobs...)
+
+	for _, res := range []*experiments.Result{t1, t2, t3, t4, t5, headlineRes, sca} {
+		if res != nil {
+			fmt.Print(res)
+		}
 	}
 	if hostFigs != nil {
 		if all || *figure == 6 {

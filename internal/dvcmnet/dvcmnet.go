@@ -70,7 +70,7 @@ type Endpoint struct {
 
 type call struct {
 	done  func(any, error)
-	timer *sim.Event
+	timer sim.Event
 }
 
 // Attach joins the endpoint to the switch under addr. The VCM may be nil
@@ -132,9 +132,7 @@ func (e *Endpoint) Deliver(p *netsim.Packet) {
 			return // timed out or duplicate
 		}
 		delete(e.pending, m.id)
-		if c.timer != nil {
-			c.timer.Cancel()
-		}
+		c.timer.Cancel()
 		if c.done == nil {
 			return
 		}

@@ -28,6 +28,7 @@ package dwcs
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"repro/internal/cpu"
 	"repro/internal/fixed"
@@ -244,9 +245,33 @@ type Scheduler struct {
 	sel    selector
 	rrNext int // round-robin cursor for DequeueFCFS
 
+	// missWM is the deadline watermark for the lazy miss scan: a lower
+	// bound on the earliest deadline any unmissed, unpaused head-of-line
+	// packet carries. While now ≤ missWM no head can newly miss, so
+	// Schedule skips the O(n) processMisses walk entirely and charges the
+	// meter one watermark compare instead of n descriptor reads. The
+	// bound is conservative: operations that can only *raise* the true
+	// minimum (servicing a head, pausing a stream, removing a stream)
+	// leave it alone, operations that can lower it tighten it in O(1)
+	// (enqueue onto an empty ring) or invalidate it (resume, reconfigure,
+	// servicing an already-missed head, a drop-capped partial scan).
+	missWM      sim.Time
+	missWMValid bool
+	// eagerMissScan restores the unconditional walk — the ablation knob
+	// the before/after benchmark flips.
+	eagerMissScan bool
+
 	// TotalDecisions counts Schedule calls that examined streams.
 	TotalDecisions int64
+
+	// MissScans counts Schedule calls that actually walked the streams
+	// for deadline misses (ablation/monitoring; with the watermark most
+	// calls skip the walk).
+	MissScans int64
 }
+
+// wmInf is the watermark's "no head can ever miss" sentinel.
+const wmInf = sim.Time(math.MaxInt64)
 
 // New returns a Scheduler for cfg.
 func New(cfg Config) *Scheduler {
@@ -482,10 +507,17 @@ func (s *Scheduler) Enqueue(id int, p Packet) error {
 	s.meter.MemWrite(6) // descriptor fields
 	s.meter.Int(3)
 	s.table[slot] = p
+	wasEmpty := st.ring.Len() == 0
 	if !st.ring.Push(slot) {
 		s.freeSlot(slot)
 		st.stats.RejectedFull++
 		return fmt.Errorf("%w: stream %d ring (cap %d)", ErrBufferFull, id, st.ring.Cap())
+	}
+	if wasEmpty && s.missWMValid && p.Deadline < s.missWM {
+		// The stream gained a head with an earlier deadline than any seen
+		// by the last scan: tighten the watermark in O(1).
+		s.missWM = p.Deadline
+		s.meter.MemWrite(1)
 	}
 	st.last = p.Deadline
 	st.seq++
@@ -672,22 +704,34 @@ func (s *Scheduler) adjustMissed(st *stream) (violation bool) {
 // processMisses walks every stream and handles head packets whose deadlines
 // have passed: lossy streams drop them (possibly several), lossless streams
 // take the window adjustment once and keep the packet at the head for late
-// transmission.
+// transmission. A completed walk refreshes the miss watermark; a walk cut
+// short by MaxDropsPerDecision leaves it invalid (heads past the cut were
+// never examined).
 func (s *Scheduler) processMisses(now sim.Time, d *Decision) {
+	s.MissScans++
+	wm := wmInf
+	truncated := false
 	for _, st := range s.order {
 		if s.cfg.MaxDropsPerDecision > 0 && len(d.Dropped) >= s.cfg.MaxDropsPerDecision {
-			return
+			truncated = true
+			break
 		}
 		changed := false
 		for {
 			s.meter.Branch(1)
 			p := st.headPacket(s)
-			if p == nil || now <= p.Deadline {
+			if p == nil {
+				break // empty or paused: cannot miss until it gains a head
+			}
+			if now <= p.Deadline {
+				if p.Deadline < wm {
+					wm = p.Deadline
+				}
 				break
 			}
 			s.meter.Int(1)
 			if p.missed {
-				break // lossless head already accounted
+				break // lossless head already accounted; inert until serviced
 			}
 			p.missed = true
 			s.adjustMissed(st)
@@ -701,6 +745,7 @@ func (s *Scheduler) processMisses(now sim.Time, d *Decision) {
 			st.stats.Dropped++
 			d.Dropped = append(d.Dropped, &dropped)
 			if s.cfg.MaxDropsPerDecision > 0 && len(d.Dropped) >= s.cfg.MaxDropsPerDecision {
+				truncated = true
 				break
 			}
 		}
@@ -708,6 +753,13 @@ func (s *Scheduler) processMisses(now sim.Time, d *Decision) {
 			s.sel.fix(s, st)
 		}
 	}
+	if truncated {
+		s.missWMValid = false
+		return
+	}
+	s.missWM = wm
+	s.missWMValid = true
+	s.meter.MemWrite(1) // watermark store
 }
 
 // Reconfigure changes a live stream's period and loss-tolerance — the
@@ -735,6 +787,7 @@ func (s *Scheduler) Reconfigure(id int, period sim.Time, loss fixed.Frac) error 
 	st.x, st.y = loss.Num, y
 	st.cx, st.cy = st.x, st.y
 	s.meter.MemWrite(4)
+	s.missWMValid = false // defensive: stream attributes changed under the scan
 	s.sel.fix(s, st)
 	return nil
 }
@@ -779,6 +832,9 @@ func (s *Scheduler) Resume(id int) error {
 		s.meter.MemWrite(1)
 		st.ring.Push(slot)
 	}
+	// The resumed head rejoins the scan with a deadline the last scan
+	// never saw (paused heads contribute nothing); force a rescan.
+	s.missWMValid = false
 	s.sel.fix(s, st)
 	return nil
 }
@@ -804,16 +860,18 @@ type StreamSnapshot struct {
 // Snapshot returns every stream's state in insertion order — the
 // monitoring view a management client reads over the DVCM.
 func (s *Scheduler) Snapshot() []StreamSnapshot {
-	out := make([]StreamSnapshot, 0, len(s.order))
-	for _, st := range s.order {
-		out = append(out, StreamSnapshot{
+	// Exactly one allocation, sized up front: the monitoring client polls
+	// this on every DVCM read, so no append growth or double-copy.
+	out := make([]StreamSnapshot, len(s.order))
+	for i, st := range s.order {
+		out[i] = StreamSnapshot{
 			Spec:    st.spec,
 			Stats:   st.stats,
 			Queued:  st.ring.Len(),
 			WindowX: st.cx,
 			WindowY: st.cy,
 			Paused:  st.paused,
-		})
+		}
 	}
 	return out
 }
@@ -835,6 +893,9 @@ func (s *Scheduler) DequeueFCFS() *Packet {
 		s.meter.MemRead(2) // frame address + length from the descriptor
 		pkt := s.table[slot]
 		s.freeSlot(slot)
+		if pkt.missed {
+			s.missWMValid = false // successor head may predate the watermark
+		}
 		st.stats.Serviced++
 		st.stats.BytesServiced += pkt.Bytes
 		s.sel.fix(s, st)
@@ -853,7 +914,17 @@ func (s *Scheduler) Schedule() Decision {
 	s.meter.ChargeCycles(s.cfg.DecisionOverhead)
 	s.TotalDecisions++
 	var d Decision
-	s.processMisses(now, &d)
+	if s.eagerMissScan {
+		s.processMisses(now, &d)
+	} else {
+		// Lazy miss scan: one watermark compare replaces the O(n) walk
+		// whenever no head can have newly missed since the last scan.
+		s.meter.MemRead(1)
+		s.meter.Branch(1)
+		if !s.missWMValid || now > s.missWM {
+			s.processMisses(now, &d)
+		}
+	}
 	var st *stream
 	var p *Packet
 	if s.cfg.WorkConserving {
@@ -876,6 +947,11 @@ func (s *Scheduler) Schedule() Decision {
 	st.ring.Pop()
 	pkt := *p // copy out before the descriptor slot is recycled
 	s.freeSlot(p.slot)
+	if pkt.missed {
+		// Servicing an already-missed head exposes a successor whose
+		// deadline may predate the watermark; force a rescan.
+		s.missWMValid = false
+	}
 	late := pkt.missed || now > pkt.Deadline
 	s.adjustServiced(st)
 	st.stats.Serviced++

@@ -18,10 +18,13 @@ type traceEvent struct {
 	seq    int64
 }
 
-func driveRandom(sel SelectorKind, prec Precedence, seed int64, steps int) []traceEvent {
+func driveRandom(sel SelectorKind, prec Precedence, seed int64, steps int, mutate ...func(*Scheduler)) []traceEvent {
 	rng := rand.New(rand.NewSource(seed))
 	clk := &testClock{}
 	s := New(Config{WorkConserving: true, Selector: sel, Precedence: prec, Now: clk.Now})
+	for _, m := range mutate {
+		m(s)
+	}
 	nStreams := rng.Intn(5) + 2
 	for i := 0; i < nStreams; i++ {
 		x := int64(rng.Intn(4))

@@ -1,0 +1,58 @@
+package dwcs
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/fixed"
+	"repro/internal/sim"
+)
+
+// BenchmarkMissScan measures steady-state decision rate with the lazy
+// watermark against the eager per-decision walk (the ablation the lazy miss
+// scan is justified by). The Heaps selector keeps selection at O(log n) so
+// the miss walk dominates; no deadlines pass, the watermark's best case and
+// the eager walk's worst.
+func BenchmarkMissScan(b *testing.B) {
+	for _, streams := range []int{64, 512, 4096} {
+		for _, mode := range []struct {
+			name  string
+			eager bool
+		}{{"lazy", false}, {"eager", true}} {
+			b.Run(fmt.Sprintf("%s/%d", mode.name, streams), func(b *testing.B) {
+				clk := &testClock{}
+				s := New(Config{WorkConserving: true, Selector: Heaps, Now: clk.Now})
+				s.eagerMissScan = mode.eager
+				for id := 0; id < streams; id++ {
+					if err := s.AddStream(StreamSpec{
+						ID:     id,
+						Period: sim.Second,
+						Loss:   fixed.New(int64(id%3), int64(id%3)+2),
+						Lossy:  true,
+						BufCap: 8,
+					}); err != nil {
+						b.Fatal(err)
+					}
+					for j := 0; j < 4; j++ {
+						if err := s.Enqueue(id, Packet{Bytes: 1000}); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					d := s.Schedule()
+					if d.Packet == nil {
+						b.Fatal("ran dry")
+					}
+					if err := s.Enqueue(d.Packet.StreamID, Packet{Bytes: 1000}); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				perSec := float64(b.N) / b.Elapsed().Seconds()
+				b.ReportMetric(perSec, "decisions/s")
+			})
+		}
+	}
+}

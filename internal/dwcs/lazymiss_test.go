@@ -1,0 +1,254 @@
+package dwcs
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/fixed"
+	"repro/internal/sim"
+)
+
+// lazyPair drives a lazy and an eager scheduler through the same operations
+// and asserts every Schedule decision is identical — the watermark may only
+// change what the scan *costs*, never what it decides.
+type lazyPair struct {
+	t          *testing.T
+	clkL, clkE testClock
+	lazy       *Scheduler
+	eager      *Scheduler
+}
+
+func newLazyPair(t *testing.T, mutate ...func(*Config)) *lazyPair {
+	p := &lazyPair{t: t}
+	mk := func(clk *testClock) *Scheduler {
+		cfg := Config{WorkConserving: true, Now: clk.Now}
+		for _, m := range mutate {
+			m(&cfg)
+		}
+		return New(cfg)
+	}
+	p.lazy = mk(&p.clkL)
+	p.eager = mk(&p.clkE)
+	p.eager.eagerMissScan = true
+	return p
+}
+
+func (p *lazyPair) add(spec StreamSpec) {
+	p.t.Helper()
+	mustAdd(p.t, p.lazy, spec)
+	mustAdd(p.t, p.eager, spec)
+}
+
+func (p *lazyPair) enqueue(id int, pkt Packet) {
+	p.t.Helper()
+	mustEnqueue(p.t, p.lazy, id, pkt)
+	mustEnqueue(p.t, p.eager, id, pkt)
+}
+
+func (p *lazyPair) advance(d sim.Time) {
+	p.clkL.now += d
+	p.clkE.now += d
+}
+
+// schedule runs one decision on both schedulers and fails on any divergence.
+func (p *lazyPair) schedule() Decision {
+	p.t.Helper()
+	a, b := p.lazy.Schedule(), p.eager.Schedule()
+	if (a.Packet == nil) != (b.Packet == nil) || len(a.Dropped) != len(b.Dropped) || a.Late != b.Late {
+		p.t.Fatalf("lazy/eager diverged: %+v vs %+v", a, b)
+	}
+	if a.Packet != nil && (a.Packet.StreamID != b.Packet.StreamID || a.Packet.Seq != b.Packet.Seq) {
+		p.t.Fatalf("dispatched different packets: %+v vs %+v", a.Packet, b.Packet)
+	}
+	for i := range a.Dropped {
+		if a.Dropped[i].StreamID != b.Dropped[i].StreamID || a.Dropped[i].Seq != b.Dropped[i].Seq {
+			p.t.Fatalf("dropped different packets at %d: %+v vs %+v", i, a.Dropped[i], b.Dropped[i])
+		}
+	}
+	return a
+}
+
+// check compares per-stream outcomes after a scenario.
+func (p *lazyPair) check(ids ...int) {
+	p.t.Helper()
+	for _, id := range ids {
+		sa, _ := p.lazy.Stats(id)
+		sb, _ := p.eager.Stats(id)
+		if sa != sb {
+			p.t.Errorf("stream %d stats diverged: lazy %+v eager %+v", id, sa, sb)
+		}
+		xa, ya, _ := p.lazy.Window(id)
+		xb, yb, _ := p.eager.Window(id)
+		if xa != xb || ya != yb {
+			p.t.Errorf("stream %d window diverged: %d/%d vs %d/%d", id, xa, ya, xb, yb)
+		}
+	}
+}
+
+func TestLazyMissScanEnqueueTightensWatermark(t *testing.T) {
+	// Stream 2's first packet lands on an empty ring with a deadline earlier
+	// than the established watermark; the O(1) tighten must make the next
+	// decision notice its miss exactly when the eager scan does.
+	p := newLazyPair(t)
+	p.add(spec(1, 100*sim.Millisecond, fixed.New(1, 2)))
+	p.add(spec(2, 10*sim.Millisecond, fixed.New(1, 2)))
+	p.enqueue(1, Packet{Bytes: 100}) // deadline 100ms → watermark 100ms
+	p.schedule()                     // establishes the watermark
+	p.enqueue(1, Packet{Bytes: 100})
+	p.enqueue(2, Packet{Bytes: 100}) // empty ring, deadline 10ms < watermark
+	p.advance(20 * sim.Millisecond)  // past stream 2's deadline only
+	d := p.schedule()
+	if len(d.Dropped) != 1 || d.Dropped[0].StreamID != 2 {
+		t.Fatalf("expected stream 2's head dropped, got %+v", d)
+	}
+	p.check(1, 2)
+}
+
+func TestLazyMissScanAcrossPauseResume(t *testing.T) {
+	p := newLazyPair(t)
+	p.add(spec(1, 10*sim.Millisecond, fixed.New(1, 2)))
+	p.add(spec(2, 50*sim.Millisecond, fixed.New(0, 1)))
+	for i := 0; i < 4; i++ {
+		p.enqueue(1, Packet{Bytes: 10})
+		p.enqueue(2, Packet{Bytes: 10})
+	}
+	p.schedule()
+	p.lazy.Pause(1)
+	p.eager.Pause(1)
+	p.advance(60 * sim.Millisecond) // stream 1 is paused and must not miss
+	p.schedule()
+	p.lazy.Resume(1)
+	p.eager.Resume(1)
+	p.advance(5 * sim.Millisecond)
+	for i := 0; i < 8; i++ {
+		p.schedule()
+	}
+	p.check(1, 2)
+}
+
+func TestLazyMissScanAcrossReconfigure(t *testing.T) {
+	p := newLazyPair(t)
+	p.add(spec(1, 100*sim.Millisecond, fixed.New(2, 3)))
+	p.enqueue(1, Packet{Bytes: 10})
+	p.schedule() // watermark 100ms, head dispatched
+	p.lazy.Reconfigure(1, 5*sim.Millisecond, fixed.New(1, 4))
+	p.eager.Reconfigure(1, 5*sim.Millisecond, fixed.New(1, 4))
+	p.enqueue(1, Packet{Bytes: 10})
+	p.advance(120 * sim.Millisecond)
+	for i := 0; i < 4; i++ {
+		p.schedule()
+	}
+	p.check(1)
+}
+
+func TestLazyMissScanWithDropCap(t *testing.T) {
+	// A drop-capped scan stops mid-walk; the truncated watermark must not
+	// mask the remaining misses on later decisions.
+	p := newLazyPair(t, func(c *Config) { c.MaxDropsPerDecision = 1 })
+	for id := 1; id <= 4; id++ {
+		p.add(spec(id, 10*sim.Millisecond, fixed.New(2, 2)))
+		p.enqueue(id, Packet{Bytes: 10})
+	}
+	p.schedule() // establishes watermark, dispatches one head
+	p.advance(50 * sim.Millisecond)
+	drops := 0
+	for i := 0; i < 8; i++ {
+		d := p.schedule()
+		drops += len(d.Dropped)
+	}
+	if drops == 0 {
+		t.Fatal("expected capped drops across decisions")
+	}
+	p.check(1, 2, 3, 4)
+}
+
+func TestLazyMissScanAfterMissedLosslessHeadPop(t *testing.T) {
+	// A missed lossless head blocks its successors from the miss walk; once
+	// it is serviced the successor (also past deadline) must be noticed even
+	// though the watermark predates it.
+	p := newLazyPair(t)
+	p.add(StreamSpec{ID: 1, Period: 10 * sim.Millisecond, Loss: fixed.New(1, 2), Lossy: false, BufCap: 8})
+	p.enqueue(1, Packet{Bytes: 10})
+	p.enqueue(1, Packet{Bytes: 10})
+	p.schedule() // dispatches head at t=0; watermark from remaining head
+	p.enqueue(1, Packet{Bytes: 10})
+	p.advance(100 * sim.Millisecond) // both queued packets now missed
+	d := p.schedule()                // services the missed head (late)
+	if d.Packet == nil || !d.Late {
+		t.Fatalf("expected late lossless dispatch, got %+v", d)
+	}
+	p.schedule() // successor's miss must be charged here
+	p.check(1)
+}
+
+// Property: for any randomized workload (enqueues, clock advances,
+// pause/resume churn, reconfigures) the lazy scan's dispatch/drop trace is
+// identical to the eager scan's.
+func TestLazyMissScanMatchesEagerRandom(t *testing.T) {
+	for _, prec := range []Precedence{LossFirst, EDFFirst} {
+		f := func(seed int64) bool {
+			lazy := driveRandom(Scan, prec, seed, 400)
+			eager := driveRandom(Scan, prec, seed, 400, func(s *Scheduler) { s.eagerMissScan = true })
+			if len(lazy) != len(eager) {
+				return false
+			}
+			for i := range lazy {
+				if lazy[i] != eager[i] {
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+			t.Fatalf("precedence %v: %v", prec, err)
+		}
+	}
+}
+
+func TestLazyMissScanSkipsWalks(t *testing.T) {
+	// With a far-future watermark, repeated decisions at the same instant
+	// must not re-walk the streams.
+	clk := &testClock{}
+	s := newScheduler(clk)
+	mustAdd(t, s, spec(1, sim.Second, fixed.New(1, 2)))
+	for i := 0; i < 16; i++ {
+		mustEnqueue(t, s, 1, Packet{Bytes: 10})
+	}
+	for i := 0; i < 10; i++ {
+		s.Schedule()
+	}
+	if s.TotalDecisions != 10 {
+		t.Fatalf("TotalDecisions = %d", s.TotalDecisions)
+	}
+	if s.MissScans != 1 {
+		t.Fatalf("MissScans = %d, want 1 (watermark should skip the other 9)", s.MissScans)
+	}
+	// The eager ablation walks every time.
+	clk2 := &testClock{}
+	e := newScheduler(clk2)
+	e.eagerMissScan = true
+	mustAdd(t, e, spec(1, sim.Second, fixed.New(1, 2)))
+	for i := 0; i < 16; i++ {
+		mustEnqueue(t, e, 1, Packet{Bytes: 10})
+	}
+	for i := 0; i < 10; i++ {
+		e.Schedule()
+	}
+	if e.MissScans != 10 {
+		t.Fatalf("eager MissScans = %d, want 10", e.MissScans)
+	}
+}
+
+func TestSnapshotAndStreamIDsAllocOnce(t *testing.T) {
+	clk := &testClock{}
+	s := newScheduler(clk)
+	for id := 0; id < 32; id++ {
+		mustAdd(t, s, spec(id, sim.Second, fixed.New(1, 2)))
+	}
+	if n := testing.AllocsPerRun(100, func() { s.Snapshot() }); n > 1 {
+		t.Errorf("Snapshot allocates %.0f times per call, want ≤1", n)
+	}
+	if n := testing.AllocsPerRun(100, func() { s.StreamIDs() }); n > 1 {
+		t.Errorf("StreamIDs allocates %.0f times per call, want ≤1", n)
+	}
+}

@@ -48,6 +48,32 @@ func TestCalendarSelectorMatchesScanUnderEDF(t *testing.T) {
 	}
 }
 
+// TestAllSelectorsParityLongFuzz drives every selector through the same
+// 10k-op fuzzed workload (enqueues, clock advances, pause/resume churn,
+// reconfigures, decisions) under the deadline-primary precedence — the only
+// one the calendar queue supports — and requires identical dispatch/drop
+// sequences. The shorter pairwise quick.Check tests above catch most
+// divergences; this one exercises long-run structural drift (bucket
+// migration, list re-sorts, heap rebuilds after thousands of fixes).
+func TestAllSelectorsParityLongFuzz(t *testing.T) {
+	const steps = 10_000
+	for _, seed := range []int64{1, 42, 1960, 20260805} {
+		ref := driveRandom(Scan, EDFFirst, seed, steps)
+		for _, sel := range []SelectorKind{Heaps, SortedList, Calendar} {
+			got := driveRandom(sel, EDFFirst, seed, steps)
+			if len(got) != len(ref) {
+				t.Fatalf("seed %d: %v trace length %d, scan %d", seed, sel, len(got), len(ref))
+			}
+			for i := range ref {
+				if got[i] != ref[i] {
+					t.Fatalf("seed %d: %v diverges from scan at event %d: %+v vs %+v",
+						seed, sel, i, got[i], ref[i])
+				}
+			}
+		}
+	}
+}
+
 func TestCalendarRequiresEDFFirst(t *testing.T) {
 	defer func() {
 		if recover() == nil {

@@ -261,11 +261,21 @@ type HostFigures struct {
 	Runs map[float64]*StreamCurves // keyed by load percent
 }
 
-// RunHostFigures executes the no-load, 45% and 60% runs once.
+// RunHostFigures executes the no-load, 45% and 60% runs once. The three
+// load points are independent simulations (each RunHostLoad builds its own
+// engine and RNG), so they fan out across the worker pool; results are
+// keyed deterministically regardless of completion order.
 func RunHostFigures(dur sim.Time) *HostFigures {
+	pcts := []float64{0, 45, 60}
+	jobs := make([]func() *StreamCurves, len(pcts))
+	for i, pct := range pcts {
+		pct := pct
+		jobs[i] = func() *StreamCurves { return RunHostLoad(pct, dur) }
+	}
+	runs := Collect(jobs)
 	h := &HostFigures{Dur: dur, Runs: map[float64]*StreamCurves{}}
-	for _, pct := range []float64{0, 45, 60} {
-		h.Runs[pct] = RunHostLoad(pct, dur)
+	for i, pct := range pcts {
+		h.Runs[pct] = runs[i]
 	}
 	return h
 }
@@ -315,13 +325,44 @@ type NIFigures struct {
 	Loaded60 *StreamCurves
 }
 
-// RunNIFigures executes the unloaded and 60%-loaded NI runs.
+// RunNIFigures executes the unloaded and 60%-loaded NI runs, fanned across
+// the worker pool.
 func RunNIFigures(dur sim.Time) *NIFigures {
-	return &NIFigures{
-		Dur:      dur,
-		NoLoad:   RunNILoad(0, dur, false),
-		Loaded60: RunNILoad(60, dur, false),
+	runs := Collect([]func() *StreamCurves{
+		func() *StreamCurves { return RunNILoad(0, dur, false) },
+		func() *StreamCurves { return RunNILoad(60, dur, false) },
+	})
+	return &NIFigures{Dur: dur, NoLoad: runs[0], Loaded60: runs[1]}
+}
+
+// RunNIMatrix executes the full NI load × bus-segment matrix (the Figure
+// 9/10 runs plus the same-segment ablation) in one parallel fan-out,
+// returned in row-major (load, segment) order.
+func RunNIMatrix(loads []float64, dur sim.Time) map[float64]map[bool]*StreamCurves {
+	type cell struct {
+		load float64
+		same bool
 	}
+	var cells []cell
+	for _, l := range loads {
+		for _, same := range []bool{false, true} {
+			cells = append(cells, cell{l, same})
+		}
+	}
+	jobs := make([]func() *StreamCurves, len(cells))
+	for i, c := range cells {
+		c := c
+		jobs[i] = func() *StreamCurves { return RunNILoad(c.load, dur, c.same) }
+	}
+	runs := Collect(jobs)
+	out := make(map[float64]map[bool]*StreamCurves, len(loads))
+	for i, c := range cells {
+		if out[c.load] == nil {
+			out[c.load] = make(map[bool]*StreamCurves, 2)
+		}
+		out[c.load][c.same] = runs[i]
+	}
+	return out
 }
 
 // Figure9 reports the NI scheduler's bandwidth immunity to host load.

@@ -24,17 +24,32 @@ type ScalingPoint struct {
 // the stream count grows, for both the embedded linear scan and the
 // Figure 4(a) heap structure.
 func RunStreamScaling(counts []int) ([]ScalingPoint, *Result) {
-	var points []ScalingPoint
 	res := &Result{
 		ID:    "Scaling",
 		Title: "Decision cost vs stream count (future-work study, §6)",
 	}
+	// Every (selector, count) cell is an independent simulation; measure
+	// the whole matrix across the worker pool, then report in the fixed
+	// selector-major order so the table is byte-identical to a
+	// sequential sweep.
+	type cell struct {
+		sel dwcs.SelectorKind
+		n   int
+	}
+	var cells []cell
 	for _, sel := range []dwcs.SelectorKind{dwcs.Scan, dwcs.Heaps, dwcs.SortedList, dwcs.Calendar} {
 		for _, n := range counts {
-			p := measureScaling(sel, n)
-			points = append(points, p)
-			res.Add(fmt.Sprintf("%s, %d streams", sel, n), "µs/decision", 0, p.MicrosPerDec)
+			cells = append(cells, cell{sel, n})
 		}
+	}
+	jobs := make([]func() ScalingPoint, len(cells))
+	for i, c := range cells {
+		c := c
+		jobs[i] = func() ScalingPoint { return measureScaling(c.sel, c.n) }
+	}
+	points := Collect(jobs)
+	for _, p := range points {
+		res.Add(fmt.Sprintf("%s, %d streams", p.Selector, p.Streams), "µs/decision", 0, p.MicrosPerDec)
 	}
 	res.Note("the heap and calendar structures keep decision cost near-flat; the scan " +
 		"(and the sorted list's shifts) grow with n — the scalability argument behind Figure 4(a)")

@@ -67,8 +67,8 @@ type Scheduler struct {
 	link  *netsim.Link
 	lap   *cpu.Lap
 
-	running bool       // a decision's CPU demand is queued or executing
-	waitEv  *sim.Event // pending paced wakeup
+	running bool      // a decision's CPU demand is queued or executing
+	waitEv  sim.Event // pending paced wakeup
 	dst     map[int]string
 }
 
@@ -141,10 +141,7 @@ func (h *Scheduler) pump() {
 	if h.running {
 		return
 	}
-	if h.waitEv != nil {
-		h.waitEv.Cancel()
-		h.waitEv = nil
-	}
+	h.waitEv.Cancel()
 	h.running = true
 	h.sys.Submit(h.cfg.CPU, wakeupSlice, func() {
 		d := h.Sched.Schedule()
@@ -186,7 +183,6 @@ func (h *Scheduler) pump() {
 				return
 			}
 			h.waitEv = h.eng.At(d.WaitUntil, func() {
-				h.waitEv = nil
 				h.pump()
 			})
 		case len(d.Dropped) > 0:

@@ -1,0 +1,61 @@
+package sim
+
+import "testing"
+
+// BenchmarkEngineSteadyState is the kernel's hot loop: one event fires and
+// schedules its successor, so the arena stays at one slot and the heap at
+// one entry. This is the pattern every periodic substrate (producers,
+// bandwidth meters, utilization samplers) drives; it must not allocate.
+func BenchmarkEngineSteadyState(b *testing.B) {
+	e := NewEngine(1)
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < b.N {
+			e.After(Microsecond, tick)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	e.After(Microsecond, tick)
+	e.Run()
+}
+
+// BenchmarkEngineDepth256 keeps 256 events outstanding — the deep-queue
+// regime of the figure runs (producers, meters, web load, per-packet
+// timers all pending at once).
+func BenchmarkEngineDepth256(b *testing.B) {
+	const depth = 256
+	e := NewEngine(1)
+	fired := 0
+	var reschedule func()
+	reschedule = func() {
+		fired++
+		if fired <= b.N {
+			e.After(Time(1+fired%97)*Microsecond, reschedule)
+		}
+	}
+	for i := 0; i < depth; i++ {
+		e.After(Time(1+i%97)*Microsecond, reschedule)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for fired < b.N {
+		e.Step()
+	}
+}
+
+// BenchmarkEngineCancel measures the schedule-then-cancel cycle timers
+// drive (transport RTO timers, paced wakeups): the cancelled event is
+// reaped lazily by the next Step.
+func BenchmarkEngineCancel(b *testing.B) {
+	e := NewEngine(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev := e.After(Microsecond, func() {})
+		ev.Cancel()
+		e.Step()
+	}
+}

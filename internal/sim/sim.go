@@ -6,10 +6,17 @@
 // sequence), so two runs with the same seed replay identically; there are no
 // goroutines and no wall-clock dependencies, which keeps the reproduced
 // tables and figures stable across machines.
+//
+// The pending-event queue is a flat 4-ary min-heap of indices into an event
+// arena with a free-list: the steady-state schedule/fire cycle allocates
+// nothing and never boxes events through interfaces, so the harness's own
+// hot loop stays out of the way of the simulated hardware it measures (the
+// paper makes the same argument for its i960 fast paths). Event handles
+// carry a generation counter, so cancelling an event that already fired —
+// or whose arena slot has since been reused — is a safe no-op.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 )
@@ -49,54 +56,58 @@ func (t Time) String() string {
 	}
 }
 
-// Event is a scheduled callback. Cancel detaches it without disturbing the
-// rest of the timeline.
+// eventSlot is one arena entry. Slots are recycled through the engine's
+// free-list; gen increments on every recycle so stale Event handles cannot
+// touch a reused slot.
+type eventSlot struct {
+	at  Time
+	seq uint64
+	fn  func()
+	gen uint32
+}
+
+// Event is a handle to a scheduled callback. The zero value is inert: Cancel
+// and Scheduled on it are safe no-ops, so callers can keep one Event field
+// and never nil-check it.
 type Event struct {
-	at    Time
-	seq   uint64
-	fn    func()
-	index int // heap index, -1 once popped or cancelled
+	eng *Engine
+	idx int32
+	gen uint32
 }
 
-// Cancel prevents the event from firing. Safe to call more than once and
-// after the event has fired.
-func (ev *Event) Cancel() { ev.fn = nil }
-
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// Cancel prevents the event from firing. Safe to call more than once, after
+// the event has fired, and on the zero value; a handle whose arena slot has
+// been recycled for a newer event is recognised by its stale generation and
+// left untouched.
+func (ev Event) Cancel() {
+	if ev.eng == nil {
+		return
 	}
-	return h[i].seq < h[j].seq
+	s := &ev.eng.slots[ev.idx]
+	if s.gen != ev.gen {
+		return // already fired (or cancelled and reaped): slot reused
+	}
+	s.fn = nil // reaped lazily by Step without advancing the clock
 }
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	ev := x.(*Event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*h = old[:n-1]
-	return ev
+
+// Scheduled reports whether the event is still pending (not yet fired and
+// not cancelled). The zero value reports false.
+func (ev Event) Scheduled() bool {
+	if ev.eng == nil {
+		return false
+	}
+	s := &ev.eng.slots[ev.idx]
+	return s.gen == ev.gen && s.fn != nil
 }
 
 // Engine owns the virtual clock and the pending-event queue.
 type Engine struct {
-	now    Time
-	events eventHeap
-	seq    uint64
-	rng    *rand.Rand
+	now   Time
+	seq   uint64
+	rng   *rand.Rand
+	slots []eventSlot // event arena
+	free  []int32     // recycled arena slots
+	heap  []int32     // 4-ary min-heap of arena indices, keyed by (at, seq)
 }
 
 // NewEngine returns an engine at time zero with a deterministic RNG.
@@ -114,18 +125,83 @@ func (e *Engine) Rand() *rand.Rand { return e.rng }
 
 // At schedules fn at absolute time t. Scheduling in the past panics: it
 // always indicates a modelling bug.
-func (e *Engine) At(t Time, fn func()) *Event {
+func (e *Engine) At(t Time, fn func()) Event {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, e.now))
 	}
 	e.seq++
-	ev := &Event{at: t, seq: e.seq, fn: fn}
-	heap.Push(&e.events, ev)
-	return ev
+	var idx int32
+	if n := len(e.free); n > 0 {
+		idx = e.free[n-1]
+		e.free = e.free[:n-1]
+	} else {
+		e.slots = append(e.slots, eventSlot{})
+		idx = int32(len(e.slots) - 1)
+	}
+	s := &e.slots[idx]
+	s.at = t
+	s.seq = e.seq
+	s.fn = fn
+	e.heap = append(e.heap, idx)
+	e.siftUp(len(e.heap) - 1)
+	return Event{eng: e, idx: idx, gen: s.gen}
 }
 
 // After schedules fn d nanoseconds from now. Negative d panics.
-func (e *Engine) After(d Time, fn func()) *Event { return e.At(e.now+d, fn) }
+func (e *Engine) After(d Time, fn func()) Event { return e.At(e.now+d, fn) }
+
+// less orders heap entries by (time, insertion sequence).
+func (e *Engine) less(a, b int32) bool {
+	sa, sb := &e.slots[a], &e.slots[b]
+	if sa.at != sb.at {
+		return sa.at < sb.at
+	}
+	return sa.seq < sb.seq
+}
+
+const heapArity = 4
+
+func (e *Engine) siftUp(i int) {
+	h := e.heap
+	idx := h[i]
+	for i > 0 {
+		p := (i - 1) / heapArity
+		if !e.less(idx, h[p]) {
+			break
+		}
+		h[i] = h[p]
+		i = p
+	}
+	h[i] = idx
+}
+
+func (e *Engine) siftDown(i int) {
+	h := e.heap
+	n := len(h)
+	idx := h[i]
+	for {
+		first := heapArity*i + 1
+		if first >= n {
+			break
+		}
+		best := first
+		end := first + heapArity
+		if end > n {
+			end = n
+		}
+		for c := first + 1; c < end; c++ {
+			if e.less(h[c], h[best]) {
+				best = c
+			}
+		}
+		if !e.less(h[best], idx) {
+			break
+		}
+		h[i] = h[best]
+		i = best
+	}
+	h[i] = idx
+}
 
 // Every schedules fn at now+period, then every period thereafter, until the
 // returned stop function is called. fn observes the tick time via Now.
@@ -148,14 +224,24 @@ func (e *Engine) Every(period Time, fn func()) (stop func()) {
 // Step fires the earliest pending event. It returns false when no events
 // remain. Cancelled events are skipped without advancing the clock.
 func (e *Engine) Step() bool {
-	for len(e.events) > 0 {
-		ev := heap.Pop(&e.events).(*Event)
-		if ev.fn == nil {
-			continue
+	for len(e.heap) > 0 {
+		idx := e.heap[0]
+		last := len(e.heap) - 1
+		e.heap[0] = e.heap[last]
+		e.heap = e.heap[:last]
+		if last > 0 {
+			e.siftDown(0)
 		}
-		e.now = ev.at
-		fn := ev.fn
-		ev.fn = nil
+		s := &e.slots[idx]
+		fn := s.fn
+		at := s.at
+		s.fn = nil
+		s.gen++ // stale handles to this slot become inert
+		e.free = append(e.free, idx)
+		if fn == nil {
+			continue // cancelled: reap without advancing the clock
+		}
+		e.now = at
 		fn()
 		return true
 	}
@@ -171,7 +257,7 @@ func (e *Engine) Run() {
 // RunUntil fires events with time ≤ t, then sets the clock to t. Events
 // scheduled beyond t remain pending.
 func (e *Engine) RunUntil(t Time) {
-	for len(e.events) > 0 && e.events[0].at <= t {
+	for len(e.heap) > 0 && e.slots[e.heap[0]].at <= t {
 		if !e.Step() {
 			break
 		}
@@ -181,9 +267,18 @@ func (e *Engine) RunUntil(t Time) {
 	}
 }
 
+// NextAt returns the time of the earliest pending event (including
+// cancelled ones not yet reaped) and whether any event is pending.
+func (e *Engine) NextAt() (Time, bool) {
+	if len(e.heap) == 0 {
+		return 0, false
+	}
+	return e.slots[e.heap[0]].at, true
+}
+
 // Pending reports how many events (including cancelled ones not yet
 // reaped) are queued. Intended for tests.
-func (e *Engine) Pending() int { return len(e.events) }
+func (e *Engine) Pending() int { return len(e.heap) }
 
 // Resource is a single server with a FIFO queue — the building block for
 // bus arbitration, disk heads, and CPU cores. A holder acquires it, keeps it

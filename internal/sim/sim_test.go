@@ -246,3 +246,130 @@ func TestRunUntilHorizonProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestCancelTwiceIsNoop(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	ev := e.At(10, func() { fired = true })
+	ev.Cancel()
+	ev.Cancel()
+	e.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestCancelAfterFireIsNoop(t *testing.T) {
+	e := NewEngine(1)
+	count := 0
+	ev := e.At(10, func() { count++ })
+	e.Run()
+	if count != 1 {
+		t.Fatalf("fired %d times, want 1", count)
+	}
+	// The arena slot has been recycled; a stale Cancel must not touch it.
+	ev.Cancel()
+	e.At(20, func() { count++ })
+	e.Run()
+	if count != 2 {
+		t.Fatalf("stale Cancel suppressed a reused slot: count = %d", count)
+	}
+}
+
+func TestCancelStaleHandleDoesNotTouchReusedSlot(t *testing.T) {
+	e := NewEngine(1)
+	var stale Event
+	fired := 0
+	stale = e.At(10, func() {})
+	e.Run() // fires and recycles the slot
+
+	// The next scheduled event reuses the same arena slot (LIFO free-list).
+	ev2 := e.At(20, func() { fired++ })
+	if stale.idx != ev2.idx {
+		t.Fatalf("test premise broken: slots %d vs %d (free-list not LIFO?)", stale.idx, ev2.idx)
+	}
+	stale.Cancel() // generation mismatch: must not cancel ev2
+	e.Run()
+	if fired != 1 {
+		t.Fatalf("stale handle cancelled a newer event in the reused slot (fired=%d)", fired)
+	}
+}
+
+func TestScheduledReporting(t *testing.T) {
+	e := NewEngine(1)
+	var zero Event
+	if zero.Scheduled() {
+		t.Error("zero-value Event reports Scheduled")
+	}
+	zero.Cancel() // must not panic
+
+	ev := e.At(10, func() {})
+	if !ev.Scheduled() {
+		t.Error("pending event not Scheduled")
+	}
+	ev.Cancel()
+	if ev.Scheduled() {
+		t.Error("cancelled event still Scheduled")
+	}
+
+	ev2 := e.At(20, func() {})
+	e.Run()
+	if ev2.Scheduled() {
+		t.Error("fired event still Scheduled")
+	}
+}
+
+func TestArenaReusesSlots(t *testing.T) {
+	e := NewEngine(1)
+	// A schedule-inside-callback chain must keep recycling one slot.
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < 1000 {
+			e.After(1, tick)
+		}
+	}
+	e.After(1, tick)
+	e.Run()
+	if n != 1000 {
+		t.Fatalf("ticked %d, want 1000", n)
+	}
+	if got := len(e.slots); got > 2 {
+		t.Errorf("arena grew to %d slots for a steady-state chain, want ≤ 2", got)
+	}
+}
+
+// Property: the arena kernel replays any (offset, cancel) pattern exactly
+// like a reference ordering by (time, seq).
+func TestHeapOrderProperty(t *testing.T) {
+	f := func(offsets []uint16) bool {
+		e := NewEngine(3)
+		type rec struct {
+			at  Time
+			seq int
+		}
+		var got []rec
+		for i, off := range offsets {
+			at := Time(off)
+			i := i
+			e.At(at, func() { got = append(got, rec{e.Now(), i}) })
+		}
+		e.Run()
+		if len(got) != len(offsets) {
+			return false
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i].at < got[i-1].at {
+				return false
+			}
+			if got[i].at == got[i-1].at && got[i].seq < got[i-1].seq {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -35,7 +35,7 @@ type Sender struct {
 	queue   []*netsim.Packet // unsent backlog (seq assigned)
 	inFlit  []*netsim.Packet // sent, unacked (base..)
 
-	timer *sim.Event
+	timer sim.Event
 
 	// Stats.
 	Sent        int64 // first transmissions
@@ -89,20 +89,16 @@ func (s *Sender) transmit(p *netsim.Packet) {
 
 func (s *Sender) arm() {
 	if len(s.inFlit) == 0 {
-		if s.timer != nil {
-			s.timer.Cancel()
-			s.timer = nil
-		}
+		s.timer.Cancel()
 		return
 	}
-	if s.timer != nil {
+	if s.timer.Scheduled() {
 		return
 	}
 	s.timer = s.eng.After(s.rto, s.timeout)
 }
 
 func (s *Sender) timeout() {
-	s.timer = nil
 	// Retransmit only the base (lowest unacked) packet. Replaying the whole
 	// window would re-present an identical packet pattern to the wire every
 	// cycle, which a deterministic periodic-loss process can drop the same
@@ -128,10 +124,7 @@ func (s *Sender) Deliver(ack *netsim.Packet) {
 	}
 	if advanced {
 		// Restart the timer for the remaining window.
-		if s.timer != nil {
-			s.timer.Cancel()
-			s.timer = nil
-		}
+		s.timer.Cancel()
 		s.pump()
 		if len(s.inFlit) == 0 && len(s.queue) == 0 && s.OnAllAcked != nil {
 			s.OnAllAcked()
