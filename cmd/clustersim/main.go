@@ -7,19 +7,26 @@
 //	clustersim -streams 40                     # admit, stream, report
 //	clustersim -nodes 4 -schedulers 3 -streams 200
 //	clustersim -sweep                          # capacity/goodput vs demand
+//	clustersim -chaos                          # generated fault schedule +
+//	                                           # heartbeat failover
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/cluster"
+	"repro/internal/disk"
 	"repro/internal/experiments"
+	"repro/internal/faults"
 	"repro/internal/fixed"
 	"repro/internal/mpeg"
 	"repro/internal/netsim"
+	"repro/internal/nic"
 	"repro/internal/sim"
+	"repro/internal/stats"
 )
 
 func main() {
@@ -32,6 +39,8 @@ func main() {
 	frame := flag.Int64("frame", 5000, "nominal frame bytes")
 	durSec := flag.Int("dur", 30, "streaming duration (seconds)")
 	sweep := flag.Bool("sweep", false, "sweep requested stream count and report capacity")
+	chaos := flag.Bool("chaos", false, "arm a generated chaos schedule with heartbeat failover")
+	chaosSeed := flag.Int64("chaos-seed", 7, "chaos plan seed (with -chaos)")
 	flag.Parse()
 
 	cfgs := make([]cluster.NodeConfig, *nodes)
@@ -71,6 +80,7 @@ func main() {
 		p  *cluster.Placement
 		cl *netsim.Client
 	}
+	dur := sim.Time(*durSec) * sim.Second
 	var admitted []placed
 	for i := 0; i < *streams; i++ {
 		r := req
@@ -81,11 +91,22 @@ func main() {
 			break
 		}
 		cl := c.AttachClient(p)
+		if *chaos {
+			cl.BW = stats.NewBandwidthMeter(r.Name, 2*sim.Second)
+		}
 		c.Start(p, clip, req.Period/2, 1<<30)
 		admitted = append(admitted, placed{p, cl})
 	}
-	dur := sim.Time(*durSec) * sim.Second
+
+	var mon *cluster.Monitor
+	var chaosLog *faults.Log
+	if *chaos {
+		mon, chaosLog = armChaos(c, clip, req, *chaosSeed, dur)
+	}
 	eng.RunUntil(dur)
+	if mon != nil {
+		mon.Stop()
+	}
 
 	fmt.Printf("admitted %d/%d streams across %d node(s)\n", len(admitted), *streams, *nodes)
 	var totalBytes, totalLate int64
@@ -108,6 +129,114 @@ func main() {
 				s.Card.Name, s.Streams(), s.CPULoad()*100, s.LinkLoad()*100, st.Sent, st.Dropped, verdict)
 		}
 	}
+
+	if *chaos {
+		fmt.Printf("monitor: probes=%d detected=%d failovers=%d recovered=%d\n",
+			mon.Probes, mon.Detected, mon.Failovers, mon.Recovered)
+		fmt.Print("chaos timeline:\n", chaosLog.String())
+		fmt.Println("per-stream bandwidth through fail→recover (kbps, 2s samples):")
+		for _, a := range admitted {
+			a.cl.BW.FlushUntil(dur)
+			var b strings.Builder
+			for _, pt := range a.cl.BW.Series.Points {
+				fmt.Fprintf(&b, " %4.0f", pt.Value/1000)
+			}
+			fmt.Printf("  %-4s│%s\n", a.p.Req.Name, b.String())
+		}
+		fmt.Println("DWCS violations per live stream:")
+		for _, p := range c.Live() {
+			st, err := p.Scheduler.Ext.Sched.Stats(p.StreamID)
+			if err != nil {
+				continue
+			}
+			fmt.Printf("  %-4s on %-16s violations=%d\n",
+				p.Req.Name, p.Scheduler.Card.Name, st.Violations)
+		}
+	}
+}
+
+// armChaos generates a seeded fault plan over the cluster's scheduler cards
+// and producer disks, arms it on the engine, and starts the heartbeat
+// monitor in auto-failover mode. Streams moved by a failover are restarted
+// on their new placement (the orphaned producer on the dead card stops by
+// itself).
+func armChaos(c *cluster.Cluster, clip *mpeg.Clip, req cluster.StreamRequest, seed int64, dur sim.Time) (*cluster.Monitor, *faults.Log) {
+	cards := make(map[string]*nic.Card)
+	disks := make(map[string]*disk.Disk)
+	var cardNames, diskNames []string
+	for _, n := range c.Nodes {
+		for _, s := range n.Schedulers {
+			cards[s.Card.Name] = s.Card
+			cardNames = append(cardNames, s.Card.Name)
+		}
+		for _, p := range n.Producers {
+			cards[p.Card.Name] = p.Card
+			disks[p.Card.Name] = p.Disk
+			diskNames = append(diskNames, p.Card.Name)
+		}
+	}
+	plan, err := faults.Generate(seed, faults.Spec{
+		Start: dur / 4, Span: dur / 2,
+		Cards: cardNames, Disks: diskNames,
+		Counts: map[faults.Kind]int{
+			faults.CardCrash: 1,
+			faults.DiskStall: 1,
+		},
+		MinDuration: 2 * sim.Second, MaxDuration: 5 * sim.Second,
+		MinFactor: 4, MaxFactor: 8,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "clustersim:", err)
+		os.Exit(1)
+	}
+	fmt.Print(plan)
+
+	log := &faults.Log{}
+	err = plan.Arm(c.Eng, faults.InjectorFuncs{
+		OnInject: func(e faults.Event) {
+			switch e.Kind {
+			case faults.CardCrash:
+				cards[e.Target].Crash()
+			case faults.TaskHang:
+				cards[e.Target].HangHog(e.Duration)
+			case faults.DiskStall:
+				disks[e.Target].Degrade(e.Factor)
+			}
+		},
+		OnRecover: func(e faults.Event) {
+			switch e.Kind {
+			case faults.CardCrash:
+				cards[e.Target].Reset()
+			case faults.DiskStall:
+				disks[e.Target].Degrade(1)
+			}
+		},
+	}, log)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "clustersim:", err)
+		os.Exit(1)
+	}
+
+	mon := cluster.NewMonitor(c, "monitor")
+	mon.Auto = true
+	mon.OnFail = func(s *cluster.SchedulerNI, affected []*cluster.Placement) {
+		fmt.Printf("%v: %s declared dead, %d stream(s) affected\n",
+			c.Eng.Now(), s.Card.Name, len(affected))
+	}
+	mon.OnReadmit = func(old, now *cluster.Placement, err error) {
+		if err != nil {
+			fmt.Printf("%v: %s failover failed: %v\n", c.Eng.Now(), old.Req.Name, err)
+			return
+		}
+		c.Start(now, clip, req.Period/2, 1<<30)
+		fmt.Printf("%v: %s moved %s → %s\n", c.Eng.Now(), old.Req.Name,
+			old.Scheduler.Card.Name, now.Scheduler.Card.Name)
+	}
+	mon.OnRecover = func(s *cluster.SchedulerNI) {
+		fmt.Printf("%v: %s back in service\n", c.Eng.Now(), s.Card.Name)
+	}
+	mon.Start()
+	return mon, log
 }
 
 func runSweep(cfgs []cluster.NodeConfig, req cluster.StreamRequest) {

@@ -7,6 +7,7 @@
 //	reprogen -table 4        # one table (1–5)
 //	reprogen -figure 9       # one figure (6–10)
 //	reprogen -headline       # the 50 µs vs 65 µs headline
+//	reprogen -faults         # fault-recovery chaos experiment (opt-in)
 //	reprogen -csv out/       # also dump the figure curves as CSV files
 //	reprogen -dur 60         # figure observation length in seconds
 package main
@@ -26,12 +27,16 @@ func main() {
 	figure := flag.Int("figure", 0, "regenerate one figure (6-10)")
 	headline := flag.Bool("headline", false, "regenerate the headline overhead comparison")
 	scaling := flag.Bool("scaling", false, "run the stream-count scaling study (§6 future work)")
+	faultsRun := flag.Bool("faults", false, "run the fault-recovery chaos experiment (strictly opt-in)")
 	csvDir := flag.String("csv", "", "directory to write figure curves as CSV")
 	durSec := flag.Int("dur", 100, "figure observation length (seconds)")
 	flag.Parse()
 
 	dur := sim.Time(*durSec) * sim.Second
-	all := *table == 0 && *figure == 0 && !*headline && !*scaling
+	// Chaos never rides along with the paper's tables and figures: -faults
+	// is its own selection, so default runs are bit-identical with or
+	// without the fault subsystem present.
+	all := *table == 0 && *figure == 0 && !*headline && !*scaling && !*faultsRun
 
 	// Every table, figure bundle, and sweep is an independent simulation:
 	// fan the selected set across the worker pool, then print in the fixed
@@ -39,6 +44,7 @@ func main() {
 	var (
 		hostFigs                             *experiments.HostFigures
 		niFigs                               *experiments.NIFigures
+		faultRec                             *experiments.FaultRecovery
 		t1, t2, t3, t4, t5, headlineRes, sca *experiments.Result
 	)
 	needHost := all || (*figure >= 6 && *figure <= 8)
@@ -59,12 +65,16 @@ func main() {
 	add(all || *table == 5, func() { t5 = experiments.RunTable5() })
 	add(all || *headline, func() { headlineRes = experiments.RunHeadline() })
 	add(all || *scaling, func() { _, sca = experiments.RunStreamScaling([]int{4, 16, 64, 256}) })
+	add(*faultsRun, func() { faultRec = experiments.RunFaultRecovery(experiments.FaultConfig{Dur: dur}) })
 	experiments.Parallel(jobs...)
 
 	for _, res := range []*experiments.Result{t1, t2, t3, t4, t5, headlineRes, sca} {
 		if res != nil {
 			fmt.Print(res)
 		}
+	}
+	if faultRec != nil {
+		fmt.Print(faultRec.Result())
 	}
 	if hostFigs != nil {
 		if all || *figure == 6 {
@@ -90,7 +100,7 @@ func main() {
 	}
 
 	if *csvDir != "" {
-		if err := dumpCSV(*csvDir, hostFigs, niFigs); err != nil {
+		if err := dumpCSV(*csvDir, hostFigs, niFigs, faultRec); err != nil {
 			fmt.Fprintln(os.Stderr, "csv:", err)
 			os.Exit(1)
 		}
@@ -98,7 +108,7 @@ func main() {
 	}
 }
 
-func dumpCSV(dir string, hostFigs *experiments.HostFigures, niFigs *experiments.NIFigures) error {
+func dumpCSV(dir string, hostFigs *experiments.HostFigures, niFigs *experiments.NIFigures, faultRec *experiments.FaultRecovery) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
@@ -136,6 +146,13 @@ func dumpCSV(dir string, hostFigs *experiments.HostFigures, niFigs *experiments.
 				if err := write(fmt.Sprintf("%s-qdelay-%s.csv", label, name), d.CSV()); err != nil {
 					return err
 				}
+			}
+		}
+	}
+	if faultRec != nil {
+		for name, s := range faultRec.BW {
+			if err := write("fault-bw-"+name+".csv", s.CSV()); err != nil {
+				return err
 			}
 		}
 	}

@@ -17,6 +17,8 @@ import (
 	"errors"
 	"fmt"
 
+	"sort"
+
 	"repro/internal/bus"
 	"repro/internal/disk"
 	"repro/internal/dvcmnet"
@@ -136,13 +138,16 @@ type Cluster struct {
 	nextID   int
 	Placed   int
 	Rejected int
+
+	placements map[int]*Placement // live admitted streams by ID
 }
 
 // New builds a cluster of nodes per cfg, all attached to one SAN switch.
 func New(eng *sim.Engine, cfgs []NodeConfig) *Cluster {
 	c := &Cluster{
-		Eng:    eng,
-		Switch: netsim.NewSwitch(eng, "san", 90*sim.Microsecond),
+		Eng:        eng,
+		Switch:     netsim.NewSwitch(eng, "san", 90*sim.Microsecond),
+		placements: make(map[int]*Placement),
 	}
 	for _, cfg := range cfgs {
 		c.Nodes = append(c.Nodes, c.buildNode(cfg))
@@ -175,11 +180,15 @@ func (c *Cluster) buildNode(cfg NodeConfig) *Node {
 		if err != nil {
 			panic(err)
 		}
-		n.Schedulers = append(n.Schedulers, &SchedulerNI{
+		sni := &SchedulerNI{
 			Card: card, Ext: ext,
 			Endpoint: dvcmnet.Attach(c.Eng, c.Switch, card.Name, card.VCM),
 			specs:    make(map[int]qos.Stream),
-		})
+		}
+		// A crashed card answers nothing on the SAN — that silence is what
+		// heartbeat monitoring detects.
+		sni.Endpoint.Silent = card.Crashed
+		n.Schedulers = append(n.Schedulers, sni)
 		n.segOf[card] = seg
 	}
 	for i := 0; i < cfg.ProducerNIs; i++ {
@@ -202,7 +211,8 @@ type Placement struct {
 	Node      *Node
 	Scheduler *SchedulerNI
 	Producer  *ProducerNI
-	Client    string // client address the stream is delivered to
+	Client    string        // client address the stream is delivered to
+	Req       StreamRequest // original request, for re-admission after a fault
 
 	commit *commitment
 }
@@ -218,6 +228,13 @@ type commitment struct {
 // the least-loaded producer NI on the same segment. It returns ErrAdmission
 // when nothing fits.
 func (c *Cluster) Admit(req StreamRequest) (*Placement, error) {
+	return c.admit(req, nil, "")
+}
+
+// admit is Admit plus failover knobs: exclude skips one scheduler NI (the
+// card the stream is being moved off), and client, when non-empty, keeps an
+// existing client address instead of minting a new one.
+func (c *Cluster) admit(req StreamRequest, exclude *SchedulerNI, client string) (*Placement, error) {
 	if err := req.validate(); err != nil {
 		return nil, err
 	}
@@ -231,7 +248,7 @@ func (c *Cluster) Admit(req StreamRequest) (*Placement, error) {
 	var bestNode *Node
 	for _, n := range c.Nodes {
 		for _, s := range n.Schedulers {
-			if s.Card.Link == nil || s.failed {
+			if s.Card.Link == nil || s.failed || s == exclude {
 				continue
 			}
 			linkNeed := frameRate * s.Card.Link.WireTime(req.FrameBytes).Seconds()
@@ -301,15 +318,58 @@ func (c *Cluster) Admit(req StreamRequest) (*Placement, error) {
 	prod.streams++
 	c.Placed++
 
-	client := fmt.Sprintf("client-%d", id)
-	return &Placement{
+	if client == "" {
+		client = fmt.Sprintf("client-%d", id)
+	}
+	p := &Placement{
 		StreamID:  id,
 		Node:      bestNode,
 		Scheduler: best,
 		Producer:  prod,
 		Client:    client,
+		Req:       req,
 		commit:    &commitment{cpu: cpuNeed, link: linkNeed, mem: memNeed},
-	}, nil
+	}
+	c.placements[id] = p
+	return p, nil
+}
+
+// refund returns a placement's committed CPU, link, and memory to its
+// scheduler's admission budget, exactly once.
+func (c *Cluster) refund(p *Placement) {
+	ct := p.commit
+	if ct == nil {
+		return
+	}
+	p.commit = nil
+	p.Scheduler.cpuLoad -= ct.cpu
+	p.Scheduler.linkLoad -= ct.link
+	p.Scheduler.memLoad -= ct.mem
+	// Refunds are float subtractions of earlier additions; clamp the dust so
+	// an emptied card reports exactly zero load.
+	if p.Scheduler.cpuLoad < 0 {
+		p.Scheduler.cpuLoad = 0
+	}
+	if p.Scheduler.linkLoad < 0 {
+		p.Scheduler.linkLoad = 0
+	}
+	if p.Scheduler.memLoad < 0 {
+		p.Scheduler.memLoad = 0
+	}
+}
+
+// Live returns the currently admitted placements in StreamID order.
+func (c *Cluster) Live() []*Placement {
+	ids := make([]int, 0, len(c.placements))
+	for id := range c.placements {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	out := make([]*Placement, len(ids))
+	for i, id := range ids {
+		out[i] = c.placements[id]
+	}
+	return out
 }
 
 // Start begins streaming an admitted placement: a producer task on the
@@ -325,12 +385,9 @@ func (c *Cluster) Release(p *Placement) error {
 	if err := p.Scheduler.Ext.Sched.RemoveStream(p.StreamID); err != nil {
 		return err
 	}
-	if ct := p.commit; ct != nil {
-		p.Scheduler.cpuLoad -= ct.cpu
-		p.Scheduler.linkLoad -= ct.link
-		p.Scheduler.memLoad -= ct.mem
-	}
+	c.refund(p)
 	delete(p.Scheduler.specs, p.StreamID)
+	delete(c.placements, p.StreamID)
 	p.Scheduler.streams--
 	p.Producer.streams--
 	c.Placed--
@@ -357,9 +414,13 @@ func (c *Cluster) FailScheduler(s *SchedulerNI, placements []*Placement) []*Plac
 		if p.Scheduler != s {
 			continue
 		}
-		// Tear down bookkeeping; the dead card's DWCS state is gone.
+		// Tear down bookkeeping; the dead card's DWCS state is gone, and
+		// the commitment is refunded so the card's admission budget is
+		// clean if it later recovers.
 		_ = p.Scheduler.Ext.Sched.RemoveStream(p.StreamID)
+		c.refund(p)
 		delete(s.specs, p.StreamID)
+		delete(c.placements, p.StreamID)
 		s.streams--
 		p.Producer.streams--
 		c.Placed--
@@ -368,10 +429,21 @@ func (c *Cluster) FailScheduler(s *SchedulerNI, placements []*Placement) []*Plac
 	return affected
 }
 
-// Readmit re-places a stream that was on a failed card, reusing its
-// original request shape.
+// Recover returns a previously failed scheduler NI to admission service
+// (its card has been reset). Streams moved off it stay where they are.
+func (c *Cluster) Recover(s *SchedulerNI) { s.failed = false }
+
+// Readmit re-places a stream that was on a failed card: the old commitment
+// is refunded (if FailScheduler hasn't already), the failed card is
+// excluded from candidacy, and the stream keeps its client address so
+// delivery resumes where the viewer is, under a fresh stream ID.
 func (c *Cluster) Readmit(old *Placement, req StreamRequest) (*Placement, error) {
-	return c.Admit(req)
+	if old == nil {
+		return c.Admit(req)
+	}
+	c.refund(old)
+	delete(c.placements, old.StreamID)
+	return c.admit(req, old.Scheduler, old.Client)
 }
 
 // TotalMem reports committed ring memory across all scheduler NIs.

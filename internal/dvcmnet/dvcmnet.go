@@ -56,22 +56,52 @@ type Endpoint struct {
 	// ProcessCost is the NI CPU charged per remote instruction before the
 	// reply is sent (the extension runs on the card).
 	ProcessCost sim.Time
-	// Timeout bounds each Invoke; 0 disables timeouts (reliable SAN).
+	// Timeout bounds each Invoke attempt; 0 disables timeouts (reliable
+	// SAN).
 	Timeout sim.Time
+	// MaxAttempts caps send attempts per Invoke (0 and 1 both mean a
+	// single attempt). Retries reuse the original request ID so the remote
+	// side can deduplicate re-executions.
+	MaxAttempts int
+	// Backoff delays the first retransmit; it doubles per further retry.
+	// Zero retransmits immediately on timeout.
+	Backoff sim.Time
+	// Budget bounds the total elapsed time an Invoke may spend across all
+	// attempts; 0 leaves only MaxAttempts as the limit.
+	Budget sim.Time
+	// Silent, when set and true, models a dark card: the endpoint drops
+	// everything it would send or receive (crashed NI firmware does not
+	// answer the SAN).
+	Silent func() bool
 
 	nextID  uint32
 	pending map[uint32]*call
+	seen    map[string]map[uint32]*served
 
 	// Served counts remote instructions executed here; Issued counts
-	// invocations sent from here.
-	Served int64
-	Issued int64
+	// invocations sent from here; Retried counts request retransmits;
+	// Deduped counts duplicate requests absorbed by the reply cache.
+	Served  int64
+	Issued  int64
+	Retried int64
+	Deduped int64
 }
 
 type call struct {
 	done  func(any, error)
 	timer sim.Event
 }
+
+// served is one entry in the duplicate-suppression cache: reply is nil
+// while the instruction is still executing (a retransmit arriving then is
+// absorbed; the in-flight execution's reply answers both).
+type served struct {
+	reply *message
+}
+
+// dedupWindow bounds the per-peer reply cache. IDs are monotone per peer,
+// so anything further than the window behind the newest ID is pruned.
+const dedupWindow = 128
 
 // Attach joins the endpoint to the switch under addr. The VCM may be nil
 // for pure-client endpoints.
@@ -82,6 +112,7 @@ func Attach(eng *sim.Engine, sw *netsim.Switch, addr string, vcm *core.VCM) *End
 		vcm:         vcm,
 		ProcessCost: 50 * sim.Microsecond,
 		pending:     make(map[uint32]*call),
+		seen:        make(map[string]map[uint32]*served),
 	}
 	e.out = netsim.Fast100(eng, addr+"-dvcm", sw)
 	sw.Attach(addr, netsim.Fast100(eng, "sw-"+addr, e))
@@ -93,21 +124,63 @@ func (e *Endpoint) Addr() string { return e.addr }
 
 // Invoke executes an instruction on the remote endpoint, delivering the
 // result (or error) to done. done may be nil for fire-and-forget control.
+// With MaxAttempts > 1, each per-attempt Timeout triggers a retransmit
+// after an exponentially doubling Backoff, reusing the same request ID so
+// the remote reply cache absorbs duplicates; Budget caps the whole call.
 func (e *Endpoint) Invoke(remote string, in core.Instr, done func(any, error)) {
 	e.nextID++
 	id := e.nextID
 	e.Issued++
+	if done == nil {
+		e.sendRequest(remote, id, in)
+		return
+	}
 	c := &call{done: done}
-	if done != nil {
-		e.pending[id] = c
-		if e.Timeout > 0 {
-			c.timer = e.eng.After(e.Timeout, func() {
-				if _, still := e.pending[id]; still {
-					delete(e.pending, id)
-					done(nil, fmt.Errorf("%w: %s/%s on %s", ErrTimeout, in.Ext, in.Op, remote))
-				}
-			})
+	e.pending[id] = c
+	started := e.eng.Now()
+	attempts := 1
+	var arm func()
+	arm = func() {
+		if e.Timeout <= 0 {
+			return
 		}
+		c.timer = e.eng.After(e.Timeout, func() {
+			if _, still := e.pending[id]; !still {
+				return // replied while the timer was in flight
+			}
+			max := e.MaxAttempts
+			if max < 1 {
+				max = 1
+			}
+			backoff := e.Backoff
+			if backoff > 0 && attempts > 1 {
+				backoff <<= uint(attempts - 1)
+			}
+			overBudget := e.Budget > 0 && e.eng.Now()+backoff-started >= e.Budget
+			if attempts >= max || overBudget {
+				delete(e.pending, id)
+				done(nil, fmt.Errorf("%w: %s/%s on %s after %d attempt(s)",
+					ErrTimeout, in.Ext, in.Op, remote, attempts))
+				return
+			}
+			attempts++
+			e.Retried++
+			e.eng.After(backoff, func() {
+				if _, still := e.pending[id]; !still {
+					return // a late reply landed during the backoff
+				}
+				e.sendRequest(remote, id, in)
+				arm()
+			})
+		})
+	}
+	arm()
+	e.sendRequest(remote, id, in)
+}
+
+func (e *Endpoint) sendRequest(remote string, id uint32, in core.Instr) {
+	if e.Silent != nil && e.Silent() {
+		return // dark card: the request never reaches the wire
 	}
 	e.out.Send(&netsim.Packet{
 		Src:   e.addr,
@@ -122,6 +195,9 @@ func (e *Endpoint) Deliver(p *netsim.Packet) {
 	m, ok := p.Data.(*message)
 	if !ok {
 		return // not control-plane traffic for us
+	}
+	if e.Silent != nil && e.Silent() {
+		return // dark card: inbound control traffic is lost
 	}
 	switch m.kind {
 	case kindRequest:
@@ -145,7 +221,34 @@ func (e *Endpoint) Deliver(p *netsim.Packet) {
 }
 
 func (e *Endpoint) serve(m *message) {
+	peer := e.seen[m.from]
+	if peer == nil {
+		peer = make(map[uint32]*served)
+		e.seen[m.from] = peer
+	}
+	if s, ok := peer[m.id]; ok {
+		// Retransmit of a request we already have. If the execution
+		// finished, replay the cached reply (the instruction must not run
+		// twice); if it is still in flight, its reply will answer both.
+		e.Deduped++
+		if s.reply != nil {
+			e.sendReply(m.from, s.reply)
+		}
+		return
+	}
+	s := &served{}
+	peer[m.id] = s
+	if len(peer) > 2*dedupWindow {
+		for k := range peer {
+			if k+dedupWindow < m.id {
+				delete(peer, k)
+			}
+		}
+	}
 	e.eng.After(e.ProcessCost, func() {
+		if e.Silent != nil && e.Silent() {
+			return // the card went dark mid-execution: no reply
+		}
 		e.Served++
 		reply := &message{kind: kindReply, id: m.id, from: e.addr}
 		if e.vcm == nil {
@@ -155,13 +258,18 @@ func (e *Endpoint) serve(m *message) {
 		} else {
 			reply.reply = res
 		}
-		e.out.Send(&netsim.Packet{
-			Src:   e.addr,
-			Dst:   m.from,
-			Bytes: respBytes,
-			Data:  reply,
-		}, nil)
+		s.reply = reply
+		e.sendReply(m.from, reply)
 	})
+}
+
+func (e *Endpoint) sendReply(to string, reply *message) {
+	e.out.Send(&netsim.Packet{
+		Src:   e.addr,
+		Dst:   to,
+		Bytes: respBytes,
+		Data:  reply,
+	}, nil)
 }
 
 // Pending reports invocations awaiting replies.

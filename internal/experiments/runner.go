@@ -58,8 +58,15 @@ func (r Runner) Run(n int, job func(i int)) {
 // Collect runs every job on the default pool and returns their results in
 // job order, independent of completion order.
 func Collect[T any](jobs []func() T) []T {
+	return CollectWith(Runner{}, jobs)
+}
+
+// CollectWith is Collect on an explicit pool — the determinism canary runs
+// the same jobs on Runner{Workers: 1} and a parallel pool and asserts the
+// outputs are byte-identical.
+func CollectWith[T any](r Runner, jobs []func() T) []T {
 	out := make([]T, len(jobs))
-	Runner{}.Run(len(jobs), func(i int) {
+	r.Run(len(jobs), func(i int) {
 		out[i] = jobs[i]()
 	})
 	return out

@@ -1,0 +1,120 @@
+package faults
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func genSpec() Spec {
+	return Spec{
+		Start: sim.Second, Span: 60 * sim.Second,
+		Cards: []string{"ni0", "ni1"},
+		Links: []string{"san-a", "san-b"},
+		Disks: []string{"d0"},
+		Counts: map[Kind]int{
+			CardCrash: 1, LinkDown: 2, LossBurst: 2, DiskStall: 1, TaskHang: 1,
+		},
+		MinDuration: sim.Second, MaxDuration: 10 * sim.Second,
+		MinFactor: 2, MaxFactor: 8,
+	}
+}
+
+func TestGenerateIsDeterministic(t *testing.T) {
+	a, err := Generate(99, genSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(99, genSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed produced different plans:\n%s\nvs\n%s", a, b)
+	}
+	if len(a.Events) != 7 {
+		t.Fatalf("got %d events, want 7", len(a.Events))
+	}
+	c, err := Generate(100, genSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.Events, c.Events) {
+		t.Fatal("different seeds produced identical plans")
+	}
+}
+
+func TestGenerateValidatesTargets(t *testing.T) {
+	spec := genSpec()
+	spec.Disks = nil
+	if _, err := Generate(1, spec); err == nil {
+		t.Fatal("disk-stall with no disks should fail")
+	}
+	spec = genSpec()
+	spec.Span = 0
+	if _, err := Generate(1, spec); err == nil {
+		t.Fatal("zero span should fail")
+	}
+}
+
+func TestValidateRejectsBadEvents(t *testing.T) {
+	cases := []Plan{
+		{Events: []Event{{At: -1, Kind: LinkDown, Target: "l"}}},
+		{Events: []Event{{At: 1, Kind: LinkDown}}},
+		{Events: []Event{{At: 1, Kind: LossBurst, Target: "l", Factor: 0}}},
+		{Events: []Event{{At: 1, Kind: DiskStall, Target: "d", Factor: 1}}},
+	}
+	for i := range cases {
+		if err := cases[i].Validate(); err == nil {
+			t.Errorf("case %d: bad plan validated", i)
+		}
+	}
+}
+
+func TestArmFiresInjectAndRecoverInOrder(t *testing.T) {
+	eng := sim.NewEngine(1)
+	p := &Plan{Events: []Event{
+		{At: 2 * sim.Second, Duration: 3 * sim.Second, Kind: LinkDown, Target: "san"},
+		{At: sim.Second, Kind: CardCrash, Target: "ni0"},
+	}}
+	p.Sort()
+	if p.Events[0].Kind != CardCrash {
+		t.Fatal("Sort did not order by time")
+	}
+	var log Log
+	var seq []string
+	inj := InjectorFuncs{
+		OnInject:  func(e Event) { seq = append(seq, "inject "+e.Target) },
+		OnRecover: func(e Event) { seq = append(seq, "recover "+e.Target) },
+	}
+	if err := p.Arm(eng, inj, &log); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	want := []string{"inject ni0", "inject san", "recover san"}
+	if !reflect.DeepEqual(seq, want) {
+		t.Fatalf("sequence = %v, want %v", seq, want)
+	}
+	if len(log.Records) != 3 || !log.Records[2].Recover {
+		t.Fatalf("log = %+v", log.Records)
+	}
+	if log.Records[2].At != 5*sim.Second {
+		t.Fatalf("recovery at %v, want 5s", log.Records[2].At)
+	}
+}
+
+func TestEmptyPlanIsNoOp(t *testing.T) {
+	var p *Plan
+	if !p.Empty() {
+		t.Fatal("nil plan should be empty")
+	}
+	eng := sim.NewEngine(1)
+	q := &Plan{}
+	if err := q.Arm(eng, InjectorFuncs{}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if eng.Pending() != 0 {
+		t.Fatal("empty plan scheduled events")
+	}
+}

@@ -116,6 +116,11 @@ type Link struct {
 	// (deterministic loss injection for robustness tests).
 	DropEvery int64
 
+	// down, while true, loses every packet after serialization — a SAN
+	// cable pull or port failure. The transmitter still burns wire time
+	// (the sender can't tell), but nothing is delivered.
+	down bool
+
 	// Stats counts traffic.
 	Packets int64
 	Bytes   int64
@@ -172,7 +177,7 @@ func (l *Link) Send(p *Packet, onWire func()) {
 				onWire()
 			}
 		})
-		if l.DropEvery > 0 && l.Packets%l.DropEvery == 0 {
+		if l.down || (l.DropEvery > 0 && l.Packets%l.DropEvery == 0) {
 			l.Dropped++
 			return
 		}
@@ -183,6 +188,13 @@ func (l *Link) Send(p *Packet, onWire func()) {
 		})
 	})
 }
+
+// SetDown fails or restores the link. While down, every transmission is
+// lost after serialization (counted in Dropped).
+func (l *Link) SetDown(down bool) { l.down = down }
+
+// Down reports whether the link is currently failed.
+func (l *Link) Down() bool { return l.down }
 
 // Name returns the link name.
 func (l *Link) Name() string { return l.name }

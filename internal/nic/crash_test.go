@@ -1,0 +1,180 @@
+package nic
+
+import (
+	"testing"
+
+	"repro/internal/dwcs"
+	"repro/internal/faults"
+	"repro/internal/sim"
+)
+
+// TestCardCrashFreezesAndResetResumes: a crash halts all streaming mid-flight.
+// After the reset the frames that sat frozen through the outage have blown
+// their deadlines — DWCS drops them, it does not replay stale media — and
+// fresh traffic flows at full rate again.
+func TestCardCrashFreezesAndResetResumes(t *testing.T) {
+	r := newRig(t, true)
+	ext, _ := r.card.LoadScheduler(SchedulerConfig{WorkConserving: true})
+	ext.AddStream(streamSpec(1, 10*sim.Millisecond))
+	for i := 0; i < 10; i++ {
+		ext.Enqueue(1, dwcs.Packet{Bytes: 800})
+	}
+	r.eng.At(5*sim.Millisecond, r.card.Crash)
+	r.eng.RunUntil(sim.Second)
+	frozen := ext.Sent
+	if frozen >= 10 || frozen == 0 {
+		t.Fatalf("crash at 5 ms froze %d of 10 frames, want a partial send", frozen)
+	}
+	if !r.card.Crashed() || r.card.Crashes != 1 {
+		t.Fatalf("crashed=%v crashes=%d", r.card.Crashed(), r.card.Crashes)
+	}
+	r.eng.At(sim.Second, r.card.Reset)
+	r.eng.At(sim.Second+sim.Millisecond, func() {
+		for i := 0; i < 10; i++ {
+			ext.Enqueue(1, dwcs.Packet{Bytes: 800})
+		}
+	})
+	r.eng.RunUntil(3 * sim.Second)
+	if r.card.Crashed() || r.card.Resets != 1 {
+		t.Fatalf("crashed=%v resets=%d after reset", r.card.Crashed(), r.card.Resets)
+	}
+	if ext.Sent != frozen+10 {
+		t.Fatalf("sent %d after reset, want %d pre-crash + 10 fresh", ext.Sent, frozen)
+	}
+	if ext.Sent+ext.Dropped != 20 {
+		t.Fatalf("sent %d + dropped %d ≠ 20: frames lost without trace", ext.Sent, ext.Dropped)
+	}
+	if ext.Dropped == 0 {
+		t.Fatal("no deadline-miss drops from a 1 s outage")
+	}
+}
+
+// TestWatchdogInitiatedReset: the card's own watchdog detects the crash and
+// schedules the delayed reset, with no oracle involvement.
+func TestWatchdogInitiatedReset(t *testing.T) {
+	r := newRig(t, true)
+	ext, _ := r.card.LoadScheduler(SchedulerConfig{WorkConserving: true})
+	ext.AddStream(streamSpec(1, 10*sim.Millisecond))
+
+	const resetDelay = 200 * sim.Millisecond
+	resetArmed := false
+	r.card.StartWatchdog(100*sim.Millisecond, func() {
+		if resetArmed || !r.card.Crashed() {
+			return // spurious bite or reset already in flight
+		}
+		resetArmed = true
+		r.eng.After(resetDelay, r.card.Reset)
+	})
+
+	r.eng.At(sim.Second, r.card.Crash)
+	r.eng.At(1100*sim.Millisecond, func() {
+		// Mid-outage traffic queues on the frozen card and expires there.
+		for i := 0; i < 5; i++ {
+			ext.Enqueue(1, dwcs.Packet{Bytes: 800})
+		}
+	})
+	// Post-recovery traffic must flow normally again.
+	r.eng.At(2*sim.Second, func() {
+		for i := 0; i < 5; i++ {
+			ext.Enqueue(1, dwcs.Packet{Bytes: 800})
+		}
+	})
+	r.eng.RunUntil(5 * sim.Second)
+	if r.card.Resets != 1 {
+		t.Fatalf("resets = %d, want watchdog-initiated 1", r.card.Resets)
+	}
+	if r.card.Crashed() {
+		t.Fatal("card still crashed after watchdog reset")
+	}
+	if ext.Dropped != 5 {
+		t.Fatalf("dropped %d, want the 5 frames that expired during the outage", ext.Dropped)
+	}
+	if ext.Sent != 5 {
+		t.Fatalf("sent %d of 5 post-recovery frames", ext.Sent)
+	}
+	if r.card.Watchdog.Bites == 0 {
+		t.Fatal("watchdog never bit")
+	}
+}
+
+// TestTaskHangStarvesSchedulingUntilHogExits: an injected runaway task
+// stalls dispatches; the watchdog notices; service resumes afterwards.
+func TestTaskHangStarvesSchedulingUntilHogExits(t *testing.T) {
+	r := newRig(t, true)
+	ext, _ := r.card.LoadScheduler(SchedulerConfig{WorkConserving: true})
+	ext.AddStream(streamSpec(1, 10*sim.Millisecond))
+	w := r.card.StartWatchdog(100*sim.Millisecond, nil)
+
+	r.eng.At(sim.Second, func() { r.card.HangHog(500 * sim.Millisecond) })
+	r.eng.At(1050*sim.Millisecond, func() {
+		for i := 0; i < 8; i++ {
+			ext.Enqueue(1, dwcs.Packet{Bytes: 800})
+		}
+	})
+	r.eng.RunUntil(1400 * sim.Millisecond)
+	if ext.Sent != 0 {
+		t.Fatalf("scheduler sent %d frames under a priority-0 hog", ext.Sent)
+	}
+	// Once the hog exits the starved frames are past deadline and dropped;
+	// new traffic is serviced immediately.
+	r.eng.At(2*sim.Second, func() {
+		for i := 0; i < 8; i++ {
+			ext.Enqueue(1, dwcs.Packet{Bytes: 800})
+		}
+	})
+	r.eng.RunUntil(4 * sim.Second)
+	if ext.Dropped != 8 {
+		t.Fatalf("dropped %d, want the 8 frames starved past deadline", ext.Dropped)
+	}
+	if ext.Sent != 8 {
+		t.Fatalf("sent %d of 8 after the hang cleared", ext.Sent)
+	}
+	if w.Bites < 3 {
+		t.Fatalf("watchdog bites = %d across a 500 ms hang", w.Bites)
+	}
+}
+
+// TestChaosPlanDrivesCardFaults wires a generated plan straight onto a card
+// through a faults.Injector — the integration the experiments use.
+func TestChaosPlanDrivesCardFaults(t *testing.T) {
+	r := newRig(t, true)
+	ext, _ := r.card.LoadScheduler(SchedulerConfig{WorkConserving: true})
+	ext.AddStream(streamSpec(1, 10*sim.Millisecond))
+
+	plan := &faults.Plan{Events: []faults.Event{
+		{At: sim.Second, Duration: 500 * sim.Millisecond, Kind: faults.CardCrash, Target: "ni0"},
+		{At: 3 * sim.Second, Duration: 200 * sim.Millisecond, Kind: faults.TaskHang, Target: "ni0"},
+	}}
+	var log faults.Log
+	err := plan.Arm(r.eng, faults.InjectorFuncs{
+		OnInject: func(e faults.Event) {
+			switch e.Kind {
+			case faults.CardCrash:
+				r.card.Crash()
+			case faults.TaskHang:
+				r.card.HangHog(e.Duration)
+			}
+		},
+		OnRecover: func(e faults.Event) {
+			if e.Kind == faults.CardCrash {
+				r.card.Reset()
+			}
+		},
+	}, &log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		ext.Enqueue(1, dwcs.Packet{Bytes: 600})
+	}
+	r.eng.RunUntil(6 * sim.Second)
+	if ext.Sent != 20 {
+		t.Fatalf("sent %d of 20 through crash+hang", ext.Sent)
+	}
+	if r.card.Crashes != 1 || r.card.Resets != 1 {
+		t.Fatalf("crashes=%d resets=%d", r.card.Crashes, r.card.Resets)
+	}
+	if len(log.Records) != 4 {
+		t.Fatalf("log records = %d, want 4", len(log.Records))
+	}
+}

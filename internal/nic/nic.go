@@ -13,6 +13,7 @@
 package nic
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/bus"
@@ -33,6 +34,7 @@ import (
 // Task priorities on the NI kernel (VxWorks style: lower = higher).
 const (
 	PrioScheduler = 50  // the DWCS scheduler task
+	PrioWatchdog  = 60  // watchdog petter: starves when anything above hangs
 	PrioRelay     = 80  // store-and-forward relay tasks
 	PrioProducer  = 100 // frame producer tasks
 )
@@ -78,6 +80,63 @@ type Card struct {
 
 	// FramesSent counts frames handed to the wire by any path on this card.
 	FramesSent int64
+
+	// Watchdog is the card's hardware deadman, if StartWatchdog armed one.
+	Watchdog *rtos.Watchdog
+	// Crashes and Resets count fault-injection lifecycle transitions.
+	Crashes int64
+	Resets  int64
+
+	crashed bool
+}
+
+// Crash wedges the card (firmware fault, injected by internal/faults): the
+// kernel halts, so no task — scheduler, producer, relay — makes progress
+// until Reset. Frames already handed to the wire still deliver; everything
+// queued on the card is frozen in place.
+func (c *Card) Crash() {
+	if c.crashed {
+		return
+	}
+	c.crashed = true
+	c.Crashes++
+	c.Kernel.Halt()
+}
+
+// Reset brings a crashed card back: the kernel resumes and parked tasks run
+// again. Callers that failed the card's streams over elsewhere should wipe
+// and re-register them before resuming traffic.
+func (c *Card) Reset() {
+	if !c.crashed {
+		return
+	}
+	c.crashed = false
+	c.Resets++
+	c.Kernel.Resume()
+}
+
+// Crashed reports whether the card is wedged.
+func (c *Card) Crashed() bool { return c.crashed }
+
+// HangHog injects an RTOS task hang: a runaway highest-priority task that
+// holds the CPU for d, starving every other task (the watchdog petter
+// included, which is how the hang gets detected).
+func (c *Card) HangHog(d sim.Time) {
+	c.Kernel.Spawn(c.Name+"/hog", 0, func(tc *rtos.TaskCtx) { tc.Run(d) })
+}
+
+// StartWatchdog arms the card's hardware watchdog with the given timeout
+// and spawns the petter task that feeds it while the kernel is alive.
+// onBite fires on expiry — typically scheduling a Reset after the card's
+// reset latency. The watchdog keeps biting once per timeout while the card
+// stays wedged, so a lost reset is retried.
+func (c *Card) StartWatchdog(timeout sim.Time, onBite func()) *rtos.Watchdog {
+	if c.Watchdog != nil {
+		return c.Watchdog
+	}
+	c.Watchdog = rtos.NewWatchdog(c.Eng, timeout, onBite)
+	c.Watchdog.SpawnPetter(c.Kernel, c.Name+"/wdpet", PrioWatchdog, timeout/4)
+	return c.Watchdog
 }
 
 // New boots a card.
@@ -529,6 +588,7 @@ func (ext *SchedulerExt) sleepUntil(tc *rtos.TaskCtx, until sim.Time) {
 type Producer struct {
 	Injected int64
 	Stalled  int64 // injection attempts deferred because the ring was full
+	Orphaned int64 // frames abandoned because the stream disappeared
 }
 
 // SpawnLocalProducer streams clip from the card's own attached disk into
@@ -553,9 +613,8 @@ func (ext *SchedulerExt) SpawnLocalProducer(clip *mpeg.Clip, streamID int, dst s
 				addr := allocWithBackoff(tc, c.Mem, f.Size, p)
 				pkt := dwcs.Packet{Bytes: f.Size, Offset: f.Offset,
 					Payload: addressedBuf{FrameBuf{c.Mem, addr}, dst}}
-				for ext.Enqueue(streamID, pkt) != nil {
-					p.Stalled++
-					tc.Sleep(injectOrDefault(injectEvery))
+				if !enqueueWithBackoff(tc, ext, streamID, pkt, p, injectEvery) {
+					return // stream is gone (failed over); stop sourcing
 				}
 				p.Injected++
 				if injectEvery > 0 {
@@ -566,6 +625,26 @@ func (ext *SchedulerExt) SpawnLocalProducer(clip *mpeg.Clip, streamID int, dst s
 		}
 	})
 	return p
+}
+
+// enqueueWithBackoff retries a full ring until dispatches make room, but
+// aborts (false) when the stream itself is gone — a removed or failed-over
+// stream would otherwise trap the producer in an infinite retry spin. The
+// orphaned frame's card memory is released on abort.
+func enqueueWithBackoff(tc *rtos.TaskCtx, ext *SchedulerExt, streamID int, pkt dwcs.Packet, p *Producer, injectEvery sim.Time) bool {
+	for {
+		err := ext.Enqueue(streamID, pkt)
+		if err == nil {
+			return true
+		}
+		if errors.Is(err, dwcs.ErrUnknownStream) {
+			releasePayload(pkt.Payload)
+			p.Orphaned++
+			return false
+		}
+		p.Stalled++
+		tc.Sleep(injectOrDefault(injectEvery))
+	}
 }
 
 // allocWithBackoff retries a card-memory allocation until dispatches free
@@ -622,9 +701,8 @@ func (ext *SchedulerExt) SpawnPeerProducer(src *Card, clip *mpeg.Clip, streamID 
 				tc.Await(func(done func()) { src.PCI.DMA(f.Size, done) })
 				pkt := dwcs.Packet{Bytes: f.Size, Offset: f.Offset,
 					Payload: addressedBuf{FrameBuf{sched.Mem, addr}, dst}}
-				for ext.Enqueue(streamID, pkt) != nil {
-					p.Stalled++
-					tc.Sleep(injectOrDefault(injectEvery))
+				if !enqueueWithBackoff(tc, ext, streamID, pkt, p, injectEvery) {
+					return // stream is gone (failed over); stop sourcing
 				}
 				p.Injected++
 				if injectEvery > 0 {

@@ -76,6 +76,7 @@ type Kernel struct {
 	last            *Task
 	spawnSeq        int64
 	dispatchPending bool
+	halted          bool
 
 	// TimeSlice, when positive, enables VxWorks kernelTimeSlice-style
 	// round-robin among equal-priority tasks: a task whose burst ends is
@@ -96,6 +97,9 @@ func NewKernel(eng *sim.Engine, name string, ctxCost sim.Time) *Kernel {
 
 // Name returns the kernel's name.
 func (k *Kernel) Name() string { return k.name }
+
+// Running returns the task currently holding the CPU, if any.
+func (k *Kernel) Running() *Task { return k.running }
 
 // Engine returns the simulation engine the kernel runs on.
 func (k *Kernel) Engine() *sim.Engine { return k.eng }
@@ -161,9 +165,26 @@ func (k *Kernel) enqueueReady(t *Task) {
 	k.ready[i] = t
 }
 
+// Halt freezes the processor (card crash / firmware wedge): the running
+// task is parked at its next burst boundary, ready tasks stop being
+// dispatched, and timer wakeups only mark tasks ready. Resume undoes it.
+func (k *Kernel) Halt() { k.halted = true }
+
+// Halted reports whether the kernel is frozen.
+func (k *Kernel) Halted() bool { return k.halted }
+
+// Resume restarts a halted kernel; ready tasks dispatch again.
+func (k *Kernel) Resume() {
+	if !k.halted {
+		return
+	}
+	k.halted = false
+	k.kick()
+}
+
 // kick schedules a dispatch if the CPU is idle.
 func (k *Kernel) kick() {
-	if k.running != nil || k.dispatchPending || len(k.ready) == 0 {
+	if k.halted || k.running != nil || k.dispatchPending || len(k.ready) == 0 {
 		return
 	}
 	k.dispatchPending = true
@@ -172,7 +193,7 @@ func (k *Kernel) kick() {
 
 func (k *Kernel) dispatch() {
 	k.dispatchPending = false
-	if k.running != nil || len(k.ready) == 0 {
+	if k.halted || k.running != nil || len(k.ready) == 0 {
 		return
 	}
 	t := k.ready[0]
@@ -181,7 +202,15 @@ func (k *Kernel) dispatch() {
 		// Pay the switch cost, then run.
 		k.Switches++
 		k.running = t // reserve the CPU during the switch
-		k.eng.After(k.ctxCost, func() { k.resumeTask(t) })
+		k.eng.After(k.ctxCost, func() {
+			if k.halted {
+				// The crash landed mid-switch: park the task instead.
+				k.running = nil
+				k.enqueueReady(t)
+				return
+			}
+			k.resumeTask(t)
+		})
 		return
 	}
 	if k.last != t {
@@ -249,6 +278,13 @@ func (tc *TaskCtx) Run(d sim.Time) {
 	k.BusyTime += d
 	k.eng.After(d, func() {
 		t.sliceUsed += d
+		if k.halted {
+			// The processor froze during this burst: park the task; Resume
+			// re-dispatches it from the ready queue.
+			k.running = nil
+			k.enqueueReady(t)
+			return
+		}
 		// Burst boundary: a preemption point. A higher-priority ready task
 		// always takes the CPU; with time slicing enabled, an equal-
 		// priority ready task does too once this task's slice is spent.

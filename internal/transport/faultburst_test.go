@@ -1,0 +1,92 @@
+package transport
+
+import (
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/sim"
+)
+
+// armLinkFaults wires a chaos plan's LossBurst/LinkDown events onto the
+// pipe's data link — the same injector shape the experiments use.
+func armLinkFaults(t *testing.T, p *pipe, plan *faults.Plan) {
+	t.Helper()
+	err := plan.Arm(p.eng, faults.InjectorFuncs{
+		OnInject: func(e faults.Event) {
+			switch e.Kind {
+			case faults.LossBurst:
+				p.data.DropEvery = e.Factor
+			case faults.LinkDown:
+				p.data.SetDown(true)
+			}
+		},
+		OnRecover: func(e faults.Event) {
+			switch e.Kind {
+			case faults.LossBurst:
+				p.data.DropEvery = 0
+			case faults.LinkDown:
+				p.data.SetDown(false)
+			}
+		},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSustainedLossBurstDrainsWithBoundedRetransmits: go-back-N rides out
+// a drop-every-2 window injected mid-transfer; everything is delivered in
+// order, OnAllAcked fires, and retransmits stay bounded.
+func TestSustainedLossBurstDrainsWithBoundedRetransmits(t *testing.T) {
+	p := newPipe(t, 8, 20*sim.Millisecond)
+	armLinkFaults(t, p, &faults.Plan{Events: []faults.Event{
+		{At: sim.Millisecond, Duration: 400 * sim.Millisecond,
+			Kind: faults.LossBurst, Target: "data", Factor: 2},
+	}})
+	drained := false
+	p.snd.OnAllAcked = func() { drained = true }
+	p.sendN(50)
+	p.eng.Run()
+	if len(p.received) != 50 || !inOrder(p.received) {
+		t.Fatalf("received %d, in-order=%v", len(p.received), inOrder(p.received))
+	}
+	if !drained {
+		t.Fatal("OnAllAcked never fired")
+	}
+	if p.snd.Retransmits == 0 {
+		t.Fatal("a drop-every-2 burst caused no retransmits")
+	}
+	// Every lost packet needs roughly one go-back-N recovery cycle; far
+	// more than that is a storm.
+	if p.snd.Retransmits > 100 {
+		t.Fatalf("retransmits = %d for 50 packets, storm", p.snd.Retransmits)
+	}
+}
+
+// TestLinkOutageBackoffPreventsStorm: a 2 s hard outage against a 10 ms
+// RTO. Without exponential backoff the sender would fire ~200 retransmits
+// into the dead link; with it the probe count is logarithmic and the
+// transfer still completes after the link returns.
+func TestLinkOutageBackoffPreventsStorm(t *testing.T) {
+	p := newPipe(t, 4, 10*sim.Millisecond)
+	armLinkFaults(t, p, &faults.Plan{Events: []faults.Event{
+		{At: 5 * sim.Millisecond, Duration: 2 * sim.Second,
+			Kind: faults.LinkDown, Target: "data"},
+	}})
+	drained := false
+	p.snd.OnAllAcked = func() { drained = true }
+	p.sendN(10)
+	p.eng.Run()
+	if len(p.received) != 10 || !inOrder(p.received) {
+		t.Fatalf("received %d, in-order=%v", len(p.received), inOrder(p.received))
+	}
+	if !drained {
+		t.Fatal("transfer never drained after the outage")
+	}
+	if p.snd.Retransmits > 15 {
+		t.Fatalf("retransmits = %d across a 2 s outage, want logarithmic", p.snd.Retransmits)
+	}
+	if p.snd.RTO() != 10*sim.Millisecond {
+		t.Fatalf("RTO = %v after recovery, want backoff reset", p.snd.RTO())
+	}
+}

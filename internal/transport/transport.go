@@ -35,7 +35,8 @@ type Sender struct {
 	queue   []*netsim.Packet // unsent backlog (seq assigned)
 	inFlit  []*netsim.Packet // sent, unacked (base..)
 
-	timer sim.Event
+	timer   sim.Event
+	strikes uint // consecutive timeouts without an ACK advance
 
 	// Stats.
 	Sent        int64 // first transmissions
@@ -87,6 +88,14 @@ func (s *Sender) transmit(p *netsim.Packet) {
 	}
 }
 
+// rtoBackoffCap bounds the exponential RTO growth at 2^cap × rto, so the
+// sender keeps probing a dead path at a low steady rate instead of going
+// fully quiet.
+const rtoBackoffCap = 10
+
+// RTO returns the current (backed-off) retransmission timeout.
+func (s *Sender) RTO() sim.Time { return s.rto << min(s.strikes, rtoBackoffCap) }
+
 func (s *Sender) arm() {
 	if len(s.inFlit) == 0 {
 		s.timer.Cancel()
@@ -95,7 +104,7 @@ func (s *Sender) arm() {
 	if s.timer.Scheduled() {
 		return
 	}
-	s.timer = s.eng.After(s.rto, s.timeout)
+	s.timer = s.eng.After(s.RTO(), s.timeout)
 }
 
 func (s *Sender) timeout() {
@@ -104,8 +113,16 @@ func (s *Sender) timeout() {
 	// cycle, which a deterministic periodic-loss process can drop the same
 	// way forever; advancing one packet per timeout shifts the pattern and
 	// guarantees progress under any every-k loss.
+	//
+	// Consecutive timeouts double the RTO (up to rtoBackoffCap): during a
+	// link outage the probe rate decays geometrically rather than hammering
+	// the dead path at a fixed rate — retransmits stay logarithmic in the
+	// outage length. Any ACK advance resets the backoff.
 	if len(s.inFlit) > 0 {
 		s.Retransmits++
+		if s.strikes < rtoBackoffCap {
+			s.strikes++
+		}
 		s.transmit(s.inFlit[0])
 	}
 	s.arm()
@@ -123,7 +140,9 @@ func (s *Sender) Deliver(ack *netsim.Packet) {
 		advanced = true
 	}
 	if advanced {
-		// Restart the timer for the remaining window.
+		// Restart the timer for the remaining window; the path is alive
+		// again, so drop any RTO backoff.
+		s.strikes = 0
 		s.timer.Cancel()
 		s.pump()
 		if len(s.inFlit) == 0 && len(s.queue) == 0 && s.OnAllAcked != nil {
