@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all test race bench repro build clean
+.PHONY: all test race bench repro telemetry build clean
 
 all: build test
 
@@ -24,6 +24,12 @@ bench:
 # Regenerate every table and figure of the paper's evaluation section.
 repro:
 	$(GO) run ./cmd/reprogen
+
+# Instrumented observability run: Chrome trace JSON, Prometheus text, CSV
+# snapshots, per-stage latency table, folded stacks, and cycle attribution,
+# written to telemetry-out/. Inspect with ./cmd/tracetool.
+telemetry:
+	$(GO) run ./cmd/reprogen -telemetry -dur 20
 
 clean:
 	$(GO) clean ./...

@@ -3,21 +3,36 @@
 # fast-path benchmarks against the committed baseline.
 #
 #   ./bench_compare.sh           compare current ns/op to BENCH_BASELINE.json
-#   ./bench_compare.sh -update   re-measure and rewrite BENCH_BASELINE.json
+#                                and the telemetry per-stage latency table to
+#                                STAGE_BASELINE.txt
+#   ./bench_compare.sh -update   re-measure and rewrite both baselines
 #
-# The baseline is a flat JSON object: one "BenchmarkName": ns_per_op pair per
-# line, so plain awk can read it and diffs stay line-per-benchmark.
+# The bench baseline is a flat JSON object: one "BenchmarkName": ns_per_op
+# pair per line, so plain awk can read it and diffs stay line-per-benchmark.
+# The stage baseline is the exact stages.txt of the deterministic 5 s
+# telemetry run — simulated time, so any drift is a real behavior change,
+# not noise.
 set -e
 cd "$(dirname "$0")"
 
 BASELINE=BENCH_BASELINE.json
+STAGE_BASELINE=STAGE_BASELINE.txt
 BENCHES='BenchmarkEngine|BenchmarkSimulationThroughput|BenchmarkMissScan'
 
 run_benches() {
 	go test -run xxx -bench "$BENCHES" -benchmem -benchtime 0.5s ./... 2>/dev/null
 }
 
+run_stages() {
+	tmp=$(mktemp -d)
+	go run ./cmd/reprogen -telemetry -telemetry-out "$tmp" -dur 5 >/dev/null
+	cat "$tmp/stages.txt"
+	rm -rf "$tmp"
+}
+
 if [ "$1" = "-update" ]; then
+	run_stages > "$STAGE_BASELINE"
+	echo "wrote $STAGE_BASELINE"
 	run_benches | awk '
 	/^Benchmark/ {
 		name = $1; sub(/-[0-9]+$/, "", name)
@@ -35,6 +50,18 @@ fi
 if [ ! -f "$BASELINE" ]; then
 	echo "no $BASELINE — run ./bench_compare.sh -update first" >&2
 	exit 1
+fi
+
+# Per-stage latency table: simulated time, so it must match exactly.
+if [ -f "$STAGE_BASELINE" ]; then
+	if run_stages | diff -u "$STAGE_BASELINE" -; then
+		echo "stage table: unchanged"
+	else
+		echo "stage table drifted from $STAGE_BASELINE (rerun with -update if intended)" >&2
+		exit 1
+	fi
+else
+	echo "no $STAGE_BASELINE — run ./bench_compare.sh -update first" >&2
 fi
 
 run_benches | awk -v baseline="$BASELINE" '

@@ -9,12 +9,15 @@
 //	clustersim -sweep                          # capacity/goodput vs demand
 //	clustersim -chaos                          # generated fault schedule +
 //	                                           # heartbeat failover
+//	clustersim -telemetry                      # instrument the run; write
+//	                                           # trace/metrics artifacts
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"repro/internal/cluster"
@@ -27,6 +30,7 @@ import (
 	"repro/internal/nic"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -41,6 +45,8 @@ func main() {
 	sweep := flag.Bool("sweep", false, "sweep requested stream count and report capacity")
 	chaos := flag.Bool("chaos", false, "arm a generated chaos schedule with heartbeat failover")
 	chaosSeed := flag.Int64("chaos-seed", 7, "chaos plan seed (with -chaos)")
+	telemetryOn := flag.Bool("telemetry", false, "instrument the run and write observability artifacts")
+	telemetryOut := flag.String("telemetry-out", "telemetry-out", "directory for -telemetry artifacts")
 	flag.Parse()
 
 	cfgs := make([]cluster.NodeConfig, *nodes)
@@ -67,6 +73,12 @@ func main() {
 
 	eng := sim.NewEngine(7)
 	c := cluster.New(eng, cfgs)
+	var reg *telemetry.Registry
+	if *telemetryOn {
+		reg = telemetry.New()
+		c.Instrument(reg)
+		reg.SnapshotEvery(eng, sim.Second)
+	}
 	clip, err := mpeg.Generate(mpeg.GenConfig{
 		Frames: 151, FPS: 30, GOPPattern: "IBBPBBPBB",
 		MeanFrame: *frame, Seed: 1960,
@@ -153,6 +165,43 @@ func main() {
 				p.Req.Name, p.Scheduler.Card.Name, st.Violations)
 		}
 	}
+
+	if reg != nil {
+		if err := writeTelemetry(*telemetryOut, reg); err != nil {
+			fmt.Fprintln(os.Stderr, "clustersim:", err)
+			os.Exit(1)
+		}
+		fmt.Print(reg.Spans.StageTable())
+		fmt.Printf("telemetry artifacts written to %s (%d components, %d spans, %d snapshots)\n",
+			*telemetryOut, len(reg.Components()), reg.Spans.Len(), reg.Snapshots())
+	}
+}
+
+// writeTelemetry dumps the registry's artifacts for an instrumented run.
+func writeTelemetry(dir string, reg *telemetry.Registry) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	traceJSON, err := telemetry.MarshalChrome(reg.Spans.ChromeEvents())
+	if err != nil {
+		return err
+	}
+	files := []struct {
+		name string
+		body []byte
+	}{
+		{"trace.json", traceJSON},
+		{"metrics.prom", []byte(reg.PrometheusText())},
+		{"metrics.csv", []byte(reg.SnapshotsCSV())},
+		{"stages.txt", []byte(reg.Spans.StageTable())},
+		{"spans.folded", []byte(reg.Spans.Folded())},
+	}
+	for _, f := range files {
+		if err := os.WriteFile(filepath.Join(dir, f.name), f.body, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // armChaos generates a seeded fault plan over the cluster's scheduler cards

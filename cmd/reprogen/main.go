@@ -8,6 +8,7 @@
 //	reprogen -figure 9       # one figure (6–10)
 //	reprogen -headline       # the 50 µs vs 65 µs headline
 //	reprogen -faults         # fault-recovery chaos experiment (opt-in)
+//	reprogen -telemetry      # instrumented observability run (opt-in)
 //	reprogen -csv out/       # also dump the figure curves as CSV files
 //	reprogen -dur 60         # figure observation length in seconds
 package main
@@ -28,15 +29,17 @@ func main() {
 	headline := flag.Bool("headline", false, "regenerate the headline overhead comparison")
 	scaling := flag.Bool("scaling", false, "run the stream-count scaling study (§6 future work)")
 	faultsRun := flag.Bool("faults", false, "run the fault-recovery chaos experiment (strictly opt-in)")
+	telemetryRun := flag.Bool("telemetry", false, "run the instrumented observability demonstration (strictly opt-in)")
+	telemetryOut := flag.String("telemetry-out", "telemetry-out", "directory for -telemetry artifacts")
 	csvDir := flag.String("csv", "", "directory to write figure curves as CSV")
 	durSec := flag.Int("dur", 100, "figure observation length (seconds)")
 	flag.Parse()
 
 	dur := sim.Time(*durSec) * sim.Second
-	// Chaos never rides along with the paper's tables and figures: -faults
-	// is its own selection, so default runs are bit-identical with or
-	// without the fault subsystem present.
-	all := *table == 0 && *figure == 0 && !*headline && !*scaling && !*faultsRun
+	// Chaos and telemetry never ride along with the paper's tables and
+	// figures: -faults and -telemetry are their own selections, so default
+	// runs are bit-identical with or without those subsystems present.
+	all := *table == 0 && *figure == 0 && !*headline && !*scaling && !*faultsRun && !*telemetryRun
 
 	// Every table, figure bundle, and sweep is an independent simulation:
 	// fan the selected set across the worker pool, then print in the fixed
@@ -45,6 +48,7 @@ func main() {
 		hostFigs                             *experiments.HostFigures
 		niFigs                               *experiments.NIFigures
 		faultRec                             *experiments.FaultRecovery
+		telArt                               *experiments.TelemetryArtifacts
 		t1, t2, t3, t4, t5, headlineRes, sca *experiments.Result
 	)
 	needHost := all || (*figure >= 6 && *figure <= 8)
@@ -66,6 +70,7 @@ func main() {
 	add(all || *headline, func() { headlineRes = experiments.RunHeadline() })
 	add(all || *scaling, func() { _, sca = experiments.RunStreamScaling([]int{4, 16, 64, 256}) })
 	add(*faultsRun, func() { faultRec = experiments.RunFaultRecovery(experiments.FaultConfig{Dur: dur}) })
+	add(*telemetryRun, func() { telArt = experiments.RunTelemetry(experiments.TelemetryConfig{Dur: dur}) })
 	experiments.Parallel(jobs...)
 
 	for _, res := range []*experiments.Result{t1, t2, t3, t4, t5, headlineRes, sca} {
@@ -99,6 +104,17 @@ func main() {
 		fmt.Print(experiments.JitterComparison(hostFigs, niFigs))
 	}
 
+	if telArt != nil {
+		if err := dumpTelemetry(*telemetryOut, telArt); err != nil {
+			fmt.Fprintln(os.Stderr, "telemetry:", err)
+			os.Exit(1)
+		}
+		fmt.Print(telArt.Summary)
+		fmt.Print(telArt.StageTable)
+		fmt.Print(telArt.CycleTable)
+		fmt.Printf("telemetry artifacts written to %s\n", *telemetryOut)
+	}
+
 	if *csvDir != "" {
 		if err := dumpCSV(*csvDir, hostFigs, niFigs, faultRec); err != nil {
 			fmt.Fprintln(os.Stderr, "csv:", err)
@@ -106,6 +122,30 @@ func main() {
 		}
 		fmt.Printf("curves written to %s\n", *csvDir)
 	}
+}
+
+// dumpTelemetry writes the observability artifacts of an instrumented run.
+func dumpTelemetry(dir string, a *experiments.TelemetryArtifacts) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	files := []struct {
+		name string
+		body []byte
+	}{
+		{"trace.json", a.TraceJSON},
+		{"metrics.prom", []byte(a.Prom)},
+		{"metrics.csv", []byte(a.CSV)},
+		{"stages.txt", []byte(a.StageTable)},
+		{"spans.folded", []byte(a.Folded)},
+		{"cycles.txt", []byte(a.CycleTable)},
+	}
+	for _, f := range files {
+		if err := os.WriteFile(filepath.Join(dir, f.name), f.body, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func dumpCSV(dir string, hostFigs *experiments.HostFigures, niFigs *experiments.NIFigures, faultRec *experiments.FaultRecovery) error {

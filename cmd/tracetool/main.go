@@ -1,0 +1,146 @@
+// Command tracetool inspects and transforms the Chrome trace-event dumps
+// written by reprogen -telemetry and clustersim -telemetry.
+//
+// Usage:
+//
+//	tracetool -in trace.json                     # re-emit canonically (stdout)
+//	tracetool -in a.json -in b.json -out m.json  # merge traces
+//	tracetool -in trace.json -stream 2           # keep one stream
+//	tracetool -in trace.json -stage wire         # keep one stage
+//	tracetool -in trace.json -where ni-sched     # filter by location substring
+//	tracetool -in trace.json -summary            # per-stage event counts
+//	tracetool -checkprom metrics.prom            # validate a Prometheus dump
+//
+// Output always goes through the same canonical writer the exporters use, so
+// a filter-free pass re-emits its input byte-identically — the property CI
+// relies on.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/telemetry"
+)
+
+// multiFlag collects repeated -in values.
+type multiFlag []string
+
+func (m *multiFlag) String() string { return strings.Join(*m, ",") }
+
+func (m *multiFlag) Set(v string) error {
+	*m = append(*m, v)
+	return nil
+}
+
+func main() {
+	var ins multiFlag
+	flag.Var(&ins, "in", "input trace JSON (repeatable; inputs are merged)")
+	out := flag.String("out", "", "output file (default stdout)")
+	stream := flag.Int("stream", 0, "keep only events of this stream id")
+	stage := flag.String("stage", "", "keep only events of this stage (disk, bus, queue, tx, wire, playout)")
+	where := flag.String("where", "", "keep only events whose location contains this substring")
+	summary := flag.Bool("summary", false, "print per-stage event counts instead of JSON")
+	checkprom := flag.String("checkprom", "", "validate a Prometheus text dump and exit")
+	flag.Parse()
+
+	if *checkprom != "" {
+		data, err := os.ReadFile(*checkprom)
+		if err != nil {
+			fatal(err)
+		}
+		families, samples, err := telemetry.CheckPrometheus(string(data))
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", *checkprom, err))
+		}
+		fmt.Printf("%s: ok (%d families, %d samples)\n", *checkprom, families, samples)
+		return
+	}
+
+	if len(ins) == 0 {
+		fmt.Fprintln(os.Stderr, "tracetool: need at least one -in (or -checkprom)")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var events []telemetry.ChromeEvent
+	for _, in := range ins {
+		data, err := os.ReadFile(in)
+		if err != nil {
+			fatal(err)
+		}
+		evs, err := telemetry.UnmarshalChrome(data)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", in, err))
+		}
+		events = append(events, evs...)
+	}
+
+	kept := events[:0]
+	for _, e := range events {
+		if *stream != 0 && e.Args.Stream != *stream {
+			continue
+		}
+		if *stage != "" && e.Name != *stage {
+			continue
+		}
+		if *where != "" && !strings.Contains(e.Args.Where, *where) {
+			continue
+		}
+		kept = append(kept, e)
+	}
+
+	if *summary {
+		printSummary(kept)
+		return
+	}
+
+	raw, err := telemetry.MarshalChrome(kept)
+	if err != nil {
+		fatal(err)
+	}
+	if *out == "" {
+		os.Stdout.Write(raw)
+		return
+	}
+	if err := os.WriteFile(*out, raw, 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+// printSummary tallies events per stage: count and total duration.
+func printSummary(events []telemetry.ChromeEvent) {
+	type agg struct {
+		count int
+		durUs float64
+	}
+	byStage := make(map[string]*agg)
+	for _, e := range events {
+		a := byStage[e.Name]
+		if a == nil {
+			a = &agg{}
+			byStage[e.Name] = a
+		}
+		a.count++
+		a.durUs += e.Dur
+	}
+	stages := make([]string, 0, len(byStage))
+	for s := range byStage {
+		stages = append(stages, s)
+	}
+	sort.Strings(stages)
+	fmt.Printf("%-10s %10s %14s\n", "stage", "events", "total_us")
+	for _, s := range stages {
+		a := byStage[s]
+		fmt.Printf("%-10s %10d %14.2f\n", s, a.count, a.durUs)
+	}
+	fmt.Printf("%-10s %10d\n", "total", len(events))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracetool:", err)
+	os.Exit(1)
+}

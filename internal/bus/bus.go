@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // Config parameterizes one bus segment.
@@ -98,6 +99,20 @@ type Bus struct {
 // New returns an idle bus segment on eng.
 func New(eng *sim.Engine, cfg Config) *Bus {
 	return &Bus{eng: eng, cfg: cfg, res: sim.NewResource(eng, cfg.Name)}
+}
+
+// Instrument exports the segment's traffic counters under the bus telemetry
+// component. Several segments registered on one registry sum into one
+// component-level series.
+func (b *Bus) Instrument(reg *telemetry.Registry) {
+	reg.CounterFunc("bus", "dma_transfers_total",
+		"DMA transfers across bus segments", func() int64 { return b.Stats.DMATransfers })
+	reg.CounterFunc("bus", "dma_bytes_total",
+		"bytes moved by DMA across bus segments", func() int64 { return b.Stats.DMABytes })
+	reg.CounterFunc("bus", "pio_reads_total",
+		"programmed-I/O word reads", func() int64 { return b.Stats.PIOReads })
+	reg.CounterFunc("bus", "pio_writes_total",
+		"programmed-I/O word writes", func() int64 { return b.Stats.PIOWrites })
 }
 
 // Name returns the segment name.

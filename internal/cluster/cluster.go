@@ -29,6 +29,7 @@ import (
 	"repro/internal/nic"
 	"repro/internal/qos"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // ErrAdmission is returned when no NI has capacity for a requested stream.
@@ -138,8 +139,44 @@ type Cluster struct {
 	nextID   int
 	Placed   int
 	Rejected int
+	// Admitted counts every successful admission (Placed decrements on
+	// Release; this never does).
+	Admitted int64
+
+	// Tel is the attached telemetry registry; nil disables telemetry.
+	Tel *telemetry.Registry
 
 	placements map[int]*Placement // live admitted streams by ID
+}
+
+// Instrument attaches a telemetry registry to the whole cluster: admission
+// counters under the cluster component, and every bus segment, scheduler NI,
+// DVCM endpoint, producer card, and disk instrumented in turn. Clients
+// attached afterwards (AttachClient) inherit the registry.
+func (c *Cluster) Instrument(reg *telemetry.Registry) {
+	if reg == nil || c.Tel != nil {
+		return
+	}
+	c.Tel = reg
+	reg.CounterFunc("cluster", "streams_admitted_total",
+		"streams admitted by the cluster", func() int64 { return c.Admitted })
+	reg.CounterFunc("cluster", "streams_rejected_total",
+		"stream requests denied admission", func() int64 { return int64(c.Rejected) })
+	reg.GaugeFunc("cluster", "live_streams",
+		"currently placed streams", func() float64 { return float64(c.Placed) })
+	for _, n := range c.Nodes {
+		for _, b := range n.Segments {
+			b.Instrument(reg)
+		}
+		for _, s := range n.Schedulers {
+			s.Ext.Instrument(reg)
+			s.Endpoint.Instrument(reg)
+		}
+		for _, p := range n.Producers {
+			p.Card.Instrument(reg)
+			p.Disk.Instrument(reg)
+		}
+	}
 }
 
 // New builds a cluster of nodes per cfg, all attached to one SAN switch.
@@ -317,6 +354,7 @@ func (c *Cluster) admit(req StreamRequest, exclude *SchedulerNI, client string) 
 	}
 	prod.streams++
 	c.Placed++
+	c.Admitted++
 
 	if client == "" {
 		client = fmt.Sprintf("client-%d", id)
@@ -398,6 +436,9 @@ func (c *Cluster) Release(p *Placement) error {
 // the SAN switch.
 func (c *Cluster) AttachClient(p *Placement) *netsim.Client {
 	cl := netsim.NewClient(c.Eng, p.Client)
+	if c.Tel != nil {
+		cl.Instrument(c.Tel)
+	}
 	c.Switch.Attach(p.Client, netsim.Fast100(c.Eng, "san-"+p.Client, cl))
 	return cl
 }

@@ -51,6 +51,20 @@ func (c OpClass) String() string {
 	return opNames[c]
 }
 
+// CycleObserver receives a Meter's charged work labeled with the
+// (component, operation) context active when it was charged (see
+// Meter.SetContext) — the hook behind the telemetry cycle-cost profiler.
+// Charges are delivered as aggregated deltas at attribution boundaries
+// (SetContext, Observe, Reset, Cycles) rather than one call per charge:
+// the context can only change at those same boundaries, so attribution is
+// identical, and the meter's per-operation fast paths carry no observer
+// code and stay within the compiler's inlining budget. ops counts charged
+// operations (0 for pure raw-cycle charges such as context switches);
+// cycles is the full cost including any uncached-memory penalty.
+type CycleObserver interface {
+	ObserveCycles(component, operation string, ops, cycles int64)
+}
+
 // Model describes a processor: clock rate plus a cycle cost per operation
 // class. Costs are for the cache-enabled case; UncachedPenalty is added to
 // every memory read/write when the data cache is disabled, reproducing the
@@ -194,6 +208,64 @@ type Meter struct {
 
 	cycles int64
 	counts [numOpClasses]int64
+
+	obs       CycleObserver // optional; receives attribution deltas at context boundaries
+	comp, op  string        // current attribution context
+	obsOps    int64         // ops already reported to obs
+	obsCycles int64         // cycles already reported to obs
+}
+
+// flushObserved reports everything charged since the previous flush to the
+// observer, attributed to the current context. It runs only at attribution
+// boundaries — SetContext, Observe, Reset, Cycles — so the per-charge fast
+// paths (Op and friends) carry no observer code; the context cannot change
+// between boundaries, so the aggregate attribution matches a per-charge
+// report exactly. Callers guard on m.obs != nil.
+func (m *Meter) flushObserved() {
+	var ops int64
+	for _, n := range m.counts {
+		ops += n
+	}
+	if ops != m.obsOps || m.cycles != m.obsCycles {
+		m.obs.ObserveCycles(m.comp, m.op, ops-m.obsOps, m.cycles-m.obsCycles)
+		m.obsOps, m.obsCycles = ops, m.cycles
+	}
+}
+
+// Observe attaches a cycle observer; nil detaches, flushing any pending
+// attribution to the outgoing observer first. Charges made before attach
+// are not reported retroactively.
+func (m *Meter) Observe(obs CycleObserver) {
+	if m == nil {
+		return
+	}
+	if m.obs != nil {
+		m.flushObserved()
+	}
+	m.obs = obs
+	var ops int64
+	for _, n := range m.counts {
+		ops += n
+	}
+	m.obsOps, m.obsCycles = ops, m.cycles
+}
+
+// SetContext labels subsequent charges with a (component, operation) pair
+// for cycle attribution and returns the previous labels so callers can
+// restore them on exit:
+//
+//	prevC, prevO := m.SetContext("dwcs", "decision")
+//	defer m.SetContext(prevC, prevO)
+func (m *Meter) SetContext(component, operation string) (prevComponent, prevOperation string) {
+	if m == nil {
+		return "", ""
+	}
+	if m.obs != nil {
+		m.flushObserved()
+	}
+	prevComponent, prevOperation = m.comp, m.op
+	m.comp, m.op = component, operation
+	return prevComponent, prevOperation
 }
 
 // NewMeter returns a meter for model with the cache enabled and fixed-point
@@ -275,10 +347,15 @@ func (m *Meter) ChargeCycles(c int64) {
 	m.cycles += c
 }
 
-// Cycles returns accumulated cycles.
+// Cycles returns accumulated cycles. When an observer is attached, pending
+// attribution is flushed first, so an observer that saw every boundary
+// reconciles exactly with the returned count.
 func (m *Meter) Cycles() int64 {
 	if m == nil {
 		return 0
+	}
+	if m.obs != nil {
+		m.flushObserved()
 	}
 	return m.cycles
 }
@@ -304,8 +381,12 @@ func (m *Meter) Reset() {
 	if m == nil {
 		return
 	}
+	if m.obs != nil {
+		m.flushObserved()
+	}
 	m.cycles = 0
 	m.counts = [numOpClasses]int64{}
+	m.obsOps, m.obsCycles = 0, 0
 }
 
 // Lap returns the time accumulated since the previous Lap (or Reset) and

@@ -20,6 +20,7 @@ import (
 	"fmt"
 
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // Params describes a disk mechanism.
@@ -83,6 +84,18 @@ func New(eng *sim.Engine, p Params) *Disk {
 
 // Params returns the mechanism parameters.
 func (d *Disk) Params() Params { return d.p }
+
+// Instrument exports the spindle's access counters under the disk telemetry
+// component. Several disks registered on one registry sum into one
+// component-level series.
+func (d *Disk) Instrument(reg *telemetry.Registry) {
+	reg.CounterFunc("disk", "reads_total",
+		"disk read operations", func() int64 { return d.Stats.Reads })
+	reg.CounterFunc("disk", "bytes_read_total",
+		"bytes read from disk", func() int64 { return d.Stats.BytesRead })
+	reg.GaugeFunc("disk", "seek_time_ms",
+		"accumulated seek time (milliseconds)", func() float64 { return d.Stats.SeekTime.Milliseconds() })
+}
 
 // AccessTime returns the service time for reading n bytes at off given the
 // current head position. Every access pays average rotational latency: the

@@ -18,6 +18,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/netsim"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // reqBytes/respBytes size the control packets on the wire (instruction
@@ -121,6 +122,19 @@ func Attach(eng *sim.Engine, sw *netsim.Switch, addr string, vcm *core.VCM) *End
 
 // Addr returns the endpoint's SAN address.
 func (e *Endpoint) Addr() string { return e.addr }
+
+// Instrument exports the endpoint's control-plane counters under the
+// dvcmnet telemetry component.
+func (e *Endpoint) Instrument(reg *telemetry.Registry) {
+	reg.CounterFunc("dvcmnet", "instructions_served_total",
+		"remote DVCM instructions executed here", func() int64 { return e.Served })
+	reg.CounterFunc("dvcmnet", "invocations_issued_total",
+		"DVCM invocations issued from here", func() int64 { return e.Issued })
+	reg.CounterFunc("dvcmnet", "retries_total",
+		"invocation retransmits", func() int64 { return e.Retried })
+	reg.CounterFunc("dvcmnet", "deduped_total",
+		"duplicate requests absorbed by the reply cache", func() int64 { return e.Deduped })
+}
 
 // Invoke executes an instruction on the remote endpoint, delivering the
 // result (or error) to done. done may be nil for fire-and-forget control.

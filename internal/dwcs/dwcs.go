@@ -483,6 +483,8 @@ func (s *Scheduler) freeSlot(slot uint32) {
 // taken from p; Seq, Enqueued, and Deadline are assigned by the scheduler
 // (successive deadlines are offset by the stream period).
 func (s *Scheduler) Enqueue(id int, p Packet) error {
+	prevC, prevO := s.meter.SetContext("dwcs", "enqueue")
+	defer s.meter.SetContext(prevC, prevO)
 	st, ok := s.streams[id]
 	s.meter.MemRead(1)
 	if !ok {
@@ -882,6 +884,8 @@ func (s *Scheduler) Snapshot() []StreamSnapshot {
 // frame to be dispatched is readily available and does not need scheduler
 // rules" (§4.2). Only the ring and descriptor accesses are charged.
 func (s *Scheduler) DequeueFCFS() *Packet {
+	prevC, prevO := s.meter.SetContext("dwcs", "dequeue")
+	defer s.meter.SetContext(prevC, prevO)
 	for range s.order {
 		st := s.order[s.rrNext%len(s.order)]
 		s.rrNext++
@@ -910,6 +914,8 @@ func (s *Scheduler) DequeueFCFS() *Packet {
 // returned packet; transmission cost is the caller's (the microbenchmarks'
 // "time w/o scheduler" path).
 func (s *Scheduler) Schedule() Decision {
+	prevC, prevO := s.meter.SetContext("dwcs", "decision")
+	defer s.meter.SetContext(prevC, prevO)
 	now := s.now()
 	s.meter.ChargeCycles(s.cfg.DecisionOverhead)
 	s.TotalDecisions++

@@ -23,6 +23,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -70,6 +71,28 @@ type Scheduler struct {
 	running bool      // a decision's CPU demand is queued or executing
 	waitEv  sim.Event // pending paced wakeup
 	dst     map[int]string
+
+	tel       *telemetry.Registry
+	telQDelay *telemetry.Histogram
+}
+
+// Instrument attaches a telemetry registry: the host scheduler's counters
+// and queue-delay histogram join under the host component, dispatches record
+// the frame's queue span, and meter charges are cycle-attributed.
+func (h *Scheduler) Instrument(reg *telemetry.Registry) {
+	if reg == nil || h.tel != nil {
+		return
+	}
+	h.tel = reg
+	h.Meter.Observe(reg.Prof)
+	h.telQDelay = reg.HistogramMetric("host", "queue_delay_ms",
+		"enqueue-to-dispatch delay per frame on the host scheduler (milliseconds)", nil)
+	reg.CounterFunc("host", "frames_sent_total",
+		"frames the host scheduler dispatched", func() int64 { return h.Sent })
+	reg.CounterFunc("host", "frames_dropped_total",
+		"frames the host scheduler dropped for missed deadlines", func() int64 { return h.Dropped })
+	reg.CounterFunc("host", "decisions_total",
+		"host scheduling decisions made", func() int64 { return h.Sched.TotalDecisions })
 }
 
 // NewScheduler creates the process. link is the 82557 NI the host transmits
@@ -160,18 +183,23 @@ func (h *Scheduler) pump() {
 				if t := h.QDelay[p.StreamID]; t != nil {
 					t.Record(h.eng.Now() - p.Enqueued)
 				}
+				if h.tel != nil {
+					h.tel.Span(p.StreamID, p.Seq, telemetry.StageQueue, "host/dwcs", p.Enqueued, h.eng.Now())
+					h.telQDelay.Observe((h.eng.Now() - p.Enqueued).Milliseconds())
+				}
 				h.Sent++
 				h.Trace.Recordf(trace.KindDispatch, "host/dwcs", p.StreamID, p.Seq,
 					"qdelay=%v", h.eng.Now()-p.Enqueued)
 				if h.link != nil {
 					h.link.Send(&netsim.Packet{
-						Src:      "host",
-						Dst:      h.dst[p.StreamID],
-						StreamID: p.StreamID,
-						Seq:      p.Seq,
-						Bytes:    p.Bytes,
-						Enqueued: p.Enqueued,
-						Deadline: p.Deadline,
+						Src:        "host",
+						Dst:        h.dst[p.StreamID],
+						StreamID:   p.StreamID,
+						Seq:        p.Seq,
+						Bytes:      p.Bytes,
+						Enqueued:   p.Enqueued,
+						Deadline:   p.Deadline,
+						Dispatched: h.eng.Now(),
 					}, nil)
 				}
 				h.pump()

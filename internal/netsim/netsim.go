@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 )
 
 // Ethernet framing constants.
@@ -44,6 +45,13 @@ type Packet struct {
 	Sent     sim.Time // when the sender handed it to the wire
 	Deadline sim.Time // scheduler deadline, for lateness accounting
 	Data     any      // opaque payload for control-plane traffic (DVCM RPC)
+
+	// Dispatched is when the scheduler's dispatch decision handed the frame
+	// to the protocol stack; zero when the sender is not instrumented.
+	Dispatched sim.Time
+	// FirstSent is Sent at the first hop. Sent is overwritten per hop
+	// (switch forwarding re-sends), so telemetry keeps the original here.
+	FirstSent sim.Time
 }
 
 // Port is anything that can accept a delivered packet.
@@ -168,6 +176,9 @@ func (l *Link) WireTime(n int64) sim.Time {
 func (l *Link) Send(p *Packet, onWire func()) {
 	l.res.Acquire(func() {
 		p.Sent = l.eng.Now()
+		if p.FirstSent == 0 {
+			p.FirstSent = p.Sent
+		}
 		t := l.WireTime(p.Bytes)
 		l.Packets++
 		l.Bytes += p.Bytes
@@ -299,6 +310,18 @@ type Client struct {
 
 	lastArrival sim.Time
 	gotFirst    bool
+
+	tel       *telemetry.Registry
+	telFrames *telemetry.Counter
+}
+
+// Instrument attaches a telemetry registry: delivered media frames count
+// under the netsim component, and every delivery records tx/wire/playout
+// span segments for the frame's causal span.
+func (c *Client) Instrument(reg *telemetry.Registry) {
+	c.tel = reg
+	c.telFrames = reg.Counter("netsim", "frames_delivered_total",
+		"media frames delivered to clients after the receive stack")
 }
 
 // NewClient returns a client with a 200 µs receive stack.
@@ -308,7 +331,20 @@ func NewClient(eng *sim.Engine, name string) *Client {
 
 // Deliver implements Port.
 func (c *Client) Deliver(p *Packet) {
+	arrival := c.eng.Now()
+	if c.tel != nil && p.StreamID > 0 {
+		if p.Dispatched != 0 && p.FirstSent != 0 {
+			c.tel.Span(p.StreamID, p.Seq, telemetry.StageTx, p.Src, p.Dispatched, p.FirstSent)
+		}
+		if p.FirstSent != 0 {
+			c.tel.Span(p.StreamID, p.Seq, telemetry.StageWire, c.Name, p.FirstSent, arrival)
+		}
+	}
 	c.eng.After(c.RxStack, func() {
+		if c.tel != nil && p.StreamID > 0 {
+			c.tel.Span(p.StreamID, p.Seq, telemetry.StagePlayout, c.Name, arrival, c.eng.Now())
+		}
+		c.telFrames.Inc()
 		c.Received++
 		c.RecvBytes += p.Bytes
 		c.Latencies = append(c.Latencies, c.eng.Now()-p.Sent)

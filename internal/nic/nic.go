@@ -28,6 +28,7 @@ import (
 	"repro/internal/rtos"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -80,6 +81,10 @@ type Card struct {
 
 	// FramesSent counts frames handed to the wire by any path on this card.
 	FramesSent int64
+
+	// Tel is the attached telemetry registry; nil (the default) disables
+	// spans, metrics, and cycle attribution on this card.
+	Tel *telemetry.Registry
 
 	// Watchdog is the card's hardware deadman, if StartWatchdog armed one.
 	Watchdog *rtos.Watchdog
@@ -183,8 +188,23 @@ func (c *Card) AttachDisk(d *disk.Disk, fs disk.FS) {
 	c.Meter.CacheOn = false
 }
 
+// Instrument attaches a telemetry registry: the card's cycle meter reports
+// to the registry's profiler and the card's frame counter is exported under
+// the nic component. Idempotent; safe once per card.
+func (c *Card) Instrument(reg *telemetry.Registry) {
+	if reg == nil || c.Tel != nil {
+		return
+	}
+	c.Tel = reg
+	c.Meter.Observe(reg.Prof)
+	reg.CounterFunc("nic", "frames_sent_total",
+		"frames handed to the wire by NI cards", func() int64 { return c.FramesSent })
+}
+
 // ChargeDispatch charges the cost of handing one frame to the transmitter.
 func (c *Card) ChargeDispatch() {
+	prevC, prevO := c.Meter.SetContext("nic", "dispatch")
+	defer c.Meter.SetContext(prevC, prevO)
 	c.Meter.ChargeCycles(txDriverCycles)
 	c.Meter.MemRead(txMemReads)
 	c.Meter.MemWrite(txMemWrites)
@@ -290,6 +310,8 @@ type SchedulerExt struct {
 	Sent    int64
 	Dropped int64
 
+	telQDelay *telemetry.Histogram
+
 	work *rtos.Semaphore
 	kick func() // wakes a paced sleep early; nil when not sleeping
 	task *rtos.Task
@@ -359,6 +381,24 @@ func (c *Card) LoadScheduler(cfg SchedulerConfig) (*SchedulerExt, error) {
 	}
 	ext.task = c.Kernel.Spawn(c.Name+"/dwcs", PrioScheduler, ext.run)
 	return ext, nil
+}
+
+// Instrument attaches a telemetry registry to the extension and its card:
+// dwcs counters and the queue-delay histogram join the registry, dispatches
+// record the frame's queue span, and every meter charge is cycle-attributed.
+func (ext *SchedulerExt) Instrument(reg *telemetry.Registry) {
+	if reg == nil || ext.telQDelay != nil {
+		return
+	}
+	ext.Card.Instrument(reg)
+	ext.telQDelay = reg.HistogramMetric("dwcs", "queue_delay_ms",
+		"enqueue-to-dispatch delay per frame (milliseconds)", nil)
+	reg.CounterFunc("dwcs", "frames_dispatched_total",
+		"frames the scheduler dispatched to the transmit path", func() int64 { return ext.Sent })
+	reg.CounterFunc("dwcs", "frames_dropped_total",
+		"frames dropped for missed deadlines", func() int64 { return ext.Dropped })
+	reg.CounterFunc("dwcs", "decisions_total",
+		"scheduling decisions made", func() int64 { return ext.Sched.TotalDecisions })
 }
 
 // Name implements core.Extension.
@@ -512,6 +552,10 @@ func (ext *SchedulerExt) dispatch(tc *rtos.TaskCtx, lap *cpu.Lap, p *dwcs.Packet
 	if t := ext.QDelay[p.StreamID]; t != nil {
 		t.Record(tc.Now() - p.Enqueued)
 	}
+	if c.Tel != nil {
+		c.Tel.Span(p.StreamID, p.Seq, telemetry.StageQueue, c.Name+"/dwcs", p.Enqueued, tc.Now())
+		ext.telQDelay.Observe((tc.Now() - p.Enqueued).Milliseconds())
+	}
 	ext.Sent++
 	ext.Trace.Recordf(trace.KindDispatch, c.Name+"/dwcs", p.StreamID, p.Seq,
 		"qdelay=%v", tc.Now()-p.Enqueued)
@@ -519,13 +563,14 @@ func (ext *SchedulerExt) dispatch(tc *rtos.TaskCtx, lap *cpu.Lap, p *dwcs.Packet
 		ext.OnDispatch(p)
 	}
 	c.send(tc, &netsim.Packet{
-		Src:      c.Name,
-		Dst:      streamDst(p),
-		StreamID: p.StreamID,
-		Seq:      p.Seq,
-		Bytes:    p.Bytes,
-		Enqueued: p.Enqueued,
-		Deadline: p.Deadline,
+		Src:        c.Name,
+		Dst:        streamDst(p),
+		StreamID:   p.StreamID,
+		Seq:        p.Seq,
+		Bytes:      p.Bytes,
+		Enqueued:   p.Enqueued,
+		Deadline:   p.Deadline,
+		Dispatched: tc.Now(),
 	}, p.Payload)
 }
 
@@ -607,15 +652,22 @@ func (ext *SchedulerExt) SpawnLocalProducer(clip *mpeg.Clip, streamID int, dst s
 	p := &Producer{}
 	c.Kernel.Spawn(fmt.Sprintf("%s/prod%d", c.Name, streamID), PrioProducer, func(tc *rtos.TaskCtx) {
 		next := tc.Now()
+		var seq int64 // tracks the dwcs-assigned in-order sequence numbers
 		for loop := 0; loop < loops; loop++ {
 			for _, f := range clip.Frames {
+				readStart := tc.Now()
 				tc.Await(func(done func()) { c.FS.Read(f.Offset, f.Size, done) })
+				readEnd := tc.Now()
 				addr := allocWithBackoff(tc, c.Mem, f.Size, p)
 				pkt := dwcs.Packet{Bytes: f.Size, Offset: f.Offset,
 					Payload: addressedBuf{FrameBuf{c.Mem, addr}, dst}}
 				if !enqueueWithBackoff(tc, ext, streamID, pkt, p, injectEvery) {
 					return // stream is gone (failed over); stop sourcing
 				}
+				if c.Tel != nil {
+					c.Tel.Span(streamID, seq, telemetry.StageDisk, c.Name, readStart, readEnd)
+				}
+				seq++
 				p.Injected++
 				if injectEvery > 0 {
 					next += injectEvery
@@ -693,17 +745,27 @@ func (ext *SchedulerExt) SpawnPeerProducer(src *Card, clip *mpeg.Clip, streamID 
 	p := &Producer{}
 	src.Kernel.Spawn(fmt.Sprintf("%s/peer%d", src.Name, streamID), PrioProducer, func(tc *rtos.TaskCtx) {
 		next := tc.Now()
+		var seq int64 // tracks the dwcs-assigned in-order sequence numbers
 		for loop := 0; loop < loops; loop++ {
 			for _, f := range clip.Frames {
+				readStart := tc.Now()
 				tc.Await(func(done func()) { src.FS.Read(f.Offset, f.Size, done) })
+				readEnd := tc.Now()
 				addr := allocWithBackoff(tc, sched.Mem, f.Size, p)
 				// Card-to-card peer DMA of the frame body.
+				busStart := tc.Now()
 				tc.Await(func(done func()) { src.PCI.DMA(f.Size, done) })
+				busEnd := tc.Now()
 				pkt := dwcs.Packet{Bytes: f.Size, Offset: f.Offset,
 					Payload: addressedBuf{FrameBuf{sched.Mem, addr}, dst}}
 				if !enqueueWithBackoff(tc, ext, streamID, pkt, p, injectEvery) {
 					return // stream is gone (failed over); stop sourcing
 				}
+				if sched.Tel != nil {
+					sched.Tel.Span(streamID, seq, telemetry.StageDisk, src.Name, readStart, readEnd)
+					sched.Tel.Span(streamID, seq, telemetry.StageBus, src.PCI.Name(), busStart, busEnd)
+				}
+				seq++
 				p.Injected++
 				if injectEvery > 0 {
 					next += injectEvery

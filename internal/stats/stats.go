@@ -23,10 +23,22 @@ type Point struct {
 type Series struct {
 	Name   string
 	Points []Point
+
+	// NonFinite counts samples rejected by Add because they were NaN or
+	// ±Inf — one bad division upstream would otherwise poison every
+	// aggregate (Mean, Max, CSV) of the series.
+	NonFinite int64
 }
 
-// Add appends a sample.
-func (s *Series) Add(at sim.Time, v float64) { s.Points = append(s.Points, Point{at, v}) }
+// Add appends a sample. NaN and ±Inf values are rejected (counted in
+// NonFinite) so aggregates stay finite.
+func (s *Series) Add(at sim.Time, v float64) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		s.NonFinite++
+		return
+	}
+	s.Points = append(s.Points, Point{at, v})
+}
 
 // Len returns the number of samples.
 func (s *Series) Len() int { return len(s.Points) }

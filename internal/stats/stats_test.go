@@ -180,3 +180,53 @@ func TestSummaryBounds(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestSeriesRejectsNonFinite(t *testing.T) {
+	var s Series
+	s.Add(10, 1)
+	s.Add(20, math.NaN())
+	s.Add(30, math.Inf(1))
+	s.Add(40, math.Inf(-1))
+	s.Add(50, 3)
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 (non-finite samples rejected)", s.Len())
+	}
+	if s.NonFinite != 3 {
+		t.Errorf("NonFinite = %d, want 3", s.NonFinite)
+	}
+	if got := s.Mean(); math.IsNaN(got) || math.Abs(got-2) > 1e-9 {
+		t.Errorf("Mean = %v, want 2 (unpoisoned)", got)
+	}
+	if s.Max() != 3 || s.Min() != 1 {
+		t.Errorf("Max/Min = %v/%v, want 3/1", s.Max(), s.Min())
+	}
+}
+
+func TestSeriesSingleSample(t *testing.T) {
+	var s Series
+	s.Add(10, 7)
+	if s.Mean() != 7 || s.Max() != 7 || s.Min() != 7 || s.Last() != 7 {
+		t.Errorf("single-sample aggregates: mean=%v max=%v min=%v last=%v, all want 7",
+			s.Mean(), s.Max(), s.Min(), s.Last())
+	}
+	if s.MeanAfter(10) != 7 || s.MeanAfter(11) != 0 {
+		t.Errorf("MeanAfter = %v / %v, want 7 / 0", s.MeanAfter(10), s.MeanAfter(11))
+	}
+	if s.MaxAfter(10) != 7 || s.MaxAfter(11) != 0 {
+		t.Errorf("MaxAfter = %v / %v, want 7 / 0", s.MaxAfter(10), s.MaxAfter(11))
+	}
+}
+
+func TestSummarizeSingleSample(t *testing.T) {
+	got := Summarize([]sim.Time{42})
+	if got.N != 1 || got.Mean != 42 || got.Min != 42 || got.Max != 42 || got.P50 != 42 || got.Total != 42 {
+		t.Errorf("Summarize([42]) = %+v", got)
+	}
+}
+
+func TestDelayTrackerEmpty(t *testing.T) {
+	var d DelayTracker
+	if d.Max() != 0 || d.Mean() != 0 {
+		t.Errorf("empty tracker: max=%v mean=%v, want 0/0", d.Max(), d.Mean())
+	}
+}

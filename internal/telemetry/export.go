@@ -1,0 +1,232 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// ---------------------------------------------------------------------------
+// Prometheus text exposition
+// ---------------------------------------------------------------------------
+
+// formatFloat renders a float the way Prometheus clients do: shortest
+// representation that round-trips, +Inf/-Inf/NaN spelled out.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// PrometheusText renders every registered metric in Prometheus text
+// exposition format (version 0.0.4). Metric names are
+// repro_<component>_<name>; the component also appears as a label so dumps
+// from several runs can be merged and still grouped. Output order is
+// canonical (component, name) regardless of registration order.
+func (r *Registry) PrometheusText() string {
+	if r == nil {
+		return ""
+	}
+	var b strings.Builder
+	for _, m := range r.sorted() {
+		full := "repro_" + m.component + "_" + m.name
+		if m.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", full, m.help)
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", full, m.kind)
+		label := `component="` + m.component + `"`
+		switch m.kind {
+		case kindCounter:
+			fmt.Fprintf(&b, "%s{%s} %d\n", full, label, m.counterValue())
+		case kindGauge:
+			fmt.Fprintf(&b, "%s{%s} %s\n", full, label, formatFloat(m.gaugeValue()))
+		case kindHistogram:
+			var cum int64
+			for i, bound := range m.bounds {
+				cum += m.buckets[i]
+				fmt.Fprintf(&b, "%s_bucket{%s,le=%q} %d\n", full, label, formatFloat(bound), cum)
+			}
+			cum += m.buckets[len(m.bounds)]
+			fmt.Fprintf(&b, "%s_bucket{%s,le=\"+Inf\"} %d\n", full, label, cum)
+			fmt.Fprintf(&b, "%s_sum{%s} %s\n", full, label, formatFloat(m.hSum))
+			fmt.Fprintf(&b, "%s_count{%s} %d\n", full, label, m.hCount)
+		}
+	}
+	return b.String()
+}
+
+// CheckPrometheus is a minimal parser for the text exposition format used by
+// CI to verify dumps are well formed. It returns the number of metric
+// families and samples, or an error naming the first malformed line.
+func CheckPrometheus(text string) (families, samples int, err error) {
+	seenType := make(map[string]bool)
+	for ln, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				return 0, 0, fmt.Errorf("line %d: malformed TYPE comment %q", ln+1, line)
+			}
+			switch parts[3] {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				return 0, 0, fmt.Errorf("line %d: unknown metric type %q", ln+1, parts[3])
+			}
+			if seenType[parts[2]] {
+				return 0, 0, fmt.Errorf("line %d: duplicate TYPE for %q", ln+1, parts[2])
+			}
+			seenType[parts[2]] = true
+			families++
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		// sample line: name{labels} value  |  name value
+		rest := line
+		if i := strings.IndexByte(rest, '{'); i >= 0 {
+			j := strings.IndexByte(rest, '}')
+			if j < i {
+				return 0, 0, fmt.Errorf("line %d: unbalanced braces in %q", ln+1, line)
+			}
+			rest = rest[:i] + rest[j+1:]
+		}
+		fields := strings.Fields(rest)
+		if len(fields) < 2 {
+			return 0, 0, fmt.Errorf("line %d: sample missing value in %q", ln+1, line)
+		}
+		if _, perr := strconv.ParseFloat(fields[1], 64); perr != nil {
+			if fields[1] != "+Inf" && fields[1] != "-Inf" && fields[1] != "NaN" {
+				return 0, 0, fmt.Errorf("line %d: bad sample value %q", ln+1, fields[1])
+			}
+		}
+		samples++
+	}
+	return families, samples, nil
+}
+
+// ---------------------------------------------------------------------------
+// CSV snapshot series
+// ---------------------------------------------------------------------------
+
+// SnapshotsCSV renders the snapshot time series as CSV with header
+// time_ms,component,metric,value — one row per metric per snapshot.
+func (r *Registry) SnapshotsCSV() string {
+	if r == nil {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString("time_ms,component,metric,value\n")
+	for _, s := range r.snaps {
+		for _, v := range s.values {
+			fmt.Fprintf(&b, "%.3f,%s,%s,%s\n", s.at.Milliseconds(), v.component, v.name, formatFloat(v.value))
+		}
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Chrome trace-event JSON (Perfetto-loadable)
+// ---------------------------------------------------------------------------
+
+// ChromeArgs carries the frame identity on each trace event.
+type ChromeArgs struct {
+	Stream int    `json:"stream"`
+	Seq    int64  `json:"seq"`
+	Where  string `json:"where"`
+}
+
+// ChromeEvent is one complete ("X" phase) trace event in the Chrome
+// trace-event format. Timestamps and durations are microseconds.
+type ChromeEvent struct {
+	Name string     `json:"name"`
+	Cat  string     `json:"cat"`
+	Ph   string     `json:"ph"`
+	TS   float64    `json:"ts"`
+	Dur  float64    `json:"dur"`
+	PID  int        `json:"pid"`
+	TID  int        `json:"tid"`
+	Args ChromeArgs `json:"args"`
+}
+
+// ChromeTrace is the JSON-object container form of the trace-event format.
+type ChromeTrace struct {
+	TraceEvents     []ChromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// ChromeEvents converts the span log to trace events: one complete event per
+// segment, pid 1, tid = stream id, name = stage. Order is the log's
+// canonical segment order.
+func (l *SpanLog) ChromeEvents() []ChromeEvent {
+	if l == nil {
+		return nil
+	}
+	segs := l.sorted()
+	out := make([]ChromeEvent, 0, len(segs))
+	for _, s := range segs {
+		out = append(out, ChromeEvent{
+			Name: s.Stage.String(),
+			Cat:  "frame",
+			Ph:   "X",
+			TS:   float64(s.Start) / float64(sim.Microsecond),
+			Dur:  float64(s.Dur()) / float64(sim.Microsecond),
+			PID:  1,
+			TID:  s.Stream,
+			Args: ChromeArgs{Stream: s.Stream, Seq: s.Seq, Where: s.Where},
+		})
+	}
+	return out
+}
+
+// MarshalChrome renders trace events as the canonical JSON byte stream:
+// events sorted canonically, encoding/json field order, trailing newline.
+// Both the exporter and tracetool use this one writer, so a dump that
+// round-trips through UnmarshalChrome re-marshals byte-identically.
+func MarshalChrome(events []ChromeEvent) ([]byte, error) {
+	sorted := append([]ChromeEvent(nil), events...)
+	sort.Slice(sorted, func(i, j int) bool {
+		a, b := sorted[i], sorted[j]
+		if a.TS != b.TS {
+			return a.TS < b.TS
+		}
+		if a.TID != b.TID {
+			return a.TID < b.TID
+		}
+		if a.Args.Seq != b.Args.Seq {
+			return a.Args.Seq < b.Args.Seq
+		}
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		return a.Args.Where < b.Args.Where
+	})
+	raw, err := json.Marshal(ChromeTrace{TraceEvents: sorted, DisplayTimeUnit: "ms"})
+	if err != nil {
+		return nil, err
+	}
+	return append(raw, '\n'), nil
+}
+
+// UnmarshalChrome parses a trace written by MarshalChrome (or any
+// JSON-object-form Chrome trace limited to the fields above).
+func UnmarshalChrome(data []byte) ([]ChromeEvent, error) {
+	var t ChromeTrace
+	if err := json.Unmarshal(data, &t); err != nil {
+		return nil, err
+	}
+	return t.TraceEvents, nil
+}

@@ -1,0 +1,238 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// Stage identifies one hop of a frame's end-to-end path (Figure 3's data
+// paths, cut at the points the paper instruments).
+type Stage uint8
+
+// Frame path stages, in causal order.
+const (
+	// StageDisk is the filesystem read on the source card's spindle.
+	StageDisk Stage = iota
+	// StageBus is the PCI DMA hop from source card to scheduler card.
+	StageBus
+	// StageQueue is enqueue-to-dispatch inside DWCS (the queuing delay of
+	// Figures 8 and 10).
+	StageQueue
+	// StageTx is the dispatch decision's hand-off through the protocol
+	// stack until the first wire bit.
+	StageTx
+	// StageWire is serialization, switching, and propagation to the client.
+	StageWire
+	// StagePlayout is the client's receive stack before the player sees
+	// the frame.
+	StagePlayout
+	numStages
+)
+
+var stageNames = [numStages]string{"disk", "bus", "queue", "tx", "wire", "playout"}
+
+// String names the stage.
+func (s Stage) String() string {
+	if int(s) < len(stageNames) {
+		return stageNames[s]
+	}
+	return fmt.Sprintf("Stage(%d)", uint8(s))
+}
+
+// Segment is one stage of one frame's span: stream and sequence identify
+// the frame, Where the substrate instance, and [Start, End] the simulated
+// interval spent in the stage.
+type Segment struct {
+	Stream int
+	Seq    int64
+	Stage  Stage
+	Where  string
+	Start  sim.Time
+	End    sim.Time
+}
+
+// Dur returns the segment's duration.
+func (s Segment) Dur() sim.Time { return s.End - s.Start }
+
+// SpanLog accumulates span segments. Recording order is engine order, which
+// is already deterministic; exports additionally sort canonically so two
+// logs with the same segment set render identically.
+type SpanLog struct {
+	Segments []Segment
+}
+
+// Record appends one segment. Zero-length and negative segments are kept
+// out of the log — they carry no latency information and would divide by
+// zero in rate math.
+func (l *SpanLog) Record(seg Segment) {
+	if l == nil || seg.End < seg.Start {
+		return
+	}
+	l.Segments = append(l.Segments, seg)
+}
+
+// Len reports recorded segments.
+func (l *SpanLog) Len() int {
+	if l == nil {
+		return 0
+	}
+	return len(l.Segments)
+}
+
+// sorted returns the segments in canonical order: by start time, then
+// stream, sequence, stage, instance, end.
+func (l *SpanLog) sorted() []Segment {
+	out := append([]Segment(nil), l.Segments...)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		if a.Stream != b.Stream {
+			return a.Stream < b.Stream
+		}
+		if a.Seq != b.Seq {
+			return a.Seq < b.Seq
+		}
+		if a.Stage != b.Stage {
+			return a.Stage < b.Stage
+		}
+		if a.Where != b.Where {
+			return a.Where < b.Where
+		}
+		return a.End < b.End
+	})
+	return out
+}
+
+// stageAgg is the critical-path analyzer's accumulator for one stage.
+type stageAgg struct {
+	count     int64
+	total     sim.Time
+	max       sim.Time
+	durs      []sim.Time
+	histogram [len(stageBucketsUs) + 1]int64
+}
+
+// stageBucketsUs are the fixed per-stage latency histogram bounds (µs).
+var stageBucketsUs = [...]int64{
+	10, 50, 100, 500, 1000, 5000, 10_000, 50_000, 100_000, 500_000,
+	1_000_000, 5_000_000, 10_000_000,
+}
+
+func (l *SpanLog) aggregate() [numStages]stageAgg {
+	var agg [numStages]stageAgg
+	if l == nil {
+		return agg
+	}
+	for _, seg := range l.Segments {
+		if int(seg.Stage) >= int(numStages) {
+			continue
+		}
+		a := &agg[seg.Stage]
+		d := seg.Dur()
+		a.count++
+		a.total += d
+		if d > a.max {
+			a.max = d
+		}
+		a.durs = append(a.durs, d)
+		us := int64(d / sim.Microsecond)
+		placed := false
+		for i, b := range stageBucketsUs {
+			if us <= b {
+				a.histogram[i]++
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			a.histogram[len(stageBucketsUs)]++
+		}
+	}
+	return agg
+}
+
+// quantile returns the q-quantile of ds (ds is sorted in place).
+func quantile(ds []sim.Time, q float64) sim.Time {
+	if len(ds) == 0 {
+		return 0
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	i := int(q * float64(len(ds)-1))
+	return ds[i]
+}
+
+// StageTable renders the critical-path analysis: one row per stage with
+// count, total, mean, p50, p95, and max latency — the "where did the
+// end-to-end latency go" table.
+func (l *SpanLog) StageTable() string {
+	agg := l.aggregate()
+	var b strings.Builder
+	b.WriteString("per-stage frame latency (simulated)\n")
+	fmt.Fprintf(&b, "%-8s %9s %13s %11s %11s %11s %11s\n",
+		"stage", "count", "total_ms", "mean_us", "p50_us", "p95_us", "max_us")
+	for st := Stage(0); st < numStages; st++ {
+		a := agg[st]
+		if a.count == 0 {
+			fmt.Fprintf(&b, "%-8s %9d %13.3f %11.1f %11.1f %11.1f %11.1f\n",
+				st, 0, 0.0, 0.0, 0.0, 0.0, 0.0)
+			continue
+		}
+		mean := a.total / sim.Time(a.count)
+		p50 := quantile(a.durs, 0.50)
+		p95 := quantile(a.durs, 0.95)
+		fmt.Fprintf(&b, "%-8s %9d %13.3f %11.1f %11.1f %11.1f %11.1f\n",
+			st, a.count, a.total.Milliseconds(), mean.Microseconds(),
+			p50.Microseconds(), p95.Microseconds(), a.max.Microseconds())
+	}
+	return b.String()
+}
+
+// StageHistograms renders the fixed-bucket latency distribution of each
+// non-empty stage (cumulative counts, Prometheus-style le bounds in µs).
+func (l *SpanLog) StageHistograms() string {
+	agg := l.aggregate()
+	var b strings.Builder
+	for st := Stage(0); st < numStages; st++ {
+		a := agg[st]
+		if a.count == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "stage %s latency histogram (n=%d)\n", st, a.count)
+		var cum int64
+		for i, bound := range stageBucketsUs {
+			cum += a.histogram[i]
+			fmt.Fprintf(&b, "  le %10dus %9d\n", bound, cum)
+		}
+		cum += a.histogram[len(stageBucketsUs)]
+		fmt.Fprintf(&b, "  le       +Infus %9d\n", cum)
+	}
+	return b.String()
+}
+
+// Folded renders the span log in folded-stack format — one
+// "frame;<stage>;<where> <µs>" line per distinct stack, sorted — directly
+// consumable by flamegraph.pl and speedscope.
+func (l *SpanLog) Folded() string {
+	if l == nil {
+		return ""
+	}
+	totals := make(map[string]int64)
+	for _, seg := range l.Segments {
+		totals["frame;"+seg.Stage.String()+";"+seg.Where] += int64(seg.Dur() / sim.Microsecond)
+	}
+	keys := make([]string, 0, len(totals))
+	for k := range totals {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s %d\n", k, totals[k])
+	}
+	return b.String()
+}

@@ -1,0 +1,261 @@
+package telemetry
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/sim"
+)
+
+func TestNilRegistryIsInert(t *testing.T) {
+	var r *Registry
+	r.Counter("a", "b", "").Inc()
+	r.Gauge("a", "b", "").Set(1)
+	r.HistogramMetric("a", "h", "", nil).Observe(1)
+	r.CounterFunc("a", "c", "", func() int64 { return 1 })
+	r.GaugeFunc("a", "g", "", func() float64 { return 1 })
+	r.Span(1, 0, StageDisk, "x", 0, 1)
+	r.Snapshot(0)
+	if r.PrometheusText() != "" || r.SnapshotsCSV() != "" {
+		t.Error("nil registry exported something")
+	}
+	if r.Components() != nil || r.Snapshots() != 0 {
+		t.Error("nil registry reported state")
+	}
+	var p *Profiler
+	p.ObserveCycles("x", "y", 1, 10)
+	if p.Total() != 0 {
+		t.Error("nil profiler accumulated cycles")
+	}
+	var l *SpanLog
+	if l.Len() != 0 || l.ChromeEvents() != nil {
+		t.Error("nil span log reported segments")
+	}
+}
+
+func TestMetricValuesAndSums(t *testing.T) {
+	r := New()
+	c := r.Counter("nic", "frames_total", "frames")
+	c.Add(3)
+	c.Inc()
+	// Two lazy sources under the same key sum with the direct count.
+	r.CounterFunc("nic", "frames_total", "frames", func() int64 { return 10 })
+	r.CounterFunc("nic", "frames_total", "frames", func() int64 { return 100 })
+	if got := c.Value(); got != 114 {
+		t.Errorf("counter = %d, want 114", got)
+	}
+	g := r.Gauge("host", "util", "")
+	g.Set(7.5)
+	r.GaugeFunc("host", "util", "", func() float64 { return 2.5 })
+	if got := g.Value(); got != 10 {
+		t.Errorf("gauge = %v, want 10", got)
+	}
+	if got := r.Components(); len(got) != 2 || got[0] != "host" || got[1] != "nic" {
+		t.Errorf("components = %v", got)
+	}
+}
+
+func TestKindClashPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("registering one key as counter then gauge did not panic")
+		}
+	}()
+	r := New()
+	r.Counter("a", "x", "")
+	r.Gauge("a", "x", "")
+}
+
+func TestHistogramBucketing(t *testing.T) {
+	r := New()
+	h := r.HistogramMetric("dwcs", "delay_ms", "delay", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 5, 50, 500} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Errorf("count = %d, want 5", h.Count())
+	}
+	text := r.PrometheusText()
+	// Cumulative buckets: <=1: 2, <=10: 3, <=100: 4, +Inf: 5.
+	for _, want := range []string{
+		`repro_dwcs_delay_ms_bucket{component="dwcs",le="1"} 2`,
+		`repro_dwcs_delay_ms_bucket{component="dwcs",le="10"} 3`,
+		`repro_dwcs_delay_ms_bucket{component="dwcs",le="100"} 4`,
+		`repro_dwcs_delay_ms_bucket{component="dwcs",le="+Inf"} 5`,
+		`repro_dwcs_delay_ms_sum{component="dwcs"} 556.5`,
+		`repro_dwcs_delay_ms_count{component="dwcs"} 5`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Prometheus text missing %q:\n%s", want, text)
+		}
+	}
+	if _, _, err := CheckPrometheus(text); err != nil {
+		t.Errorf("CheckPrometheus rejected our own output: %v", err)
+	}
+}
+
+func TestPrometheusCanonicalOrder(t *testing.T) {
+	r := New()
+	// Register out of order; export must sort by (component, name).
+	r.Counter("zeta", "b", "")
+	r.Counter("alpha", "z", "")
+	r.Counter("alpha", "a", "")
+	text := r.PrometheusText()
+	ia := strings.Index(text, "repro_alpha_a")
+	iz := strings.Index(text, "repro_alpha_z")
+	ib := strings.Index(text, "repro_zeta_b")
+	if !(ia >= 0 && ia < iz && iz < ib) {
+		t.Errorf("export order not canonical:\n%s", text)
+	}
+	families, samples, err := CheckPrometheus(text)
+	if err != nil || families != 3 || samples != 3 {
+		t.Errorf("CheckPrometheus = (%d, %d, %v), want (3, 3, nil)", families, samples, err)
+	}
+}
+
+func TestCheckPrometheusRejectsMalformed(t *testing.T) {
+	for _, bad := range []string{
+		"# TYPE repro_x badkind\n",
+		"# TYPE repro_x counter\n# TYPE repro_x counter\n",
+		"repro_x{component=\"a\"}\n",
+		"repro_x{component=\"a\"} notanumber\n",
+	} {
+		if _, _, err := CheckPrometheus(bad); err == nil {
+			t.Errorf("CheckPrometheus accepted %q", bad)
+		}
+	}
+}
+
+func TestSnapshotsCSV(t *testing.T) {
+	eng := sim.NewEngine(1)
+	r := New()
+	c := r.Counter("nic", "frames_total", "")
+	stop := r.SnapshotEvery(eng, sim.Second)
+	eng.Every(400*sim.Millisecond, func() { c.Inc() })
+	eng.RunUntil(3 * sim.Second)
+	stop()
+	if r.Snapshots() != 3 {
+		t.Fatalf("snapshots = %d, want 3", r.Snapshots())
+	}
+	csv := r.SnapshotsCSV()
+	// At each whole second the snapshot callback (registered first) runs
+	// before that tick's increment.
+	want := "time_ms,component,metric,value\n" +
+		"1000.000,nic,frames_total,2\n" +
+		"2000.000,nic,frames_total,4\n" +
+		"3000.000,nic,frames_total,7\n"
+	if csv != want {
+		t.Errorf("CSV:\n%s\nwant:\n%s", csv, want)
+	}
+}
+
+func TestSpanStageTableAndFolded(t *testing.T) {
+	l := &SpanLog{}
+	l.Record(Segment{Stream: 1, Seq: 0, Stage: StageQueue, Where: "ni0/dwcs", Start: 10 * sim.Microsecond, End: 30 * sim.Microsecond})
+	l.Record(Segment{Stream: 1, Seq: 1, Stage: StageQueue, Where: "ni0/dwcs", Start: 40 * sim.Microsecond, End: 100 * sim.Microsecond})
+	l.Record(Segment{Stream: 2, Seq: 0, Stage: StageWire, Where: "client-a", Start: 5 * sim.Microsecond, End: 15 * sim.Microsecond})
+	l.Record(Segment{Stream: 1, Seq: 2, Stage: StageQueue, Where: "ni0/dwcs", Start: 100 * sim.Microsecond, End: 90 * sim.Microsecond}) // dropped: End < Start
+	if l.Len() != 3 {
+		t.Fatalf("len = %d, want 3 (negative span must be dropped)", l.Len())
+	}
+	table := l.StageTable()
+	if !strings.Contains(table, "queue") || !strings.Contains(table, "wire") {
+		t.Errorf("stage table missing stages:\n%s", table)
+	}
+	// Folded stacks aggregate: equal stacks sum their µs (20+60 for queue).
+	folded := l.Folded()
+	for _, want := range []string{
+		"frame;queue;ni0/dwcs 80\n",
+		"frame;wire;client-a 10\n",
+	} {
+		if !strings.Contains(folded, want) {
+			t.Errorf("folded output missing %q:\n%s", want, folded)
+		}
+	}
+}
+
+func TestChromeRoundTrip(t *testing.T) {
+	l := &SpanLog{}
+	l.Record(Segment{Stream: 2, Seq: 1, Stage: StageTx, Where: "ni0", Start: 100 * sim.Microsecond, End: 150 * sim.Microsecond})
+	l.Record(Segment{Stream: 1, Seq: 0, Stage: StageDisk, Where: "prod0", Start: 0, End: 90 * sim.Microsecond})
+	raw, err := MarshalChrome(l.ChromeEvents())
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := UnmarshalChrome(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("round trip lost events: %d", len(events))
+	}
+	again, err := MarshalChrome(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(raw, again) {
+		t.Errorf("round trip not byte-identical:\n%s\nvs\n%s", raw, again)
+	}
+	if events[0].Name != "disk" || events[0].TID != 1 || events[0].Dur != 90 {
+		t.Errorf("first event wrong: %+v", events[0])
+	}
+}
+
+func TestProfilerAttributionAndTable(t *testing.T) {
+	model := cpu.I960RD()
+	m := cpu.NewMeter(model)
+	p := NewProfiler()
+	m.Observe(p)
+
+	prevC, prevO := m.SetContext("dwcs", "decision")
+	m.Int(10)
+	m.SetContext(prevC, prevO)
+	m.ChargeCycles(100) // no context: unattributed
+
+	// Reading Cycles flushes the pending delta to the observer, so the
+	// profiled total reconciles exactly.
+	cycles := m.Cycles()
+	if p.Total() != cycles {
+		t.Errorf("profiler total %d != meter cycles %d", p.Total(), cycles)
+	}
+	if p.Cycles("dwcs", "decision") == 0 {
+		t.Error("dwcs/decision cycles not attributed")
+	}
+	if p.Cycles("unattributed", "other") != 100 {
+		t.Errorf("unattributed = %d, want 100", p.Cycles("unattributed", "other"))
+	}
+	entries := p.Entries()
+	for i := 1; i < len(entries); i++ {
+		if entries[i].Cycles > entries[i-1].Cycles {
+			t.Error("entries not sorted by descending cycles")
+		}
+	}
+	table := p.Table(model)
+	if !strings.Contains(table, model.Name) || !strings.Contains(table, "total") {
+		t.Errorf("table missing header/total:\n%s", table)
+	}
+	if !strings.Contains(p.Table(nil), "cycle attribution\n") {
+		t.Error("model-less table missing title")
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		1.5: "1.5",
+		0:   "0",
+	}
+	for v, want := range cases {
+		if got := formatFloat(v); got != want {
+			t.Errorf("formatFloat(%v) = %q, want %q", v, got, want)
+		}
+	}
+	if formatFloat(math.Inf(1)) != "+Inf" || formatFloat(math.Inf(-1)) != "-Inf" {
+		t.Error("infinities not spelled out")
+	}
+	if formatFloat(math.NaN()) != "NaN" {
+		t.Error("NaN not spelled out")
+	}
+}

@@ -92,10 +92,15 @@ func New(eng *sim.Engine, capacity int) *Log {
 	return &Log{eng: eng, events: make([]Event, capacity), Enabled: true}
 }
 
-// Record appends an event at the current simulated time.
+// Record appends an event at the current simulated time. Out-of-range kinds
+// are clamped to KindUser so they can't skew per-kind tallies (Summary) or
+// dodge ByKind filters.
 func (l *Log) Record(kind Kind, source string, stream int, seq int64, note string) {
 	if l == nil || !l.Enabled {
 		return
+	}
+	if kind >= numKinds {
+		kind = KindUser
 	}
 	if l.full {
 		l.Dropped++
@@ -137,14 +142,35 @@ func (l *Log) Events() []Event {
 	return out
 }
 
+// Range visits retained events in chronological order without copying the
+// ring. fn returning false stops the walk.
+func (l *Log) Range(fn func(Event) bool) {
+	if l == nil {
+		return
+	}
+	if l.full {
+		for _, e := range l.events[l.next:] {
+			if !fn(e) {
+				return
+			}
+		}
+	}
+	for _, e := range l.events[:l.next] {
+		if !fn(e) {
+			return
+		}
+	}
+}
+
 // Filter returns retained events matching the predicate.
 func (l *Log) Filter(keep func(Event) bool) []Event {
 	var out []Event
-	for _, e := range l.Events() {
+	l.Range(func(e Event) bool {
 		if keep(e) {
 			out = append(out, e)
 		}
-	}
+		return true
+	})
 	return out
 }
 
@@ -160,22 +186,21 @@ func (l *Log) ByStream(id int) []Event {
 
 // Dump writes the retained events to w, one per line.
 func (l *Log) Dump(w io.Writer) error {
-	for _, e := range l.Events() {
-		if _, err := fmt.Fprintln(w, e); err != nil {
-			return err
-		}
-	}
-	return nil
+	var err error
+	l.Range(func(e Event) bool {
+		_, err = fmt.Fprintln(w, e)
+		return err == nil
+	})
+	return err
 }
 
 // Summary tallies retained events by kind.
 func (l *Log) Summary() string {
 	var counts [numKinds]int
-	for _, e := range l.Events() {
-		if int(e.Kind) < len(counts) {
-			counts[e.Kind]++
-		}
-	}
+	l.Range(func(e Event) bool {
+		counts[e.Kind]++
+		return true
+	})
 	var parts []string
 	for k, n := range counts {
 		if n > 0 {

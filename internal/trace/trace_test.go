@@ -135,3 +135,86 @@ func TestRingRetentionProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestRangeVisitsChronologicallyAfterWrap(t *testing.T) {
+	eng := sim.NewEngine(1)
+	l := New(eng, 4)
+	for i := 0; i < 6; i++ {
+		i := i
+		eng.At(sim.Time(i)*sim.Microsecond, func() {
+			l.Record(KindUser, "src", i, int64(i), "")
+		})
+	}
+	eng.Run()
+	var seen []int
+	l.Range(func(e Event) bool {
+		seen = append(seen, e.Stream)
+		return true
+	})
+	if len(seen) != 4 {
+		t.Fatalf("visited %d events, want 4", len(seen))
+	}
+	for i, want := range []int{2, 3, 4, 5} {
+		if seen[i] != want {
+			t.Fatalf("range order = %v, want [2 3 4 5]", seen)
+		}
+	}
+}
+
+func TestRangeEarlyExit(t *testing.T) {
+	eng := sim.NewEngine(1)
+	l := New(eng, 8)
+	for i := 0; i < 5; i++ {
+		l.Record(KindUser, "src", i, -1, "")
+	}
+	n := 0
+	l.Range(func(Event) bool {
+		n++
+		return n < 2
+	})
+	if n != 2 {
+		t.Errorf("visited %d events after early exit, want 2", n)
+	}
+	// Early exit must also work on the wrapped (full) half of the ring.
+	for i := 5; i < 10; i++ {
+		l.Record(KindUser, "src", i, -1, "")
+	}
+	n = 0
+	l.Range(func(Event) bool {
+		n++
+		return false
+	})
+	if n != 1 {
+		t.Errorf("visited %d events, want 1", n)
+	}
+}
+
+func TestRangeNilLog(t *testing.T) {
+	var l *Log
+	l.Range(func(Event) bool {
+		t.Fatal("nil log visited an event")
+		return true
+	})
+}
+
+func TestRecordClampsOutOfRangeKind(t *testing.T) {
+	eng := sim.NewEngine(1)
+	l := New(eng, 8)
+	l.Record(Kind(200), "src", 1, -1, "bogus kind")
+	l.Record(numKinds, "src", 2, -1, "first invalid value")
+	evs := l.Events()
+	if len(evs) != 2 {
+		t.Fatalf("events = %d, want 2", len(evs))
+	}
+	for _, e := range evs {
+		if e.Kind != KindUser {
+			t.Errorf("kind = %v, want KindUser (clamped)", e.Kind)
+		}
+	}
+	if got := l.Summary(); !strings.Contains(got, "user=2") {
+		t.Errorf("summary = %q, want user=2", got)
+	}
+	if got := l.ByKind(KindUser); len(got) != 2 {
+		t.Errorf("ByKind(KindUser) = %d events, want 2", len(got))
+	}
+}

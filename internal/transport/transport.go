@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/netsim"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // ackBytes is the wire size of an ACK segment.
@@ -54,6 +55,17 @@ func NewSender(eng *sim.Engine, out *netsim.Link, window int, rto sim.Time) *Sen
 		panic(fmt.Sprintf("transport: bad window %d / rto %v", window, rto))
 	}
 	return &Sender{eng: eng, out: out, window: int64(window), rto: rto}
+}
+
+// Instrument exports the sender's reliability counters under the transport
+// telemetry component.
+func (s *Sender) Instrument(reg *telemetry.Registry) {
+	reg.CounterFunc("transport", "segments_sent_total",
+		"first transmissions by reliable senders", func() int64 { return s.Sent })
+	reg.CounterFunc("transport", "retransmits_total",
+		"go-back-N retransmissions", func() int64 { return s.Retransmits })
+	reg.CounterFunc("transport", "acks_total",
+		"segments cumulatively acknowledged", func() int64 { return s.Acked })
 }
 
 // Send queues one packet for reliable, in-order delivery. The packet's Seq
@@ -170,6 +182,17 @@ type Receiver struct {
 // ACKing on ackOut toward ackAddr.
 func NewReceiver(eng *sim.Engine, up netsim.Port, ackOut *netsim.Link, ackAddr string) *Receiver {
 	return &Receiver{eng: eng, up: up, ackOut: ackOut, ackAddr: ackAddr}
+}
+
+// Instrument exports the receiver's delivery counters under the transport
+// telemetry component.
+func (r *Receiver) Instrument(reg *telemetry.Registry) {
+	reg.CounterFunc("transport", "delivered_total",
+		"in-order segments delivered upstream", func() int64 { return r.Delivered })
+	reg.CounterFunc("transport", "duplicates_total",
+		"duplicate segments discarded", func() int64 { return r.Duplicates })
+	reg.CounterFunc("transport", "out_of_order_total",
+		"out-of-order segments discarded (go-back-N)", func() int64 { return r.OutOfOrder })
 }
 
 // Deliver implements netsim.Port for the data path.
