@@ -11,12 +11,14 @@
 # pair per line, so plain awk can read it and diffs stay line-per-benchmark.
 # The stage baseline is the exact stages.txt of the deterministic 5 s
 # telemetry run — simulated time, so any drift is a real behavior change,
-# not noise.
+# not noise. The overload baseline is likewise the exact ladder.txt of the
+# deterministic 10 s overload sweep.
 set -e
 cd "$(dirname "$0")"
 
 BASELINE=BENCH_BASELINE.json
 STAGE_BASELINE=STAGE_BASELINE.txt
+OVERLOAD_BASELINE=OVERLOAD_BASELINE.txt
 BENCHES='BenchmarkEngine|BenchmarkSimulationThroughput|BenchmarkMissScan'
 
 run_benches() {
@@ -30,9 +32,18 @@ run_stages() {
 	rm -rf "$tmp"
 }
 
+run_overload() {
+	tmp=$(mktemp -d)
+	go run ./cmd/reprogen -overload -overload-out "$tmp" -dur 10 >/dev/null
+	cat "$tmp/ladder.txt"
+	rm -rf "$tmp"
+}
+
 if [ "$1" = "-update" ]; then
 	run_stages > "$STAGE_BASELINE"
 	echo "wrote $STAGE_BASELINE"
+	run_overload > "$OVERLOAD_BASELINE"
+	echo "wrote $OVERLOAD_BASELINE"
 	run_benches | awk '
 	/^Benchmark/ {
 		name = $1; sub(/-[0-9]+$/, "", name)
@@ -62,6 +73,18 @@ if [ -f "$STAGE_BASELINE" ]; then
 	fi
 else
 	echo "no $STAGE_BASELINE — run ./bench_compare.sh -update first" >&2
+fi
+
+# Overload ladder table: also simulated time, also exact.
+if [ -f "$OVERLOAD_BASELINE" ]; then
+	if run_overload | diff -u "$OVERLOAD_BASELINE" -; then
+		echo "overload ladder: unchanged"
+	else
+		echo "overload ladder drifted from $OVERLOAD_BASELINE (rerun with -update if intended)" >&2
+		exit 1
+	fi
+else
+	echo "no $OVERLOAD_BASELINE — run ./bench_compare.sh -update first" >&2
 fi
 
 run_benches | awk -v baseline="$BASELINE" '

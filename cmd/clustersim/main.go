@@ -9,6 +9,9 @@
 //	clustersim -sweep                          # capacity/goodput vs demand
 //	clustersim -chaos                          # generated fault schedule +
 //	                                           # heartbeat failover
+//	clustersim -overload                       # arm per-card overload control;
+//	                                           # with -chaos, adds a mem-leak
+//	                                           # fault to the schedule
 //	clustersim -telemetry                      # instrument the run; write
 //	                                           # trace/metrics artifacts
 package main
@@ -28,6 +31,7 @@ import (
 	"repro/internal/mpeg"
 	"repro/internal/netsim"
 	"repro/internal/nic"
+	"repro/internal/overload"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/telemetry"
@@ -45,6 +49,7 @@ func main() {
 	sweep := flag.Bool("sweep", false, "sweep requested stream count and report capacity")
 	chaos := flag.Bool("chaos", false, "arm a generated chaos schedule with heartbeat failover")
 	chaosSeed := flag.Int64("chaos-seed", 7, "chaos plan seed (with -chaos)")
+	overloadOn := flag.Bool("overload", false, "arm overload protection on every scheduler NI")
 	telemetryOn := flag.Bool("telemetry", false, "instrument the run and write observability artifacts")
 	telemetryOut := flag.String("telemetry-out", "telemetry-out", "directory for -telemetry artifacts")
 	flag.Parse()
@@ -73,6 +78,9 @@ func main() {
 
 	eng := sim.NewEngine(7)
 	c := cluster.New(eng, cfgs)
+	if *overloadOn {
+		c.EnableOverload(nil)
+	}
 	var reg *telemetry.Registry
 	if *telemetryOn {
 		reg = telemetry.New()
@@ -113,7 +121,7 @@ func main() {
 	var mon *cluster.Monitor
 	var chaosLog *faults.Log
 	if *chaos {
-		mon, chaosLog = armChaos(c, clip, req, *chaosSeed, dur)
+		mon, chaosLog = armChaos(c, clip, req, *chaosSeed, dur, *overloadOn)
 	}
 	eng.RunUntil(dur)
 	if mon != nil {
@@ -166,6 +174,23 @@ func main() {
 		}
 	}
 
+	if *overloadOn {
+		fmt.Println("overload pressure per scheduler NI:")
+		for _, n := range c.Nodes {
+			for _, s := range n.Schedulers {
+				ctl := s.Overload
+				if ctl == nil {
+					continue
+				}
+				b := ctl.Budget
+				fmt.Printf("  %-16s rung=%-7s used=%d/%d peak=%d rejects=%d breaches=%d shed=%d dropB=%d dropP=%d revoked=%d reinstated=%d\n",
+					s.Card.Name, ctl.Ladder.Rung(), b.Used(), b.Size(), b.Peak(),
+					b.Rejects, b.Breaches, ctl.ShedTolerantFrames, ctl.ShedBFrames,
+					ctl.ShedPFrames, ctl.Revoked, ctl.Reinstated)
+			}
+		}
+	}
+
 	if reg != nil {
 		if err := writeTelemetry(*telemetryOut, reg); err != nil {
 			fmt.Fprintln(os.Stderr, "clustersim:", err)
@@ -208,15 +233,21 @@ func writeTelemetry(dir string, reg *telemetry.Registry) error {
 // and producer disks, arms it on the engine, and starts the heartbeat
 // monitor in auto-failover mode. Streams moved by a failover are restarted
 // on their new placement (the orphaned producer on the dead card stops by
-// itself).
-func armChaos(c *cluster.Cluster, clip *mpeg.Clip, req cluster.StreamRequest, seed int64, dur sim.Time) (*cluster.Monitor, *faults.Log) {
+// itself). With overload protection armed the plan also draws a mem-leak
+// event — MemLeak is appended after the pre-existing kinds in the generator,
+// so the crash/stall prefix of the plan is byte-identical either way.
+func armChaos(c *cluster.Cluster, clip *mpeg.Clip, req cluster.StreamRequest, seed int64, dur sim.Time, overloadOn bool) (*cluster.Monitor, *faults.Log) {
 	cards := make(map[string]*nic.Card)
 	disks := make(map[string]*disk.Disk)
+	ctls := make(map[string]*overload.Controller)
 	var cardNames, diskNames []string
 	for _, n := range c.Nodes {
 		for _, s := range n.Schedulers {
 			cards[s.Card.Name] = s.Card
 			cardNames = append(cardNames, s.Card.Name)
+			if s.Overload != nil {
+				ctls[s.Card.Name] = s.Overload
+			}
 		}
 		for _, p := range n.Producers {
 			cards[p.Card.Name] = p.Card
@@ -224,13 +255,17 @@ func armChaos(c *cluster.Cluster, clip *mpeg.Clip, req cluster.StreamRequest, se
 			diskNames = append(diskNames, p.Card.Name)
 		}
 	}
+	counts := map[faults.Kind]int{
+		faults.CardCrash: 1,
+		faults.DiskStall: 1,
+	}
+	if overloadOn {
+		counts[faults.MemLeak] = 1
+	}
 	plan, err := faults.Generate(seed, faults.Spec{
 		Start: dur / 4, Span: dur / 2,
 		Cards: cardNames, Disks: diskNames,
-		Counts: map[faults.Kind]int{
-			faults.CardCrash: 1,
-			faults.DiskStall: 1,
-		},
+		Counts:      counts,
 		MinDuration: 2 * sim.Second, MaxDuration: 5 * sim.Second,
 		MinFactor: 4, MaxFactor: 8,
 	})
@@ -241,6 +276,12 @@ func armChaos(c *cluster.Cluster, clip *mpeg.Clip, req cluster.StreamRequest, se
 	fmt.Print(plan)
 
 	log := &faults.Log{}
+	// MemLeak erodes the target card's overload budget at Factor KB/s while
+	// the event is live. The leak draws through the card allocator, so it
+	// consumes free memory but never breaches the absolute budget; recovery
+	// stops the drip and reclaims every leaked byte.
+	const leakTick = 100 * sim.Millisecond
+	leakStops := make(map[string]func())
 	err = plan.Arm(c.Eng, faults.InjectorFuncs{
 		OnInject: func(e faults.Event) {
 			switch e.Kind {
@@ -250,6 +291,21 @@ func armChaos(c *cluster.Cluster, clip *mpeg.Clip, req cluster.StreamRequest, se
 				cards[e.Target].HangHog(e.Duration)
 			case faults.DiskStall:
 				disks[e.Target].Degrade(e.Factor)
+			case faults.MemLeak:
+				ctl := ctls[e.Target]
+				if ctl == nil {
+					return
+				}
+				per := (e.Factor << 10) * int64(leakTick) / int64(sim.Second)
+				leakStops[e.Target] = c.Eng.Every(leakTick, func() {
+					n := per
+					if free := ctl.Budget.Size() - ctl.Budget.Used(); free < n {
+						n = free
+					}
+					if n > 0 {
+						ctl.Budget.Leak(n)
+					}
+				})
 			}
 		},
 		OnRecover: func(e faults.Event) {
@@ -258,6 +314,15 @@ func armChaos(c *cluster.Cluster, clip *mpeg.Clip, req cluster.StreamRequest, se
 				cards[e.Target].Reset()
 			case faults.DiskStall:
 				disks[e.Target].Degrade(1)
+			case faults.MemLeak:
+				if stop := leakStops[e.Target]; stop != nil {
+					stop()
+					delete(leakStops, e.Target)
+				}
+				if ctl := ctls[e.Target]; ctl != nil {
+					fmt.Printf("%v: %s reclaimed %d leaked bytes\n",
+						c.Eng.Now(), e.Target, ctl.Budget.ReclaimLeak())
+				}
 			}
 		},
 	}, log)

@@ -9,6 +9,7 @@
 //	reprogen -headline       # the 50 µs vs 65 µs headline
 //	reprogen -faults         # fault-recovery chaos experiment (opt-in)
 //	reprogen -telemetry      # instrumented observability run (opt-in)
+//	reprogen -overload       # overload-protection sweep, claim 4 (opt-in)
 //	reprogen -csv out/       # also dump the figure curves as CSV files
 //	reprogen -dur 60         # figure observation length in seconds
 package main
@@ -31,6 +32,9 @@ func main() {
 	faultsRun := flag.Bool("faults", false, "run the fault-recovery chaos experiment (strictly opt-in)")
 	telemetryRun := flag.Bool("telemetry", false, "run the instrumented observability demonstration (strictly opt-in)")
 	telemetryOut := flag.String("telemetry-out", "telemetry-out", "directory for -telemetry artifacts")
+	overloadRun := flag.Bool("overload", false, "run the overload-protection sweep (strictly opt-in)")
+	overloadOut := flag.String("overload-out", "overload-out", "directory for -overload artifacts")
+	overloadWorkers := flag.Int("overload-workers", 0, "worker pool for the overload sweep (0 = GOMAXPROCS)")
 	csvDir := flag.String("csv", "", "directory to write figure curves as CSV")
 	durSec := flag.Int("dur", 100, "figure observation length (seconds)")
 	flag.Parse()
@@ -39,7 +43,7 @@ func main() {
 	// Chaos and telemetry never ride along with the paper's tables and
 	// figures: -faults and -telemetry are their own selections, so default
 	// runs are bit-identical with or without those subsystems present.
-	all := *table == 0 && *figure == 0 && !*headline && !*scaling && !*faultsRun && !*telemetryRun
+	all := *table == 0 && *figure == 0 && !*headline && !*scaling && !*faultsRun && !*telemetryRun && !*overloadRun
 
 	// Every table, figure bundle, and sweep is an independent simulation:
 	// fan the selected set across the worker pool, then print in the fixed
@@ -49,6 +53,7 @@ func main() {
 		niFigs                               *experiments.NIFigures
 		faultRec                             *experiments.FaultRecovery
 		telArt                               *experiments.TelemetryArtifacts
+		ovArt                                *experiments.OverloadArtifacts
 		t1, t2, t3, t4, t5, headlineRes, sca *experiments.Result
 	)
 	needHost := all || (*figure >= 6 && *figure <= 8)
@@ -71,7 +76,12 @@ func main() {
 	add(all || *scaling, func() { _, sca = experiments.RunStreamScaling([]int{4, 16, 64, 256}) })
 	add(*faultsRun, func() { faultRec = experiments.RunFaultRecovery(experiments.FaultConfig{Dur: dur}) })
 	add(*telemetryRun, func() { telArt = experiments.RunTelemetry(experiments.TelemetryConfig{Dur: dur}) })
+	// The overload sweep manages its own worker pool (its grid cells are the
+	// parallel unit), so it runs after the shared fan-out, not inside it.
 	experiments.Parallel(jobs...)
+	if *overloadRun {
+		ovArt = experiments.RunOverload(experiments.OverloadConfig{Dur: dur, Workers: *overloadWorkers})
+	}
 
 	for _, res := range []*experiments.Result{t1, t2, t3, t4, t5, headlineRes, sca} {
 		if res != nil {
@@ -112,7 +122,20 @@ func main() {
 		fmt.Print(telArt.Summary)
 		fmt.Print(telArt.StageTable)
 		fmt.Print(telArt.CycleTable)
-		fmt.Printf("telemetry artifacts written to %s\n", *telemetryOut)
+		// Status goes to stderr: stdout carries only deterministic artifact
+		// text, so CI can diff two runs writing to different directories.
+		fmt.Fprintf(os.Stderr, "telemetry artifacts written to %s\n", *telemetryOut)
+	}
+
+	if ovArt != nil {
+		if err := dumpOverload(*overloadOut, ovArt); err != nil {
+			fmt.Fprintln(os.Stderr, "overload:", err)
+			os.Exit(1)
+		}
+		fmt.Print(ovArt.Summary)
+		fmt.Print(ovArt.Ladder)
+		fmt.Print(ovArt.Table)
+		fmt.Fprintf(os.Stderr, "overload artifacts written to %s\n", *overloadOut)
 	}
 
 	if *csvDir != "" {
@@ -142,6 +165,29 @@ func dumpTelemetry(dir string, a *experiments.TelemetryArtifacts) error {
 	}
 	for _, f := range files {
 		if err := os.WriteFile(filepath.Join(dir, f.name), f.body, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// dumpOverload writes the overload sweep's artifacts: the pinned ladder
+// summary, the full grid as CSV, the claim table, and the prose verdicts.
+func dumpOverload(dir string, a *experiments.OverloadArtifacts) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	files := []struct {
+		name string
+		body string
+	}{
+		{"ladder.txt", a.Ladder},
+		{"overload.csv", a.CSV},
+		{"table.txt", a.Table.String()},
+		{"summary.txt", a.Summary},
+	}
+	for _, f := range files {
+		if err := os.WriteFile(filepath.Join(dir, f.name), []byte(f.body), 0o644); err != nil {
 			return err
 		}
 	}

@@ -10,6 +10,7 @@
 //	tracetool -in trace.json -where ni-sched     # filter by location substring
 //	tracetool -in trace.json -summary            # per-stage event counts
 //	tracetool -checkprom metrics.prom            # validate a Prometheus dump
+//	tracetool -pressure metrics.csv              # overload pressure view
 //
 // Output always goes through the same canonical writer the exporters use, so
 // a filter-free pass re-emits its input byte-identically — the property CI
@@ -21,8 +22,10 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 
+	"repro/internal/overload"
 	"repro/internal/telemetry"
 )
 
@@ -45,7 +48,19 @@ func main() {
 	where := flag.String("where", "", "keep only events whose location contains this substring")
 	summary := flag.Bool("summary", false, "print per-stage event counts instead of JSON")
 	checkprom := flag.String("checkprom", "", "validate a Prometheus text dump and exit")
+	pressure := flag.String("pressure", "", "render the overload pressure view from a metrics.csv snapshot dump and exit")
 	flag.Parse()
+
+	if *pressure != "" {
+		data, err := os.ReadFile(*pressure)
+		if err != nil {
+			fatal(err)
+		}
+		if err := printPressure(string(data)); err != nil {
+			fatal(fmt.Errorf("%s: %w", *pressure, err))
+		}
+		return
+	}
 
 	if *checkprom != "" {
 		data, err := os.ReadFile(*checkprom)
@@ -138,6 +153,77 @@ func printSummary(events []telemetry.ChromeEvent) {
 		fmt.Printf("%-10s %10d %14.2f\n", s, a.count, a.durUs)
 	}
 	fmt.Printf("%-10s %10d\n", "total", len(events))
+}
+
+// printPressure renders the overload controller's view of a metrics.csv
+// snapshot dump (time_ms,component,metric,value): budget occupancy, the
+// degradation ladder's position and per-rung shed counts, admission verdicts,
+// and backpressure activity — each series at its last snapshot.
+func printPressure(csv string) error {
+	last := make(map[string]map[string]float64) // component → metric → value
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) == 0 || !strings.HasPrefix(lines[0], "time_ms,component,metric,value") {
+		return fmt.Errorf("not a metrics.csv dump (header %q)", lines[0])
+	}
+	for i, line := range lines[1:] {
+		parts := strings.Split(line, ",")
+		if len(parts) != 4 {
+			return fmt.Errorf("line %d: %d fields", i+2, len(parts))
+		}
+		v, err := strconv.ParseFloat(parts[3], 64)
+		if err != nil {
+			return fmt.Errorf("line %d: %w", i+2, err)
+		}
+		m := last[parts[1]]
+		if m == nil {
+			m = make(map[string]float64)
+			last[parts[1]] = m
+		}
+		m[parts[2]] = v // rows are time-ordered; keep the latest sample
+	}
+	ov := last["overload"]
+	if len(ov) == 0 {
+		return fmt.Errorf("no overload metrics — was the run armed with -overload?")
+	}
+	used, size, peak := ov["budget_used_bytes"], ov["budget_size_bytes"], ov["budget_peak_bytes"]
+	fmt.Println("overload pressure (last snapshot per series)")
+	if size > 0 {
+		fmt.Printf("  budget: used %.0f B of %.0f B (%.1f%%), peak %.0f B (%.1f%%)\n",
+			used, size, 100*used/size, peak, 100*peak/size)
+	}
+	rung := overload.Rung(int(ov["ladder_rung"]))
+	fmt.Printf("  ladder: rung %s, %.0f transition(s)\n", rung, ov["ladder_transitions_total"])
+	fmt.Printf("  shed by rung: tolerant %.0f, B frames %.0f, P frames %.0f, revoked %.0f (reinstated %.0f)\n",
+		ov["shed_tolerant_total"], ov["shed_b_frames_total"], ov["shed_p_frames_total"],
+		ov["revoked_total"], ov["reinstated_total"])
+	fmt.Printf("  admission: rejects %.0f, breaches %.0f\n",
+		ov["admission_rejects_total"], ov["budget_breaches_total"])
+	fmt.Printf("  backpressure: engages %.0f, releases %.0f, source stalls %.0f\n",
+		ov["backpressure_engages_total"], ov["backpressure_releases_total"], ov["source_stalls_total"])
+	// Queue/drop pressure seen by the rest of the pipeline, per component.
+	comps := make([]string, 0, len(last))
+	for c := range last {
+		comps = append(comps, c)
+	}
+	sort.Strings(comps)
+	for _, c := range comps {
+		if c == "overload" {
+			continue
+		}
+		var rows []string
+		for name, v := range last[c] {
+			if strings.Contains(name, "drop") || strings.Contains(name, "reject") ||
+				strings.Contains(name, "stall") || strings.Contains(name, "queue") {
+				rows = append(rows, fmt.Sprintf("%s=%.0f", name, v))
+			}
+		}
+		if len(rows) == 0 {
+			continue
+		}
+		sort.Strings(rows)
+		fmt.Printf("  %s: %s\n", c, strings.Join(rows, " "))
+	}
+	return nil
 }
 
 func fatal(err error) {

@@ -27,6 +27,7 @@ import (
 	"repro/internal/mpeg"
 	"repro/internal/netsim"
 	"repro/internal/nic"
+	"repro/internal/overload"
 	"repro/internal/qos"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
@@ -69,6 +70,9 @@ type SchedulerNI struct {
 	// Endpoint is the card's presence in the distributed VCM: any node can
 	// drive this scheduler with remote instructions over the SAN.
 	Endpoint *dvcmnet.Endpoint
+	// Overload is the card's overload controller once EnableOverload armed
+	// protection; nil keeps the pre-overload admission behaviour.
+	Overload *overload.Controller
 
 	cpuLoad  float64 // fraction of NI CPU committed
 	linkLoad float64 // fraction of the Ethernet port committed
@@ -171,10 +175,37 @@ func (c *Cluster) Instrument(reg *telemetry.Registry) {
 		for _, s := range n.Schedulers {
 			s.Ext.Instrument(reg)
 			s.Endpoint.Instrument(reg)
+			if s.Overload != nil {
+				s.Overload.Instrument(reg)
+			}
 		}
 		for _, p := range n.Producers {
 			p.Card.Instrument(reg)
 			p.Disk.Instrument(reg)
+		}
+	}
+}
+
+// EnableOverload arms overload protection on every scheduler NI: each card
+// gets its own controller (budget sized to the card's installed memory) and
+// the placement loop starts redirecting setups away from cards past their
+// high-water mark. configure, if non-nil, tunes each controller before it
+// starts. Already-instrumented clusters instrument the new controllers too.
+func (c *Cluster) EnableOverload(configure func(*overload.Controller)) {
+	for _, n := range c.Nodes {
+		for _, s := range n.Schedulers {
+			if s.Overload != nil {
+				continue
+			}
+			ctl := overload.NewController(s.Card.Name, s.Card.Mem.Size())
+			if configure != nil {
+				configure(ctl)
+			}
+			s.Ext.AttachOverload(ctl)
+			s.Overload = ctl
+			if c.Tel != nil {
+				ctl.Instrument(c.Tel)
+			}
 		}
 	}
 }
@@ -296,6 +327,14 @@ func (c *Cluster) admit(req StreamRequest, exclude *SchedulerNI, client string) 
 			if s.memLoad+memNeed > s.Card.Mem.Size()*7/10 {
 				continue
 			}
+			// Overload-protected cards refuse setups past their budget's
+			// high-water mark; skipping here redirects the stream to a
+			// less-pressured card instead of failing the request.
+			if s.Overload != nil && !s.Overload.Budget.CanAdmit(nic.StreamMemCost(dwcs.StreamSpec{
+				BufCap: bufCap, NominalBytes: req.FrameBytes,
+			}).Projected()) {
+				continue
+			}
 			if best == nil || s.cpuLoad < best.cpuLoad {
 				best = s
 				bestNode = n
@@ -333,12 +372,13 @@ func (c *Cluster) admit(req StreamRequest, exclude *SchedulerNI, client string) 
 	c.nextID++
 	id := c.nextID
 	spec := dwcs.StreamSpec{
-		ID:     id,
-		Name:   req.Name,
-		Period: req.Period,
-		Loss:   req.Loss,
-		Lossy:  req.Lossy,
-		BufCap: bufCap,
+		ID:           id,
+		Name:         req.Name,
+		Period:       req.Period,
+		Loss:         req.Loss,
+		Lossy:        req.Lossy,
+		BufCap:       bufCap,
+		NominalBytes: req.FrameBytes,
 	}
 	if err := best.Ext.AddStream(spec); err != nil {
 		return nil, err
@@ -420,7 +460,7 @@ func (c *Cluster) Start(p *Placement, clip *mpeg.Clip, injectEvery sim.Time, loo
 // Release tears down an admitted stream: the scheduler forgets it and its
 // committed CPU, link, and memory return to the admission budget.
 func (c *Cluster) Release(p *Placement) error {
-	if err := p.Scheduler.Ext.Sched.RemoveStream(p.StreamID); err != nil {
+	if err := p.Scheduler.Ext.RemoveStream(p.StreamID); err != nil {
 		return err
 	}
 	c.refund(p)
@@ -458,7 +498,7 @@ func (c *Cluster) FailScheduler(s *SchedulerNI, placements []*Placement) []*Plac
 		// Tear down bookkeeping; the dead card's DWCS state is gone, and
 		// the commitment is refunded so the card's admission budget is
 		// clean if it later recovers.
-		_ = p.Scheduler.Ext.Sched.RemoveStream(p.StreamID)
+		_ = p.Scheduler.Ext.RemoveStream(p.StreamID)
 		c.refund(p)
 		delete(s.specs, p.StreamID)
 		delete(c.placements, p.StreamID)

@@ -154,6 +154,10 @@ func (d *Disk) Read(off, n int64, done func()) {
 // Utilization reports the fraction of time the spindle was busy.
 func (d *Disk) Utilization() float64 { return d.res.Utilization() }
 
+// QueueLen returns the number of requests waiting for the mechanism — a
+// prefetch-pressure input for overload control.
+func (d *Disk) QueueLen() int { return d.res.QueueLen() }
+
 // FS is a filesystem through which frames are read.
 type FS interface {
 	// Read delivers n bytes at offset off of the (single, implicit) media

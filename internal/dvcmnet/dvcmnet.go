@@ -14,9 +14,11 @@ package dvcmnet
 import (
 	"errors"
 	"fmt"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/netsim"
+	"repro/internal/overload"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
 )
@@ -227,11 +229,22 @@ func (e *Endpoint) Deliver(p *netsim.Packet) {
 			return
 		}
 		if m.err != "" {
-			c.done(nil, errors.New(m.err))
+			c.done(nil, reviveError(m.err))
 			return
 		}
 		c.done(m.reply, nil)
 	}
+}
+
+// reviveError reconstructs well-known typed errors from a reply's message
+// text. Errors cross the wire as strings (only the text is marshalled), so
+// without revival a remote overload admission reject loses its identity and
+// callers can't errors.Is it against overload.ErrAdmission.
+func reviveError(msg string) error {
+	if strings.Contains(msg, overload.ErrAdmission.Error()) {
+		return fmt.Errorf("%w (remote: %s)", overload.ErrAdmission, msg)
+	}
+	return errors.New(msg)
 }
 
 func (e *Endpoint) serve(m *message) {

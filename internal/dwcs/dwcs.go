@@ -113,6 +113,9 @@ type StreamSpec struct {
 	Loss   fixed.Frac // loss-tolerance x/y (x of every y packets may be lost/late)
 	Lossy  bool       // true: drop late packets; false: transmit them late
 	BufCap int        // circular-buffer capacity in descriptors
+	// NominalBytes is the stream's declared frame size, used by overload
+	// admission to project worst-case resident bytes (0 = undeclared).
+	NominalBytes int64
 }
 
 func (s StreamSpec) validate() error {
@@ -154,6 +157,7 @@ type StreamStats struct {
 	Late          int64 // serviced after their deadline (lossless streams)
 	Violations    int64 // misses while the current window allowed no loss
 	RejectedFull  int64 // enqueue attempts bounced off a full ring
+	Shed          int64 // packets shed proactively within loss tolerance (overload)
 }
 
 type stream struct {
@@ -260,6 +264,10 @@ type Scheduler struct {
 	// eagerMissScan restores the unconditional walk — the ablation knob
 	// the before/after benchmark flips.
 	eagerMissScan bool
+
+	// queuedBytes tracks the payload bytes resident across all rings in
+	// O(1), the overload controller's memory-pressure input.
+	queuedBytes int64
 
 	// TotalDecisions counts Schedule calls that examined streams.
 	TotalDecisions int64
@@ -400,6 +408,7 @@ func (s *Scheduler) RemoveStream(id int) error {
 		if !ok {
 			break
 		}
+		s.queuedBytes -= s.table[slot].Bytes
 		s.freeSlot(slot)
 	}
 	delete(s.streams, id)
@@ -457,6 +466,81 @@ func (s *Scheduler) Len() int {
 		n += st.ring.Len()
 	}
 	return n
+}
+
+// QueuedBytes returns the payload bytes resident across all stream rings.
+func (s *Scheduler) QueuedBytes() int64 { return s.queuedBytes }
+
+// Spec returns a copy of the stream's registered spec.
+func (s *Scheduler) Spec(id int) (StreamSpec, error) {
+	st, ok := s.streams[id]
+	if !ok {
+		return StreamSpec{}, fmt.Errorf("%w: %d", ErrUnknownStream, id)
+	}
+	return st.spec, nil
+}
+
+// ShedTolerant proactively drops the stream's head packet if — and only if —
+// the stream is lossy, unpaused, and its current window still tolerates a
+// loss (cx > 0): the overload ladder's rung-1 action, spending DWCS loss
+// budget ahead of time to relieve memory pressure without ever causing a
+// violation. The dropped packet is returned (copied out) so the caller can
+// release its payload.
+func (s *Scheduler) ShedTolerant(id int) (Packet, bool) {
+	st, ok := s.streams[id]
+	if !ok || !st.spec.Lossy || st.paused || st.cx <= 0 {
+		return Packet{}, false
+	}
+	slot, ok := st.ring.Pop()
+	if !ok {
+		return Packet{}, false
+	}
+	pkt := s.table[slot]
+	s.queuedBytes -= pkt.Bytes
+	s.freeSlot(slot)
+	// Same window algebra as a tolerated miss (adjustMissed's cx > 0 arm).
+	s.meter.Frac(1)
+	s.meter.MemRead(2)
+	s.meter.MemWrite(2)
+	s.meter.Branch(2)
+	st.cx--
+	st.cy--
+	if st.cy == 0 {
+		st.cx, st.cy = st.x, st.y
+	}
+	st.stats.Dropped++
+	st.stats.Shed++
+	if pkt.missed {
+		// The successor head may predate the watermark; force a rescan.
+		s.missWMValid = false
+	}
+	s.sel.fix(s, st)
+	return pkt, true
+}
+
+// FlushStream empties the stream's ring without deregistering it, returning
+// copies of the discarded packets so the caller can release payloads. Used
+// by overload revocation and ext-level stream removal.
+func (s *Scheduler) FlushStream(id int) ([]Packet, error) {
+	st, ok := s.streams[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownStream, id)
+	}
+	var out []Packet
+	for {
+		slot, ok := st.ring.Pop()
+		if !ok {
+			break
+		}
+		pkt := s.table[slot]
+		s.queuedBytes -= pkt.Bytes
+		s.freeSlot(slot)
+		out = append(out, pkt)
+	}
+	// Only heads were removed, which can only raise the true minimum
+	// deadline, so the watermark stays a valid lower bound.
+	s.sel.fix(s, st)
+	return out, nil
 }
 
 func (s *Scheduler) allocSlot() (uint32, bool) {
@@ -524,6 +608,7 @@ func (s *Scheduler) Enqueue(id int, p Packet) error {
 	st.last = p.Deadline
 	st.seq++
 	st.stats.Enqueued++
+	s.queuedBytes += p.Bytes
 	s.sel.fix(s, st)
 	return nil
 }
@@ -743,6 +828,7 @@ func (s *Scheduler) processMisses(now sim.Time, d *Decision) {
 			}
 			st.ring.Pop()
 			dropped := *p // copy out before the descriptor slot is recycled
+			s.queuedBytes -= dropped.Bytes
 			s.freeSlot(p.slot)
 			st.stats.Dropped++
 			d.Dropped = append(d.Dropped, &dropped)
@@ -896,6 +982,7 @@ func (s *Scheduler) DequeueFCFS() *Packet {
 		}
 		s.meter.MemRead(2) // frame address + length from the descriptor
 		pkt := s.table[slot]
+		s.queuedBytes -= pkt.Bytes
 		s.freeSlot(slot)
 		if pkt.missed {
 			s.missWMValid = false // successor head may predate the watermark
@@ -952,6 +1039,7 @@ func (s *Scheduler) Schedule() Decision {
 	}
 	st.ring.Pop()
 	pkt := *p // copy out before the descriptor slot is recycled
+	s.queuedBytes -= pkt.Bytes
 	s.freeSlot(p.slot)
 	if pkt.missed {
 		// Servicing an already-missed head exposes a successor whose

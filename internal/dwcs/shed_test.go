@@ -1,0 +1,111 @@
+package dwcs
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/fixed"
+	"repro/internal/sim"
+)
+
+func TestQueuedBytesTracksEnqueueServiceDrop(t *testing.T) {
+	clk := &testClock{}
+	s := newScheduler(clk)
+	mustAdd(t, s, spec(1, 10*sim.Millisecond, fixed.New(1, 2)))
+	mustEnqueue(t, s, 1, Packet{Bytes: 1000})
+	mustEnqueue(t, s, 1, Packet{Bytes: 500})
+	if s.QueuedBytes() != 1500 {
+		t.Fatalf("queued = %d after enqueues, want 1500", s.QueuedBytes())
+	}
+	d := s.Schedule()
+	if d.Packet == nil {
+		t.Fatal("no packet serviced")
+	}
+	if s.QueuedBytes() != 500 {
+		t.Fatalf("queued = %d after service, want 500", s.QueuedBytes())
+	}
+	// Deadline miss: a lossy drop must release its bytes too.
+	clk.now = sim.Second
+	s.Schedule()
+	if s.QueuedBytes() != 0 {
+		t.Fatalf("queued = %d after deadline drop, want 0", s.QueuedBytes())
+	}
+}
+
+func TestShedTolerantRespectsLossBudget(t *testing.T) {
+	clk := &testClock{}
+	s := newScheduler(clk)
+	// (1,2): one loss allowed per window of two.
+	mustAdd(t, s, spec(1, 10*sim.Millisecond, fixed.New(1, 2)))
+	for i := 0; i < 4; i++ {
+		mustEnqueue(t, s, 1, Packet{Bytes: 100, Seq: int64(i)})
+	}
+	p, ok := s.ShedTolerant(1)
+	if !ok || p.Seq != 0 {
+		t.Fatalf("shed = %+v ok=%v, want head packet", p, ok)
+	}
+	// The window's loss budget is spent: a second shed must refuse rather
+	// than push the stream toward a violation.
+	if _, ok := s.ShedTolerant(1); ok {
+		t.Fatal("shed past the loss budget")
+	}
+	// Servicing one packet completes the (1,2) window and resets it, which
+	// re-arms shedding.
+	if d := s.Schedule(); d.Packet == nil {
+		t.Fatal("no packet serviced")
+	}
+	if _, ok := s.ShedTolerant(1); !ok {
+		t.Fatal("shed refused after the window reset")
+	}
+	st, err := s.Stats(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Shed != 2 || st.Violations != 0 {
+		t.Fatalf("shed=%d violations=%d, want 2/0", st.Shed, st.Violations)
+	}
+}
+
+func TestShedTolerantRefusesLosslessAndUnknown(t *testing.T) {
+	clk := &testClock{}
+	s := newScheduler(clk)
+	mustAdd(t, s, StreamSpec{ID: 1, Period: 10 * sim.Millisecond, BufCap: 8}) // lossless
+	mustEnqueue(t, s, 1, Packet{Bytes: 100})
+	if _, ok := s.ShedTolerant(1); ok {
+		t.Fatal("shed a lossless stream")
+	}
+	if _, ok := s.ShedTolerant(99); ok {
+		t.Fatal("shed an unknown stream")
+	}
+}
+
+func TestFlushStreamEmptiesRingAndReleasesBytes(t *testing.T) {
+	clk := &testClock{}
+	s := newScheduler(clk)
+	mustAdd(t, s, spec(1, 10*sim.Millisecond, fixed.New(1, 2)))
+	mustAdd(t, s, spec(2, 10*sim.Millisecond, fixed.New(1, 2)))
+	for i := 0; i < 3; i++ {
+		mustEnqueue(t, s, 1, Packet{Bytes: 100, Seq: int64(i)})
+		mustEnqueue(t, s, 2, Packet{Bytes: 200, Seq: int64(i)})
+	}
+	out, err := s.FlushStream(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 {
+		t.Fatalf("flushed %d packets, want 3", len(out))
+	}
+	for i, p := range out {
+		if p.Seq != int64(i) {
+			t.Fatalf("flush order: packet %d has seq %d", i, p.Seq)
+		}
+	}
+	if s.QueuedBytes() != 600 {
+		t.Fatalf("queued = %d after flush, want 600 (stream 2 untouched)", s.QueuedBytes())
+	}
+	// The stream stays registered: it can enqueue again immediately.
+	mustEnqueue(t, s, 1, Packet{Bytes: 100})
+	if _, err := s.FlushStream(3); !errors.Is(err, ErrUnknownStream) {
+		t.Fatalf("flush unknown: %v", err)
+	}
+}

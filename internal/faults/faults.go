@@ -43,6 +43,11 @@ const (
 	// TaskHang runs a runaway highest-priority task on a card's kernel for
 	// Duration, starving every other task (priority-inversion hang).
 	TaskHang
+	// MemLeak gradually erodes an NI card's overload memory budget: Factor
+	// KB leak per second for Duration, reclaimed in full on recovery.
+	// Appended after TaskHang so plans generated before the kind existed
+	// keep their exact RNG consumption schedule.
+	MemLeak
 )
 
 // String names the kind.
@@ -58,6 +63,8 @@ func (k Kind) String() string {
 		return "disk-stall"
 	case TaskHang:
 		return "task-hang"
+	case MemLeak:
+		return "mem-leak"
 	}
 	return fmt.Sprintf("kind(%d)", int(k))
 }
@@ -141,6 +148,13 @@ func (p *Plan) Validate() error {
 		case DiskStall:
 			if e.Factor < 2 {
 				return fmt.Errorf("faults: event %d: disk-stall factor %d", i, e.Factor)
+			}
+		case MemLeak:
+			if e.Factor < 1 {
+				return fmt.Errorf("faults: event %d: mem-leak factor %d", i, e.Factor)
+			}
+			if e.Duration <= 0 {
+				return fmt.Errorf("faults: event %d: mem-leak needs a duration", i)
 			}
 		}
 	}
@@ -287,11 +301,12 @@ func Generate(seed int64, spec Spec) (*Plan, error) {
 		}
 		return nil
 	}
-	// Fixed kind order keeps the RNG consumption schedule stable.
-	for _, kind := range []Kind{CardCrash, LinkDown, LossBurst, DiskStall, TaskHang} {
+	// Fixed kind order keeps the RNG consumption schedule stable; new kinds
+	// append at the end so pre-existing (seed, spec) plans are byte-stable.
+	for _, kind := range []Kind{CardCrash, LinkDown, LossBurst, DiskStall, TaskHang, MemLeak} {
 		var targets []string
 		switch kind {
-		case CardCrash, TaskHang:
+		case CardCrash, TaskHang, MemLeak:
 			targets = spec.Cards
 		case LinkDown, LossBurst:
 			targets = spec.Links

@@ -1,0 +1,83 @@
+package faults
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestMemLeakValidation(t *testing.T) {
+	base := Event{At: sim.Second, Kind: MemLeak, Target: "ni0", Factor: 4, Duration: 2 * sim.Second}
+	ok := &Plan{Events: []Event{base}}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid mem-leak rejected: %v", err)
+	}
+	noFactor := base
+	noFactor.Factor = 0
+	if err := (&Plan{Events: []Event{noFactor}}).Validate(); err == nil {
+		t.Fatal("mem-leak with factor 0 validated")
+	}
+	noDur := base
+	noDur.Duration = 0
+	if err := (&Plan{Events: []Event{noDur}}).Validate(); err == nil {
+		t.Fatal("mem-leak without a duration validated")
+	}
+}
+
+// TestMemLeakComposesWithoutDisturbingOtherKinds pins the generator's
+// append-at-the-end RNG discipline: asking for a mem-leak on top of an
+// existing (seed, spec) plan must reproduce the crash/stall/outage events
+// byte-for-byte, so pre-existing chaos runs stay replayable.
+func TestMemLeakComposesWithoutDisturbingOtherKinds(t *testing.T) {
+	without, err := Generate(99, genSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := genSpec()
+	spec.Counts[MemLeak] = 2
+	with, err := Generate(99, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(with.Events) != len(without.Events)+2 {
+		t.Fatalf("event counts: %d with vs %d without", len(with.Events), len(without.Events))
+	}
+	var rest []Event
+	leaks := 0
+	for _, e := range with.Events {
+		if e.Kind == MemLeak {
+			leaks++
+			if e.Target != "ni0" && e.Target != "ni1" {
+				t.Fatalf("mem-leak targeted %q, want a card", e.Target)
+			}
+			continue
+		}
+		rest = append(rest, e)
+	}
+	if leaks != 2 {
+		t.Fatalf("drew %d mem-leaks, want 2", leaks)
+	}
+	if !reflect.DeepEqual(rest, without.Events) {
+		t.Fatalf("adding mem-leaks disturbed the other kinds:\n%s\nvs\n%s", with, without)
+	}
+}
+
+func TestMemLeakArmsInjectAndRecover(t *testing.T) {
+	eng := sim.NewEngine(1)
+	p := &Plan{Events: []Event{{
+		At: sim.Second, Duration: 2 * sim.Second, Kind: MemLeak, Target: "ni0", Factor: 8,
+	}}}
+	var injected, recovered sim.Time
+	err := p.Arm(eng, InjectorFuncs{
+		OnInject:  func(e Event) { injected = eng.Now() },
+		OnRecover: func(e Event) { recovered = eng.Now() },
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if injected != sim.Second || recovered != 3*sim.Second {
+		t.Fatalf("inject at %v, recover at %v; want 1s and 3s", injected, recovered)
+	}
+}

@@ -149,6 +149,11 @@ func (h *Scheduler) Enqueue(id int, p dwcs.Packet) error {
 	return nil
 }
 
+// QueuedBytes reports the payload bytes resident in the host scheduler's
+// rings. The host has no 4 MB card constraint — this is the number that grows
+// without bound under overload, the contrast claim 4 draws against the NI.
+func (h *Scheduler) QueuedBytes() int64 { return h.Sched.QueuedBytes() }
+
 // wakeupSlice is the CPU demand of getting the woken scheduler process back
 // onto the processor and through its decision code — what the process must
 // *queue for* before the scheduling decision executes. This queueing is the

@@ -135,6 +135,14 @@ func (r *Region) Kind() string { return r.Store.Kind() }
 // Addr identifies an allocation in card memory.
 type Addr uint32
 
+// Observer is notified after every successful allocation and every free.
+// The overload budget accountant mirrors physical frame-buffer usage through
+// this hook without Memory having to know about budgets.
+type Observer interface {
+	OnAlloc(n int64)
+	OnFree(n int64)
+}
+
 // Memory is a card's local DRAM allocator. The paper keeps a single copy of
 // each frame in NI memory and manipulates addresses (§3.1.2); Memory is the
 // accounting for that: allocations fail once the installed size is exceeded.
@@ -144,6 +152,7 @@ type Memory struct {
 	peak   int64
 	next   Addr
 	blocks map[Addr]int64
+	obs    Observer
 }
 
 // NewMemory returns an allocator over size bytes of card memory.
@@ -166,6 +175,9 @@ func (m *Memory) Alloc(n int64) (Addr, error) {
 		m.peak = m.used
 	}
 	m.blocks[a] = n
+	if m.obs != nil {
+		m.obs.OnAlloc(n)
+	}
 	return a, nil
 }
 
@@ -178,7 +190,14 @@ func (m *Memory) Free(a Addr) {
 	}
 	delete(m.blocks, a)
 	m.used -= n
+	if m.obs != nil {
+		m.obs.OnFree(n)
+	}
 }
+
+// Observe installs obs (nil detaches). At most one observer is supported;
+// allocations made before attachment are not replayed.
+func (m *Memory) Observe(obs Observer) { m.obs = obs }
 
 // Used returns currently allocated bytes.
 func (m *Memory) Used() int64 { return m.used }

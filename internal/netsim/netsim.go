@@ -302,6 +302,15 @@ type Client struct {
 	// BW, if set, meters goodput.
 	BW *stats.BandwidthMeter
 
+	// MaxPending caps frames resident in the receive stack (the player's rx
+	// ring). A slow client otherwise accumulates pending deliveries without
+	// bound while the server keeps sending. Zero keeps the historical
+	// unlimited behaviour; overflow frames are dropped and counted.
+	MaxPending int
+	// RxDropped counts frames discarded at the rx ring — overflow while
+	// MaxPending frames are pending, or any arrival while draining.
+	RxDropped int64
+
 	Received  int64
 	RecvBytes int64
 	Late      int64
@@ -310,6 +319,8 @@ type Client struct {
 
 	lastArrival sim.Time
 	gotFirst    bool
+	pending     int  // frames inside the receive stack
+	paused      bool // draining: the player stopped reading
 
 	tel       *telemetry.Registry
 	telFrames *telemetry.Counter
@@ -329,8 +340,20 @@ func NewClient(eng *sim.Engine, name string) *Client {
 	return &Client{eng: eng, Name: name, RxStack: 200 * sim.Microsecond}
 }
 
+// SetDraining marks the client as stalled (true): the player has stopped
+// reading, so every arrival is dropped at the rx ring until the client
+// resumes (false). Frames already inside the receive stack still complete.
+func (c *Client) SetDraining(on bool) { c.paused = on }
+
+// Pending reports frames currently inside the receive stack.
+func (c *Client) Pending() int { return c.pending }
+
 // Deliver implements Port.
 func (c *Client) Deliver(p *Packet) {
+	if c.paused || (c.MaxPending > 0 && c.pending >= c.MaxPending) {
+		c.RxDropped++
+		return
+	}
 	arrival := c.eng.Now()
 	if c.tel != nil && p.StreamID > 0 {
 		if p.Dispatched != 0 && p.FirstSent != 0 {
@@ -340,7 +363,9 @@ func (c *Client) Deliver(p *Packet) {
 			c.tel.Span(p.StreamID, p.Seq, telemetry.StageWire, c.Name, p.FirstSent, arrival)
 		}
 	}
+	c.pending++
 	c.eng.After(c.RxStack, func() {
+		c.pending--
 		if c.tel != nil && p.StreamID > 0 {
 			c.tel.Span(p.StreamID, p.Seq, telemetry.StagePlayout, c.Name, arrival, c.eng.Now())
 		}

@@ -1,0 +1,72 @@
+package netsim
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestClientRxRingCapDropsOverflow(t *testing.T) {
+	eng := sim.NewEngine(1)
+	cl := NewClient(eng, "c")
+	cl.RxStack = 10 * sim.Millisecond // slow player
+	cl.MaxPending = 4
+	for i := 0; i < 10; i++ {
+		cl.Deliver(&Packet{Seq: int64(i), Bytes: 1000})
+	}
+	if cl.Pending() != 4 {
+		t.Fatalf("pending = %d, want 4 (rx ring full)", cl.Pending())
+	}
+	if cl.RxDropped != 6 {
+		t.Fatalf("RxDropped = %d, want 6", cl.RxDropped)
+	}
+	eng.Run()
+	if cl.Received != 4 || cl.Pending() != 0 {
+		t.Fatalf("received=%d pending=%d after drain, want 4/0", cl.Received, cl.Pending())
+	}
+}
+
+func TestClientRingRefillsAsStackDrains(t *testing.T) {
+	eng := sim.NewEngine(1)
+	cl := NewClient(eng, "c")
+	cl.RxStack = 10 * sim.Millisecond
+	cl.MaxPending = 2
+	// Paced arrivals slower than the stack: nothing should drop.
+	for i := 0; i < 6; i++ {
+		i := i
+		eng.At(sim.Time(i)*20*sim.Millisecond, func() {
+			cl.Deliver(&Packet{Seq: int64(i), Bytes: 1000})
+		})
+	}
+	eng.Run()
+	if cl.Received != 6 || cl.RxDropped != 0 {
+		t.Fatalf("received=%d dropped=%d, want 6/0", cl.Received, cl.RxDropped)
+	}
+}
+
+func TestClientUnlimitedByDefault(t *testing.T) {
+	eng := sim.NewEngine(1)
+	cl := NewClient(eng, "c")
+	cl.RxStack = 10 * sim.Millisecond
+	for i := 0; i < 100; i++ {
+		cl.Deliver(&Packet{Seq: int64(i), Bytes: 1000})
+	}
+	eng.Run()
+	if cl.Received != 100 || cl.RxDropped != 0 {
+		t.Fatalf("received=%d dropped=%d, want 100/0", cl.Received, cl.RxDropped)
+	}
+}
+
+func TestClientDrainingDropsUntilResume(t *testing.T) {
+	eng := sim.NewEngine(1)
+	cl := NewClient(eng, "c")
+	cl.SetDraining(true)
+	cl.Deliver(&Packet{Seq: 0, Bytes: 1000})
+	cl.Deliver(&Packet{Seq: 1, Bytes: 1000})
+	cl.SetDraining(false)
+	cl.Deliver(&Packet{Seq: 2, Bytes: 1000})
+	eng.Run()
+	if cl.RxDropped != 2 || cl.Received != 1 {
+		t.Fatalf("dropped=%d received=%d, want 2/1", cl.RxDropped, cl.Received)
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/mpeg"
 	"repro/internal/netsim"
+	"repro/internal/overload"
 	"repro/internal/rtos"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -310,6 +311,17 @@ type SchedulerExt struct {
 	Sent    int64
 	Dropped int64
 
+	// Overload is the card's overload controller once AttachOverload wired
+	// one; nil (the default) leaves every admission and pressure path
+	// exactly as before.
+	Overload *overload.Controller
+	// OnReinstate fires when a revoked stream is readmitted, so the harness
+	// can restart its producer.
+	OnReinstate func(spec dwcs.StreamSpec)
+
+	ovCost  map[int]overload.StreamCost // admission charge per stream
+	revoked []dwcs.StreamSpec           // revocation order, for FIFO reinstatement
+
 	telQDelay *telemetry.Histogram
 
 	work *rtos.Semaphore
@@ -430,8 +442,19 @@ func (ext *SchedulerExt) Invoke(op string, arg any) (any, error) {
 		if !ok {
 			return nil, fmt.Errorf("dwcs ext: addStream wants StreamSpec, got %T", arg)
 		}
+		if ov := ext.Overload; ov != nil {
+			if err := ov.Budget.AdmitStream(StreamMemCost(spec)); err != nil {
+				return nil, err
+			}
+		}
 		if err := ext.Sched.AddStream(spec); err != nil {
+			if ov := ext.Overload; ov != nil {
+				ov.Budget.ReleaseStream(StreamMemCost(spec))
+			}
 			return nil, err
+		}
+		if ext.Overload != nil {
+			ext.ovCost[spec.ID] = StreamMemCost(spec)
 		}
 		ext.QDelay[spec.ID] = &stats.DelayTracker{Name: spec.Name}
 		return nil, nil
@@ -440,7 +463,7 @@ func (ext *SchedulerExt) Invoke(op string, arg any) (any, error) {
 		if !ok {
 			return nil, fmt.Errorf("dwcs ext: removeStream wants int, got %T", arg)
 		}
-		return nil, ext.Sched.RemoveStream(id)
+		return nil, ext.removeStream(id)
 	case "enqueue":
 		ea, ok := arg.(EnqueueArgs)
 		if !ok {
@@ -492,6 +515,169 @@ func (ext *SchedulerExt) AddStream(spec dwcs.StreamSpec) error {
 	_, err := ext.Invoke("addStream", spec)
 	return err
 }
+
+// RemoveStream deregisters a stream directly (card-local callers), flushing
+// queued frame payloads and releasing its admission charge.
+func (ext *SchedulerExt) RemoveStream(id int) error {
+	_, err := ext.Invoke("removeStream", id)
+	return err
+}
+
+// Per-stream card-memory footprint constants for overload admission. One
+// ring slot is eight descriptor words; stream state is the spec, window
+// counters, and stats the scheduler keeps resident.
+const (
+	streamStateBytes = 256
+	descriptorBytes  = 32
+)
+
+// streamCost projects a stream's card-memory footprint: admission charges
+// State and Slots up front, while Ring — a full buffer of nominal frames,
+// the worst case the stream can pin — is only tested against the high-water
+// mark (live frame bytes are accounted by the allocator observer as they
+// arrive).
+func StreamMemCost(spec dwcs.StreamSpec) overload.StreamCost {
+	return overload.StreamCost{
+		State: streamStateBytes,
+		Slots: int64(spec.BufCap) * descriptorBytes,
+		Ring:  int64(spec.BufCap) * spec.NominalBytes,
+	}
+}
+
+// removeStream flushes the stream's queued payloads back to card memory,
+// deregisters it, and releases its admission charge. Flushing before removal
+// also fixes frame buffers leaking when a populated stream is torn down.
+func (ext *SchedulerExt) removeStream(id int) error {
+	if pkts, err := ext.Sched.FlushStream(id); err == nil {
+		for i := range pkts {
+			releasePayload(pkts[i].Payload)
+		}
+	}
+	if err := ext.Sched.RemoveStream(id); err != nil {
+		return err
+	}
+	if ov := ext.Overload; ov != nil {
+		if sc, ok := ext.ovCost[id]; ok {
+			ov.Budget.ReleaseStream(sc)
+			delete(ext.ovCost, id)
+		}
+	}
+	return nil
+}
+
+// AttachOverload wires an overload controller to this extension: the card's
+// allocator reports frame-buffer traffic to the budget, the controller's
+// hooks drive shed/revoke/reinstate against the scheduler, and periodic
+// evaluation starts on the card's engine. Idempotent; call once per card.
+func (ext *SchedulerExt) AttachOverload(ctl *overload.Controller) {
+	if ext.Overload != nil {
+		return
+	}
+	ext.Overload = ctl
+	ext.ovCost = make(map[int]overload.StreamCost)
+	ext.Card.Mem.Observe(ctl.Budget)
+	ctl.Hooks = overload.Hooks{
+		QueueDepth:   func() int { return ext.Sched.Len() + len(ext.dispatchQ) },
+		ShedTolerant: ext.shedTolerant,
+		Revoke:       ext.revokeLowestValue,
+		Reinstate:    ext.reinstateOne,
+	}
+	prev := ctl.Ladder.OnChange
+	ctl.Ladder.OnChange = func(from, to overload.Rung) {
+		ext.Trace.Recordf(trace.KindUser, ext.Card.Name+"/overload", -1, -1,
+			"ladder %s -> %s", from, to)
+		if prev != nil {
+			prev(from, to)
+		}
+	}
+	ctl.Start(ext.Card.Eng)
+}
+
+// shedTolerant is the ladder's rung-1 action: walk streams in insertion
+// order shedding at most one head frame each — only where the DWCS window
+// still tolerates a loss — until max frames are shed. Returns how many.
+func (ext *SchedulerExt) shedTolerant(max int) int {
+	shed := 0
+	for _, id := range ext.Sched.StreamIDs() {
+		if shed >= max {
+			break
+		}
+		pkt, ok := ext.Sched.ShedTolerant(id)
+		if !ok {
+			continue
+		}
+		releasePayload(pkt.Payload)
+		ext.Dropped++
+		ext.Trace.Record(trace.KindDrop, ext.Card.Name+"/overload",
+			pkt.StreamID, pkt.Seq, "shed within tolerance")
+		shed++
+	}
+	return shed
+}
+
+// revokeLowestValue is the ladder's last rung: revoke admission of the one
+// lowest-value stream — lossy before lossless, then the largest declared
+// loss tolerance, then the highest id — flushing its queue and releasing its
+// charge. The stream's producer orphan-aborts on its next enqueue; the spec
+// is kept so reinstateOne can reverse the revocation in FIFO order.
+func (ext *SchedulerExt) revokeLowestValue() bool {
+	best := -1
+	var bestSpec dwcs.StreamSpec
+	for _, sn := range ext.Sched.Snapshot() {
+		sp := sn.Spec
+		if best < 0 {
+			best, bestSpec = sp.ID, sp
+			continue
+		}
+		if c := cmpStreamValue(sp, bestSpec); c < 0 || (c == 0 && sp.ID > best) {
+			best, bestSpec = sp.ID, sp
+		}
+	}
+	if best < 0 {
+		return false
+	}
+	if err := ext.removeStream(best); err != nil {
+		return false
+	}
+	ext.revoked = append(ext.revoked, bestSpec)
+	ext.Trace.Recordf(trace.KindUser, ext.Card.Name+"/overload", best, -1,
+		"revoked (loss %v)", bestSpec.Loss)
+	return true
+}
+
+// cmpStreamValue orders specs by value: negative when a should be revoked
+// before b.
+func cmpStreamValue(a, b dwcs.StreamSpec) int {
+	if a.Lossy != b.Lossy {
+		if a.Lossy {
+			return -1
+		}
+		return 1
+	}
+	return b.Loss.Cmp(a.Loss) // larger tolerated loss revokes first
+}
+
+// reinstateOne readmits the oldest revoked stream, going back through the
+// normal admission path (a still-tight budget refuses and the revocation
+// stays on the queue for the next evaluation).
+func (ext *SchedulerExt) reinstateOne() bool {
+	if len(ext.revoked) == 0 {
+		return false
+	}
+	spec := ext.revoked[0]
+	if err := ext.AddStream(spec); err != nil {
+		return false
+	}
+	ext.revoked = ext.revoked[1:]
+	ext.Trace.Recordf(trace.KindUser, ext.Card.Name+"/overload", spec.ID, -1, "reinstated")
+	if ext.OnReinstate != nil {
+		ext.OnReinstate(spec)
+	}
+	return true
+}
+
+// RevokedCount returns how many revocations are awaiting reinstatement.
+func (ext *SchedulerExt) RevokedCount() int { return len(ext.revoked) }
 
 // Enqueue queues a packet and wakes the scheduler task.
 func (ext *SchedulerExt) Enqueue(id int, p dwcs.Packet) error {
@@ -631,9 +817,41 @@ func (ext *SchedulerExt) sleepUntil(tc *rtos.TaskCtx, until sim.Time) {
 
 // Producer is a frame source feeding a scheduler extension.
 type Producer struct {
-	Injected int64
-	Stalled  int64 // injection attempts deferred because the ring was full
-	Orphaned int64 // frames abandoned because the stream disappeared
+	Injected  int64
+	Stalled   int64 // injection attempts deferred because the ring was full
+	Orphaned  int64 // frames abandoned because the stream disappeared
+	Throttled int64 // fetches deferred by overload backpressure
+	Shed      int64 // frames skipped at the source by the degradation ladder
+}
+
+// gateSource holds the producer at the source while overload backpressure is
+// engaged or the budget lacks headroom for the next frame — this is what
+// throttles disk prefetch (path C) and peer DMA (path B) end to end.
+func gateSource(tc *rtos.TaskCtx, ext *SchedulerExt, n int64, p *Producer) {
+	ov := ext.Overload
+	if ov == nil {
+		return
+	}
+	for !ov.AllowSource(n) {
+		p.Throttled++
+		tc.Sleep(ov.PollEvery)
+	}
+}
+
+// skipShed applies the ladder's source downgrade to one frame, keeping the
+// producer's pacing cadence when the frame is skipped. Returns true when the
+// frame was shed.
+func skipShed(tc *rtos.TaskCtx, ext *SchedulerExt, f mpeg.Frame, p *Producer, next *sim.Time, injectEvery sim.Time) bool {
+	ov := ext.Overload
+	if ov == nil || ov.AdmitFrame(f.Type) {
+		return false
+	}
+	p.Shed++
+	if injectEvery > 0 {
+		*next += injectEvery
+		tc.SleepUntil(*next)
+	}
+	return true
 }
 
 // SpawnLocalProducer streams clip from the card's own attached disk into
@@ -655,10 +873,14 @@ func (ext *SchedulerExt) SpawnLocalProducer(clip *mpeg.Clip, streamID int, dst s
 		var seq int64 // tracks the dwcs-assigned in-order sequence numbers
 		for loop := 0; loop < loops; loop++ {
 			for _, f := range clip.Frames {
+				if skipShed(tc, ext, f, p, &next, injectEvery) {
+					continue
+				}
+				gateSource(tc, ext, f.Size, p)
 				readStart := tc.Now()
 				tc.Await(func(done func()) { c.FS.Read(f.Offset, f.Size, done) })
 				readEnd := tc.Now()
-				addr := allocWithBackoff(tc, c.Mem, f.Size, p)
+				addr := allocWithBackoff(tc, ext, f.Size, p)
 				pkt := dwcs.Packet{Bytes: f.Size, Offset: f.Offset,
 					Payload: addressedBuf{FrameBuf{c.Mem, addr}, dst}}
 				if !enqueueWithBackoff(tc, ext, streamID, pkt, p, injectEvery) {
@@ -701,11 +923,18 @@ func enqueueWithBackoff(tc *rtos.TaskCtx, ext *SchedulerExt, streamID int, pkt d
 
 // allocWithBackoff retries a card-memory allocation until dispatches free
 // frames — memory pressure stalls the producer, it never loses a frame.
-func allocWithBackoff(tc *rtos.TaskCtx, m *mem.Memory, n int64, p *Producer) mem.Addr {
+// With an overload controller attached, the budget's accounted total (which
+// also covers stream state, queue slots, and injected leaks) must have
+// headroom too, checked in the same instant as the allocation so the
+// zero-breach invariant holds.
+func allocWithBackoff(tc *rtos.TaskCtx, ext *SchedulerExt, n int64, p *Producer) mem.Addr {
+	m := ext.Card.Mem
 	for {
-		addr, err := m.Alloc(n)
-		if err == nil {
-			return addr
+		if ov := ext.Overload; ov == nil || ov.Budget.HeadroomFor(n) {
+			addr, err := m.Alloc(n)
+			if err == nil {
+				return addr
+			}
 		}
 		p.Stalled++
 		tc.Sleep(10 * sim.Millisecond)
@@ -748,10 +977,14 @@ func (ext *SchedulerExt) SpawnPeerProducer(src *Card, clip *mpeg.Clip, streamID 
 		var seq int64 // tracks the dwcs-assigned in-order sequence numbers
 		for loop := 0; loop < loops; loop++ {
 			for _, f := range clip.Frames {
+				if skipShed(tc, ext, f, p, &next, injectEvery) {
+					continue
+				}
+				gateSource(tc, ext, f.Size, p)
 				readStart := tc.Now()
 				tc.Await(func(done func()) { src.FS.Read(f.Offset, f.Size, done) })
 				readEnd := tc.Now()
-				addr := allocWithBackoff(tc, sched.Mem, f.Size, p)
+				addr := allocWithBackoff(tc, ext, f.Size, p)
 				// Card-to-card peer DMA of the frame body.
 				busStart := tc.Now()
 				tc.Await(func(done func()) { src.PCI.DMA(f.Size, done) })

@@ -1,0 +1,74 @@
+package transport
+
+import (
+	"testing"
+
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// deadReceiverSender returns a sender whose data link delivers into a void —
+// no receiver, no ACKs — so the unsent backlog can only grow.
+func deadReceiverSender(window int) (*sim.Engine, *Sender) {
+	eng := sim.NewEngine(3)
+	void := netsim.PortFunc(func(*netsim.Packet) {})
+	data := netsim.Fast100(eng, "data", void)
+	return eng, NewSender(eng, data, window, 50*sim.Millisecond)
+}
+
+func TestBacklogCapRefusesSlowReceiverOverflow(t *testing.T) {
+	eng, snd := deadReceiverSender(4)
+	snd.MaxBacklog = 8
+	accepted := 0
+	for i := 0; i < 100; i++ {
+		if snd.Send(&netsim.Packet{Dst: "rcv", Bytes: 1000}) {
+			accepted++
+		}
+	}
+	// The window absorbs 4 in flight, the backlog 8 more; the rest refused.
+	if accepted != 12 {
+		t.Fatalf("accepted %d of 100, want 12 (window 4 + backlog 8)", accepted)
+	}
+	if snd.BacklogDropped != 88 {
+		t.Fatalf("BacklogDropped = %d, want 88", snd.BacklogDropped)
+	}
+	if snd.Outstanding() != 12 {
+		t.Fatalf("outstanding = %d, want 12", snd.Outstanding())
+	}
+	eng.RunUntil(sim.Second)
+	// Refused sends never consumed a sequence number: the accepted stream is
+	// still gapless 0..11.
+	for i, p := range append(append([]*netsim.Packet{}, snd.inFlit...), snd.queue...) {
+		if p.Seq != int64(i) {
+			t.Fatalf("seq[%d] = %d; refused sends left a gap", i, p.Seq)
+		}
+	}
+}
+
+func TestBacklogUnlimitedByDefault(t *testing.T) {
+	_, snd := deadReceiverSender(4)
+	for i := 0; i < 1000; i++ {
+		if !snd.Send(&netsim.Packet{Dst: "rcv", Bytes: 1000}) {
+			t.Fatalf("send %d refused with no backlog cap", i)
+		}
+	}
+	if snd.BacklogDropped != 0 || snd.Outstanding() != 1000 {
+		t.Fatalf("dropped=%d outstanding=%d, want 0/1000", snd.BacklogDropped, snd.Outstanding())
+	}
+}
+
+func TestBacklogDrainsAfterReceiverRevives(t *testing.T) {
+	// A live pipe with a backlog cap: everything accepted below the cap is
+	// still delivered reliably and in order.
+	p := newPipe(t, 4, 50*sim.Millisecond)
+	p.snd.MaxBacklog = 8
+	for i := 0; i < 12; i++ {
+		if !p.snd.Send(&netsim.Packet{Dst: "rcv", Bytes: 1000}) {
+			t.Fatalf("send %d refused below the cap", i)
+		}
+	}
+	p.eng.Run()
+	if len(p.received) != 12 || !inOrder(p.received) {
+		t.Fatalf("received %d in-order=%v, want 12 in order", len(p.received), inOrder(p.received))
+	}
+}

@@ -39,6 +39,14 @@ type Sender struct {
 	timer   sim.Event
 	strikes uint // consecutive timeouts without an ACK advance
 
+	// MaxBacklog caps the unsent queue: a receiver that stops ACKing (slow
+	// or dead client) otherwise grows the backlog without bound while the
+	// producer keeps calling Send. Zero keeps the historical unlimited
+	// behaviour; overflowing packets are counted in BacklogDropped and never
+	// consume a sequence number, so the reliable stream stays gapless.
+	MaxBacklog     int
+	BacklogDropped int64
+
 	// Stats.
 	Sent        int64 // first transmissions
 	Retransmits int64
@@ -66,15 +74,24 @@ func (s *Sender) Instrument(reg *telemetry.Registry) {
 		"go-back-N retransmissions", func() int64 { return s.Retransmits })
 	reg.CounterFunc("transport", "acks_total",
 		"segments cumulatively acknowledged", func() int64 { return s.Acked })
+	reg.CounterFunc("transport", "backlog_dropped_total",
+		"sends refused at the backlog cap (slow receiver)", func() int64 { return s.BacklogDropped })
 }
 
-// Send queues one packet for reliable, in-order delivery. The packet's Seq
-// is overwritten with the transport sequence number.
-func (s *Sender) Send(p *netsim.Packet) {
+// Send queues one packet for reliable, in-order delivery and reports whether
+// it was accepted. The packet's Seq is overwritten with the transport
+// sequence number. With MaxBacklog set, a Send arriving while the unsent
+// queue is at the cap is refused (and counted) instead of queued.
+func (s *Sender) Send(p *netsim.Packet) bool {
+	if s.MaxBacklog > 0 && len(s.queue) >= s.MaxBacklog {
+		s.BacklogDropped++
+		return false
+	}
 	p.Seq = s.nextSeq
 	s.nextSeq++
 	s.queue = append(s.queue, p)
 	s.pump()
+	return true
 }
 
 // Outstanding reports unacked packets (sent or queued).
