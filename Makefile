@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all test race bench repro telemetry build clean
+.PHONY: all test race bench repro telemetry slo perfgate build clean
 
 all: build test
 
@@ -30,6 +30,27 @@ repro:
 # written to telemetry-out/. Inspect with ./cmd/tracetool.
 telemetry:
 	$(GO) run ./cmd/reprogen -telemetry -dur 20
+
+# Chaos-diagnostics run: drives one protected scheduler card through a task
+# hang, a memory leak, and refused late setups with the flight recorder and
+# SLO monitor attached; incident dumps, the SLO health table, and the run-diff
+# inputs land in slo-out/. See README "Diagnosing a bad run".
+slo:
+	$(GO) run ./cmd/reprogen -slo -dur 20
+
+# Run-diff perf gate: regenerate the telemetry stage table and the overload
+# ladder, then diff them against the committed baselines with tracetool.
+# Exit 3 means a regression past the 10% threshold.
+perfgate:
+	rm -rf /tmp/perfgate-base /tmp/perfgate-new
+	mkdir -p /tmp/perfgate-base /tmp/perfgate-new
+	cp STAGE_BASELINE.txt /tmp/perfgate-base/stages.txt
+	cp OVERLOAD_BASELINE.txt /tmp/perfgate-base/ladder.txt
+	$(GO) run ./cmd/reprogen -telemetry -telemetry-out /tmp/perfgate-tel -dur 5 > /dev/null
+	$(GO) run ./cmd/reprogen -overload -overload-out /tmp/perfgate-ov -dur 10 > /dev/null
+	cp /tmp/perfgate-tel/stages.txt /tmp/perfgate-new/stages.txt
+	cp /tmp/perfgate-ov/ladder.txt /tmp/perfgate-new/ladder.txt
+	$(GO) run ./cmd/tracetool -diff /tmp/perfgate-base /tmp/perfgate-new
 
 clean:
 	$(GO) clean ./...

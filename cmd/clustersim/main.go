@@ -14,6 +14,11 @@
 //	                                           # fault to the schedule
 //	clustersim -telemetry                      # instrument the run; write
 //	                                           # trace/metrics artifacts
+//	clustersim -slo                            # per-card SLO monitors and a
+//	                                           # health table; with -chaos, a
+//	                                           # burning card is failed over
+//	                                           # early even while its heartbeat
+//	                                           # still answers
 package main
 
 import (
@@ -21,10 +26,12 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"repro/internal/cluster"
 	"repro/internal/disk"
+	"repro/internal/dwcs"
 	"repro/internal/experiments"
 	"repro/internal/faults"
 	"repro/internal/fixed"
@@ -33,6 +40,7 @@ import (
 	"repro/internal/nic"
 	"repro/internal/overload"
 	"repro/internal/sim"
+	"repro/internal/slo"
 	"repro/internal/stats"
 	"repro/internal/telemetry"
 )
@@ -52,6 +60,7 @@ func main() {
 	overloadOn := flag.Bool("overload", false, "arm overload protection on every scheduler NI")
 	telemetryOn := flag.Bool("telemetry", false, "instrument the run and write observability artifacts")
 	telemetryOut := flag.String("telemetry-out", "telemetry-out", "directory for -telemetry artifacts")
+	sloOn := flag.Bool("slo", false, "run an SLO monitor per scheduler NI; with -chaos, burning cards fail over early")
 	flag.Parse()
 
 	cfgs := make([]cluster.NodeConfig, *nodes)
@@ -118,14 +127,55 @@ func main() {
 		admitted = append(admitted, placed{p, cl})
 	}
 
+	// Per-card SLO monitors: each card's monitor reads burn rates off the
+	// DWCS loss windows of the streams placed on it. Stats freeze at the last
+	// observed value when a stream leaves the card (failover, revocation), so
+	// the windows stay monotone.
+	var sloMons map[string]*slo.Monitor
+	if *sloOn {
+		sloMons = make(map[string]*slo.Monitor)
+		for _, a := range admitted {
+			p := a.p
+			m := sloMons[p.Scheduler.Card.Name]
+			if m == nil {
+				m = slo.NewMonitor(p.Scheduler.Card.Name, slo.Config{})
+				m.Start(eng)
+				sloMons[p.Scheduler.Card.Name] = m
+			}
+			sched, id := p.Scheduler.Ext.Sched, p.StreamID
+			var lastA, lastL int64
+			m.Track(slo.FromSpec(dwcs.StreamSpec{
+				ID: id, Name: p.Req.Name, Loss: p.Req.Loss,
+			}, 2*p.Req.Period), func() (int64, int64) {
+				if st, err := sched.Stats(id); err == nil {
+					lastA, lastL = st.Attempts(), st.Losses()
+				}
+				return lastA, lastL
+			})
+		}
+	}
+
 	var mon *cluster.Monitor
 	var chaosLog *faults.Log
 	if *chaos {
 		mon, chaosLog = armChaos(c, clip, req, *chaosSeed, dur, *overloadOn)
+		if *sloOn {
+			// Early failover: a card whose SLO monitor reports it burning is
+			// treated as a missed heartbeat even while it still answers. The
+			// Misses hysteresis still applies, so one hot eval window cannot
+			// bounce a card.
+			mon.Unhealthy = func(s *cluster.SchedulerNI) bool {
+				m := sloMons[s.Card.Name]
+				return m != nil && m.Health() >= slo.StateBurning
+			}
+		}
 	}
 	eng.RunUntil(dur)
 	if mon != nil {
 		mon.Stop()
+	}
+	for _, m := range sloMons {
+		m.Stop()
 	}
 
 	fmt.Printf("admitted %d/%d streams across %d node(s)\n", len(admitted), *streams, *nodes)
@@ -188,6 +238,21 @@ func main() {
 					b.Rejects, b.Breaches, ctl.ShedTolerantFrames, ctl.ShedBFrames,
 					ctl.ShedPFrames, ctl.Revoked, ctl.Reinstated)
 			}
+		}
+	}
+
+	if *sloOn {
+		fmt.Println("SLO health per scheduler NI:")
+		names := make([]string, 0, len(sloMons))
+		for name := range sloMons {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Print(sloMons[name].Table())
+		}
+		if mon != nil {
+			fmt.Printf("monitor: slo_fails=%d (burning cards treated as missed heartbeats)\n", mon.SLOFails)
 		}
 	}
 

@@ -10,6 +10,7 @@
 //	reprogen -faults         # fault-recovery chaos experiment (opt-in)
 //	reprogen -telemetry      # instrumented observability run (opt-in)
 //	reprogen -overload       # overload-protection sweep, claim 4 (opt-in)
+//	reprogen -slo            # chaos-diagnostics run: flight recorder + SLO (opt-in)
 //	reprogen -csv out/       # also dump the figure curves as CSV files
 //	reprogen -dur 60         # figure observation length in seconds
 package main
@@ -34,6 +35,8 @@ func main() {
 	telemetryOut := flag.String("telemetry-out", "telemetry-out", "directory for -telemetry artifacts")
 	overloadRun := flag.Bool("overload", false, "run the overload-protection sweep (strictly opt-in)")
 	overloadOut := flag.String("overload-out", "overload-out", "directory for -overload artifacts")
+	sloRun := flag.Bool("slo", false, "run the chaos-diagnostics experiment: flight recorder, SLO monitor, incident dumps (strictly opt-in)")
+	sloOut := flag.String("slo-out", "slo-out", "directory for -slo artifacts")
 	overloadWorkers := flag.Int("overload-workers", 0, "worker pool for the overload sweep (0 = GOMAXPROCS)")
 	csvDir := flag.String("csv", "", "directory to write figure curves as CSV")
 	durSec := flag.Int("dur", 100, "figure observation length (seconds)")
@@ -43,7 +46,7 @@ func main() {
 	// Chaos and telemetry never ride along with the paper's tables and
 	// figures: -faults and -telemetry are their own selections, so default
 	// runs are bit-identical with or without those subsystems present.
-	all := *table == 0 && *figure == 0 && !*headline && !*scaling && !*faultsRun && !*telemetryRun && !*overloadRun
+	all := *table == 0 && *figure == 0 && !*headline && !*scaling && !*faultsRun && !*telemetryRun && !*overloadRun && !*sloRun
 
 	// Every table, figure bundle, and sweep is an independent simulation:
 	// fan the selected set across the worker pool, then print in the fixed
@@ -54,6 +57,7 @@ func main() {
 		faultRec                             *experiments.FaultRecovery
 		telArt                               *experiments.TelemetryArtifacts
 		ovArt                                *experiments.OverloadArtifacts
+		sloArt                               *experiments.DiagnosticsArtifacts
 		t1, t2, t3, t4, t5, headlineRes, sca *experiments.Result
 	)
 	needHost := all || (*figure >= 6 && *figure <= 8)
@@ -76,6 +80,7 @@ func main() {
 	add(all || *scaling, func() { _, sca = experiments.RunStreamScaling([]int{4, 16, 64, 256}) })
 	add(*faultsRun, func() { faultRec = experiments.RunFaultRecovery(experiments.FaultConfig{Dur: dur}) })
 	add(*telemetryRun, func() { telArt = experiments.RunTelemetry(experiments.TelemetryConfig{Dur: dur}) })
+	add(*sloRun, func() { sloArt = experiments.RunDiagnostics(experiments.DiagnosticsConfig{Dur: dur}) })
 	// The overload sweep manages its own worker pool (its grid cells are the
 	// parallel unit), so it runs after the shared fan-out, not inside it.
 	experiments.Parallel(jobs...)
@@ -138,6 +143,16 @@ func main() {
 		fmt.Fprintf(os.Stderr, "overload artifacts written to %s\n", *overloadOut)
 	}
 
+	if sloArt != nil {
+		if err := dumpDiagnostics(*sloOut, sloArt); err != nil {
+			fmt.Fprintln(os.Stderr, "slo:", err)
+			os.Exit(1)
+		}
+		fmt.Print(sloArt.Summary)
+		fmt.Print(sloArt.SLO)
+		fmt.Fprintf(os.Stderr, "diagnostics artifacts written to %s\n", *sloOut)
+	}
+
 	if *csvDir != "" {
 		if err := dumpCSV(*csvDir, hostFigs, niFigs, faultRec); err != nil {
 			fmt.Fprintln(os.Stderr, "csv:", err)
@@ -184,6 +199,32 @@ func dumpOverload(dir string, a *experiments.OverloadArtifacts) error {
 		{"ladder.txt", a.Ladder},
 		{"overload.csv", a.CSV},
 		{"table.txt", a.Table.String()},
+		{"summary.txt", a.Summary},
+	}
+	for _, f := range files {
+		if err := os.WriteFile(filepath.Join(dir, f.name), []byte(f.body), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// dumpDiagnostics writes the chaos-diagnostics artifacts: the incident dumps
+// from the flight recorder, the SLO health table, the metrics/stage views the
+// run-diff engine consumes, and the chaos plan that produced them.
+func dumpDiagnostics(dir string, a *experiments.DiagnosticsArtifacts) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	files := []struct {
+		name string
+		body string
+	}{
+		{"incidents.txt", a.Incidents},
+		{"slo.txt", a.SLO},
+		{"metrics.csv", a.MetricsCSV},
+		{"stages.txt", a.Stages},
+		{"plan.txt", a.Plan},
 		{"summary.txt", a.Summary},
 	}
 	for _, f := range files {

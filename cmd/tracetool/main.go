@@ -1,5 +1,6 @@
-// Command tracetool inspects and transforms the Chrome trace-event dumps
-// written by reprogen -telemetry and clustersim -telemetry.
+// Command tracetool inspects and transforms the diagnostic artifacts written
+// by reprogen and clustersim: Chrome trace-event dumps, Prometheus text
+// dumps, metrics.csv snapshot dumps, and whole artifact directories.
 //
 // Usage:
 //
@@ -11,22 +12,43 @@
 //	tracetool -in trace.json -summary            # per-stage event counts
 //	tracetool -checkprom metrics.prom            # validate a Prometheus dump
 //	tracetool -pressure metrics.csv              # overload pressure view
+//	tracetool -diff dirA dirB                    # run-diff two artifact dirs
 //
-// Output always goes through the same canonical writer the exporters use, so
-// a filter-free pass re-emits its input byte-identically — the property CI
-// relies on.
+// Exit codes (all modes):
+//
+//	0  success, and (for -diff) no regression
+//	1  usage error: bad flags, missing inputs
+//	2  parse error: unreadable or malformed artifact
+//	3  regression: -diff found at least one regression
+//
+// Trace output always goes through the same canonical writer the exporters
+// use, so a filter-free pass re-emits its input byte-identically — the
+// property CI relies on. The -diff mode is the CI perf gate: it compares
+// stages.txt, metrics.csv, ladder.txt, and cycles.txt between two artifact
+// directories against a relative threshold and exits 3 on regression.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strconv"
 	"strings"
 
 	"repro/internal/overload"
+	"repro/internal/rundiff"
 	"repro/internal/telemetry"
+)
+
+// Exit codes. Documented in the package comment and pinned by tests.
+const (
+	exitOK         = 0
+	exitUsage      = 1
+	exitParse      = 2
+	exitRegression = 3
 )
 
 // multiFlag collects repeated -in values.
@@ -40,56 +62,89 @@ func (m *multiFlag) Set(v string) error {
 }
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main minus the process exit, so tests can assert exit codes.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tracetool", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var ins multiFlag
-	flag.Var(&ins, "in", "input trace JSON (repeatable; inputs are merged)")
-	out := flag.String("out", "", "output file (default stdout)")
-	stream := flag.Int("stream", 0, "keep only events of this stream id")
-	stage := flag.String("stage", "", "keep only events of this stage (disk, bus, queue, tx, wire, playout)")
-	where := flag.String("where", "", "keep only events whose location contains this substring")
-	summary := flag.Bool("summary", false, "print per-stage event counts instead of JSON")
-	checkprom := flag.String("checkprom", "", "validate a Prometheus text dump and exit")
-	pressure := flag.String("pressure", "", "render the overload pressure view from a metrics.csv snapshot dump and exit")
-	flag.Parse()
+	fs.Var(&ins, "in", "input trace JSON (repeatable; inputs are merged)")
+	out := fs.String("out", "", "output file (default stdout)")
+	stream := fs.Int("stream", 0, "keep only events of this stream id")
+	stage := fs.String("stage", "", "keep only events of this stage (disk, bus, queue, tx, wire, playout)")
+	where := fs.String("where", "", "keep only events whose location contains this substring")
+	summary := fs.Bool("summary", false, "print per-stage event counts instead of JSON")
+	checkprom := fs.String("checkprom", "", "validate a Prometheus text dump and exit")
+	pressure := fs.String("pressure", "", "render the overload pressure view from a metrics.csv snapshot dump and exit")
+	diff := fs.Bool("diff", false, "compare two artifact directories (positional: dirA dirB); exit 3 on regression")
+	diffThreshold := fs.Float64("diff-threshold", 0.10, "relative delta beyond which a -diff series regresses")
+	diffJSON := fs.Bool("diff-json", false, "emit the -diff report as JSON instead of a table")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: tracetool [mode flags]")
+		fmt.Fprintln(stderr, "modes:")
+		fmt.Fprintln(stderr, "  -in trace.json [...]   filter/merge/re-emit Chrome traces (-stream, -stage, -where, -summary, -out)")
+		fmt.Fprintln(stderr, "  -checkprom dump.prom   validate a Prometheus text dump")
+		fmt.Fprintln(stderr, "  -pressure metrics.csv  overload pressure view of a snapshot dump")
+		fmt.Fprintln(stderr, "  -diff dirA dirB        run-diff two artifact directories (-diff-threshold, -diff-json)")
+		fmt.Fprintln(stderr, "exit codes: 0 ok, 1 usage, 2 parse error, 3 regression")
+		fmt.Fprintln(stderr, "flags:")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return exitUsage
+	}
+
+	if *diff {
+		return runDiff(fs.Args(), *diffThreshold, *diffJSON, stdout, stderr)
+	}
 
 	if *pressure != "" {
 		data, err := os.ReadFile(*pressure)
 		if err != nil {
-			fatal(err)
+			fmt.Fprintln(stderr, "tracetool:", err)
+			return exitParse
 		}
-		if err := printPressure(string(data)); err != nil {
-			fatal(fmt.Errorf("%s: %w", *pressure, err))
+		if err := printPressure(stdout, string(data)); err != nil {
+			fmt.Fprintf(stderr, "tracetool: %s: %v\n", *pressure, err)
+			return exitParse
 		}
-		return
+		return exitOK
 	}
 
 	if *checkprom != "" {
 		data, err := os.ReadFile(*checkprom)
 		if err != nil {
-			fatal(err)
+			fmt.Fprintln(stderr, "tracetool:", err)
+			return exitParse
 		}
 		families, samples, err := telemetry.CheckPrometheus(string(data))
 		if err != nil {
-			fatal(fmt.Errorf("%s: %w", *checkprom, err))
+			fmt.Fprintf(stderr, "tracetool: %s: %v\n", *checkprom, err)
+			return exitParse
 		}
-		fmt.Printf("%s: ok (%d families, %d samples)\n", *checkprom, families, samples)
-		return
+		fmt.Fprintf(stdout, "%s: ok (%d families, %d samples)\n", *checkprom, families, samples)
+		return exitOK
 	}
 
 	if len(ins) == 0 {
-		fmt.Fprintln(os.Stderr, "tracetool: need at least one -in (or -checkprom)")
-		flag.Usage()
-		os.Exit(2)
+		fmt.Fprintln(stderr, "tracetool: need at least one -in (or -checkprom/-pressure/-diff)")
+		fs.Usage()
+		return exitUsage
 	}
 
 	var events []telemetry.ChromeEvent
 	for _, in := range ins {
 		data, err := os.ReadFile(in)
 		if err != nil {
-			fatal(err)
+			fmt.Fprintln(stderr, "tracetool:", err)
+			return exitParse
 		}
 		evs, err := telemetry.UnmarshalChrome(data)
 		if err != nil {
-			fatal(fmt.Errorf("%s: %w", in, err))
+			fmt.Fprintf(stderr, "tracetool: %s: %v\n", in, err)
+			return exitParse
 		}
 		events = append(events, evs...)
 	}
@@ -109,25 +164,55 @@ func main() {
 	}
 
 	if *summary {
-		printSummary(kept)
-		return
+		printSummary(stdout, kept)
+		return exitOK
 	}
 
 	raw, err := telemetry.MarshalChrome(kept)
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "tracetool:", err)
+		return exitParse
 	}
 	if *out == "" {
-		os.Stdout.Write(raw)
-		return
+		stdout.Write(raw)
+		return exitOK
 	}
 	if err := os.WriteFile(*out, raw, 0o644); err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "tracetool:", err)
+		return exitParse
 	}
+	return exitOK
+}
+
+// runDiff is the CI perf gate: compare two artifact directories and exit 3
+// when any series regressed past the threshold.
+func runDiff(dirs []string, threshold float64, asJSON bool, stdout, stderr io.Writer) int {
+	if len(dirs) != 2 {
+		fmt.Fprintln(stderr, "tracetool: -diff needs exactly two directories: dirA (baseline) dirB (candidate)")
+		return exitUsage
+	}
+	rep, err := rundiff.DiffDirs(dirs[0], dirs[1], rundiff.Options{Threshold: threshold})
+	if err != nil {
+		if errors.Is(err, rundiff.ErrParse) {
+			fmt.Fprintln(stderr, "tracetool:", err)
+			return exitParse
+		}
+		fmt.Fprintln(stderr, "tracetool:", err)
+		return exitUsage
+	}
+	if asJSON {
+		fmt.Fprintln(stdout, rep.JSON())
+	} else {
+		fmt.Fprint(stdout, rep.Table())
+	}
+	if rep.Regression() {
+		return exitRegression
+	}
+	return exitOK
 }
 
 // printSummary tallies events per stage: count and total duration.
-func printSummary(events []telemetry.ChromeEvent) {
+func printSummary(w io.Writer, events []telemetry.ChromeEvent) {
 	type agg struct {
 		count int
 		durUs float64
@@ -147,19 +232,19 @@ func printSummary(events []telemetry.ChromeEvent) {
 		stages = append(stages, s)
 	}
 	sort.Strings(stages)
-	fmt.Printf("%-10s %10s %14s\n", "stage", "events", "total_us")
+	fmt.Fprintf(w, "%-10s %10s %14s\n", "stage", "events", "total_us")
 	for _, s := range stages {
 		a := byStage[s]
-		fmt.Printf("%-10s %10d %14.2f\n", s, a.count, a.durUs)
+		fmt.Fprintf(w, "%-10s %10d %14.2f\n", s, a.count, a.durUs)
 	}
-	fmt.Printf("%-10s %10d\n", "total", len(events))
+	fmt.Fprintf(w, "%-10s %10d\n", "total", len(events))
 }
 
 // printPressure renders the overload controller's view of a metrics.csv
 // snapshot dump (time_ms,component,metric,value): budget occupancy, the
 // degradation ladder's position and per-rung shed counts, admission verdicts,
 // and backpressure activity — each series at its last snapshot.
-func printPressure(csv string) error {
+func printPressure(w io.Writer, csv string) error {
 	last := make(map[string]map[string]float64) // component → metric → value
 	lines := strings.Split(strings.TrimSpace(csv), "\n")
 	if len(lines) == 0 || !strings.HasPrefix(lines[0], "time_ms,component,metric,value") {
@@ -186,19 +271,19 @@ func printPressure(csv string) error {
 		return fmt.Errorf("no overload metrics — was the run armed with -overload?")
 	}
 	used, size, peak := ov["budget_used_bytes"], ov["budget_size_bytes"], ov["budget_peak_bytes"]
-	fmt.Println("overload pressure (last snapshot per series)")
+	fmt.Fprintln(w, "overload pressure (last snapshot per series)")
 	if size > 0 {
-		fmt.Printf("  budget: used %.0f B of %.0f B (%.1f%%), peak %.0f B (%.1f%%)\n",
+		fmt.Fprintf(w, "  budget: used %.0f B of %.0f B (%.1f%%), peak %.0f B (%.1f%%)\n",
 			used, size, 100*used/size, peak, 100*peak/size)
 	}
 	rung := overload.Rung(int(ov["ladder_rung"]))
-	fmt.Printf("  ladder: rung %s, %.0f transition(s)\n", rung, ov["ladder_transitions_total"])
-	fmt.Printf("  shed by rung: tolerant %.0f, B frames %.0f, P frames %.0f, revoked %.0f (reinstated %.0f)\n",
+	fmt.Fprintf(w, "  ladder: rung %s, %.0f transition(s)\n", rung, ov["ladder_transitions_total"])
+	fmt.Fprintf(w, "  shed by rung: tolerant %.0f, B frames %.0f, P frames %.0f, revoked %.0f (reinstated %.0f)\n",
 		ov["shed_tolerant_total"], ov["shed_b_frames_total"], ov["shed_p_frames_total"],
 		ov["revoked_total"], ov["reinstated_total"])
-	fmt.Printf("  admission: rejects %.0f, breaches %.0f\n",
+	fmt.Fprintf(w, "  admission: rejects %.0f, breaches %.0f\n",
 		ov["admission_rejects_total"], ov["budget_breaches_total"])
-	fmt.Printf("  backpressure: engages %.0f, releases %.0f, source stalls %.0f\n",
+	fmt.Fprintf(w, "  backpressure: engages %.0f, releases %.0f, source stalls %.0f\n",
 		ov["backpressure_engages_total"], ov["backpressure_releases_total"], ov["source_stalls_total"])
 	// Queue/drop pressure seen by the rest of the pipeline, per component.
 	comps := make([]string, 0, len(last))
@@ -221,12 +306,7 @@ func printPressure(csv string) error {
 			continue
 		}
 		sort.Strings(rows)
-		fmt.Printf("  %s: %s\n", c, strings.Join(rows, " "))
+		fmt.Fprintf(w, "  %s: %s\n", c, strings.Join(rows, " "))
 	}
 	return nil
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "tracetool:", err)
-	os.Exit(1)
 }

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+// stagesDir writes an artifact directory holding a real StageTable whose
+// queue-stage latency is scaled by num/den.
+func stagesDir(t *testing.T, num, den sim.Time) string {
+	t.Helper()
+	var l telemetry.SpanLog
+	for i := 0; i < 50; i++ {
+		base := sim.Time(i) * sim.Millisecond
+		l.Record(telemetry.Segment{Stream: 1, Seq: int64(i), Stage: telemetry.StageQueue,
+			Where: "ni0", Start: base, End: base + (2*sim.Millisecond*num)/den})
+	}
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "stages.txt"), []byte(l.StageTable()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestDiffExitCodes(t *testing.T) {
+	clean := stagesDir(t, 1, 1)
+	slow := stagesDir(t, 6, 5) // 20% queue-latency regression
+
+	var out, errOut strings.Builder
+	if code := run([]string{"-diff", clean, clean}, &out, &errOut); code != exitOK {
+		t.Fatalf("identical dirs: exit %d, want %d\n%s%s", code, exitOK, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "no significant differences") {
+		t.Fatalf("clean table:\n%s", out.String())
+	}
+
+	out.Reset()
+	if code := run([]string{"-diff", clean, slow}, &out, &errOut); code != exitRegression {
+		t.Fatalf("20%% regression: exit %d, want %d\n%s", code, exitRegression, out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION") {
+		t.Fatalf("regression table:\n%s", out.String())
+	}
+
+	// A loose threshold lets the same delta pass.
+	out.Reset()
+	if code := run([]string{"-diff", "-diff-threshold", "0.5", clean, slow}, &out, &errOut); code != exitOK {
+		t.Fatalf("threshold 0.5: exit %d, want %d\n%s", code, exitOK, out.String())
+	}
+
+	// JSON verdict carries the same regression bit.
+	out.Reset()
+	if code := run([]string{"-diff", "-diff-json", clean, slow}, &out, &errOut); code != exitRegression {
+		t.Fatalf("json mode: exit %d", code)
+	}
+	if !strings.Contains(out.String(), `"regression": true`) {
+		t.Fatalf("json:\n%s", out.String())
+	}
+}
+
+func TestUsageAndParseExitCodes(t *testing.T) {
+	var out, errOut strings.Builder
+
+	// Usage errors: unknown flag, -diff arity, no mode selected.
+	if code := run([]string{"-no-such-flag"}, &out, &errOut); code != exitUsage {
+		t.Fatalf("unknown flag: exit %d, want %d", code, exitUsage)
+	}
+	if code := run([]string{"-diff", "onlyone"}, &out, &errOut); code != exitUsage {
+		t.Fatalf("-diff arity: exit %d, want %d", code, exitUsage)
+	}
+	errOut.Reset()
+	if code := run(nil, &out, &errOut); code != exitUsage {
+		t.Fatalf("no mode: exit %d, want %d", code, exitUsage)
+	}
+	// The usage block lists every mode and the exit-code contract.
+	usage := errOut.String()
+	for _, want := range []string{"-in", "-checkprom", "-pressure", "-diff",
+		"exit codes: 0 ok, 1 usage, 2 parse error, 3 regression"} {
+		if !strings.Contains(usage, want) {
+			t.Fatalf("usage missing %q:\n%s", want, usage)
+		}
+	}
+
+	// Parse errors: malformed artifact directory, unreadable trace.
+	bad := t.TempDir()
+	if err := os.WriteFile(filepath.Join(bad, "metrics.csv"), []byte("not,a,header\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := run([]string{"-diff", bad, bad}, &out, &errOut); code != exitParse {
+		t.Fatalf("malformed dir: exit %d, want %d", code, exitParse)
+	}
+	if code := run([]string{"-in", filepath.Join(bad, "absent.json")}, &out, &errOut); code != exitParse {
+		t.Fatalf("missing trace: exit %d, want %d", code, exitParse)
+	}
+}

@@ -1,0 +1,115 @@
+package blackbox
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/overload"
+	"repro/internal/sim"
+)
+
+// feed replays a fixed event sequence with a trigger mid-stream, the way a
+// chaos run does, and returns the full dump.
+func feed(t *testing.T, budget *overload.Budget) string {
+	t.Helper()
+	rec, err := New(Config{Name: "ni-0", Bytes: 1 << 10, MaxIncidents: 2, Budget: budget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.StateFn = func() string { return budget.String() }
+	for i := 0; i < 40; i++ { // 1 KiB ring holds 16 events: plenty of wraparound
+		rec.Record(Event{At: sim.Time(i) * sim.Millisecond, Kind: KindDecision,
+			Stream: 1 + i%3, Seq: int64(i)})
+	}
+	rec.Record(Event{At: 41 * sim.Millisecond, Kind: KindRefusal, Stream: 9,
+		A: 278528, Note: "addStream refused"})
+	rec.Trigger(41*sim.Millisecond, "budget-refusal")
+	rec.Record(Event{At: 50 * sim.Millisecond, Kind: KindWatchdog, Note: "deadman"})
+	rec.Trigger(50*sim.Millisecond, "watchdog")
+	rec.Trigger(60*sim.Millisecond, "extra") // beyond MaxIncidents: suppressed
+	dump := rec.DumpAll()
+	rec.Close()
+	return dump
+}
+
+func TestIdenticalRunsDumpByteIdentical(t *testing.T) {
+	a := feed(t, overload.NewBudget("ni-0", 1<<20))
+	b := feed(t, overload.NewBudget("ni-0", 1<<20))
+	if a != b {
+		t.Fatalf("identical runs produced different dumps:\n--- a ---\n%s--- b ---\n%s", a, b)
+	}
+	if !strings.Contains(a, "=== incident 1: budget-refusal at 41.000ms ===") ||
+		!strings.Contains(a, "=== incident 2: watchdog at 50.000ms ===") {
+		t.Fatalf("dump missing incident headers:\n%s", a)
+	}
+	if !strings.Contains(a, "3 trigger(s), 1 suppressed") {
+		t.Fatalf("dump trailer should count 3 triggers / 1 suppressed:\n%s", a)
+	}
+	if !strings.Contains(a, "state:") || !strings.Contains(a, "ni-0: used") {
+		t.Fatalf("incident should embed the budget state:\n%s", a)
+	}
+}
+
+func TestRingChargedToAndBoundedByBudget(t *testing.T) {
+	budget := overload.NewBudget("ni-0", 1<<20)
+	rec, err := New(Config{Name: "ni-0", Bytes: 1 << 10, Budget: budget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(rec.Capacity()) * EventBytes
+	if got := budget.UsedClass(overload.ClassBlackbox); got != want {
+		t.Fatalf("ring charge = %d, want %d", got, want)
+	}
+	// Recording far past capacity never grows the charge: the ring is the bound.
+	for i := 0; i < 10*rec.Capacity(); i++ {
+		rec.Record(Event{At: sim.Time(i), Kind: KindDecision, Seq: int64(i)})
+	}
+	if got := budget.UsedClass(overload.ClassBlackbox); got != want {
+		t.Fatalf("ring charge grew to %d after wraparound, want %d", got, want)
+	}
+	if got := len(rec.Events()); got != rec.Capacity() {
+		t.Fatalf("live events = %d, want capacity %d", got, rec.Capacity())
+	}
+	if rec.Overwritten != int64(9*rec.Capacity()) {
+		t.Fatalf("Overwritten = %d, want %d", rec.Overwritten, 9*rec.Capacity())
+	}
+	// Oldest → newest ordering survives wraparound.
+	evs := rec.Events()
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq != evs[i-1].Seq+1 {
+			t.Fatalf("ring out of order at %d: %d then %d", i, evs[i-1].Seq, evs[i].Seq)
+		}
+	}
+	rec.Close()
+	if got := budget.UsedClass(overload.ClassBlackbox); got != 0 {
+		t.Fatalf("charge after Close = %d, want 0", got)
+	}
+	charged, released := budget.Ledger()
+	if charged != released {
+		t.Fatalf("ledger conservation: charged %d != released %d", charged, released)
+	}
+	rec.Close() // idempotent
+}
+
+func TestNewRefusedWhenBudgetFull(t *testing.T) {
+	budget := overload.NewBudget("ni-0", 1<<10)
+	if err := budget.Charge(overload.ClassFrameBuf, 1000); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(Config{Name: "ni-0", Bytes: 1 << 10, Budget: budget}); err == nil {
+		t.Fatal("New should refuse a ring the budget cannot hold")
+	}
+	if budget.UsedClass(overload.ClassBlackbox) != 0 {
+		t.Fatal("refused construction must not leave a charge behind")
+	}
+}
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	r.Record(Event{})
+	if r.Trigger(0, "x") != nil || r.Events() != nil || r.DumpAll() != "" {
+		t.Fatal("nil recorder should no-op")
+	}
+	r.Close()
+	r.Instrument(nil)
+}

@@ -36,13 +36,23 @@ type Monitor struct {
 	OnReadmit func(old, now *Placement, err error)
 	OnRecover func(s *SchedulerNI)
 
+	// Unhealthy, when set, is consulted every probe round: a card it flags
+	// is treated as a missed heartbeat even though the probe answered. An
+	// SLO monitor plugs in here so a card burning its error budget fails
+	// over *before* it goes silent — the early-failover signal. A flagged
+	// card still needs Misses consecutive strikes, so one bad evaluation
+	// window cannot bounce a card.
+	Unhealthy func(s *SchedulerNI) bool
+
 	// Probes counts heartbeats sent; Detected counts declared failures;
 	// Failovers counts streams successfully re-admitted; Recovered counts
-	// cards readmitted to service.
+	// cards readmitted to service. SLOFails counts probe rounds where a
+	// responsive card was struck by the Unhealthy hook.
 	Probes    int64
 	Detected  int64
 	Failovers int64
 	Recovered int64
+	SLOFails  int64
 
 	miss map[*SchedulerNI]int
 	stop func()
@@ -86,9 +96,13 @@ func (m *Monitor) tick() {
 			m.Probes++
 			m.Endpoint.Invoke(s.Card.Name, core.Instr{Ext: "dwcs", Op: "snapshot"},
 				func(_ any, err error) {
-					if err != nil {
+					switch {
+					case err != nil:
 						m.missed(s)
-					} else {
+					case m.Unhealthy != nil && m.Unhealthy(s):
+						m.SLOFails++
+						m.missed(s)
+					default:
 						m.alive(s)
 					}
 				})

@@ -1,0 +1,47 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestUnhealthyHookFailsOverResponsiveCard: a card whose SLO monitor reports
+// it burning is failed over even though its heartbeat still answers — the
+// early-failover signal — and rejoins once the hook clears.
+func TestUnhealthyHookFailsOverResponsiveCard(t *testing.T) {
+	c := twoSchedCluster(t)
+	s0 := c.Nodes[0].Schedulers[0]
+	if _, err := c.Admit(req("a")); err != nil {
+		t.Fatal(err)
+	}
+
+	m := NewMonitor(c, "monitor")
+	m.Interval = 100 * sim.Millisecond
+	m.Timeout = 10 * sim.Millisecond
+	m.Misses = 2
+	m.Auto = true
+	burning := false
+	m.Unhealthy = func(s *SchedulerNI) bool { return s == s0 && burning }
+	m.Start()
+
+	c.Eng.At(sim.Second, func() { burning = true })
+	c.Eng.At(2*sim.Second, func() { burning = false })
+	c.Eng.RunUntil(3 * sim.Second)
+	m.Stop()
+
+	if m.SLOFails < int64(m.Misses) {
+		t.Fatalf("SLOFails = %d, want at least %d strikes", m.SLOFails, m.Misses)
+	}
+	if m.Detected != 1 || m.Failovers != 1 {
+		t.Fatalf("detected = %d, failovers = %d: SLO burn did not fail over", m.Detected, m.Failovers)
+	}
+	if m.Recovered != 1 || s0.Failed() {
+		t.Fatalf("card did not rejoin after the hook cleared: recovered=%d failed=%v",
+			m.Recovered, s0.Failed())
+	}
+	// One bad round is not enough: Misses hysteresis still applies.
+	if m.SLOFails > 0 && m.Misses < 2 {
+		t.Fatal("test requires Misses >= 2 to prove hysteresis")
+	}
+}

@@ -160,6 +160,17 @@ type StreamStats struct {
 	Shed          int64 // packets shed proactively within loss tolerance (overload)
 }
 
+// Losses returns the stream's total lost-or-late packets — deadline drops,
+// late deliveries, and proactive sheds. This is the numerator the SLO
+// monitor rates against the stream's declared (x, y) loss window: the
+// window tolerates losses at up to x/y of attempts, so the error budget is
+// burned exactly as fast as Losses grows relative to Attempts.
+func (st StreamStats) Losses() int64 { return st.Dropped + st.Late + st.Shed }
+
+// Attempts returns serviced plus lost packets — the denominator of the
+// loss-ratio SLO.
+func (st StreamStats) Attempts() int64 { return st.Serviced + st.Losses() }
+
 type stream struct {
 	spec  StreamSpec
 	ring  *Ring

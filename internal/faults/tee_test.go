@@ -1,0 +1,47 @@
+package faults
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestTeeObservesBeforeInnerInjector(t *testing.T) {
+	var order []string
+	inner := InjectorFuncs{
+		OnInject:  func(e Event) { order = append(order, "inject:"+e.Target) },
+		OnRecover: func(e Event) { order = append(order, "recover:"+e.Target) },
+	}
+	tapped := Tee(inner, func(e Event, recover bool) {
+		if recover {
+			order = append(order, "tap-recover:"+e.Target)
+		} else {
+			order = append(order, "tap-inject:"+e.Target)
+		}
+	})
+
+	eng := sim.NewEngine(1)
+	p := &Plan{Events: []Event{{At: sim.Second, Duration: sim.Second,
+		Kind: CardCrash, Target: "c0"}}}
+	if err := p.Arm(eng, tapped, nil); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+
+	want := []string{"tap-inject:c0", "inject:c0", "tap-recover:c0", "recover:c0"}
+	if len(order) != len(want) {
+		t.Fatalf("got %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("got %v, want %v", order, want)
+		}
+	}
+}
+
+func TestTeeNilFnReturnsInner(t *testing.T) {
+	inner := InjectorFuncs{}
+	if _, wrapped := Tee(inner, nil).(tee); wrapped {
+		t.Fatal("Tee(inj, nil) should return inj unchanged, not wrap it")
+	}
+}

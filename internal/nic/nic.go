@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/blackbox"
 	"repro/internal/bus"
 	"repro/internal/core"
 	"repro/internal/cpu"
@@ -315,6 +316,9 @@ type SchedulerExt struct {
 	// one; nil (the default) leaves every admission and pressure path
 	// exactly as before.
 	Overload *overload.Controller
+	// Blackbox is the card's flight recorder once AttachBlackbox wired one;
+	// nil (the default) records nothing (blackbox.Recorder is nil-safe).
+	Blackbox *blackbox.Recorder
 	// OnReinstate fires when a revoked stream is readmitted, so the harness
 	// can restart its producer.
 	OnReinstate func(spec dwcs.StreamSpec)
@@ -610,6 +614,8 @@ func (ext *SchedulerExt) shedTolerant(max int) int {
 		ext.Dropped++
 		ext.Trace.Record(trace.KindDrop, ext.Card.Name+"/overload",
 			pkt.StreamID, pkt.Seq, "shed within tolerance")
+		ext.Blackbox.Record(blackbox.Event{At: ext.Card.Eng.Now(), Kind: blackbox.KindDrop,
+			Stream: pkt.StreamID, Seq: pkt.Seq, A: pkt.Bytes, Note: "shed"})
 		shed++
 	}
 	return shed
@@ -703,6 +709,8 @@ func (ext *SchedulerExt) run(tc *rtos.TaskCtx) {
 		ext.Dropped += int64(len(d.Dropped))
 		for _, p := range d.Dropped {
 			ext.Trace.Record(trace.KindDrop, c.Name+"/dwcs", p.StreamID, p.Seq, "deadline missed")
+			ext.Blackbox.Record(blackbox.Event{At: tc.Now(), Kind: blackbox.KindDrop,
+				Stream: p.StreamID, Seq: p.Seq, A: p.Bytes, Note: "deadline"})
 			releasePayload(p.Payload)
 		}
 		switch {
@@ -745,6 +753,8 @@ func (ext *SchedulerExt) dispatch(tc *rtos.TaskCtx, lap *cpu.Lap, p *dwcs.Packet
 	ext.Sent++
 	ext.Trace.Recordf(trace.KindDispatch, c.Name+"/dwcs", p.StreamID, p.Seq,
 		"qdelay=%v", tc.Now()-p.Enqueued)
+	ext.Blackbox.Record(blackbox.Event{At: tc.Now(), Kind: blackbox.KindDecision,
+		Stream: p.StreamID, Seq: p.Seq, A: p.Bytes, B: int64(tc.Now() - p.Enqueued)})
 	if ext.OnDispatch != nil {
 		ext.OnDispatch(p)
 	}

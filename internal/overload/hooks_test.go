@@ -1,0 +1,57 @@
+package overload
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestOnRejectAndOnBreachHooks(t *testing.T) {
+	b := NewBudget("card", 1000)
+	var rejects []int64
+	var breaches int
+	b.OnReject = func(projected int64) { rejects = append(rejects, projected) }
+	b.OnBreach = func() { breaches++ }
+
+	// Admission refusal fires OnReject with the projected footprint.
+	if err := b.AdmitStream(StreamCost{State: 400, Slots: 300, Ring: 400}); !errors.Is(err, ErrAdmission) {
+		t.Fatalf("want ErrAdmission, got %v", err)
+	}
+	if len(rejects) != 1 || rejects[0] != 1100 {
+		t.Fatalf("OnReject got %v, want [1100]", rejects)
+	}
+
+	// A refused Charge and an unrefusable overflow both fire OnBreach.
+	if err := b.Charge(ClassQueueSlots, 2000); !errors.Is(err, ErrBudget) {
+		t.Fatalf("want ErrBudget, got %v", err)
+	}
+	b.OnAlloc(900)
+	b.OnAlloc(200) // 1100 > 1000: physical overflow
+	b.Leak(100)    // still over: leak overflow
+	if breaches != 3 {
+		t.Fatalf("OnBreach fired %d times, want 3", breaches)
+	}
+	if b.Breaches != 3 {
+		t.Fatalf("Breaches = %d, want 3", b.Breaches)
+	}
+}
+
+func TestBlackboxClassAccounting(t *testing.T) {
+	b := NewBudget("card", 1<<20)
+	if err := b.Charge(ClassBlackbox, 16<<10); err != nil {
+		t.Fatalf("charge: %v", err)
+	}
+	if got := b.UsedClass(ClassBlackbox); got != 16<<10 {
+		t.Fatalf("UsedClass(ClassBlackbox) = %d, want %d", got, 16<<10)
+	}
+	if ClassBlackbox.String() != "blackbox" {
+		t.Fatalf("ClassBlackbox.String() = %q", ClassBlackbox.String())
+	}
+	b.Release(ClassBlackbox, 16<<10)
+	if b.Used() != 0 {
+		t.Fatalf("Used = %d after release, want 0", b.Used())
+	}
+	charged, released := b.Ledger()
+	if charged != released {
+		t.Fatalf("ledger conservation: charged %d != released %d", charged, released)
+	}
+}

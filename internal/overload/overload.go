@@ -35,6 +35,9 @@ const (
 	ClassStreamState
 	ClassQueueSlots
 	ClassLeak
+	// ClassBlackbox is the flight recorder's event ring: diagnostic state is
+	// card-resident too, so it pays for its memory like any other tenant.
+	ClassBlackbox
 	numClasses
 )
 
@@ -49,6 +52,8 @@ func (c Class) String() string {
 		return "queue-slots"
 	case ClassLeak:
 		return "leak"
+	case ClassBlackbox:
+		return "blackbox"
 	}
 	return fmt.Sprintf("class(%d)", int(c))
 }
@@ -106,6 +111,12 @@ type Budget struct {
 	// invariant claim 4 requires to stay at zero.
 	Rejects  int64
 	Breaches int64
+
+	// OnReject, when set, observes every admission refusal with the
+	// projected footprint that was turned away; OnBreach observes every
+	// breach. The flight recorder hangs its incident triggers here.
+	OnReject func(projected int64)
+	OnBreach func()
 
 	waiters  []func() // FIFO reject-then-retry queue
 	draining bool     // reentrancy guard: waiters may re-enroll while firing
@@ -181,6 +192,9 @@ func (b *Budget) CanAdmit(projected int64) bool {
 func (b *Budget) AdmitStream(sc StreamCost) error {
 	if !b.CanAdmit(sc.Projected()) {
 		b.Rejects++
+		if b.OnReject != nil {
+			b.OnReject(sc.Projected())
+		}
 		return fmt.Errorf("%w (%s: used %d + projected %d > high %d)",
 			ErrAdmission, b.name, b.total, sc.Projected(), b.high)
 	}
@@ -204,6 +218,9 @@ func (b *Budget) HeadroomFor(n int64) bool { return b.total+n <= b.size }
 func (b *Budget) Charge(c Class, n int64) error {
 	if b.total+n > b.size {
 		b.Breaches++
+		if b.OnBreach != nil {
+			b.OnBreach()
+		}
 		return fmt.Errorf("%w (%s: used %d + %d > size %d)", ErrBudget, b.name, b.total, n, b.size)
 	}
 	b.apply(c, n)
@@ -240,6 +257,9 @@ func (b *Budget) Release(c Class, n int64) {
 func (b *Budget) OnAlloc(n int64) {
 	if b.total+n > b.size {
 		b.Breaches++
+		if b.OnBreach != nil {
+			b.OnBreach()
+		}
 	}
 	b.apply(ClassFrameBuf, n)
 }
@@ -252,6 +272,9 @@ func (b *Budget) OnFree(n int64) { b.Release(ClassFrameBuf, n) }
 func (b *Budget) Leak(n int64) {
 	if b.total+n > b.size {
 		b.Breaches++
+		if b.OnBreach != nil {
+			b.OnBreach()
+		}
 	}
 	b.apply(ClassLeak, n)
 }

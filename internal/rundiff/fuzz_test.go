@@ -1,0 +1,55 @@
+package rundiff
+
+import (
+	"errors"
+	"testing"
+)
+
+// FuzzParseMetricsCSV asserts the -diff CSV parser is total: any input either
+// parses or returns an ErrParse-wrapped error — it never panics, and never
+// half-succeeds into an error AND a result.
+func FuzzParseMetricsCSV(f *testing.F) {
+	f.Add("time_ms,component,metric,value\n1000,nic,tx_frames_total,100\n")
+	f.Add("time_ms,component,metric,value\n")
+	f.Add("")
+	f.Add("time_ms,component,metric,value\n1000,nic,x\n")
+	f.Add("time_ms,component,metric,value\n,,,\n")
+	f.Add("time_ms,component,metric,value\nNaN,a,b,Inf\n")
+	f.Add("time_ms,component,metric,value\n1e309,a,b,1e-309\n")
+	f.Add("garbage")
+	f.Fuzz(func(t *testing.T, input string) {
+		m, err := ParseMetricsCSV(input)
+		if err != nil {
+			if !errors.Is(err, ErrParse) {
+				t.Fatalf("non-ErrParse error: %v", err)
+			}
+			if m != nil {
+				t.Fatal("error with non-nil result")
+			}
+		}
+	})
+}
+
+// FuzzParseLadder and FuzzParseStages extend the same totality guarantee to
+// the other -diff table parsers.
+func FuzzParseLadder(f *testing.F) {
+	f.Add("load mult max_rung\nno web load 4 drop-B 1 2 3 4 5 6 7 8 9 10\n")
+	f.Add("x 0 none 0 0 0 0 0 0 0 0 0 0")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, input string) {
+		if _, err := ParseLadder(input); err != nil && !errors.Is(err, ErrParse) {
+			t.Fatalf("non-ErrParse error: %v", err)
+		}
+	})
+}
+
+func FuzzParseStages(f *testing.F) {
+	f.Add("stage count total_ms mean_us p50_us p95_us max_us\ndisk 1 2 3 4 5 6\n")
+	f.Add("disk 1 2 3 4 5 6 7 8")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, input string) {
+		if _, err := ParseStages(input); err != nil && !errors.Is(err, ErrParse) {
+			t.Fatalf("non-ErrParse error: %v", err)
+		}
+	})
+}

@@ -1,0 +1,310 @@
+package rundiff
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// StageRow is one parsed stages.txt row.
+type StageRow struct {
+	Count   float64
+	TotalMS float64
+	MeanUS  float64
+	P50US   float64
+	P95US   float64
+	MaxUS   float64
+}
+
+// ParseStages parses a telemetry StageTable dump (stages.txt): a title line,
+// a header, then `stage count total_ms mean_us p50_us p95_us max_us` rows.
+func ParseStages(text string) (map[string]StageRow, error) {
+	out := make(map[string]StageRow)
+	for i, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "per-stage") ||
+			strings.HasPrefix(line, "stage ") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) != 7 {
+			return nil, fmt.Errorf("%w: stages line %d: %d field(s), want 7: %q",
+				ErrParse, i+1, len(f), line)
+		}
+		var vals [6]float64
+		for j := 1; j < 7; j++ {
+			v, err := strconv.ParseFloat(f[j], 64)
+			if err != nil {
+				return nil, fmt.Errorf("%w: stages line %d field %d: %v",
+					ErrParse, i+1, j+1, err)
+			}
+			vals[j-1] = v
+		}
+		out[f[0]] = StageRow{Count: vals[0], TotalMS: vals[1], MeanUS: vals[2],
+			P50US: vals[3], P95US: vals[4], MaxUS: vals[5]}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%w: stages table has no rows", ErrParse)
+	}
+	return out, nil
+}
+
+func diffStages(a, b string, opt Options) ([]Finding, error) {
+	ra, err := ParseStages(a)
+	if err != nil {
+		return nil, err
+	}
+	rb, err := ParseStages(b)
+	if err != nil {
+		return nil, err
+	}
+	ma, mb := map[string]float64{}, map[string]float64{}
+	flatten := func(dst map[string]float64, rows map[string]StageRow) {
+		for stage, r := range rows {
+			dst[stage+".count"] = r.Count
+			dst[stage+".mean_us"] = r.MeanUS
+			dst[stage+".p50_us"] = r.P50US
+			dst[stage+".p95_us"] = r.P95US
+			dst[stage+".max_us"] = r.MaxUS
+		}
+	}
+	flatten(ma, ra)
+	flatten(mb, rb)
+	// Latency columns regress when they grow; count changes are informational
+	// (offered load legitimately differs across configs), handled by turning
+	// their findings back down to info below.
+	fs := compareMaps("stages.txt", ma, mb, opt,
+		func(series string) bool { return !strings.HasSuffix(series, ".count") },
+		nil)
+	for i := range fs {
+		if strings.HasSuffix(fs[i].Series, ".count") {
+			fs[i].Severity = SevInfo
+			fs[i].Note = "count drift is informational"
+		}
+	}
+	return fs, nil
+}
+
+// ParseMetricsCSV parses a telemetry SnapshotsCSV dump into the LAST value of
+// each component.metric series — the end-of-run state, which is what the
+// cumulative counters and terminal gauges mean.
+func ParseMetricsCSV(text string) (map[string]float64, error) {
+	lines := strings.Split(strings.TrimRight(text, "\n"), "\n")
+	if len(lines) == 0 || strings.TrimSpace(lines[0]) != "time_ms,component,metric,value" {
+		got := ""
+		if len(lines) > 0 {
+			got = lines[0]
+		}
+		return nil, fmt.Errorf("%w: metrics.csv header %q, want time_ms,component,metric,value",
+			ErrParse, got)
+	}
+	out := make(map[string]float64)
+	for i, line := range lines[1:] {
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		f := strings.Split(line, ",")
+		if len(f) != 4 {
+			return nil, fmt.Errorf("%w: metrics.csv line %d: %d field(s), want 4",
+				ErrParse, i+2, len(f))
+		}
+		if _, err := strconv.ParseFloat(f[0], 64); err != nil {
+			return nil, fmt.Errorf("%w: metrics.csv line %d time %q: %v",
+				ErrParse, i+2, f[0], err)
+		}
+		if f[1] == "" || f[2] == "" {
+			return nil, fmt.Errorf("%w: metrics.csv line %d: empty component or metric",
+				ErrParse, i+2)
+		}
+		v, err := strconv.ParseFloat(f[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("%w: metrics.csv line %d value %q: %v",
+				ErrParse, i+2, f[3], err)
+		}
+		out[f[1]+"."+f[2]] = v // snapshots are time-ordered: last write wins
+	}
+	return out, nil
+}
+
+func diffMetrics(a, b string, opt Options) ([]Finding, error) {
+	ma, err := ParseMetricsCSV(a)
+	if err != nil {
+		return nil, err
+	}
+	mb, err := ParseMetricsCSV(b)
+	if err != nil {
+		return nil, err
+	}
+	// Only badness-directional series can regress; everything else that
+	// moved is informational. compareMaps already elides sub-threshold
+	// changes, so neutral series need their own pass-through rule.
+	var fs []Finding
+	for _, f := range compareMaps("metrics.csv", ma, mb, opt,
+		func(string) bool { return true }, nil) {
+		if !badness(f.Series) {
+			f.Severity = SevInfo
+		}
+		fs = append(fs, f)
+	}
+	return fs, nil
+}
+
+// rungRank orders degradation-ladder rungs for escalation comparison.
+var rungRank = map[string]int{
+	"none": 0, "shed": 1, "drop-B": 2, "drop-BP": 3, "revoke": 4,
+}
+
+// LadderRow is one parsed ladder.txt cell.
+type LadderRow struct {
+	MaxRung string
+	Ints    map[string]float64 // column name → value
+}
+
+var ladderCols = []string{"trans", "shed", "dropB", "dropP", "revok", "reins",
+	"rejects", "admits", "breaches", "bp_engag"}
+
+// ParseLadder parses an overload ladder/admission summary. The load column
+// contains spaces ("no web load"), so rows parse right-to-left: the last 10
+// fields are the integer columns, preceded by max_rung and mult; whatever
+// remains is the load label.
+func ParseLadder(text string) (map[string]LadderRow, error) {
+	out := make(map[string]LadderRow)
+	for i, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "overload ladder") ||
+			strings.HasPrefix(line, "load ") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) < 13 {
+			return nil, fmt.Errorf("%w: ladder line %d: %d field(s), want >= 13",
+				ErrParse, i+1, len(f))
+		}
+		ints := f[len(f)-10:]
+		rung := f[len(f)-11]
+		mult := f[len(f)-12]
+		load := strings.Join(f[:len(f)-12], " ")
+		if load == "" {
+			return nil, fmt.Errorf("%w: ladder line %d: empty load label", ErrParse, i+1)
+		}
+		if _, ok := rungRank[rung]; !ok {
+			return nil, fmt.Errorf("%w: ladder line %d: unknown rung %q", ErrParse, i+1, rung)
+		}
+		if _, err := strconv.Atoi(mult); err != nil {
+			return nil, fmt.Errorf("%w: ladder line %d mult %q: %v", ErrParse, i+1, mult, err)
+		}
+		row := LadderRow{MaxRung: rung, Ints: make(map[string]float64, len(ladderCols))}
+		for j, col := range ladderCols {
+			v, err := strconv.ParseFloat(ints[j], 64)
+			if err != nil {
+				return nil, fmt.Errorf("%w: ladder line %d %s %q: %v",
+					ErrParse, i+1, col, ints[j], err)
+			}
+			row.Ints[col] = v
+		}
+		out[load+" ×"+mult] = row
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%w: ladder table has no rows", ErrParse)
+	}
+	return out, nil
+}
+
+func diffLadder(a, b string, opt Options) ([]Finding, error) {
+	ra, err := ParseLadder(a)
+	if err != nil {
+		return nil, err
+	}
+	rb, err := ParseLadder(b)
+	if err != nil {
+		return nil, err
+	}
+	cells := make([]string, 0, len(ra))
+	for k := range ra {
+		if _, ok := rb[k]; ok {
+			cells = append(cells, k)
+		}
+	}
+	sort.Strings(cells)
+	var fs []Finding
+	for _, cell := range cells {
+		va, vb := ra[cell], rb[cell]
+		// Rung escalation is a regression regardless of magnitude: the
+		// ladder climbing a rung means streams got visibly worse service.
+		if va.MaxRung != vb.MaxRung {
+			sev := SevImprovement
+			if rungRank[vb.MaxRung] > rungRank[va.MaxRung] {
+				sev = SevRegression
+			}
+			fs = append(fs, Finding{File: "ladder.txt",
+				Series: cell + ".max_rung",
+				A:      float64(rungRank[va.MaxRung]), B: float64(rungRank[vb.MaxRung]),
+				Delta:    relDelta(float64(rungRank[va.MaxRung]), float64(rungRank[vb.MaxRung])),
+				Severity: sev,
+				Note:     va.MaxRung + " → " + vb.MaxRung})
+		}
+		ma, mb := map[string]float64{}, map[string]float64{}
+		for _, col := range ladderCols {
+			ma[cell+"."+col] = va.Ints[col]
+			mb[cell+"."+col] = vb.Ints[col]
+		}
+		for _, f := range compareMaps("ladder.txt", ma, mb, opt, func(series string) bool {
+			// Breaches, rejects, and degradation actions regress when they
+			// grow; admits and reinstatements regress when they shrink.
+			return !strings.HasSuffix(series, ".admits") && !strings.HasSuffix(series, ".reins")
+		}, nil) {
+			// Breach growth is always a regression — the invariant says zero.
+			if strings.HasSuffix(f.Series, ".breaches") && f.B > f.A {
+				f.Severity = SevRegression
+			}
+			fs = append(fs, f)
+		}
+	}
+	return fs, nil
+}
+
+// ParseCycles parses a cycle-attribution table (cycles.txt) into cycles per
+// component/operation. Rows render with or without the µs column; the total
+// row and headers are skipped.
+func ParseCycles(text string) (map[string]float64, error) {
+	out := make(map[string]float64)
+	for i, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "cycle attribution") ||
+			strings.HasPrefix(line, "component ") || strings.HasPrefix(line, "total") {
+			continue
+		}
+		f := strings.Fields(line)
+		// component operation ops cycles [us] share% → 5 or 6 fields.
+		if len(f) != 5 && len(f) != 6 {
+			return nil, fmt.Errorf("%w: cycles line %d: %d field(s), want 5 or 6",
+				ErrParse, i+1, len(f))
+		}
+		cycles, err := strconv.ParseFloat(f[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("%w: cycles line %d cycles %q: %v",
+				ErrParse, i+1, f[3], err)
+		}
+		out[f[0]+"/"+f[1]] = cycles
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%w: cycle table has no rows", ErrParse)
+	}
+	return out, nil
+}
+
+func diffCycles(a, b string, opt Options) ([]Finding, error) {
+	ca, err := ParseCycles(a)
+	if err != nil {
+		return nil, err
+	}
+	cb, err := ParseCycles(b)
+	if err != nil {
+		return nil, err
+	}
+	// More cycles on the same deterministic workload = the code path got
+	// more expensive: a perf regression.
+	return compareMaps("cycles.txt", ca, cb, opt,
+		func(string) bool { return true }, nil), nil
+}

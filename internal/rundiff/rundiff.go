@@ -1,0 +1,298 @@
+// Package rundiff is the regression engine behind `tracetool -diff`: it
+// compares two artifact directories produced by reprogen (a pinned baseline
+// and a fresh run) and renders a verdict. The reproduction's whole value is
+// that every number it prints is deterministic, so "did this change make the
+// system worse" reduces to structured comparison of text artifacts — stage
+// latency tables, metric series, overload ladder summaries, cycle profiles —
+// with a relative threshold separating noise-free-but-intentional drift from
+// regressions.
+//
+// Every parser here is total: malformed input returns an error wrapping
+// ErrParse, never a panic, because CI feeds this whatever a broken run left
+// behind. Findings are ordered by (file, series), so reports are themselves
+// byte-stable artifacts.
+package rundiff
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ErrParse wraps every malformed-artifact error so tracetool can map the
+// whole class onto its parse-error exit code.
+var ErrParse = errors.New("rundiff: malformed artifact")
+
+// Severity classifies one compared series.
+type Severity int
+
+// Finding severities.
+const (
+	// SevInfo is a change that is neither clearly better nor worse (counts,
+	// unclassified series).
+	SevInfo Severity = iota
+	// SevImprovement is a badness metric that went down past the threshold.
+	SevImprovement
+	// SevRegression is a badness metric that went up past the threshold (or
+	// a ladder rung that escalated).
+	SevRegression
+)
+
+// String names the severity.
+func (s Severity) String() string {
+	switch s {
+	case SevInfo:
+		return "info"
+	case SevImprovement:
+		return "improvement"
+	case SevRegression:
+		return "REGRESSION"
+	}
+	return fmt.Sprintf("severity(%d)", int(s))
+}
+
+// Options tunes the comparison.
+type Options struct {
+	// Threshold is the relative change that counts as significant (default
+	// 0.10 = 10%). Below it, differing values are reported as info only
+	// when ReportUnchanged is set, else elided.
+	Threshold float64
+	// ReportUnchanged includes sub-threshold and equal series in the report.
+	ReportUnchanged bool
+}
+
+func (o *Options) defaults() {
+	if o.Threshold <= 0 {
+		o.Threshold = 0.10
+	}
+}
+
+// Finding is one compared series.
+type Finding struct {
+	File     string
+	Series   string
+	A, B     float64
+	Delta    float64 // relative change (B-A)/A; ±Inf collapsed to ±1e9
+	Severity Severity
+	Note     string
+}
+
+// Report is the full comparison result.
+type Report struct {
+	DirA, DirB string
+	Findings   []Finding
+	Compared   []string // files present in both dirs and diffed
+	MissingA   []string // known files present only in B
+	MissingB   []string // known files present only in A
+}
+
+// Regression reports whether any finding regressed.
+func (r *Report) Regression() bool {
+	for _, f := range r.Findings {
+		if f.Severity == SevRegression {
+			return true
+		}
+	}
+	return false
+}
+
+// Counts returns totals by severity.
+func (r *Report) Counts() (info, improved, regressed int) {
+	for _, f := range r.Findings {
+		switch f.Severity {
+		case SevInfo:
+			info++
+		case SevImprovement:
+			improved++
+		case SevRegression:
+			regressed++
+		}
+	}
+	return
+}
+
+// Table renders the human report.
+func (r *Report) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "run-diff %s → %s\n", r.DirA, r.DirB)
+	fmt.Fprintf(&b, "compared: %s\n", strings.Join(r.Compared, ", "))
+	if len(r.MissingA) > 0 {
+		fmt.Fprintf(&b, "only in %s: %s\n", r.DirB, strings.Join(r.MissingA, ", "))
+	}
+	if len(r.MissingB) > 0 {
+		fmt.Fprintf(&b, "only in %s: %s\n", r.DirA, strings.Join(r.MissingB, ", "))
+	}
+	if len(r.Findings) == 0 {
+		b.WriteString("no significant differences\n")
+	} else {
+		fmt.Fprintf(&b, "%-12s %-11s %-38s %14s %14s %8s\n",
+			"file", "verdict", "series", "a", "b", "delta")
+		for _, f := range r.Findings {
+			note := ""
+			if f.Note != "" {
+				note = "  " + f.Note
+			}
+			fmt.Fprintf(&b, "%-12s %-11s %-38s %14.3f %14.3f %+7.1f%%%s\n",
+				f.File, f.Severity, f.Series, f.A, f.B, 100*f.Delta, note)
+		}
+	}
+	info, improved, regressed := r.Counts()
+	fmt.Fprintf(&b, "verdict: %d regression(s), %d improvement(s), %d info\n",
+		regressed, improved, info)
+	return b.String()
+}
+
+// JSON renders a machine-readable verdict. Hand-assembled so field order is
+// fixed and output is byte-stable.
+func (r *Report) JSON() string {
+	var b strings.Builder
+	info, improved, regressed := r.Counts()
+	b.WriteString("{\n")
+	fmt.Fprintf(&b, "  \"dir_a\": %q,\n  \"dir_b\": %q,\n", r.DirA, r.DirB)
+	fmt.Fprintf(&b, "  \"regression\": %v,\n", r.Regression())
+	fmt.Fprintf(&b, "  \"regressions\": %d,\n  \"improvements\": %d,\n  \"info\": %d,\n",
+		regressed, improved, info)
+	b.WriteString("  \"findings\": [\n")
+	for i, f := range r.Findings {
+		sep := ","
+		if i == len(r.Findings)-1 {
+			sep = ""
+		}
+		fmt.Fprintf(&b, "    {\"file\": %q, \"series\": %q, \"a\": %s, \"b\": %s, \"delta\": %s, \"severity\": %q}%s\n",
+			f.File, f.Series, trimFloat(f.A), trimFloat(f.B), trimFloat(f.Delta), f.Severity, sep)
+	}
+	b.WriteString("  ]\n}\n")
+	return b.String()
+}
+
+func trimFloat(v float64) string { return strconv.FormatFloat(v, 'g', 10, 64) }
+
+// badness reports whether a series name measures something that should not
+// grow: drops, rejects, breaches, violations, stalls, misses, latency.
+func badness(name string) bool {
+	for _, pat := range []string{
+		"drop", "reject", "breach", "stall", "violation", "shed", "late",
+		"miss", "overwritten", "suppressed", "leak", "fail", "detected",
+		"retries", "engage",
+	} {
+		if strings.Contains(name, pat) {
+			return true
+		}
+	}
+	return false
+}
+
+// relDelta computes (b-a)/a with a==0 handled: 0→0 is 0, 0→x is ±1e9
+// (a finite stand-in for Inf that still prints).
+func relDelta(a, b float64) float64 {
+	if a == b {
+		return 0
+	}
+	if a == 0 {
+		if b > 0 {
+			return 1e9
+		}
+		return -1e9
+	}
+	return (b - a) / a
+}
+
+// classify turns a numeric change in a badness-directional series into a
+// severity under the threshold.
+func classify(a, b, threshold float64, worseWhenUp bool) (Severity, bool) {
+	d := relDelta(a, b)
+	if d == 0 {
+		return SevInfo, false
+	}
+	mag := d
+	if mag < 0 {
+		mag = -mag
+	}
+	if mag < threshold {
+		return SevInfo, false
+	}
+	up := d > 0
+	if up == worseWhenUp {
+		return SevRegression, true
+	}
+	return SevImprovement, true
+}
+
+// DiffDirs compares the known artifacts present in both directories.
+func DiffDirs(dirA, dirB string, opt Options) (*Report, error) {
+	opt.defaults()
+	r := &Report{DirA: dirA, DirB: dirB}
+	type handler func(a, b string, opt Options) ([]Finding, error)
+	known := []struct {
+		name string
+		fn   handler
+	}{
+		{"stages.txt", diffStages},
+		{"metrics.csv", diffMetrics},
+		{"ladder.txt", diffLadder},
+		{"cycles.txt", diffCycles},
+	}
+	for _, k := range known {
+		pa, pb := filepath.Join(dirA, k.name), filepath.Join(dirB, k.name)
+		da, errA := os.ReadFile(pa)
+		db, errB := os.ReadFile(pb)
+		switch {
+		case errA != nil && errB != nil:
+			continue // artifact absent from both runs: nothing to compare
+		case errA != nil:
+			r.MissingA = append(r.MissingA, k.name)
+			continue
+		case errB != nil:
+			r.MissingB = append(r.MissingB, k.name)
+			continue
+		}
+		fs, err := k.fn(string(da), string(db), opt)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", k.name, err)
+		}
+		r.Compared = append(r.Compared, k.name)
+		r.Findings = append(r.Findings, fs...)
+	}
+	if len(r.Compared) == 0 {
+		return nil, fmt.Errorf("%w: no comparable artifacts in %s and %s",
+			ErrParse, dirA, dirB)
+	}
+	sort.SliceStable(r.Findings, func(i, j int) bool {
+		if r.Findings[i].File != r.Findings[j].File {
+			return r.Findings[i].File < r.Findings[j].File
+		}
+		return r.Findings[i].Series < r.Findings[j].Series
+	})
+	return r, nil
+}
+
+// compareMaps diffs two keyed series sets with a fixed direction rule.
+func compareMaps(file string, a, b map[string]float64, opt Options,
+	worseWhenUp func(series string) bool, note func(series string) string) []Finding {
+	keys := make([]string, 0, len(a))
+	for k := range a {
+		if _, ok := b[k]; ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	var out []Finding
+	for _, k := range keys {
+		av, bv := a[k], b[k]
+		sev, significant := classify(av, bv, opt.Threshold, worseWhenUp(k))
+		if !significant && !(opt.ReportUnchanged && av != bv) {
+			continue
+		}
+		f := Finding{File: file, Series: k, A: av, B: bv,
+			Delta: relDelta(av, bv), Severity: sev}
+		if note != nil {
+			f.Note = note(k)
+		}
+		out = append(out, f)
+	}
+	return out
+}

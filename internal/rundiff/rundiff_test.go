@@ -1,0 +1,246 @@
+package rundiff
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+// writeDir materializes an artifact directory from name → content.
+func writeDir(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, content := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// stagesTable builds a real StageTable from a SpanLog whose queue-stage
+// latency is scaled by num/den — the injected-regression fixture.
+func stagesTable(num, den sim.Time) string {
+	var l telemetry.SpanLog
+	for i := 0; i < 50; i++ {
+		base := sim.Time(i) * sim.Millisecond
+		l.Record(telemetry.Segment{Stream: 1, Seq: int64(i), Stage: telemetry.StageDisk,
+			Where: "d0", Start: base, End: base + 5*sim.Millisecond})
+		l.Record(telemetry.Segment{Stream: 1, Seq: int64(i), Stage: telemetry.StageQueue,
+			Where: "ni0", Start: base, End: base + (2*sim.Millisecond*num)/den})
+	}
+	return l.StageTable()
+}
+
+func TestInjectedLatencyRegressionCaught(t *testing.T) {
+	// Run B's queue-stage latency is 20% worse than run A's — above the 10%
+	// default threshold, so the diff must flag a regression.
+	a := writeDir(t, map[string]string{"stages.txt": stagesTable(1, 1)})
+	b := writeDir(t, map[string]string{"stages.txt": stagesTable(6, 5)})
+	r, err := DiffDirs(a, b, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Regression() {
+		t.Fatalf("20%% queue-latency regression not caught:\n%s", r.Table())
+	}
+	var hit bool
+	for _, f := range r.Findings {
+		if strings.HasPrefix(f.Series, "queue.") && f.Severity == SevRegression {
+			hit = true
+			if f.Delta < 0.15 || f.Delta > 0.25 {
+				t.Fatalf("queue delta %.3f, want ~0.20", f.Delta)
+			}
+		}
+		if strings.HasPrefix(f.Series, "disk.") && f.Severity == SevRegression {
+			t.Fatalf("disk stage unchanged but flagged: %+v", f)
+		}
+	}
+	if !hit {
+		t.Fatalf("no queue-stage regression finding:\n%s", r.Table())
+	}
+
+	// Swapped direction is an improvement, not a regression.
+	r2, err := DiffDirs(b, a, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Regression() {
+		t.Fatalf("latency drop misread as regression:\n%s", r2.Table())
+	}
+}
+
+func TestIdenticalDirsClean(t *testing.T) {
+	files := map[string]string{"stages.txt": stagesTable(1, 1)}
+	r, err := DiffDirs(writeDir(t, files), writeDir(t, files), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Regression() || len(r.Findings) != 0 {
+		t.Fatalf("identical dirs produced findings:\n%s", r.Table())
+	}
+	if !strings.Contains(r.Table(), "no significant differences") {
+		t.Fatalf("table:\n%s", r.Table())
+	}
+}
+
+const metricsA = `time_ms,component,metric,value
+1000,nic,tx_frames_total,100
+1000,overload,admission_rejects_total,2
+1000,overload,budget_used_bytes,50000
+`
+
+func TestMetricsBadnessDirection(t *testing.T) {
+	metricsB := strings.NewReplacer(
+		"admission_rejects_total,2", "admission_rejects_total,10",
+		"tx_frames_total,100", "tx_frames_total,150",
+	).Replace(metricsA)
+	a := writeDir(t, map[string]string{"metrics.csv": metricsA})
+	b := writeDir(t, map[string]string{"metrics.csv": metricsB})
+	r, err := DiffDirs(a, b, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rejects, tx *Finding
+	for i := range r.Findings {
+		switch r.Findings[i].Series {
+		case "overload.admission_rejects_total":
+			rejects = &r.Findings[i]
+		case "nic.tx_frames_total":
+			tx = &r.Findings[i]
+		}
+	}
+	if rejects == nil || rejects.Severity != SevRegression {
+		t.Fatalf("reject growth should regress: %+v\n%s", rejects, r.Table())
+	}
+	if tx == nil || tx.Severity != SevInfo {
+		t.Fatalf("neutral throughput change should be info: %+v", tx)
+	}
+}
+
+const ladderA = `overload ladder/admission summary (2 cells)
+load       mult  max_rung  trans   shed  dropB  dropP  revok  reins rejects  admits breaches  bp_engag
+no web load 4     drop-B        6     76      0      0      0      0       3       4        0         2
+45% web    8     drop-B        8     90      4      0      0      0       4       4        0         3
+`
+
+func TestLadderEscalationAndBreachRegress(t *testing.T) {
+	ladderB := strings.NewReplacer(
+		"no web load 4     drop-B", "no web load 4     revoke",
+		"0         3\n", "2         3\n", // breaches 0 → 2 in the second cell
+	).Replace(ladderA)
+	a := writeDir(t, map[string]string{"ladder.txt": ladderA})
+	b := writeDir(t, map[string]string{"ladder.txt": ladderB})
+	r, err := DiffDirs(a, b, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Regression() {
+		t.Fatalf("rung escalation + breaches not caught:\n%s", r.Table())
+	}
+	var rung, breach bool
+	for _, f := range r.Findings {
+		if strings.HasSuffix(f.Series, ".max_rung") && f.Severity == SevRegression {
+			rung = true
+			if !strings.Contains(f.Note, "drop-B → revoke") {
+				t.Fatalf("rung note %q", f.Note)
+			}
+		}
+		if strings.HasSuffix(f.Series, ".breaches") && f.Severity == SevRegression {
+			breach = true
+		}
+	}
+	if !rung || !breach {
+		t.Fatalf("rung=%v breach=%v:\n%s", rung, breach, r.Table())
+	}
+	// De-escalation reads as improvement.
+	r2, err := DiffDirs(b, a, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range r2.Findings {
+		if strings.HasSuffix(f.Series, ".max_rung") && f.Severity != SevImprovement {
+			t.Fatalf("de-escalation severity %v", f.Severity)
+		}
+	}
+}
+
+const cyclesA = `cycle attribution (i960RD-66)
+component      operation             ops         cycles           us    share
+dwcs           decision            10000        5000000       100.00    50.0%
+nic            dispatch            10000        5000000       100.00    50.0%
+total                                          10000000       200.00   100.0%
+`
+
+func TestCyclesGrowthRegresses(t *testing.T) {
+	cyclesB := strings.Replace(cyclesA,
+		"dwcs           decision            10000        5000000",
+		"dwcs           decision            10000        7000000", 1)
+	a := writeDir(t, map[string]string{"cycles.txt": cyclesA})
+	b := writeDir(t, map[string]string{"cycles.txt": cyclesB})
+	r, err := DiffDirs(a, b, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Regression() {
+		t.Fatalf("40%% cycle growth not caught:\n%s", r.Table())
+	}
+}
+
+func TestMissingAndUnknownFiles(t *testing.T) {
+	a := writeDir(t, map[string]string{
+		"stages.txt": stagesTable(1, 1), "metrics.csv": metricsA})
+	b := writeDir(t, map[string]string{"stages.txt": stagesTable(1, 1)})
+	r, err := DiffDirs(a, b, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.MissingB) != 1 || r.MissingB[0] != "metrics.csv" {
+		t.Fatalf("MissingB = %v", r.MissingB)
+	}
+	// Two dirs sharing no known artifacts cannot be compared at all.
+	empty := t.TempDir()
+	if _, err := DiffDirs(empty, empty, Options{}); !errors.Is(err, ErrParse) {
+		t.Fatalf("empty dirs: %v, want ErrParse", err)
+	}
+}
+
+func TestParseErrorsWrapErrParse(t *testing.T) {
+	cases := map[string]map[string]string{
+		"bad stages row":  {"stages.txt": "per-stage frame latency (simulated)\nstage count\ndisk 1 2\n"},
+		"bad csv header":  {"metrics.csv": "nope,nope\n1,2,3,4\n"},
+		"bad csv value":   {"metrics.csv": "time_ms,component,metric,value\n1000,nic,x,abc\n"},
+		"bad ladder rung": {"ladder.txt": "load mult max_rung t s b p r i j a b c\nx 4 warp 1 2 3 4 5 6 7 8 9 10\n"},
+		"empty cycles":    {"cycles.txt": "cycle attribution\n"},
+	}
+	for name, files := range cases {
+		dir := writeDir(t, files)
+		if _, err := DiffDirs(dir, dir, Options{}); !errors.Is(err, ErrParse) {
+			t.Errorf("%s: err = %v, want ErrParse", name, err)
+		}
+	}
+}
+
+func TestReportJSONAndTableStable(t *testing.T) {
+	a := writeDir(t, map[string]string{"stages.txt": stagesTable(1, 1)})
+	b := writeDir(t, map[string]string{"stages.txt": stagesTable(6, 5)})
+	r1, err := DiffDirs(a, b, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := DiffDirs(a, b, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.JSON() != r2.JSON() || r1.Table() != r2.Table() {
+		t.Fatal("report output not deterministic")
+	}
+	if !strings.Contains(r1.JSON(), `"regression": true`) {
+		t.Fatalf("JSON verdict:\n%s", r1.JSON())
+	}
+}

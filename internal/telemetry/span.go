@@ -62,6 +62,11 @@ func (s Segment) Dur() sim.Time { return s.End - s.Start }
 // logs with the same segment set render identically.
 type SpanLog struct {
 	Segments []Segment
+
+	// Observer, when set, sees every accepted segment as it is recorded —
+	// the tap the flight recorder and SLO monitor listen on. It runs inside
+	// Record, so it must be cheap and must not re-enter the log.
+	Observer func(Segment)
 }
 
 // Record appends one segment. Zero-length and negative segments are kept
@@ -72,6 +77,9 @@ func (l *SpanLog) Record(seg Segment) {
 		return
 	}
 	l.Segments = append(l.Segments, seg)
+	if l.Observer != nil {
+		l.Observer(seg)
+	}
 }
 
 // Len reports recorded segments.
@@ -156,13 +164,29 @@ func (l *SpanLog) aggregate() [numStages]stageAgg {
 	return agg
 }
 
-// quantile returns the q-quantile of ds (ds is sorted in place).
+// quantile returns the q-quantile of ds (ds is sorted in place). The edge
+// cases are pinned, not incidental: an empty slice yields 0, a single
+// sample answers every q, q ≤ 0 is the minimum, and q ≥ 1 is the maximum —
+// the index is clamped so no floating-point rounding of q can step outside
+// the slice.
 func quantile(ds []sim.Time, q float64) sim.Time {
 	if len(ds) == 0 {
 		return 0
 	}
 	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	if q <= 0 {
+		return ds[0]
+	}
+	if q >= 1 {
+		return ds[len(ds)-1]
+	}
 	i := int(q * float64(len(ds)-1))
+	if i < 0 {
+		i = 0
+	}
+	if i > len(ds)-1 {
+		i = len(ds) - 1
+	}
 	return ds[i]
 }
 

@@ -25,6 +25,7 @@ package telemetry
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"repro/internal/sim"
 )
@@ -185,6 +186,10 @@ type Registry struct {
 	// meter.Observe(reg.Prof).
 	Prof *Profiler
 
+	// OnSnapshot, when set, observes every Snapshot call with the capture
+	// time and how many values were recorded — the flight recorder's tap.
+	OnSnapshot func(at sim.Time, values int)
+
 	metrics []*metric // registration order
 	byKey   map[string]*metric
 	snaps   []snapshot
@@ -327,6 +332,31 @@ func (r *Registry) Snapshot(at sim.Time) {
 		}
 	}
 	r.snaps = append(r.snaps, s)
+	if r.OnSnapshot != nil {
+		r.OnSnapshot(at, len(s.values))
+	}
+}
+
+// ValuesText renders every metric's current value as compact sorted
+// "component.name value" lines — the registry snapshot an incident dump
+// embeds. Histograms contribute their count and sum, like SnapshotsCSV.
+func (r *Registry) ValuesText() string {
+	if r == nil {
+		return ""
+	}
+	var b strings.Builder
+	for _, m := range r.sorted() {
+		switch m.kind {
+		case kindCounter:
+			fmt.Fprintf(&b, "%s.%s %d\n", m.component, m.name, m.counterValue())
+		case kindGauge:
+			fmt.Fprintf(&b, "%s.%s %s\n", m.component, m.name, formatFloat(m.gaugeValue()))
+		case kindHistogram:
+			fmt.Fprintf(&b, "%s.%s_count %d\n", m.component, m.name, m.hCount)
+			fmt.Fprintf(&b, "%s.%s_sum %s\n", m.component, m.name, formatFloat(m.hSum))
+		}
+	}
+	return b.String()
 }
 
 // SnapshotEvery snapshots the registry once per period of simulated time.
