@@ -19,7 +19,7 @@ cd "$(dirname "$0")"
 BASELINE=BENCH_BASELINE.json
 STAGE_BASELINE=STAGE_BASELINE.txt
 OVERLOAD_BASELINE=OVERLOAD_BASELINE.txt
-BENCHES='BenchmarkEngine|BenchmarkSimulationThroughput|BenchmarkMissScan'
+BENCHES='BenchmarkEngine|BenchmarkSimulationThroughput|BenchmarkMissScan|BenchmarkParallelEngine'
 
 run_benches() {
 	go test -run xxx -bench "$BENCHES" -benchmem -benchtime 0.5s ./... 2>/dev/null
@@ -105,9 +105,22 @@ BEGIN {
 		seen[name] = 1
 	} else {
 		printf "%-42s %12s %12.2f %9s\n", name, "(none)", ns, "new"
+		missing[name] = 1
 	}
 }
 END {
-	for (name in base) if (!(name in seen))
+	bad = 0
+	for (name in base) if (!(name in seen)) {
 		printf "%-42s %12.2f %12s %9s\n", name, base[name], "(gone)", "removed"
+		gone[name] = 1
+	}
+	for (name in missing) {
+		printf "error: benchmark %s has no baseline key in %s (run ./bench_compare.sh -update to pin it)\n", name, baseline > "/dev/stderr"
+		bad = 1
+	}
+	for (name in gone) {
+		printf "error: baseline key %s in %s matched no benchmark (stale key, or a benchmark was removed/renamed)\n", name, baseline > "/dev/stderr"
+		bad = 1
+	}
+	exit bad
 }'

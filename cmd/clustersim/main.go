@@ -19,6 +19,10 @@
 //	                                           # burning card is failed over
 //	                                           # early even while its heartbeat
 //	                                           # still answers
+//	clustersim -fleet -cards 64 -workers 8     # partitioned multi-card fleet
+//	                                           # on the parallel engine;
+//	                                           # artifacts are byte-identical
+//	                                           # at any -workers count
 package main
 
 import (
@@ -61,7 +65,18 @@ func main() {
 	telemetryOn := flag.Bool("telemetry", false, "instrument the run and write observability artifacts")
 	telemetryOut := flag.String("telemetry-out", "telemetry-out", "directory for -telemetry artifacts")
 	sloOn := flag.Bool("slo", false, "run an SLO monitor per scheduler NI; with -chaos, burning cards fail over early")
+	fleet := flag.Bool("fleet", false, "run the partitioned multi-card fleet on the parallel engine")
+	cards := flag.Int("cards", 8, "card complexes in the fleet (with -fleet)")
+	fleetStreams := flag.Int("fleet-streams", 2, "streams sourced per card (with -fleet)")
+	workers := flag.Int("workers", 0, "parallel-engine worker pool; 0 = GOMAXPROCS, 1 = sequential")
+	fleetOut := flag.String("fleet-out", "", "directory for -fleet artifacts (empty = stdout only)")
 	flag.Parse()
+	experiments.DefaultWorkers = *workers
+
+	if *fleet {
+		runFleet(*cards, *fleetStreams, *durSec, *workers, *fleetOut)
+		return
+	}
 
 	cfgs := make([]cluster.NodeConfig, *nodes)
 	for i := range cfgs {
@@ -265,6 +280,40 @@ func main() {
 		fmt.Printf("telemetry artifacts written to %s (%d components, %d spans, %d snapshots)\n",
 			*telemetryOut, len(reg.Components()), reg.Spans.Len(), reg.Snapshots())
 	}
+}
+
+// runFleet drives the partitioned multi-card fleet on the parallel engine.
+// Everything printed to stdout and written under -fleet-out is
+// byte-identical at any -workers count (and to a monolithic single-engine
+// run); engine-internal diagnostics go to stderr so CI can diff stdout.
+func runFleet(cards, streamsPerCard, durSec, workers int, outDir string) {
+	a := experiments.RunFleet(experiments.FleetConfig{
+		Cards: cards, StreamsPerCard: streamsPerCard,
+		Dur: sim.Time(durSec) * sim.Second, Workers: workers,
+	})
+	fmt.Println(a.Summary)
+	fmt.Print(a.Table)
+	fmt.Print(a.Pulse)
+	fmt.Fprintf(os.Stderr, "fleet: %d synchronization rounds (workers=%d)\n", a.Rounds, workers)
+	if outDir == "" {
+		return
+	}
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, "clustersim:", err)
+		os.Exit(1)
+	}
+	for name, body := range map[string]string{
+		"summary.txt": a.Summary + "\n",
+		"table.txt":   a.Table,
+		"pulse.txt":   a.Pulse,
+		"streams.csv": a.CSV,
+	} {
+		if err := os.WriteFile(filepath.Join(outDir, name), []byte(body), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "clustersim:", err)
+			os.Exit(1)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "fleet artifacts written to %s\n", outDir)
 }
 
 // writeTelemetry dumps the registry's artifacts for an instrumented run.

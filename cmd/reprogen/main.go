@@ -40,7 +40,9 @@ func main() {
 	overloadWorkers := flag.Int("overload-workers", 0, "worker pool for the overload sweep (0 = GOMAXPROCS)")
 	csvDir := flag.String("csv", "", "directory to write figure curves as CSV")
 	durSec := flag.Int("dur", 100, "figure observation length (seconds)")
+	workers := flag.Int("workers", 0, "worker pool for every experiment fan-out (0 = GOMAXPROCS, 1 = sequential); never changes output bytes")
 	flag.Parse()
+	experiments.DefaultWorkers = *workers
 
 	dur := sim.Time(*durSec) * sim.Second
 	// Chaos and telemetry never ride along with the paper's tables and
@@ -85,7 +87,11 @@ func main() {
 	// parallel unit), so it runs after the shared fan-out, not inside it.
 	experiments.Parallel(jobs...)
 	if *overloadRun {
-		ovArt = experiments.RunOverload(experiments.OverloadConfig{Dur: dur, Workers: *overloadWorkers})
+		ow := *overloadWorkers
+		if ow == 0 {
+			ow = *workers // -workers governs unless the sweep-specific knob is set
+		}
+		ovArt = experiments.RunOverload(experiments.OverloadConfig{Dur: dur, Workers: ow})
 	}
 
 	for _, res := range []*experiments.Result{t1, t2, t3, t4, t5, headlineRes, sca} {

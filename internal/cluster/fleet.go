@@ -1,0 +1,363 @@
+// Fleet: the multi-card scaling scenario (Figure 6 / claim 4) on the
+// partitioned conservative engine. Each card complex — a PCI segment with a
+// disk NI, a scheduler NI running DWCS with overload control and a flight
+// recorder — lives in its own sim.Partition with a private event heap and
+// RNG stream; a DVCM-style controller partition polls every card over the
+// distribution network. Media leaves a card's Ethernet port into the fleet
+// network, whose per-hop latency is the topology's channel lookahead, and
+// lands on clients homed with the next card complex — so every media frame
+// genuinely crosses a partition boundary.
+//
+// The same wiring runs in three modes with byte-identical artifacts:
+// monolithic (every component on one shared Engine — the sequential
+// reference), partitioned with Workers=1, and partitioned with Workers=N.
+// The media path draws nothing from the engines' RNG streams and all
+// cross-card interactions ride the fleet hop, which both modes order
+// identically (per-hop arrivals tie-break by source card, and card-local
+// event times never collide with hop arrivals' sub-microsecond phases), so
+// the per-card tables, controller pulse log, and per-stream CSV are a pure
+// function of the FleetConfig.
+package cluster
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/blackbox"
+	"repro/internal/bus"
+	"repro/internal/disk"
+	"repro/internal/dwcs"
+	"repro/internal/fixed"
+	"repro/internal/mpeg"
+	"repro/internal/netsim"
+	"repro/internal/nic"
+	"repro/internal/overload"
+	"repro/internal/sim"
+)
+
+// Fleet wiring parameters that are not worth configuring per run.
+const (
+	// fleetStreamPeriod is each stream's DWCS deadline period and producer
+	// injection cadence (25 fps).
+	fleetStreamPeriod = 40 * sim.Millisecond
+	// fleetEligibleEarly keeps the scheduler work-conserving within a small
+	// window, as the single-card experiments do.
+	fleetEligibleEarly = 20 * sim.Millisecond
+	// fleetBufCap bounds each stream's descriptor ring.
+	fleetBufCap = 64
+	// fleetRingBytes sizes each card's flight-recorder ring.
+	fleetRingBytes = 16 << 10
+)
+
+// FleetConfig parameterizes RunFleet.
+type FleetConfig struct {
+	Cards          int      // card complexes; 0 = 8
+	StreamsPerCard int      // media streams sourced by each card; 0 = 2
+	Dur            sim.Time // simulated run length; 0 = 2 s
+	Workers        int      // topology worker cap; 0 = GOMAXPROCS, 1 = sequential
+	NetLatency     sim.Time // distribution-network hop latency (= lookahead); 0 = 5 ms
+	PollEvery      sim.Time // controller poll period; 0 = 500 ms
+	Seed           int64    // topology seed; 0 = 1960
+	// Monolithic builds the identical fleet on one shared Engine instead of
+	// partitions — the sequential reference the byte-identical contract is
+	// checked against.
+	Monolithic bool
+}
+
+func (cfg *FleetConfig) setDefaults() {
+	if cfg.Cards <= 0 {
+		cfg.Cards = 8
+	}
+	if cfg.StreamsPerCard <= 0 {
+		cfg.StreamsPerCard = 2
+	}
+	if cfg.Dur <= 0 {
+		cfg.Dur = 2 * sim.Second
+	}
+	if cfg.NetLatency <= 0 {
+		cfg.NetLatency = 5 * sim.Millisecond
+	}
+	if cfg.PollEvery <= 0 {
+		cfg.PollEvery = 500 * sim.Millisecond
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1960
+	}
+}
+
+// fleetCard is one card complex plus the clients homed alongside it.
+type fleetCard struct {
+	part  *sim.Partition // nil in monolithic mode
+	eng   *sim.Engine
+	disk  *nic.Card
+	sched *nic.Card
+	ext   *nic.SchedulerExt
+	ctl   *overload.Controller
+	rec   *blackbox.Recorder
+	rx    map[string]*netsim.Link // client addr → receive link (this partition)
+}
+
+// fleetStream is one media stream: sourced on cards[card], received by a
+// client homed with cards[(card+1)%Cards].
+type fleetStream struct {
+	card int
+	id   int
+	addr string
+	prod *nic.Producer
+	cl   *netsim.Client
+}
+
+// FleetResult carries the deterministic artifacts of one fleet run. Table,
+// Pulse, CSV, and Summary are the byte-compared artifacts; Rounds is an
+// engine-internal diagnostic (undefined in monolithic mode) and is not part
+// of the determinism contract.
+type FleetResult struct {
+	Cards   int
+	Streams int
+	Dur     sim.Time
+
+	Table   string // per-card ledger
+	Pulse   string // controller poll log
+	CSV     string // per-stream rows
+	Summary string
+
+	TotalInjected int64
+	TotalSent     int64
+	TotalRecv     int64
+	TotalLate     int64
+	TotalDropped  int64
+	RecvBytes     int64
+
+	Rounds int64
+}
+
+// fleet is the assembled topology during a run.
+type fleet struct {
+	cfg     FleetConfig
+	topo    *sim.Topology // nil in monolithic mode
+	mono    *sim.Engine   // shared engine in monolithic mode
+	ctrl    *sim.Partition
+	cards   []*fleetCard
+	streams []*fleetStream
+	route   map[string]int // client addr → home card index
+	pulses  []string
+}
+
+// forward carries one media frame across the fleet network: NetLatency of
+// distribution-network flight, then the home card's receive link to the
+// client. In partitioned mode this is the inter-partition channel whose
+// lookahead is exactly that latency.
+func (f *fleet) forward(from int, p *netsim.Packet) {
+	home, ok := f.route[p.Dst]
+	if !ok {
+		return // not a media destination; drop on the fleet floor
+	}
+	dst := f.cards[home]
+	deliver := func() { dst.rx[p.Dst].Send(p, nil) }
+	if f.topo == nil || home == from {
+		f.cards[from].eng.After(f.cfg.NetLatency, deliver)
+		return
+	}
+	f.cards[from].part.Send(dst.part, f.cfg.NetLatency, deliver)
+}
+
+// buildCard assembles card complex i on eng: PCI segment, disk NI,
+// scheduler NI with DWCS + overload controller + flight recorder, and the
+// Ethernet port into the fleet network.
+func (f *fleet) buildCard(i int, eng *sim.Engine, part *sim.Partition) *fleetCard {
+	name := fmt.Sprintf("ni%02d", i)
+	seg := bus.New(eng, bus.PCI(name+"-pci"))
+
+	diskCard := nic.New(eng, nic.Config{Name: name + "-disk", PCI: seg})
+	d := disk.New(eng, disk.DefaultSCSI(name+"-scsi0"))
+	diskCard.AttachDisk(d, disk.NewDOSFS(d))
+
+	schedCard := nic.New(eng, nic.Config{Name: name + "-sched", PCI: seg, CacheOn: true})
+	ext, err := schedCard.LoadScheduler(nic.SchedulerConfig{EligibleEarly: fleetEligibleEarly})
+	if err != nil {
+		panic(err)
+	}
+	ctl := overload.NewController(schedCard.Name, schedCard.Mem.Size())
+	ext.AttachOverload(ctl)
+	rec, err := blackbox.New(blackbox.Config{
+		Name: schedCard.Name, Bytes: fleetRingBytes, Budget: ctl.Budget,
+	})
+	if err != nil {
+		panic(err)
+	}
+	ext.AttachBlackbox(rec)
+
+	from := i
+	schedCard.ConnectEthernet(netsim.Fast100(eng, name+"-eth",
+		netsim.PortFunc(func(p *netsim.Packet) { f.forward(from, p) })))
+
+	return &fleetCard{
+		part: part, eng: eng,
+		disk: diskCard, sched: schedCard,
+		ext: ext, ctl: ctl, rec: rec,
+		rx: map[string]*netsim.Link{},
+	}
+}
+
+// pollCard is one controller poll of card i: NetLatency out, a stats read
+// on the card, NetLatency back, one pulse row on arrival. send/reply
+// abstract the hop so monolithic and partitioned modes share the logic.
+func (f *fleet) pollCard(i int, send, reply func(fn func())) {
+	fc := f.cards[i]
+	send(func() {
+		at := fc.eng.Now()
+		sent, dropped := fc.ext.Sent, fc.ext.Dropped
+		revoked := fc.ext.RevokedCount()
+		used, size := fc.ctl.Budget.Used(), fc.ctl.Budget.Size()
+		reply(func() {
+			f.pulses = append(f.pulses, fmt.Sprintf(
+				"t=%-10v ni%02d sent=%-6d dropped=%-4d revoked=%d mem=%d/%d",
+				at, i, sent, dropped, revoked, used, size))
+		})
+	})
+}
+
+// RunFleet builds and runs the fleet scenario, returning its deterministic
+// artifacts. The artifact bytes are identical for Monolithic, Workers=1,
+// and Workers=N runs of the same configuration.
+func RunFleet(cfg FleetConfig) *FleetResult {
+	cfg.setDefaults()
+	f := &fleet{cfg: cfg, route: map[string]int{}}
+
+	var ctrlEng *sim.Engine
+	if cfg.Monolithic {
+		f.mono = sim.NewEngine(cfg.Seed)
+		ctrlEng = f.mono
+		for i := 0; i < cfg.Cards; i++ {
+			f.cards = append(f.cards, f.buildCard(i, f.mono, nil))
+		}
+	} else {
+		f.topo = sim.NewTopology(cfg.Seed)
+		f.topo.Workers = cfg.Workers
+		f.ctrl = f.topo.AddPartition("dvcm")
+		ctrlEng = f.ctrl.Eng()
+		parts := make([]*sim.Partition, cfg.Cards)
+		for i := 0; i < cfg.Cards; i++ {
+			parts[i] = f.topo.AddPartition(fmt.Sprintf("card%02d", i))
+		}
+		for i := 0; i < cfg.Cards; i++ {
+			f.cards = append(f.cards, f.buildCard(i, parts[i].Eng(), parts[i]))
+		}
+		for i, p := range parts {
+			// Media ring hop (distinct endpoints only: a 1-card fleet keeps
+			// its media local) and the controller's poll round-trip.
+			if next := parts[(i+1)%cfg.Cards]; next != p {
+				if _, ok := f.topo.Lookahead(p, next); !ok {
+					mustConnect(f.topo, p, next, cfg.NetLatency)
+				}
+			}
+			mustConnect(f.topo, f.ctrl, p, cfg.NetLatency)
+			mustConnect(f.topo, p, f.ctrl, cfg.NetLatency)
+		}
+	}
+
+	// Streams, producers, clients. Card i's clients are homed with card
+	// (i+1)%Cards, so media crosses the fleet network (and, partitioned, a
+	// partition boundary).
+	clip := mpeg.GenerateDefault()
+	nominal := clip.MeanFrameSize()
+	for i, fc := range f.cards {
+		home := f.cards[(i+1)%cfg.Cards]
+		for s := 1; s <= cfg.StreamsPerCard; s++ {
+			addr := fmt.Sprintf("c%02ds%d", i, s)
+			f.route[addr] = (i + 1) % cfg.Cards
+			cl := netsim.NewClient(home.eng, addr)
+			home.rx[addr] = netsim.Fast100(home.eng, "rx-"+addr, cl)
+			spec := dwcs.StreamSpec{
+				ID: s, Name: addr, Period: fleetStreamPeriod,
+				Loss: fixed.New(1, 4), Lossy: true,
+				BufCap: fleetBufCap, NominalBytes: nominal,
+			}
+			if err := fc.ext.AddStream(spec); err != nil {
+				panic(err)
+			}
+			prod := fc.ext.SpawnPeerProducer(fc.disk, clip, s, addr, fleetStreamPeriod, 1<<30)
+			f.streams = append(f.streams, &fleetStream{
+				card: i, id: s, addr: addr, prod: prod, cl: cl,
+			})
+		}
+	}
+
+	// Controller: poll every card each PollEvery over the fleet network.
+	ctrlEng.Every(cfg.PollEvery, func() {
+		for i := range f.cards {
+			fc := f.cards[i]
+			if f.topo == nil {
+				f.pollCard(i,
+					func(fn func()) { ctrlEng.After(cfg.NetLatency, fn) },
+					func(fn func()) { fc.eng.After(cfg.NetLatency, fn) })
+			} else {
+				f.pollCard(i,
+					func(fn func()) { f.ctrl.Send(fc.part, cfg.NetLatency, fn) },
+					func(fn func()) { fc.part.Send(f.ctrl, cfg.NetLatency, fn) })
+			}
+		}
+	})
+
+	res := &FleetResult{Cards: cfg.Cards, Streams: cfg.Cards * cfg.StreamsPerCard, Dur: cfg.Dur}
+	if f.topo == nil {
+		f.mono.RunUntil(cfg.Dur)
+	} else {
+		f.topo.RunUntil(cfg.Dur)
+		res.Rounds = f.topo.Rounds
+		f.topo.Drain() // release every partition's peak arena before reporting
+	}
+
+	f.collect(res)
+	return res
+}
+
+func mustConnect(t *sim.Topology, src, dst *sim.Partition, la sim.Time) {
+	if err := t.Connect(src, dst, la); err != nil {
+		panic(err)
+	}
+}
+
+// collect renders the deterministic artifacts from the settled fleet.
+func (f *fleet) collect(res *FleetResult) {
+	var table, csv strings.Builder
+	fmt.Fprintf(&table, "%-6s %8s %8s %8s %8s %8s %8s %10s\n",
+		"card", "injected", "sent", "dropped", "recv", "late", "stalls", "recvMB")
+	csv.WriteString("card,stream,addr,injected,sent_by_card,recv,bytes,late,mean_lat_us,jitter_us\n")
+
+	perCard := make([]struct{ injected, recv, late, stalls, bytes int64 }, len(f.cards))
+	for _, st := range f.streams {
+		c := &perCard[st.card]
+		c.injected += st.prod.Injected
+		c.stalls += st.prod.Stalled
+		c.recv += st.cl.Received
+		c.late += st.cl.Late
+		c.bytes += st.cl.RecvBytes
+		fmt.Fprintf(&csv, "%02d,%d,%s,%d,%d,%d,%d,%d,%.1f,%.1f\n",
+			st.card, st.id, st.addr, st.prod.Injected, f.cards[st.card].ext.Sent,
+			st.cl.Received, st.cl.RecvBytes, st.cl.Late,
+			st.cl.MeanLatency().Microseconds(), st.cl.Jitter().Microseconds())
+	}
+	for i, fc := range f.cards {
+		c := perCard[i]
+		fmt.Fprintf(&table, "ni%02d   %8d %8d %8d %8d %8d %8d %10.2f\n",
+			i, c.injected, fc.ext.Sent, fc.ext.Dropped, c.recv, c.late, c.stalls,
+			float64(c.bytes)/(1<<20))
+		res.TotalInjected += c.injected
+		res.TotalSent += fc.ext.Sent
+		res.TotalDropped += fc.ext.Dropped
+		res.TotalRecv += c.recv
+		res.TotalLate += c.late
+		res.RecvBytes += c.bytes
+	}
+	res.Table = table.String()
+	res.Pulse = strings.Join(f.pulses, "\n") + "\n"
+	res.CSV = csv.String()
+
+	goodput := float64(res.RecvBytes) * 8 / res.Dur.Seconds() / 1e6
+	res.Summary = fmt.Sprintf(
+		"fleet: %d cards × %d streams over %v: injected=%d sent=%d recv=%d late=%d dropped=%d goodput=%.1f Mbps",
+		res.Cards, f.cfg.StreamsPerCard, res.Dur,
+		res.TotalInjected, res.TotalSent, res.TotalRecv, res.TotalLate,
+		res.TotalDropped, goodput)
+}

@@ -1,0 +1,77 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func fleetArtifacts(r *FleetResult) string {
+	return strings.Join([]string{r.Summary, r.Table, r.Pulse, r.CSV}, "\n---\n")
+}
+
+func testFleetConfig(workers int, mono bool) FleetConfig {
+	return FleetConfig{
+		Cards: 4, StreamsPerCard: 1, Dur: 800 * sim.Millisecond,
+		Workers: workers, Monolithic: mono,
+	}
+}
+
+// Media must flow: every card sources frames, every client receives them,
+// and the controller pulse log covers every card at every poll.
+func TestFleetDeliversMedia(t *testing.T) {
+	r := RunFleet(testFleetConfig(1, false))
+	if r.TotalInjected == 0 || r.TotalSent == 0 || r.TotalRecv == 0 {
+		t.Fatalf("no media moved: %s", r.Summary)
+	}
+	if r.TotalRecv < r.TotalSent/2 {
+		t.Fatalf("most sent frames never arrived: %s", r.Summary)
+	}
+	polls := int64(800/500) * int64(r.Cards)
+	if got := int64(strings.Count(r.Pulse, "\n")); got != polls {
+		t.Fatalf("pulse rows = %d, want %d\n%s", got, polls, r.Pulse)
+	}
+	if r.Rounds == 0 {
+		t.Fatal("partitioned run reported zero synchronization rounds")
+	}
+}
+
+// The byte-identical contract: partitioned artifacts must not depend on the
+// worker count.
+func TestFleetWorkersInvariance(t *testing.T) {
+	ref := fleetArtifacts(RunFleet(testFleetConfig(1, false)))
+	for _, workers := range []int{2, 4, 8} {
+		got := fleetArtifacts(RunFleet(testFleetConfig(workers, false)))
+		if got != ref {
+			t.Fatalf("workers=%d artifacts diverged from workers=1:\n%s\n=== vs ===\n%s",
+				workers, got, ref)
+		}
+	}
+}
+
+// The stronger contract: the partitioned engine replays the monolithic
+// single-Engine fleet byte-for-byte. Every cross-card interaction rides the
+// fleet hop, which both modes order identically.
+func TestFleetMatchesMonolith(t *testing.T) {
+	mono := fleetArtifacts(RunFleet(testFleetConfig(0, true)))
+	part := fleetArtifacts(RunFleet(testFleetConfig(4, false)))
+	if mono != part {
+		t.Fatalf("partitioned fleet diverged from monolith:\n%s\n=== vs ===\n%s",
+			part, mono)
+	}
+}
+
+// A 1-card fleet keeps its media local (no self-channel) but still answers
+// controller polls across the partition boundary.
+func TestFleetSingleCard(t *testing.T) {
+	cfg := testFleetConfig(2, false)
+	cfg.Cards = 1
+	r := RunFleet(cfg)
+	if r.TotalRecv == 0 {
+		t.Fatalf("no media delivered: %s", r.Summary)
+	}
+	if !strings.Contains(r.Pulse, "ni00") {
+		t.Fatalf("controller never heard from the card:\n%s", r.Pulse)
+	}
+}

@@ -1,0 +1,79 @@
+// Fleet experiment: the multi-card scaling scenario on the partitioned
+// conservative engine (cluster.RunFleet), wrapped for the artifact writers
+// and the CI determinism canary. The canary is the enforcement point of the
+// tentpole contract: one fleet configuration is run monolithically (single
+// shared Engine), partitioned with Workers=1, and partitioned with
+// Workers=N, and every artifact must be byte-identical across all three.
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+)
+
+// FleetConfig parameterizes the fleet experiment.
+type FleetConfig struct {
+	Cards          int      // card complexes; 0 = 8
+	StreamsPerCard int      // streams sourced per card; 0 = 2
+	Dur            sim.Time // run length; 0 = 2 s
+	Workers        int      // partition worker pool; 0 = GOMAXPROCS
+}
+
+// FleetArtifacts is everything one fleet run exports. All four strings are
+// part of the byte-identical determinism contract; Rounds is an
+// engine-internal diagnostic and is not.
+type FleetArtifacts struct {
+	Summary string
+	Table   string
+	Pulse   string
+	CSV     string
+
+	Recv   int64
+	Late   int64
+	Rounds int64
+}
+
+// RunFleet executes the partitioned fleet run.
+func RunFleet(cfg FleetConfig) *FleetArtifacts {
+	r := cluster.RunFleet(cluster.FleetConfig{
+		Cards: cfg.Cards, StreamsPerCard: cfg.StreamsPerCard,
+		Dur: cfg.Dur, Workers: cfg.Workers,
+	})
+	return &FleetArtifacts{
+		Summary: r.Summary, Table: r.Table, Pulse: r.Pulse, CSV: r.CSV,
+		Recv: r.TotalRecv, Late: r.TotalLate, Rounds: r.Rounds,
+	}
+}
+
+// FleetDeterminism runs cfg monolithically, partitioned sequentially, and
+// partitioned with cfg.Workers, and returns an error naming the first
+// artifact that differs. nil means the engine kept the byte-identical
+// contract for this configuration.
+func FleetDeterminism(cfg FleetConfig) error {
+	base := cluster.FleetConfig{
+		Cards: cfg.Cards, StreamsPerCard: cfg.StreamsPerCard, Dur: cfg.Dur,
+	}
+	run := func(workers int, mono bool) map[string]string {
+		c := base
+		c.Workers, c.Monolithic = workers, mono
+		r := cluster.RunFleet(c)
+		return map[string]string{
+			"summary": r.Summary, "table": r.Table,
+			"pulse": r.Pulse, "csv": r.CSV,
+		}
+	}
+	ref := run(1, false)
+	for name, variant := range map[string]map[string]string{
+		"monolithic":                           run(0, true),
+		fmt.Sprintf("workers=%d", cfg.Workers): run(cfg.Workers, false),
+	} {
+		for _, art := range []string{"summary", "table", "pulse", "csv"} {
+			if variant[art] != ref[art] {
+				return fmt.Errorf("fleet determinism: %s artifact %q diverged from sequential partitioned run", name, art)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,29 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestFleetDeterminismCanary(t *testing.T) {
+	if err := FleetDeterminism(FleetConfig{
+		Cards: 3, StreamsPerCard: 1, Dur: 600 * sim.Millisecond, Workers: 4,
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFleetArtifacts(t *testing.T) {
+	a := RunFleet(FleetConfig{Cards: 2, StreamsPerCard: 1, Dur: 600 * sim.Millisecond, Workers: 2})
+	for name, s := range map[string]string{
+		"summary": a.Summary, "table": a.Table, "pulse": a.Pulse, "csv": a.CSV,
+	} {
+		if s == "" {
+			t.Fatalf("empty %s artifact", name)
+		}
+	}
+	if a.Recv == 0 {
+		t.Fatalf("no media delivered: %s", a.Summary)
+	}
+}

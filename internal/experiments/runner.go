@@ -55,10 +55,16 @@ func (r Runner) Run(n int, job func(i int)) {
 	wg.Wait()
 }
 
+// DefaultWorkers caps the default pool used by Collect and Parallel
+// (0 = GOMAXPROCS). cmd/reprogen's -workers flag sets it, so one knob
+// governs every fan-out in a run; results are collected by index either
+// way, so the setting never changes output bytes.
+var DefaultWorkers int
+
 // Collect runs every job on the default pool and returns their results in
 // job order, independent of completion order.
 func Collect[T any](jobs []func() T) []T {
-	return CollectWith(Runner{}, jobs)
+	return CollectWith(Runner{Workers: DefaultWorkers}, jobs)
 }
 
 // CollectWith is Collect on an explicit pool — the determinism canary runs
@@ -76,5 +82,5 @@ func CollectWith[T any](r Runner, jobs []func() T) []T {
 // all complete. Each closure must own its results (write to distinct
 // variables or build its own engine).
 func Parallel(jobs ...func()) {
-	Runner{}.Run(len(jobs), func(i int) { jobs[i]() })
+	Runner{Workers: DefaultWorkers}.Run(len(jobs), func(i int) { jobs[i]() })
 }

@@ -1,0 +1,418 @@
+// Partitioned, conservative-lookahead parallel simulation.
+//
+// A Topology splits one simulation into Partitions — each owns a private
+// Engine (event heap, arena, RNG stream, clock) — joined by declared
+// channels with a minimum latency ("lookahead"). The paper's hardware gives
+// the partition boundary for free: each co-processor card is an independent
+// OS-like domain, and every interaction between domains (PCI transfers,
+// Ethernet hops, DVCM instructions) crosses a link whose latency is known
+// and strictly positive. That latency is exactly the conservative safe
+// horizon: while partition q's clock is at time T, nothing q does can
+// affect partition p before T + lookahead(q→p), so p may burn down its own
+// heap that far on another core without ever seeing an event out of order.
+//
+// The synchronization protocol is a synchronous LBTS (lower bound on
+// timestamp) window scheme. Each round:
+//
+//  1. In-flight inter-partition messages are merged into their destination
+//     heaps in a deterministic order — (deliver time, source partition ID,
+//     source sequence) — so simultaneous timestamps from different
+//     partitions always tie-break the same way, at any worker count.
+//  2. Every partition computes its safe horizon: the minimum over inbound
+//     channels of (source's next event time + channel lookahead).
+//  3. All partitions with work below their horizon run in parallel, each on
+//     its own heap, each collecting outbound messages in a private outbox.
+//     The partition→worker mapping is fixed (partition ID mod workers), and
+//     because partitions share no mutable state, the artifact stream of a
+//     run is byte-identical whether Workers is 1 or N.
+//
+// Messages sent while processing a window always land at or beyond every
+// destination's horizon (deliver time ≥ source time + lookahead ≥ horizon),
+// which is the conservative-correctness invariant; Connect rejects
+// non-positive lookahead because the window scheme cannot make progress
+// safely without it.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// maxHorizon is the "no bound" sentinel; far enough from MaxInt64 that
+// adding a lookahead cannot overflow.
+const maxHorizon Time = math.MaxInt64 / 4
+
+// edge is one directed channel in a topology's connectivity graph.
+type edge struct {
+	peer      int32
+	lookahead Time
+}
+
+// Topology is a set of partitions joined by lookahead channels, run under a
+// conservative parallel scheduler.
+type Topology struct {
+	// Workers caps the worker pool. 0 uses GOMAXPROCS; 1 recovers a fully
+	// sequential engine (same windows, same merges, zero goroutines), which
+	// is the reference the byte-identical-artifacts contract is pinned to.
+	Workers int
+
+	seed  int64
+	parts []*Partition
+	in    [][]edge // inbound channels per partition
+	out   [][]edge // outbound channels per partition
+
+	// Rounds counts synchronization windows executed, for
+	// efficiency-diagnostic reporting (events per round is the
+	// parallelism grain).
+	Rounds int64
+
+	scratch []xmsg // merge buffer, reused across rounds
+}
+
+// NewTopology returns an empty topology. seed decorrelates the partitions'
+// RNG streams: partition i's engine is seeded with a deterministic function
+// of (seed, i), so runs replay identically at any worker count.
+func NewTopology(seed int64) *Topology { return &Topology{seed: seed} }
+
+// AddPartition appends a partition with its own engine, RNG stream, and
+// clock.
+func (t *Topology) AddPartition(name string) *Partition {
+	id := int32(len(t.parts))
+	p := &Partition{
+		id:   id,
+		name: name,
+		topo: t,
+		// Golden-ratio stride decorrelates the per-partition RNG streams
+		// while keeping them a pure function of (seed, partition ID).
+		eng: NewEngine(t.seed + int64(uint64(id)*0x9E3779B97F4A7C15)),
+	}
+	t.parts = append(t.parts, p)
+	t.in = append(t.in, nil)
+	t.out = append(t.out, nil)
+	return p
+}
+
+// Partitions returns the partitions in ID order.
+func (t *Topology) Partitions() []*Partition { return t.parts }
+
+// Connect declares a directed channel src→dst whose messages take at least
+// lookahead to arrive. The lookahead must be strictly positive: it is the
+// conservative safe horizon, and a zero-lookahead channel would force the
+// window scheme to a zero-width window (no safe parallel progress at all),
+// so it is a configuration error, not a degraded mode.
+func (t *Topology) Connect(src, dst *Partition, lookahead Time) error {
+	if src == nil || dst == nil || src.topo != t || dst.topo != t {
+		return fmt.Errorf("sim: Connect: both partitions must belong to this topology")
+	}
+	if src == dst {
+		return fmt.Errorf("sim: Connect: self-channel on %q (schedule locally via Eng instead)", src.name)
+	}
+	if lookahead <= 0 {
+		return fmt.Errorf("sim: Connect %s→%s: lookahead %v is not positive; a conservative engine cannot make safe progress across a zero-lookahead channel", src.name, dst.name, lookahead)
+	}
+	for _, e := range t.out[src.id] {
+		if e.peer == dst.id {
+			return fmt.Errorf("sim: Connect %s→%s: channel already declared", src.name, dst.name)
+		}
+	}
+	t.out[src.id] = append(t.out[src.id], edge{peer: dst.id, lookahead: lookahead})
+	t.in[dst.id] = append(t.in[dst.id], edge{peer: src.id, lookahead: lookahead})
+	return nil
+}
+
+// Lookahead reports the declared minimum latency of the src→dst channel
+// (0, false when no channel exists).
+func (t *Topology) Lookahead(src, dst *Partition) (Time, bool) {
+	for _, e := range t.out[src.id] {
+		if e.peer == dst.id {
+			return e.lookahead, true
+		}
+	}
+	return 0, false
+}
+
+// Partition is one conservatively synchronized domain: a private engine
+// plus an outbox of timestamped messages bound for other partitions.
+type Partition struct {
+	id   int32
+	name string
+	topo *Topology
+	eng  *Engine
+
+	outbox []xmsg
+	msgSeq uint64
+
+	// per-round scheduling state, owned by the coordinator between windows
+	// and read by exactly one worker during a window
+	horizon Time
+	active  bool
+}
+
+// ID returns the partition's index in its topology.
+func (p *Partition) ID() int { return int(p.id) }
+
+// Name returns the partition's diagnostic name.
+func (p *Partition) Name() string { return p.name }
+
+// Eng returns the partition's private engine. All substrate components of
+// the partition (cards, buses, disks, links) are built on it exactly as
+// they would be on a standalone engine.
+func (p *Partition) Eng() *Engine { return p.eng }
+
+// xmsg is one timestamped inter-partition message in an outbox.
+type xmsg struct {
+	at       Time
+	src, dst int32
+	seq      uint64
+	fn       func()
+	st       *msgState
+}
+
+// msgState backs a Msg handle. It is written by the owning partition's
+// worker (cancelled) and by the single-threaded barrier merge (delivered,
+// ev); the round barrier provides the happens-before edges between the two.
+type msgState struct {
+	cancelled bool
+	delivered bool
+	ev        Event
+}
+
+// Msg is a handle to an inter-partition message, analogous to Event for
+// local schedules. The zero value is inert. A Msg may only be used by the
+// partition that sent it.
+type Msg struct{ st *msgState }
+
+// Cancel suppresses the message if it has not yet crossed the window
+// barrier. Once delivered into the destination partition the message is out
+// of the sender's jurisdiction — like a frame already handed to the wire —
+// and Cancel becomes a safe no-op: it never reaches across partitions, so
+// it can never race with the destination's worker or cancel an unrelated
+// event whose arena slot was reused. Safe on the zero value and after the
+// callback has fired.
+func (m Msg) Cancel() {
+	if m.st == nil || m.st.delivered {
+		return
+	}
+	m.st.cancelled = true
+}
+
+// Delivered reports whether the message has crossed the barrier into its
+// destination partition's heap.
+func (m Msg) Delivered() bool { return m.st != nil && m.st.delivered }
+
+// Cancelled reports whether Cancel suppressed the message before delivery.
+func (m Msg) Cancelled() bool { return m.st != nil && m.st.cancelled }
+
+// Send schedules fn in partition dst at the sender's now+delay. The
+// channel src→dst must have been declared with Connect, and delay must be
+// at least its lookahead — sending faster than the channel's modeled
+// latency would break the conservative horizon, so it panics as a modeling
+// bug (exactly like scheduling in the past on an Engine).
+func (p *Partition) Send(dst *Partition, delay Time, fn func()) Msg {
+	if dst == nil || dst.topo != p.topo {
+		panic(fmt.Sprintf("sim: partition %s: Send to a partition outside this topology", p.name))
+	}
+	var la Time
+	found := false
+	for _, e := range p.topo.out[p.id] {
+		if e.peer == dst.id {
+			la, found = e.lookahead, true
+			break
+		}
+	}
+	if !found {
+		panic(fmt.Sprintf("sim: partition %s: Send to %s without a declared channel (Connect first)", p.name, dst.name))
+	}
+	if delay < la {
+		panic(fmt.Sprintf("sim: partition %s: Send to %s with delay %v below the channel lookahead %v", p.name, dst.name, delay, la))
+	}
+	p.msgSeq++
+	st := &msgState{}
+	p.outbox = append(p.outbox, xmsg{
+		at:  p.eng.Now() + delay,
+		src: p.id,
+		dst: dst.id,
+		seq: p.msgSeq,
+		fn:  fn,
+		st:  st,
+	})
+	return Msg{st: st}
+}
+
+// deliver merges every outbox into the destination heaps. It runs
+// single-threaded between windows. Messages are injected in
+// (time, source partition ID, source sequence) order, so the destination
+// engine's tie-break sequence numbers — and therefore the relative firing
+// order of simultaneous cross-partition events — are identical at any
+// worker count.
+func (t *Topology) deliver() {
+	n := 0
+	for _, p := range t.parts {
+		n += len(p.outbox)
+	}
+	if n == 0 {
+		return
+	}
+	msgs := t.scratch[:0]
+	for _, p := range t.parts {
+		msgs = append(msgs, p.outbox...)
+		p.outbox = p.outbox[:0]
+	}
+	sort.Slice(msgs, func(i, j int) bool {
+		if msgs[i].at != msgs[j].at {
+			return msgs[i].at < msgs[j].at
+		}
+		if msgs[i].src != msgs[j].src {
+			return msgs[i].src < msgs[j].src
+		}
+		return msgs[i].seq < msgs[j].seq
+	})
+	for i := range msgs {
+		m := &msgs[i]
+		if m.st.cancelled {
+			continue
+		}
+		m.st.ev = t.parts[m.dst].eng.At(m.at, m.fn)
+		m.st.delivered = true
+	}
+	t.scratch = msgs[:0]
+}
+
+// horizons computes each partition's safe bound for the next window and
+// reports whether any partition has work below its bound. cap is the
+// exclusive upper limit on processable time (end+1 for RunUntil(end)).
+func (t *Topology) horizons(cap Time) bool {
+	// Next pending event per partition (cancelled-but-unreaped events
+	// included — they only make the bound tighter, never wrong).
+	next := make([]Time, len(t.parts))
+	for i, p := range t.parts {
+		if at, ok := p.eng.NextAt(); ok {
+			next[i] = at
+		} else {
+			next[i] = maxHorizon
+		}
+	}
+	// An idle partition is not silent forever: an in-flight causal chain can
+	// wake it (a→b→a ping-pong has one side idle every round). Relax each
+	// bound through inbound channels to the LBTS fixed point: next[i] becomes
+	// a lower bound on the time of ANY event partition i can ever execute,
+	// including ones that arrive later. Lookaheads are strictly positive, so
+	// the relaxation converges (bounds only decrease, by at least one
+	// channel's lookahead per hop, and never below the current global
+	// minimum).
+	lbts := next
+	for changed := true; changed; {
+		changed = false
+		for i := range t.parts {
+			for _, e := range t.in[i] {
+				if nh := lbts[e.peer] + e.lookahead; nh < lbts[i] {
+					lbts[i] = nh
+					changed = true
+				}
+			}
+		}
+	}
+	any := false
+	for i, p := range t.parts {
+		h := cap
+		for _, e := range t.in[i] {
+			if nh := lbts[e.peer] + e.lookahead; nh < h {
+				h = nh
+			}
+		}
+		p.horizon = h
+		if at, ok := p.eng.NextAt(); ok {
+			p.active = at < h
+		} else {
+			p.active = false
+		}
+		any = any || p.active
+	}
+	return any
+}
+
+// window runs every active partition up to (horizon-1] across the worker
+// pool with the fixed partition→worker mapping (ID mod workers).
+func (t *Topology) window(workers int) {
+	t.Rounds++
+	if workers <= 1 {
+		for _, p := range t.parts {
+			if p.active {
+				p.eng.RunUntil(p.horizon - 1)
+			}
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		busy := false
+		for i := w; i < len(t.parts); i += workers {
+			if t.parts[i].active {
+				busy = true
+				break
+			}
+		}
+		if !busy {
+			continue
+		}
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(t.parts); i += workers {
+				if p := t.parts[i]; p.active {
+					p.eng.RunUntil(p.horizon - 1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// RunUntil advances every partition to time end, firing all events with
+// time ≤ end in conservative windows, then sets every clock to end. Events
+// scheduled beyond end stay pending, exactly like Engine.RunUntil.
+func (t *Topology) RunUntil(end Time) {
+	if end < 0 {
+		panic(fmt.Sprintf("sim: Topology.RunUntil(%v) before time zero", end))
+	}
+	t.run(end)
+}
+
+// Run fires events until no partition has any pending event or undelivered
+// message. A model with self-rescheduling periodic events never drains;
+// prefer RunUntil for such workloads, as with Engine.Run.
+func (t *Topology) Run() { t.run(maxHorizon - 1) }
+
+func (t *Topology) run(end Time) {
+	workers := t.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(t.parts) {
+		workers = len(t.parts)
+	}
+	for {
+		t.deliver()
+		if !t.horizons(end + 1) {
+			break
+		}
+		t.window(workers)
+	}
+	for _, p := range t.parts {
+		if end < maxHorizon-1 {
+			p.eng.RunUntil(end) // no events remain ≤ end; aligns the clock
+		}
+	}
+}
+
+// Drain releases every partition engine's arena, heap, and free-list
+// storage (see Engine.Drain) — long sweeps drop a finished scenario's peak
+// event capacity before building the next one.
+func (t *Topology) Drain() {
+	for _, p := range t.parts {
+		p.eng.Drain()
+	}
+}

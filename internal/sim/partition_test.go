@@ -1,0 +1,307 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// buildPair returns a two-partition topology connected both ways with the
+// given lookahead.
+func buildPair(t *testing.T, la Time) (*Topology, *Partition, *Partition) {
+	t.Helper()
+	topo := NewTopology(1)
+	a := topo.AddPartition("a")
+	b := topo.AddPartition("b")
+	if err := topo.Connect(a, b, la); err != nil {
+		t.Fatal(err)
+	}
+	if err := topo.Connect(b, a, la); err != nil {
+		t.Fatal(err)
+	}
+	return topo, a, b
+}
+
+func TestTopologyPingPong(t *testing.T) {
+	topo, a, b := buildPair(t, 10*Microsecond)
+	var log []string
+	hops := 0
+	var ping func(from, to *Partition)
+	ping = func(from, to *Partition) {
+		from.Send(to, 10*Microsecond, func() {
+			hops++
+			log = append(log, fmt.Sprintf("%s@%v", to.Name(), to.Eng().Now()))
+			if hops < 6 {
+				ping(to, from)
+			}
+		})
+	}
+	ping(a, b)
+	topo.Run()
+	want := []string{"b@10.000µs", "a@20.000µs", "b@30.000µs", "a@40.000µs", "b@50.000µs", "a@60.000µs"}
+	if got := strings.Join(log, " "); got != strings.Join(want, " ") {
+		t.Fatalf("ping-pong log = %s", got)
+	}
+}
+
+func TestConnectRejectsZeroLookahead(t *testing.T) {
+	topo := NewTopology(1)
+	a := topo.AddPartition("a")
+	b := topo.AddPartition("b")
+	if err := topo.Connect(a, b, 0); err == nil {
+		t.Fatal("Connect with zero lookahead must error")
+	}
+	if err := topo.Connect(a, b, -Microsecond); err == nil {
+		t.Fatal("Connect with negative lookahead must error")
+	}
+	if err := topo.Connect(a, a, Microsecond); err == nil {
+		t.Fatal("self-channel must error")
+	}
+	if err := topo.Connect(a, b, Microsecond); err != nil {
+		t.Fatal(err)
+	}
+	if err := topo.Connect(a, b, Microsecond); err == nil {
+		t.Fatal("duplicate channel must error")
+	}
+}
+
+func TestSendValidation(t *testing.T) {
+	topo, a, b := buildPair(t, 10*Microsecond)
+	_ = topo
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("below lookahead", func() { a.Send(b, 9*Microsecond, func() {}) })
+	c := NewTopology(2).AddPartition("c")
+	mustPanic("foreign partition", func() { a.Send(c, 10*Microsecond, func() {}) })
+	topo2 := NewTopology(3)
+	d := topo2.AddPartition("d")
+	e := topo2.AddPartition("e")
+	mustPanic("no channel", func() { d.Send(e, Second, func() {}) })
+}
+
+// Simultaneous cross-partition timestamps tie-break by source partition ID,
+// then by per-source send sequence — regardless of the order the sends
+// happen to execute in.
+func TestCrossPartitionTieBreak(t *testing.T) {
+	topo := NewTopology(1)
+	dst := topo.AddPartition("dst") // ID 0
+	p1 := topo.AddPartition("p1")   // ID 1
+	p2 := topo.AddPartition("p2")   // ID 2
+	for _, src := range []*Partition{p1, p2} {
+		if err := topo.Connect(src, dst, Millisecond); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var order []string
+	note := func(s string) func() { return func() { order = append(order, s) } }
+	// Sends issued in reverse partition order, with identical deliver time:
+	// delivery must still run p1 before p2, and each source's messages in
+	// send order.
+	p2.Send(dst, Millisecond, note("p2#1"))
+	p2.Send(dst, Millisecond, note("p2#2"))
+	p1.Send(dst, Millisecond, note("p1#1"))
+	p1.Send(dst, Millisecond, note("p1#2"))
+	topo.Run()
+	want := "p1#1 p1#2 p2#1 p2#2"
+	if got := strings.Join(order, " "); got != want {
+		t.Fatalf("tie-break order = %q, want %q", got, want)
+	}
+}
+
+// Cancel before the barrier suppresses the message; Cancel after delivery
+// is a safe no-op that neither fires twice nor reaches into the far
+// partition's arena.
+func TestMsgCancel(t *testing.T) {
+	topo, a, b := buildPair(t, 10*Microsecond)
+	fired := 0
+	var zero Msg
+	zero.Cancel() // zero value: inert
+	if zero.Delivered() || zero.Cancelled() {
+		t.Fatal("zero Msg must report nothing")
+	}
+
+	// Suppressed before the first window barrier.
+	m1 := a.Send(b, 10*Microsecond, func() { fired++ })
+	m1.Cancel()
+	if !m1.Cancelled() {
+		t.Fatal("m1 should report cancelled")
+	}
+
+	// Delivered, then cancelled from the sending side: the message has left
+	// the sender's jurisdiction, so the callback still fires and the late
+	// Cancel is a no-op (it must NOT cancel an unrelated event that reused
+	// the same arena slot either — generation counters cover that).
+	var m2 Msg
+	m2 = a.Send(b, 10*Microsecond, func() { fired++ })
+	a.Eng().At(0, func() {}) // give partition a some local work too
+	topo.Run()
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1 (m1 cancelled, m2 delivered)", fired)
+	}
+	if !m2.Delivered() {
+		t.Fatal("m2 should report delivered")
+	}
+	m2.Cancel() // after delivery and firing: safe no-op
+	if m2.Cancelled() {
+		t.Fatal("late Cancel must not mark a delivered message cancelled")
+	}
+
+	// Cancel between delivery and firing: also a no-op — conservative
+	// semantics hand the message to the destination at the barrier.
+	m3 := a.Send(b, 10*Microsecond, func() { fired++ })
+	b.Eng().After(0, func() { m3.Cancel() }) // fires after delivery, before the message fires
+	topo.Run()
+	if fired != 2 {
+		t.Fatalf("fired = %d, want 2 (delivered message is beyond recall)", fired)
+	}
+}
+
+// partitionModel is an RNG-free workload used to pin the partitioned engine
+// against a literal single shared Engine: per-domain periodic ticks plus
+// periodic cross-domain messages, all appending to per-domain logs.
+type partitionModel struct {
+	logs [][]string
+}
+
+// buildDomain wires domain i of n on engine eng. send schedules fn in
+// domain dst after delay (cross-domain channel). Tick times are ≡1 mod 1000
+// and message arrivals ≡0 mod 1000, so a tick and an arrival never collide
+// at the same nanosecond — the one situation where monolithic and
+// partitioned engines may legally order a domain's log differently.
+func (m *partitionModel) buildDomain(eng *Engine, i, n int, until Time, send func(dst int, delay Time, fn func())) {
+	tick := 7*Microsecond + 1
+	var ticks, inbox int
+	var loop func()
+	loop = func() {
+		ticks++
+		m.logs[i] = append(m.logs[i], fmt.Sprintf("d%d tick %d @%d", i, ticks, eng.Now()))
+		if ticks%7 == 0 {
+			dst := (i + 1) % n
+			at := eng.Now()
+			send(dst, 100*Microsecond-1, func() {
+				m.logs[dst] = append(m.logs[dst], fmt.Sprintf("d%d recv from d%d sent@%d", dst, i, at))
+			})
+		}
+		if eng.Now()+tick <= until {
+			eng.After(tick, loop)
+		}
+	}
+	eng.At(1, loop)
+	_ = inbox
+}
+
+func runMonolith(n int, until Time) [][]string {
+	m := &partitionModel{logs: make([][]string, n)}
+	eng := NewEngine(1)
+	for i := 0; i < n; i++ {
+		i := i
+		m.buildDomain(eng, i, n, until, func(dst int, delay Time, fn func()) {
+			eng.After(delay, fn)
+		})
+	}
+	eng.RunUntil(until)
+	return m.logs
+}
+
+func runPartitioned(n int, until Time, workers int) [][]string {
+	m := &partitionModel{logs: make([][]string, n)}
+	topo := NewTopology(1)
+	parts := make([]*Partition, n)
+	for i := range parts {
+		parts[i] = topo.AddPartition(fmt.Sprintf("d%d", i))
+	}
+	for i := range parts {
+		if err := topo.Connect(parts[i], parts[(i+1)%n], 100*Microsecond-1); err != nil {
+			panic(err)
+		}
+	}
+	topo.Workers = workers
+	for i := 0; i < n; i++ {
+		i := i
+		m.buildDomain(parts[i].Eng(), i, n, until, func(dst int, delay Time, fn func()) {
+			parts[i].Send(parts[dst], delay, fn)
+		})
+	}
+	topo.RunUntil(until)
+	return m.logs
+}
+
+// The partitioned engine must replay the sequential engine exactly: same
+// per-domain logs against a single shared Engine, and byte-identical at any
+// worker count.
+func TestPartitionedMatchesMonolith(t *testing.T) {
+	const n = 5
+	const until = 5 * Millisecond
+	mono := runMonolith(n, until)
+	for _, workers := range []int{1, 2, 4, 8} {
+		got := runPartitioned(n, until, workers)
+		for i := range mono {
+			a, b := strings.Join(mono[i], "\n"), strings.Join(got[i], "\n")
+			if a != b {
+				t.Fatalf("workers=%d domain %d diverged from monolith:\nmono:\n%s\npart:\n%s", workers, i, a, b)
+			}
+		}
+	}
+}
+
+// RunUntil must leave events beyond the bound pending and align every
+// partition clock to the bound.
+func TestTopologyRunUntil(t *testing.T) {
+	topo, a, b := buildPair(t, Millisecond)
+	fired := false
+	a.Send(b, 10*Millisecond, func() { fired = true })
+	a.Eng().At(2*Millisecond, func() {})
+	topo.RunUntil(5 * Millisecond)
+	if fired {
+		t.Fatal("event beyond the bound fired")
+	}
+	if a.Eng().Now() != 5*Millisecond || b.Eng().Now() != 5*Millisecond {
+		t.Fatalf("clocks = %v, %v, want both 5ms", a.Eng().Now(), b.Eng().Now())
+	}
+	topo.RunUntil(20 * Millisecond)
+	if !fired {
+		t.Fatal("pending message did not fire on the next RunUntil")
+	}
+}
+
+// Partitions with no channels run to completion independently — the
+// degenerate topology recovers the experiment harness's independent-run
+// fan-out.
+func TestTopologyIndependentPartitions(t *testing.T) {
+	topo := NewTopology(1)
+	counts := make([]int, 8)
+	for i := 0; i < 8; i++ {
+		p := topo.AddPartition(fmt.Sprintf("solo%d", i))
+		i := i
+		for j := 0; j < 100; j++ {
+			p.Eng().At(Time(j)*Microsecond, func() { counts[i]++ })
+		}
+	}
+	topo.Workers = 4
+	topo.Run()
+	for i, c := range counts {
+		if c != 100 {
+			t.Fatalf("partition %d fired %d of 100", i, c)
+		}
+	}
+}
+
+func TestTopologyLookahead(t *testing.T) {
+	topo, a, b := buildPair(t, 42*Microsecond)
+	if la, ok := topo.Lookahead(a, b); !ok || la != 42*Microsecond {
+		t.Fatalf("Lookahead(a,b) = %v, %v", la, ok)
+	}
+	topo2 := NewTopology(1)
+	c := topo2.AddPartition("c")
+	d := topo2.AddPartition("d")
+	if _, ok := topo2.Lookahead(c, d); ok {
+		t.Fatal("Lookahead on unconnected pair must report false")
+	}
+}

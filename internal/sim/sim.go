@@ -70,18 +70,19 @@ type eventSlot struct {
 // and Scheduled on it are safe no-ops, so callers can keep one Event field
 // and never nil-check it.
 type Event struct {
-	eng *Engine
-	idx int32
-	gen uint32
+	eng   *Engine
+	idx   int32
+	gen   uint32
+	epoch uint32
 }
 
 // Cancel prevents the event from firing. Safe to call more than once, after
 // the event has fired, and on the zero value; a handle whose arena slot has
-// been recycled for a newer event is recognised by its stale generation and
-// left untouched.
+// been recycled for a newer event is recognised by its stale generation (or
+// a stale Drain epoch) and left untouched.
 func (ev Event) Cancel() {
-	if ev.eng == nil {
-		return
+	if ev.eng == nil || ev.epoch != ev.eng.epoch || int(ev.idx) >= len(ev.eng.slots) {
+		return // zero value, or the arena was drained since this handle was minted
 	}
 	s := &ev.eng.slots[ev.idx]
 	if s.gen != ev.gen {
@@ -93,7 +94,7 @@ func (ev Event) Cancel() {
 // Scheduled reports whether the event is still pending (not yet fired and
 // not cancelled). The zero value reports false.
 func (ev Event) Scheduled() bool {
-	if ev.eng == nil {
+	if ev.eng == nil || ev.epoch != ev.eng.epoch || int(ev.idx) >= len(ev.eng.slots) {
 		return false
 	}
 	s := &ev.eng.slots[ev.idx]
@@ -104,6 +105,7 @@ func (ev Event) Scheduled() bool {
 type Engine struct {
 	now   Time
 	seq   uint64
+	epoch uint32 // bumped by Drain so pre-Drain handles stay inert
 	rng   *rand.Rand
 	slots []eventSlot // event arena
 	free  []int32     // recycled arena slots
@@ -144,7 +146,7 @@ func (e *Engine) At(t Time, fn func()) Event {
 	s.fn = fn
 	e.heap = append(e.heap, idx)
 	e.siftUp(len(e.heap) - 1)
-	return Event{eng: e, idx: idx, gen: s.gen}
+	return Event{eng: e, idx: idx, gen: s.gen, epoch: e.epoch}
 }
 
 // After schedules fn d nanoseconds from now. Negative d panics.
@@ -279,6 +281,26 @@ func (e *Engine) NextAt() (Time, bool) {
 // Pending reports how many events (including cancelled ones not yet
 // reaped) are queued. Intended for tests.
 func (e *Engine) Pending() int { return len(e.heap) }
+
+// Drain discards every pending event and releases the arena, heap, and
+// free-list storage. A long sweep that reuses one engine (or parks a
+// finished scenario while building the next) would otherwise hold its peak
+// arena capacity for the whole run; Drain returns that memory to the
+// allocator. The clock, sequence counter, and RNG are untouched, so a
+// drained engine schedules and replays exactly as before. Handles minted
+// before the Drain become permanently inert — they can never cancel an
+// event scheduled afterwards, even one reusing the same arena slot.
+func (e *Engine) Drain() {
+	e.epoch++
+	e.slots = nil
+	e.free = nil
+	e.heap = nil
+}
+
+// ArenaCap reports the event arena's current capacity in slots — the
+// high-water mark of simultaneously pending events since the last Drain.
+// Diagnostic, used by capacity-regression tests.
+func (e *Engine) ArenaCap() int { return cap(e.slots) }
 
 // Resource is a single server with a FIFO queue — the building block for
 // bus arbitration, disk heads, and CPU cores. A holder acquires it, keeps it

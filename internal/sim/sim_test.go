@@ -373,3 +373,83 @@ func TestHeapOrderProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// Drain must release the peak arena capacity a burst left behind, keep the
+// clock/seq/RNG intact, and leave pre-Drain handles permanently inert —
+// even when the new arena reuses the same slot indices at the same
+// generation.
+func TestDrainReleasesArenaHighWater(t *testing.T) {
+	e := NewEngine(7)
+	fired := 0
+	var handles []Event
+	for i := 0; i < 100000; i++ {
+		handles = append(handles, e.At(Time(i), func() { fired++ }))
+	}
+	e.RunUntil(49999)
+	if fired != 50000 {
+		t.Fatalf("fired %d of the first 50000", fired)
+	}
+	if hw := e.ArenaCap(); hw < 50000 {
+		t.Fatalf("arena high-water %d, want ≥ 50000 before Drain", hw)
+	}
+	r1 := e.Rand().Int63()
+	e.Drain()
+	if hw := e.ArenaCap(); hw != 0 {
+		t.Fatalf("arena capacity %d after Drain, want 0", hw)
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("%d events pending after Drain", e.Pending())
+	}
+	if e.Now() != 49999 {
+		t.Fatalf("Drain moved the clock to %v", e.Now())
+	}
+	if r2 := e.Rand().Int63(); r2 == r1 {
+		t.Fatal("RNG did not advance — stream reset by Drain?")
+	}
+
+	// Regrow: a steady-state chain must stay tiny, not re-inflate.
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < 1000 {
+			e.After(Microsecond, tick)
+		}
+	}
+	e.After(Microsecond, tick)
+	// Stale handles must not cancel post-Drain events, even though slot 0
+	// is reused at generation 0 again.
+	for _, h := range handles {
+		if h.Scheduled() {
+			t.Fatal("pre-Drain handle claims to be scheduled")
+		}
+		h.Cancel()
+	}
+	e.Run()
+	if n != 1000 {
+		t.Fatalf("post-Drain chain ticked %d of 1000 — stale handle cancelled a live event", n)
+	}
+	if hw := e.ArenaCap(); hw > 64 {
+		t.Fatalf("arena regrew to %d slots for a steady-state chain", hw)
+	}
+}
+
+// A sweep that Drains between scenarios must not accumulate arena capacity
+// across iterations: the high-water of each scenario is released, not
+// summed.
+func TestDrainBetweenScenarios(t *testing.T) {
+	e := NewEngine(11)
+	for round := 0; round < 5; round++ {
+		for i := 0; i < 10000; i++ {
+			e.After(Time(i), func() {})
+		}
+		e.Run()
+		if hw := e.ArenaCap(); hw < 10000 {
+			t.Fatalf("round %d: high-water %d, want ≥ 10000", round, hw)
+		}
+		e.Drain()
+	}
+	if hw := e.ArenaCap(); hw != 0 {
+		t.Fatalf("capacity %d retained after final Drain", hw)
+	}
+}
