@@ -12,13 +12,17 @@
 # The stage baseline is the exact stages.txt of the deterministic 5 s
 # telemetry run — simulated time, so any drift is a real behavior change,
 # not noise. The overload baseline is likewise the exact ladder.txt of the
-# deterministic 10 s overload sweep.
+# deterministic 10 s overload sweep, and the chaos baseline the exact
+# summary/recovery/violations output of the deterministic 6 s fleet-chaos
+# run — a drift there means the fault plan, a migration decision, or the
+# loss-window accounting changed.
 set -e
 cd "$(dirname "$0")"
 
 BASELINE=BENCH_BASELINE.json
 STAGE_BASELINE=STAGE_BASELINE.txt
 OVERLOAD_BASELINE=OVERLOAD_BASELINE.txt
+CHAOS_BASELINE=CHAOS_BASELINE.txt
 BENCHES='BenchmarkEngine|BenchmarkSimulationThroughput|BenchmarkMissScan|BenchmarkParallelEngine'
 
 run_benches() {
@@ -39,11 +43,17 @@ run_overload() {
 	rm -rf "$tmp"
 }
 
+run_chaos() {
+	go run ./cmd/clustersim -fleet-chaos -dur 6 -workers 1 2>/dev/null
+}
+
 if [ "$1" = "-update" ]; then
 	run_stages > "$STAGE_BASELINE"
 	echo "wrote $STAGE_BASELINE"
 	run_overload > "$OVERLOAD_BASELINE"
 	echo "wrote $OVERLOAD_BASELINE"
+	run_chaos > "$CHAOS_BASELINE"
+	echo "wrote $CHAOS_BASELINE"
 	run_benches | awk '
 	/^Benchmark/ {
 		name = $1; sub(/-[0-9]+$/, "", name)
@@ -85,6 +95,19 @@ if [ -f "$OVERLOAD_BASELINE" ]; then
 	fi
 else
 	echo "no $OVERLOAD_BASELINE — run ./bench_compare.sh -update first" >&2
+fi
+
+# Fleet-chaos recovery tables: simulated time and a seeded fault plan, so
+# they must match exactly too.
+if [ -f "$CHAOS_BASELINE" ]; then
+	if run_chaos | diff -u "$CHAOS_BASELINE" -; then
+		echo "fleet-chaos tables: unchanged"
+	else
+		echo "fleet-chaos tables drifted from $CHAOS_BASELINE (rerun with -update if intended)" >&2
+		exit 1
+	fi
+else
+	echo "no $CHAOS_BASELINE — run ./bench_compare.sh -update first" >&2
 fi
 
 run_benches | awk -v baseline="$BASELINE" '

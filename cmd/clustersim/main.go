@@ -23,6 +23,13 @@
 //	                                           # on the parallel engine;
 //	                                           # artifacts are byte-identical
 //	                                           # at any -workers count
+//	clustersim -fleet-chaos                    # correlated failure domains on
+//	                                           # the fleet: host crashes, switch
+//	                                           # partitions, rolling drains, and
+//	                                           # live stream migration; same
+//	                                           # byte-identical contract
+//	clustersim -fleet-chaos -chaos-sweep       # severity × fleet-size recovery
+//	                                           # table
 package main
 
 import (
@@ -70,9 +77,24 @@ func main() {
 	fleetStreams := flag.Int("fleet-streams", 2, "streams sourced per card (with -fleet)")
 	workers := flag.Int("workers", 0, "parallel-engine worker pool; 0 = GOMAXPROCS, 1 = sequential")
 	fleetOut := flag.String("fleet-out", "", "directory for -fleet artifacts (empty = stdout only)")
+	fleetChaos := flag.Bool("fleet-chaos", false, "inject correlated failure domains into the fleet and migrate streams live")
+	hostCrashes := flag.Int("host-crashes", 0, "host-crash faults to draw (with -fleet-chaos); 0 = default, negative = none")
+	netPartitions := flag.Int("net-partitions", 0, "switch-partition faults to draw (with -fleet-chaos); 0 = default, negative = none")
+	rollingDrains := flag.Int("rolling-drains", 0, "rolling-drain faults to draw (with -fleet-chaos); 0 = default, negative = none")
+	faultSeed := flag.Int64("fault-seed", 0, "chaos plan seed (with -fleet-chaos); 0 = derived from the fleet seed")
+	chaosSweep := flag.Bool("chaos-sweep", false, "render the severity × fleet-size recovery table (with -fleet-chaos)")
 	flag.Parse()
 	experiments.DefaultWorkers = *workers
 
+	if *fleetChaos {
+		runFleetChaos(experiments.FleetChaosConfig{
+			Cards: *cards, StreamsPerCard: *fleetStreams,
+			Dur: sim.Time(*durSec) * sim.Second, Workers: *workers,
+			HostCrashes: *hostCrashes, NetPartitions: *netPartitions,
+			RollingDrains: *rollingDrains, FaultSeed: *faultSeed,
+		}, *chaosSweep, *fleetOut)
+		return
+	}
 	if *fleet {
 		runFleet(*cards, *fleetStreams, *durSec, *workers, *fleetOut)
 		return
@@ -314,6 +336,49 @@ func runFleet(cards, streamsPerCard, durSec, workers int, outDir string) {
 		}
 	}
 	fmt.Fprintf(os.Stderr, "fleet artifacts written to %s\n", outDir)
+}
+
+// runFleetChaos injects a correlated chaos plan — host crashes, switch
+// partitions, rolling drains — into the partitioned fleet and lets the
+// controller migrate streams live. Everything printed to stdout and written
+// under -fleet-out is byte-identical at any -workers count (and to a
+// monolithic run); engine diagnostics go to stderr so CI can diff stdout.
+func runFleetChaos(cfg experiments.FleetChaosConfig, sweep bool, outDir string) {
+	if sweep {
+		fmt.Print(experiments.FleetChaosSweep(cfg.Workers))
+		return
+	}
+	a := experiments.RunFleetChaos(cfg)
+	fmt.Println(a.Plan)
+	fmt.Println(a.Summary)
+	fmt.Print(a.Table)
+	fmt.Print(a.Recovery)
+	fmt.Print(a.Violations)
+	fmt.Fprintf(os.Stderr, "fleet-chaos: %d synchronization rounds (workers=%d)\n",
+		a.Rounds, cfg.Workers)
+	if outDir == "" {
+		return
+	}
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, "clustersim:", err)
+		os.Exit(1)
+	}
+	for name, body := range map[string]string{
+		"plan.txt":       a.Plan + "\n",
+		"summary.txt":    a.Summary + "\n",
+		"table.txt":      a.Table,
+		"pulse.txt":      a.Pulse,
+		"migrations.txt": a.MigLog,
+		"recovery.txt":   a.Recovery,
+		"violations.txt": a.Violations,
+		"streams.csv":    a.CSV,
+	} {
+		if err := os.WriteFile(filepath.Join(outDir, name), []byte(body), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "clustersim:", err)
+			os.Exit(1)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "fleet-chaos artifacts written to %s\n", outDir)
 }
 
 // writeTelemetry dumps the registry's artifacts for an instrumented run.

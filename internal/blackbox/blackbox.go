@@ -54,6 +54,12 @@ const (
 	KindRefusal
 	// KindSLO is an SLO health-state transition (A = from, B = to).
 	KindSLO
+	// KindMigrate is a live-migration export or import crossing this card
+	// (A/B = window position at the hop, Seq = frame cursor).
+	KindMigrate
+	// KindDomainFault is a correlated failure-domain event touching this
+	// card (host crash, network partition, rolling drain).
+	KindDomainFault
 )
 
 // String names the kind in dumps; fixed-width-ish short names keep the
@@ -78,6 +84,10 @@ func (k Kind) String() string {
 		return "refusal"
 	case KindSLO:
 		return "slo"
+	case KindMigrate:
+		return "migrate"
+	case KindDomainFault:
+		return "domain-fault"
 	}
 	return fmt.Sprintf("kind(%d)", int(k))
 }

@@ -80,10 +80,19 @@ type SchedulerNI struct {
 	streams  int
 	specs    map[int]qos.Stream // admitted streams, for feasibility analysis
 	failed   bool
+	draining bool
 }
 
 // Failed reports whether the card has been failed out of service.
 func (s *SchedulerNI) Failed() bool { return s.failed }
+
+// Draining reports whether the card is under planned maintenance: it keeps
+// serving its current streams (and answering heartbeats) but accepts no new
+// placements. Drain is not death — the monitor must not fail it over.
+func (s *SchedulerNI) Draining() bool { return s.draining }
+
+// SetDraining marks the card in or out of planned maintenance.
+func (s *SchedulerNI) SetDraining(v bool) { s.draining = v }
 
 // Streams returns how many streams are placed on this card.
 func (s *SchedulerNI) Streams() int { return s.streams }
@@ -140,6 +149,10 @@ type Cluster struct {
 	Switch *netsim.Switch
 	Nodes  []*Node
 
+	// Domains is the failure-domain topology: every scheduler card is
+	// mapped to its node's host domain, hosts to the SAN switch domain.
+	Domains *Domains
+
 	nextID   int
 	Placed   int
 	Rejected int
@@ -151,6 +164,7 @@ type Cluster struct {
 	Tel *telemetry.Registry
 
 	placements map[int]*Placement // live admitted streams by ID
+	migrating  map[int]bool       // streams mid-migration (double-migrate guard)
 }
 
 // Instrument attaches a telemetry registry to the whole cluster: admission
@@ -215,6 +229,7 @@ func New(eng *sim.Engine, cfgs []NodeConfig) *Cluster {
 	c := &Cluster{
 		Eng:        eng,
 		Switch:     netsim.NewSwitch(eng, "san", 90*sim.Microsecond),
+		Domains:    NewDomains(),
 		placements: make(map[int]*Placement),
 	}
 	for _, cfg := range cfgs {
@@ -258,6 +273,10 @@ func (c *Cluster) buildNode(cfg NodeConfig) *Node {
 		sni.Endpoint.Silent = card.Crashed
 		n.Schedulers = append(n.Schedulers, sni)
 		n.segOf[card] = seg
+		// One node = one host domain, all hosts behind the single SAN
+		// switch. Multi-switch fleets remap via c.Domains directly.
+		c.Domains.SetHost(card.Name, cfg.Name)
+		c.Domains.SetSwitch(cfg.Name, "san")
 	}
 	for i := 0; i < cfg.ProducerNIs; i++ {
 		seg := n.Segments[i%len(n.Segments)]
@@ -303,6 +322,20 @@ func (c *Cluster) Admit(req StreamRequest) (*Placement, error) {
 // card the stream is being moved off), and client, when non-empty, keeps an
 // existing client address instead of minting a new one.
 func (c *Cluster) admit(req StreamRequest, exclude *SchedulerNI, client string) (*Placement, error) {
+	var avoid func(*SchedulerNI) bool
+	if exclude != nil {
+		avoid = func(s *SchedulerNI) bool { return s == exclude }
+	}
+	return c.place(req, 0, client, nil, avoid)
+}
+
+// place is the placement engine under Admit, Readmit, and Migrate. id, when
+// non-zero, preserves an existing stream ID (a migrating stream keeps its
+// identity) instead of minting one. img, when non-nil, is a migration image:
+// the target imports the stream mid-window via ImportStream rather than
+// registering it cold. avoid, when non-nil, vetoes candidate cards beyond
+// the standing failed/draining exclusions — the domain-aware failover filter.
+func (c *Cluster) place(req StreamRequest, id int, client string, img *dwcs.StreamSnapshot, avoid func(*SchedulerNI) bool) (*Placement, error) {
 	if err := req.validate(); err != nil {
 		return nil, err
 	}
@@ -316,7 +349,10 @@ func (c *Cluster) admit(req StreamRequest, exclude *SchedulerNI, client string) 
 	var bestNode *Node
 	for _, n := range c.Nodes {
 		for _, s := range n.Schedulers {
-			if s.Card.Link == nil || s.failed || s == exclude {
+			if s.Card.Link == nil || s.failed || s.draining {
+				continue
+			}
+			if avoid != nil && avoid(s) {
 				continue
 			}
 			linkNeed := frameRate * s.Card.Link.WireTime(req.FrameBytes).Seconds()
@@ -369,8 +405,10 @@ func (c *Cluster) admit(req StreamRequest, exclude *SchedulerNI, client string) 
 		return nil, fmt.Errorf("%w: %s: no producer NI available", ErrAdmission, req.Name)
 	}
 
-	c.nextID++
-	id := c.nextID
+	if id == 0 {
+		c.nextID++
+		id = c.nextID
+	}
 	spec := dwcs.StreamSpec{
 		ID:           id,
 		Name:         req.Name,
@@ -380,7 +418,17 @@ func (c *Cluster) admit(req StreamRequest, exclude *SchedulerNI, client string) 
 		BufCap:       bufCap,
 		NominalBytes: req.FrameBytes,
 	}
-	if err := best.Ext.AddStream(spec); err != nil {
+	if img != nil {
+		// Migration: restore the stream's window position and frame cursor
+		// on the target instead of registering it cold. The image's spec is
+		// re-stamped so the preserved ID and request shape win over whatever
+		// the (possibly stale) checkpoint carried.
+		restored := *img
+		restored.Spec = spec
+		if err := best.Ext.ImportStream(restored); err != nil {
+			return nil, err
+		}
+	} else if err := best.Ext.AddStream(spec); err != nil {
 		return nil, err
 	}
 	linkNeed := frameRate * best.Card.Link.WireTime(req.FrameBytes).Seconds()

@@ -1,0 +1,102 @@
+// Failure domains: the card → host → switch containment hierarchy the
+// correlated fault kinds strike along. A host crash takes every card on its
+// PCI bus; a switch partition isolates every host behind it. Placement and
+// failover consult this topology so a stream is never re-placed into the
+// blast radius it is escaping.
+package cluster
+
+import "sort"
+
+// Domains maps cards to hosts and hosts to switches. The zero value is
+// usable; unmapped cards belong to the empty host/switch, which compares
+// equal only to other unmapped cards.
+type Domains struct {
+	hostOf   map[string]string // card name → host domain
+	switchOf map[string]string // host domain → switch domain
+}
+
+// NewDomains returns an empty topology.
+func NewDomains() *Domains {
+	return &Domains{hostOf: map[string]string{}, switchOf: map[string]string{}}
+}
+
+// SetHost places a card in a host domain.
+func (d *Domains) SetHost(card, host string) {
+	if d.hostOf == nil {
+		d.hostOf = map[string]string{}
+	}
+	d.hostOf[card] = host
+}
+
+// SetSwitch places a host domain behind a switch domain.
+func (d *Domains) SetSwitch(host, sw string) {
+	if d.switchOf == nil {
+		d.switchOf = map[string]string{}
+	}
+	d.switchOf[host] = sw
+}
+
+// Host returns the card's host domain ("" if unmapped).
+func (d *Domains) Host(card string) string {
+	if d == nil {
+		return ""
+	}
+	return d.hostOf[card]
+}
+
+// Switch returns the card's switch domain ("" if unmapped).
+func (d *Domains) Switch(card string) string {
+	if d == nil {
+		return ""
+	}
+	return d.switchOf[d.hostOf[card]]
+}
+
+// CardsOnHost lists the cards in a host domain, sorted for determinism.
+func (d *Domains) CardsOnHost(host string) []string {
+	if d == nil || host == "" {
+		return nil
+	}
+	var out []string
+	for card, h := range d.hostOf {
+		if h == host {
+			out = append(out, card)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// HostsOnSwitch lists the host domains behind a switch, sorted.
+func (d *Domains) HostsOnSwitch(sw string) []string {
+	if d == nil || sw == "" {
+		return nil
+	}
+	var out []string
+	for host, s := range d.switchOf {
+		if s == sw {
+			out = append(out, host)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SameHost reports whether two cards share a host domain (false when either
+// is unmapped — unknown topology must never veto a placement).
+func (d *Domains) SameHost(a, b string) bool {
+	if d == nil {
+		return false
+	}
+	ha, hb := d.hostOf[a], d.hostOf[b]
+	return ha != "" && ha == hb
+}
+
+// SameSwitch reports whether two cards share a switch domain.
+func (d *Domains) SameSwitch(a, b string) bool {
+	if d == nil {
+		return false
+	}
+	sa, sb := d.Switch(a), d.Switch(b)
+	return sa != "" && sa == sb
+}

@@ -141,6 +141,11 @@ type fleet struct {
 	streams []*fleetStream
 	route   map[string]int // client addr → home card index
 	pulses  []string
+
+	// drop, when set, vetoes a fleet-network hop from the source card to the
+	// home card — the chaos layer's network-partition severance. It runs in
+	// the source card's partition at transmit time.
+	drop func(from, home int) bool
 }
 
 // forward carries one media frame across the fleet network: NetLatency of
@@ -151,6 +156,9 @@ func (f *fleet) forward(from int, p *netsim.Packet) {
 	home, ok := f.route[p.Dst]
 	if !ok {
 		return // not a media destination; drop on the fleet floor
+	}
+	if f.drop != nil && f.drop(from, home) {
+		return // severed by an active network partition
 	}
 	dst := f.cards[home]
 	deliver := func() { dst.rx[p.Dst].Send(p, nil) }

@@ -1,0 +1,1055 @@
+// Fleet chaos: correlated failure domains and live stream migration on the
+// partitioned fleet. Cards are grouped into hosts (a host crash takes every
+// card on its PCI bus) and hosts into switch domains (a switch failure
+// partitions the fleet network); a seeded faults.Plan injects HostCrash,
+// NetPartition, and RollingDrain events, and the DVCM controller partition
+// reacts the way the cluster control plane does — cold migration from the
+// last heartbeat checkpoint when a domain dies, live migration (DWCS window
+// + frame cursor + queued-frame replay, stream ID preserved) for drains and
+// partition avoidance, and a return-home rebalance pass once the domain
+// recovers.
+//
+// Everything is deterministic: the chaos schedule is a pure function of the
+// fault seed, the controller reacts at fixed detection delays, migrations
+// are serialized through one controller work queue, and all cross-partition
+// interaction rides the same fixed-latency hops the baseline fleet uses —
+// so every artifact is byte-identical across Monolithic, Workers=1, and
+// Workers=N runs of the same configuration.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/blackbox"
+	"repro/internal/dwcs"
+	"repro/internal/faults"
+	"repro/internal/fixed"
+	"repro/internal/mpeg"
+	"repro/internal/netsim"
+	"repro/internal/nic"
+	"repro/internal/sim"
+)
+
+// FleetChaosConfig parameterizes RunFleetChaos.
+type FleetChaosConfig struct {
+	Cards          int      // card complexes; 0 = 8
+	StreamsPerCard int      // media streams sourced by each card; 0 = 2
+	Dur            sim.Time // simulated run length; 0 = 6 s
+	Workers        int      // topology worker cap; 0 = GOMAXPROCS, 1 = sequential
+	NetLatency     sim.Time // distribution-network hop latency; 0 = 5 ms
+	PollEvery      sim.Time // controller poll/checkpoint period; 0 = 250 ms
+	Seed           int64    // topology seed; 0 = 1960
+	Monolithic     bool     // single shared engine (the sequential reference)
+
+	// Failure-domain shape: cards per host bus, hosts per switch domain.
+	CardsPerHost   int // 0 = 2
+	HostsPerSwitch int // 0 = 2
+
+	// Chaos plan: how many correlated faults of each kind to draw. The
+	// zero value of all three means the default single event of each kind;
+	// set Severity below -1 to force an empty plan.
+	HostCrashes   int
+	NetPartitions int
+	RollingDrains int
+	FaultSeed     int64 // 0 = Seed+77
+
+	// DetectDelay is how long after a fault strikes (or clears) the
+	// controller reacts — the missed-heartbeat detection lag. 0 = 2 polls.
+	DetectDelay sim.Time
+	// SettleMargin pads the outage window when classifying loss-window
+	// violations: violations inside [At, At+Duration+DetectDelay+margin]
+	// count as "during" the outage. 0 = 500 ms.
+	SettleMargin sim.Time
+}
+
+func (cfg *FleetChaosConfig) setDefaults() {
+	if cfg.Cards <= 0 {
+		cfg.Cards = 8
+	}
+	if cfg.StreamsPerCard <= 0 {
+		cfg.StreamsPerCard = 2
+	}
+	if cfg.Dur <= 0 {
+		cfg.Dur = 6 * sim.Second
+	}
+	if cfg.NetLatency <= 0 {
+		cfg.NetLatency = 5 * sim.Millisecond
+	}
+	if cfg.PollEvery <= 0 {
+		cfg.PollEvery = 250 * sim.Millisecond
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1960
+	}
+	if cfg.CardsPerHost <= 0 {
+		cfg.CardsPerHost = 2
+	}
+	if cfg.HostsPerSwitch <= 0 {
+		cfg.HostsPerSwitch = 2
+	}
+	if cfg.HostCrashes == 0 && cfg.NetPartitions == 0 && cfg.RollingDrains == 0 {
+		cfg.HostCrashes, cfg.NetPartitions, cfg.RollingDrains = 1, 1, 1
+	}
+	if cfg.HostCrashes < 0 {
+		cfg.HostCrashes = 0
+	}
+	if cfg.NetPartitions < 0 {
+		cfg.NetPartitions = 0
+	}
+	if cfg.RollingDrains < 0 {
+		cfg.RollingDrains = 0
+	}
+	if cfg.FaultSeed == 0 {
+		cfg.FaultSeed = cfg.Seed + 77
+	}
+	if cfg.DetectDelay <= 0 {
+		cfg.DetectDelay = 2 * cfg.PollEvery
+	}
+	if cfg.SettleMargin <= 0 {
+		cfg.SettleMargin = 500 * sim.Millisecond
+	}
+}
+
+func (cfg *FleetChaosConfig) hosts() int {
+	return (cfg.Cards + cfg.CardsPerHost - 1) / cfg.CardsPerHost
+}
+
+func (cfg *FleetChaosConfig) switches() int {
+	return (cfg.hosts() + cfg.HostsPerSwitch - 1) / cfg.HostsPerSwitch
+}
+
+// FleetChaosResult carries one chaos run's deterministic artifacts. Plan,
+// Table, Pulse, MigLog, Recovery, Violations, CSV, and Summary are the
+// byte-compared artifacts; Rounds is an engine diagnostic and is not.
+type FleetChaosResult struct {
+	Cards, Hosts, Switches, Streams int
+	Dur                             sim.Time
+
+	Plan       string // the injected chaos schedule
+	Table      string // per-card ledger
+	Pulse      string // controller poll log (DOWN rows while a card is dark)
+	MigLog     string // every controller-driven migration, in decision order
+	Recovery   string // per-event recovery times for affected streams
+	Violations string // per-stream loss-window violations, during vs outside
+	CSV        string // per-stream rows
+	Summary    string
+
+	LiveMigrations int // live moves (window+cursor exported, ID preserved)
+	ColdMigrations int // checkpoint restores off dead domains (ID preserved)
+	Readds         int // teardown restarts (fresh window — the failure path)
+	Parked         int // streams left unplaced after every candidate refused
+	Replayed       int // in-flight frames replayed onto migration targets
+
+	ViolDuring   int64 // loss-window violations inside padded outage windows
+	ViolOutside  int64 // violations outside every outage window (want: 0)
+	SeveredDrops int64 // frames dropped on severed fleet-network hops
+
+	TotalRecv, TotalLate int64
+	Rounds               int64
+}
+
+// chaosStream is one media stream plus its chaos bookkeeping.
+type chaosStream struct {
+	gid   int // globally unique stream ID
+	orig  int // card the stream is sourced on at t=0
+	home  int // card index the client is homed with
+	addr  string
+	spec  dwcs.StreamSpec
+	cl    *netsim.Client
+	prods []*nic.Producer // initial producer plus one per migration respawn
+
+	// watchAt[k] is plan event k's strike time; watchGot[k] is the first
+	// client arrival at or after it (0 = none before the run ended).
+	// Written only in the home card's partition, read after the run.
+	watchAt  []sim.Time
+	watchGot []sim.Time
+}
+
+// fleetChaos layers failure domains and the migration control plane on the
+// baseline fleet wiring.
+type fleetChaos struct {
+	*fleet
+	ccfg    FleetChaosConfig
+	plan    *faults.Plan
+	clip    *mpeg.Clip
+	cstream []*chaosStream
+	severed []int64 // per-source-card severed-hop drops (partition-local)
+
+	// Controller-partition state. Touched only in controller closures
+	// (and after the run has fully settled).
+	loc   map[int]int                 // gid → current card index
+	ckpt  map[int]dwcs.StreamSnapshot // gid → last heartbeat checkpoint
+	lastV map[int]int64               // gid → last seen cumulative violations
+	lastT map[int]sim.Time            // gid → card-side time of that sighting
+	lost  map[int]bool                // gid → stream currently unplaced
+	// placedAt records when the controller last (re)placed each stream —
+	// the fence that detects a crash-recovery wipe erasing the placement.
+	placedAt map[int]sim.Time
+
+	jobs   []func(done func()) // serialized migration work queue
+	active bool
+
+	migLog    []string
+	violByGid map[int]*[2]int64 // gid → {during, outside}
+	res       *FleetChaosResult
+}
+
+// --- failure-domain geometry ------------------------------------------------
+
+func (f *fleetChaos) hostOf(card int) int   { return card / f.ccfg.CardsPerHost }
+func (f *fleetChaos) switchOf(card int) int { return f.hostOf(card) / f.ccfg.HostsPerSwitch }
+
+func (f *fleetChaos) hostName(h int) string   { return fmt.Sprintf("h%02d", h) }
+func (f *fleetChaos) switchName(s int) string { return fmt.Sprintf("sw%d", s) }
+
+func (f *fleetChaos) hostIndex(target string) int {
+	var h int
+	fmt.Sscanf(target, "h%d", &h)
+	return h
+}
+
+func (f *fleetChaos) switchIndex(target string) int {
+	var s int
+	fmt.Sscanf(target, "sw%d", &s)
+	return s
+}
+
+// active reports whether event e covers time t.
+func eventActive(e faults.Event, t sim.Time) bool {
+	return e.At <= t && t < e.At+e.Duration
+}
+
+// deadAt reports whether card i is inside a HostCrash window at t.
+func (f *fleetChaos) deadAt(card int, t sim.Time) bool {
+	for _, e := range f.plan.Events {
+		if e.Kind == faults.HostCrash && eventActive(e, t) &&
+			f.hostOf(card) == f.hostIndex(e.Target) {
+			return true
+		}
+	}
+	return false
+}
+
+// drainingAt reports whether card i is inside a RollingDrain window at t.
+func (f *fleetChaos) drainingAt(card int, t sim.Time) bool {
+	for _, e := range f.plan.Events {
+		if e.Kind == faults.RollingDrain && eventActive(e, t) &&
+			f.hostOf(card) == f.hostIndex(e.Target) {
+			return true
+		}
+	}
+	return false
+}
+
+// severedAt reports whether the fleet-network path between cards a and b is
+// cut by an active NetPartition at t: a switch failure isolates its card
+// group, so the hop dies exactly when one endpoint is inside the failed
+// domain and the other is not.
+func (f *fleetChaos) severedAt(a, b int, t sim.Time) bool {
+	for _, e := range f.plan.Events {
+		if e.Kind != faults.NetPartition || !eventActive(e, t) {
+			continue
+		}
+		s := f.switchIndex(e.Target)
+		if (f.switchOf(a) == s) != (f.switchOf(b) == s) {
+			return true
+		}
+	}
+	return false
+}
+
+// usable reports whether card i can serve streams at t (alive, not in
+// maintenance).
+func (f *fleetChaos) usable(card int, t sim.Time) bool {
+	return !f.deadAt(card, t) && !f.drainingAt(card, t)
+}
+
+// desired returns where stream st should live at time t: its original card
+// when that card is alive, not draining, and can reach the client; otherwise
+// the first card (scanning from the original) that qualifies. Returns -1
+// when no card currently qualifies — the caller decides whether staying put
+// or a degraded placement beats not moving. Deterministic and a pure
+// function of the static plan.
+func (f *fleetChaos) desired(st *chaosStream, t sim.Time) int {
+	ok := func(i int) bool {
+		return f.usable(i, t) && !f.severedAt(i, st.home, t)
+	}
+	if ok(st.orig) {
+		return st.orig
+	}
+	for d := 1; d < f.ccfg.Cards; d++ {
+		if i := (st.orig + d) % f.ccfg.Cards; ok(i) {
+			return i
+		}
+	}
+	return -1
+}
+
+// candidates lists up to three target cards for a migration, preferring
+// want and then scanning the ring. Tier one is strict: alive, not draining,
+// reachable from the client. When relax is set (the stream's current card
+// is dead, so anything alive beats losing the stream) two degraded tiers
+// open up in turn: draining-but-reachable cards (maintenance hosts still
+// serve), then alive-but-severed cards (the window state survives; frames
+// drop until the partition heals).
+func (f *fleetChaos) candidates(st *chaosStream, t sim.Time, want int, relax bool) []int {
+	tier := func(ok func(i int) bool) []int {
+		var out []int
+		add := func(i int) {
+			if !ok(i) {
+				return
+			}
+			for _, j := range out {
+				if j == i {
+					return
+				}
+			}
+			if len(out) < 3 {
+				out = append(out, i)
+			}
+		}
+		if want >= 0 {
+			add(want)
+		} else {
+			want = st.orig
+		}
+		for d := 0; d < f.ccfg.Cards; d++ {
+			add((want + d) % f.ccfg.Cards)
+		}
+		return out
+	}
+	out := tier(func(i int) bool { return f.usable(i, t) && !f.severedAt(i, st.home, t) })
+	if len(out) > 0 || !relax {
+		return out
+	}
+	out = tier(func(i int) bool { return !f.deadAt(i, t) && !f.severedAt(i, st.home, t) })
+	if len(out) > 0 {
+		return out
+	}
+	return tier(func(i int) bool { return !f.deadAt(i, t) })
+}
+
+// wipedSince reports whether card i's scheduler state was erased (a host
+// crash recovery wipe) after the stream was last placed on it — the
+// controller's view of that placement is stale and the stream needs a
+// teardown restart.
+func (f *fleetChaos) wipedSince(card int, placedAt, t sim.Time) bool {
+	for _, e := range f.plan.Events {
+		if e.Kind != faults.HostCrash || f.hostOf(card) != f.hostIndex(e.Target) {
+			continue
+		}
+		if w := e.At + e.Duration; w <= t && w > placedAt {
+			return true
+		}
+	}
+	return false
+}
+
+// --- controller hops and the serialized migration queue ---------------------
+
+func (f *fleetChaos) ctrlEng() *sim.Engine {
+	if f.topo == nil {
+		return f.mono
+	}
+	return f.ctrl.Eng()
+}
+
+// toCard runs fn in card i's partition one network hop from now (controller
+// context).
+func (f *fleetChaos) toCard(i int, fn func()) {
+	if f.topo == nil {
+		f.mono.After(f.cfg.NetLatency, fn)
+		return
+	}
+	f.ctrl.Send(f.cards[i].part, f.cfg.NetLatency, fn)
+}
+
+// toCtrl runs fn in the controller partition one hop from now (card i
+// context).
+func (f *fleetChaos) toCtrl(i int, fn func()) {
+	if f.topo == nil {
+		f.mono.After(f.cfg.NetLatency, fn)
+		return
+	}
+	f.cards[i].part.Send(f.ctrl, f.cfg.NetLatency, fn)
+}
+
+// enqueueJob appends one unit of migration work to the controller's queue.
+// Jobs run strictly one at a time — a migration's multi-hop protocol settles
+// before the next starts — which is what makes the global order of target
+// admissions (and therefore every artifact byte) independent of worker
+// count.
+func (f *fleetChaos) enqueueJob(job func(done func())) {
+	f.jobs = append(f.jobs, job)
+	f.pump()
+}
+
+func (f *fleetChaos) pump() {
+	if f.active || len(f.jobs) == 0 {
+		return
+	}
+	f.active = true
+	job := f.jobs[0]
+	f.jobs = f.jobs[1:]
+	job(func() {
+		f.active = false
+		f.pump()
+	})
+}
+
+func (f *fleetChaos) logf(format string, args ...any) {
+	f.migLog = append(f.migLog, fmt.Sprintf(format, args...))
+}
+
+// --- the reconcile loop ------------------------------------------------------
+
+// reconcile runs in the controller at each fault boundary (+DetectDelay):
+// every stream whose current placement no longer matches its desired one is
+// queued for migration, in gid order.
+func (f *fleetChaos) reconcile() {
+	for _, st := range f.cstream {
+		st := st
+		f.enqueueJob(func(done func()) { f.step(st, done) })
+	}
+}
+
+// step decides and executes one stream's move, if any.
+func (f *fleetChaos) step(st *chaosStream, done func()) {
+	t := f.ctrlEng().Now()
+	gid := st.gid
+	want := f.desired(st, t)
+	if f.lost[gid] {
+		// Unplaced (every candidate refused, or its state was erased):
+		// restart it fresh as soon as somewhere can take it.
+		if want >= 0 {
+			f.readd(st, want, done)
+			return
+		}
+		done()
+		return
+	}
+	cur := f.loc[gid]
+	if f.deadAt(cur, t) {
+		// The stream's card is dark: restore from the last heartbeat
+		// checkpoint — the window position and frame cursor survive even
+		// though the card contributed nothing at failure time. Degraded
+		// targets (draining, or severed until the partition heals) beat
+		// losing the stream, so the candidate tiers relax.
+		img, ok := f.ckpt[gid]
+		if !ok {
+			f.lost[gid] = true
+			f.logf("t=%-12v cold gid=%02d ni%02d→?     no checkpoint; stream lost until readd", t, gid, cur)
+			done()
+			return
+		}
+		f.placeImage(st, cur, img, nil, true, f.candidates(st, t, want, true), done)
+		return
+	}
+	if f.wipedSince(cur, f.placedAt[gid], t) {
+		// The card recovered from a host crash after this stream was placed
+		// on it: the recovery wipe erased the stream, so the controller's
+		// placement record is a ghost. Teardown restart.
+		f.lost[gid] = true
+		f.logf("t=%-12v wipe gid=%02d ni%02d state erased by crash recovery; readd pending", t, gid, cur)
+		f.step(st, done)
+		return
+	}
+	if want < 0 || want == cur {
+		// Either the placement is right, or no strict candidate exists and
+		// the current card is at least alive — moving to a degraded target
+		// would not improve anything.
+		done()
+		return
+	}
+	f.migrateLive(st, cur, want, done)
+}
+
+// migrateLive is the three-hop live protocol: detach on the source (image +
+// queued frames, stream removed, producer orphans out), then import on the
+// target with frame replay and a producer respawned at the stream's cursor.
+func (f *fleetChaos) migrateLive(st *chaosStream, from, want int, done func()) {
+	gid := st.gid
+	f.toCard(from, func() {
+		src := f.cards[from]
+		img, queued, err := src.ext.DetachStream(gid)
+		f.toCtrl(from, func() {
+			if err != nil {
+				// Controller view was stale (stream already gone on the
+				// source). Nothing was detached; mark it lost so a later
+				// reconcile restarts it.
+				f.lost[gid] = true
+				f.logf("t=%-12v live gid=%02d ni%02d→ni%02d detach failed: %v",
+					f.ctrlEng().Now(), gid, from, want, err)
+				done()
+				return
+			}
+			// The stream is detached and homeless from here on, so the
+			// degraded candidate tiers are open: anywhere alive beats loss.
+			t := f.ctrlEng().Now()
+			f.placeImage(st, from, img, queued, false, f.candidates(st, t, want, true), done)
+		})
+	})
+}
+
+// placeImage walks the candidate list: import the migration image through
+// the target's overload-budget front door, replay the queued frames, and
+// respawn the producer at the stream's frame cursor. A refusal (budget past
+// high water, card crashed in flight) falls through to the next candidate;
+// exhausting the list parks the stream for a later readd.
+func (f *fleetChaos) placeImage(st *chaosStream, from int, img dwcs.StreamSnapshot,
+	queued []dwcs.Packet, cold bool, cands []int, done func()) {
+	gid := st.gid
+	kind := "live"
+	if cold {
+		kind = "cold"
+	}
+	if len(cands) == 0 {
+		f.lost[gid] = true
+		f.res.Parked++
+		f.logf("t=%-12v %s gid=%02d ni%02d→?     no live candidate; stream parked",
+			f.ctrlEng().Now(), kind, gid, from)
+		done()
+		return
+	}
+	var try func(k int)
+	try = func(k int) {
+		to := cands[k]
+		f.toCard(to, func() {
+			dst := f.cards[to]
+			var err error
+			replayed := 0
+			if dst.sched.Crashed() {
+				err = fmt.Errorf("card ni%02d crashed", to)
+			} else if err = dst.ext.ImportStream(img); err == nil {
+				for _, pkt := range queued {
+					pkt.Payload = nic.AddrPayload(st.addr)
+					if dst.ext.Enqueue(gid, pkt) == nil {
+						replayed++
+					}
+				}
+				start := int(img.Seq) + len(queued)
+				p := dst.ext.SpawnPeerProducerFrom(dst.disk, f.clip, gid, st.addr,
+					fleetStreamPeriod, 1<<30, start)
+				st.prods = append(st.prods, p)
+			}
+			f.toCtrl(to, func() {
+				if err == nil {
+					f.loc[gid] = to
+					f.placedAt[gid] = f.ctrlEng().Now()
+					delete(f.lost, gid)
+					if cold {
+						f.res.ColdMigrations++
+					} else {
+						f.res.LiveMigrations++
+					}
+					f.res.Replayed += replayed
+					f.logf("t=%-12v %s gid=%02d ni%02d→ni%02d ok seq=%d win=(%d,%d) replay=%d",
+						f.ctrlEng().Now(), kind, gid, from, to,
+						img.Seq, img.WindowX, img.WindowY, replayed)
+					done()
+					return
+				}
+				f.logf("t=%-12v %s gid=%02d ni%02d→ni%02d refused: %v",
+					f.ctrlEng().Now(), kind, gid, from, to, err)
+				if k+1 < len(cands) {
+					try(k + 1)
+					return
+				}
+				f.lost[gid] = true
+				f.res.Parked++
+				f.logf("t=%-12v %s gid=%02d ni%02d→?     every candidate refused; stream parked",
+					f.ctrlEng().Now(), kind, gid, from)
+				done()
+			})
+		})
+	}
+	try(0)
+}
+
+// readd is the teardown path: the stream's state is gone (no checkpoint, or
+// nowhere to place it while its domain was down), so it restarts with a
+// fresh window on card `to`. The ID is preserved but the window history is
+// not — this is exactly what migration exists to avoid, so it is counted
+// separately and weighed against the resume rate.
+func (f *fleetChaos) readd(st *chaosStream, to int, done func()) {
+	gid := st.gid
+	f.toCard(to, func() {
+		dst := f.cards[to]
+		var err error
+		if dst.sched.Crashed() {
+			err = fmt.Errorf("card ni%02d crashed", to)
+		} else if err = dst.ext.AddStream(st.spec); err == nil {
+			start := 0
+			if img, ok := f.ckpt[gid]; ok {
+				start = int(img.Seq)
+			}
+			p := dst.ext.SpawnPeerProducerFrom(dst.disk, f.clip, gid, st.addr,
+				fleetStreamPeriod, 1<<30, start)
+			st.prods = append(st.prods, p)
+		}
+		f.toCtrl(to, func() {
+			if err == nil {
+				f.loc[gid] = to
+				f.placedAt[gid] = f.ctrlEng().Now()
+				delete(f.lost, gid)
+				f.res.Readds++
+				f.logf("t=%-12v readd gid=%02d →ni%02d fresh window (teardown restart)",
+					f.ctrlEng().Now(), gid, to)
+			} else {
+				f.logf("t=%-12v readd gid=%02d →ni%02d refused: %v",
+					f.ctrlEng().Now(), gid, to, err)
+			}
+			done()
+		})
+	})
+}
+
+// --- polling, checkpoints, and violation accounting --------------------------
+
+// inOutage reports whether the card-side interval (a, b] overlaps any padded
+// outage window [At, At+Duration+DetectDelay+SettleMargin] — violations in
+// such an interval are attributed to the injected fault.
+func (f *fleetChaos) inOutage(a, b sim.Time) bool {
+	for _, e := range f.plan.Events {
+		end := e.At + e.Duration + f.ccfg.DetectDelay + f.ccfg.SettleMargin
+		if b >= e.At && a < end {
+			return true
+		}
+	}
+	return false
+}
+
+// account folds one stream sighting (a heartbeat snapshot taken on a card at
+// card-side time `at`) into the violation ledger, classifying any new
+// violations by whether the interval since the last sighting touches an
+// outage window.
+func (f *fleetChaos) account(sn dwcs.StreamSnapshot, at sim.Time) {
+	gid := sn.Spec.ID
+	v := sn.Stats.Violations
+	if v > f.lastV[gid] {
+		delta := v - f.lastV[gid]
+		tally := f.violByGid[gid]
+		if tally == nil {
+			tally = new([2]int64)
+			f.violByGid[gid] = tally
+		}
+		if f.inOutage(f.lastT[gid], at) {
+			f.res.ViolDuring += delta
+			tally[0] += delta
+		} else {
+			f.res.ViolOutside += delta
+			tally[1] += delta
+		}
+	}
+	// A rewind (cold restore from a stale checkpoint, or a fresh readd)
+	// lowers the cumulative counter; re-seed so later deltas stay honest.
+	f.lastV[gid] = v
+	f.lastT[gid] = at
+}
+
+// poll is one controller round: every card is probed over the management
+// network (out-of-band — a fleet-network partition does not sever it), its
+// stream snapshots become the cold-migration checkpoints, and violations
+// are classified. A crashed card answers nothing and logs a DOWN row.
+func (f *fleetChaos) poll() {
+	for i := range f.cards {
+		i := i
+		f.toCard(i, func() {
+			fc := f.cards[i]
+			at := fc.eng.Now()
+			if fc.sched.Crashed() {
+				f.toCtrl(i, func() {
+					f.pulses = append(f.pulses, fmt.Sprintf("t=%-10v ni%02d DOWN", at, i))
+				})
+				return
+			}
+			snaps := fc.ext.Sched.Snapshot()
+			sent, dropped := fc.ext.Sent, fc.ext.Dropped
+			used, size := fc.ctl.Budget.Used(), fc.ctl.Budget.Size()
+			f.toCtrl(i, func() {
+				var viol int64
+				for _, sn := range snaps {
+					viol += sn.Stats.Violations
+					f.ckpt[sn.Spec.ID] = sn
+					f.account(sn, at)
+				}
+				f.pulses = append(f.pulses, fmt.Sprintf(
+					"t=%-10v ni%02d streams=%d sent=%-6d dropped=%-4d viol=%-3d mem=%d/%d",
+					at, i, len(snaps), sent, dropped, viol, used, size))
+			})
+		})
+	}
+}
+
+// --- fault arming ------------------------------------------------------------
+
+// armHostCrash schedules the crash and recovery of every card on the event's
+// host, in each card's own partition. Recovery resets the card and wipes its
+// scheduler: any stream still registered was either migrated away (the copy
+// here is stale) or unrecoverable (its frames died with the card) — either
+// way the controller owns re-placement, and the wipe guarantees a resumed
+// producer cannot double-feed a migrated stream.
+func (f *fleetChaos) armHostCrash(e faults.Event) {
+	h := f.hostIndex(e.Target)
+	for i := 0; i < f.ccfg.Cards; i++ {
+		if f.hostOf(i) != h {
+			continue
+		}
+		fc := f.cards[i]
+		fc.eng.At(e.At, func() {
+			fc.rec.Record(blackbox.Event{At: fc.eng.Now(), Kind: blackbox.KindDomainFault,
+				Note: "host-crash " + e.Target})
+			fc.sched.Crash()
+			fc.disk.Crash()
+		})
+		fc.eng.At(e.At+e.Duration, func() {
+			fc.sched.Reset()
+			fc.disk.Reset()
+			for _, id := range fc.ext.Sched.StreamIDs() {
+				fc.ext.RemoveStream(id)
+			}
+			fc.rec.Record(blackbox.Event{At: fc.eng.Now(), Kind: blackbox.KindDomainFault,
+				Note: "host-recover " + e.Target})
+		})
+	}
+}
+
+// armDomainMark drops a domain-fault marker in each member card's flight
+// recorder at strike and clear time (NetPartition and RollingDrain leave the
+// card itself running, so this is the only card-side trace).
+func (f *fleetChaos) armDomainMark(e faults.Event, member func(card int) bool) {
+	for i := 0; i < f.ccfg.Cards; i++ {
+		if !member(i) {
+			continue
+		}
+		fc := f.cards[i]
+		note := e.Kind.String() + " " + e.Target
+		fc.eng.At(e.At, func() {
+			fc.rec.Record(blackbox.Event{At: fc.eng.Now(), Kind: blackbox.KindDomainFault, Note: note})
+		})
+		fc.eng.At(e.At+e.Duration, func() {
+			fc.rec.Record(blackbox.Event{At: fc.eng.Now(), Kind: blackbox.KindDomainFault,
+				Note: note + " cleared"})
+		})
+	}
+}
+
+// affects reports whether plan event e bears on stream st, attributed by the
+// stream's original placement (crash/drain: sourced on the failed host;
+// partition: its source→client path straddles the failed switch domain).
+func (f *fleetChaos) affects(e faults.Event, st *chaosStream) bool {
+	switch e.Kind {
+	case faults.HostCrash, faults.RollingDrain:
+		return f.hostOf(st.orig) == f.hostIndex(e.Target)
+	case faults.NetPartition:
+		s := f.switchIndex(e.Target)
+		return (f.switchOf(st.orig) == s) != (f.switchOf(st.home) == s)
+	}
+	return false
+}
+
+// --- the run -----------------------------------------------------------------
+
+// RunFleetChaos builds the fleet with failure domains, arms the chaos plan,
+// and runs it, returning byte-deterministic artifacts.
+func RunFleetChaos(cfg FleetChaosConfig) *FleetChaosResult {
+	cfg.setDefaults()
+	f := &fleetChaos{
+		fleet: &fleet{
+			cfg: FleetConfig{
+				Cards: cfg.Cards, StreamsPerCard: cfg.StreamsPerCard,
+				Dur: cfg.Dur, Workers: cfg.Workers, NetLatency: cfg.NetLatency,
+				PollEvery: cfg.PollEvery, Seed: cfg.Seed, Monolithic: cfg.Monolithic,
+			},
+			route: map[string]int{},
+		},
+		ccfg:      cfg,
+		severed:   make([]int64, cfg.Cards),
+		loc:       map[int]int{},
+		ckpt:      map[int]dwcs.StreamSnapshot{},
+		lastV:     map[int]int64{},
+		lastT:     map[int]sim.Time{},
+		lost:      map[int]bool{},
+		placedAt:  map[int]sim.Time{},
+		violByGid: map[int]*[2]int64{},
+		res: &FleetChaosResult{
+			Cards: cfg.Cards, Hosts: cfg.hosts(), Switches: cfg.switches(),
+			Streams: cfg.Cards * cfg.StreamsPerCard, Dur: cfg.Dur,
+		},
+	}
+
+	// The chaos plan: correlated faults over the host and switch domains,
+	// drawn inside the middle of the run so recovery (and a clean tail that
+	// proves zero violations outside the outage) fits before Dur.
+	var hostNames, switchNames []string
+	for h := 0; h < cfg.hosts(); h++ {
+		hostNames = append(hostNames, f.hostName(h))
+	}
+	for s := 0; s < cfg.switches(); s++ {
+		switchNames = append(switchNames, f.switchName(s))
+	}
+	plan, err := faults.Generate(cfg.FaultSeed, faults.Spec{
+		Start: cfg.Dur / 6, Span: cfg.Dur / 4,
+		Hosts: hostNames, Switches: switchNames,
+		Counts: map[faults.Kind]int{
+			faults.HostCrash:    cfg.HostCrashes,
+			faults.NetPartition: cfg.NetPartitions,
+			faults.RollingDrain: cfg.RollingDrains,
+		},
+		MinDuration: cfg.Dur / 8, MaxDuration: cfg.Dur / 5,
+	})
+	if err != nil {
+		panic(err)
+	}
+	plan.Sort()
+	f.plan = plan
+
+	// Topology: same wiring as the baseline fleet, plus a full mesh between
+	// card partitions — a migrated stream's frames must reach its client's
+	// home card from wherever the stream lands.
+	var ctrlEng *sim.Engine
+	if cfg.Monolithic {
+		f.mono = sim.NewEngine(cfg.Seed)
+		ctrlEng = f.mono
+		for i := 0; i < cfg.Cards; i++ {
+			f.cards = append(f.cards, f.buildCard(i, f.mono, nil))
+		}
+	} else {
+		f.topo = sim.NewTopology(cfg.Seed)
+		f.topo.Workers = cfg.Workers
+		f.ctrl = f.topo.AddPartition("dvcm")
+		ctrlEng = f.ctrl.Eng()
+		parts := make([]*sim.Partition, cfg.Cards)
+		for i := 0; i < cfg.Cards; i++ {
+			parts[i] = f.topo.AddPartition(fmt.Sprintf("card%02d", i))
+		}
+		for i := 0; i < cfg.Cards; i++ {
+			f.cards = append(f.cards, f.buildCard(i, parts[i].Eng(), parts[i]))
+		}
+		for i, p := range parts {
+			for j, q := range parts {
+				if i != j {
+					mustConnect(f.topo, p, q, cfg.NetLatency)
+				}
+			}
+			mustConnect(f.topo, f.ctrl, p, cfg.NetLatency)
+			mustConnect(f.topo, p, f.ctrl, cfg.NetLatency)
+		}
+	}
+
+	// Severance: the drop hook runs in the source card's partition at
+	// transmit time against the static plan, so every worker count sees the
+	// identical cut.
+	f.fleet.drop = func(from, home int) bool {
+		if f.severedAt(from, home, f.cards[from].eng.Now()) {
+			f.severed[from]++
+			return true
+		}
+		return false
+	}
+
+	// Streams: globally unique IDs (gid), so a stream keeps its identity no
+	// matter which card it lands on. Clients are homed with the next card;
+	// client endpoints model external viewers, so a host crash kills the
+	// cards, not the viewers.
+	f.clip = mpeg.GenerateDefault()
+	nominal := f.clip.MeanFrameSize()
+	watchAt := make([]sim.Time, len(plan.Events))
+	for k, e := range plan.Events {
+		watchAt[k] = e.At
+	}
+	for i := 0; i < cfg.Cards; i++ {
+		fc := f.cards[i]
+		home := (i + 1) % cfg.Cards
+		hc := f.cards[home]
+		for s := 1; s <= cfg.StreamsPerCard; s++ {
+			gid := i*cfg.StreamsPerCard + s
+			addr := fmt.Sprintf("c%02ds%d", i, s)
+			f.route[addr] = home
+			st := &chaosStream{
+				gid: gid, orig: i, home: home, addr: addr,
+				cl:       netsim.NewClient(hc.eng, addr),
+				watchAt:  watchAt,
+				watchGot: make([]sim.Time, len(watchAt)),
+			}
+			st.spec = dwcs.StreamSpec{
+				ID: gid, Name: addr, Period: fleetStreamPeriod,
+				Loss: fixed.New(1, 4), Lossy: true,
+				BufCap: fleetBufCap, NominalBytes: nominal,
+			}
+			homeEng := hc.eng
+			hc.rx[addr] = netsim.Fast100(homeEng, "rx-"+addr, netsim.PortFunc(func(p *netsim.Packet) {
+				now := homeEng.Now()
+				for k := range st.watchAt {
+					if st.watchGot[k] == 0 && now >= st.watchAt[k] {
+						st.watchGot[k] = now
+					}
+				}
+				st.cl.Deliver(p)
+			}))
+			if err := fc.ext.AddStream(st.spec); err != nil {
+				panic(err)
+			}
+			st.prods = append(st.prods,
+				fc.ext.SpawnPeerProducer(fc.disk, f.clip, gid, addr, fleetStreamPeriod, 1<<30))
+			f.cstream = append(f.cstream, st)
+			f.loc[gid] = i
+		}
+	}
+
+	// Arm the plan: card-side crash/reset and flight-recorder marks at build
+	// time, controller-side reconciles one detection delay after each fault
+	// boundary.
+	boundary := map[sim.Time]bool{}
+	for _, e := range plan.Events {
+		e := e
+		switch e.Kind {
+		case faults.HostCrash:
+			f.armHostCrash(e)
+		case faults.NetPartition:
+			s := f.switchIndex(e.Target)
+			f.armDomainMark(e, func(card int) bool { return f.switchOf(card) == s })
+		case faults.RollingDrain:
+			h := f.hostIndex(e.Target)
+			f.armDomainMark(e, func(card int) bool { return f.hostOf(card) == h })
+		}
+		boundary[e.At+cfg.DetectDelay] = true
+		boundary[e.At+e.Duration+cfg.DetectDelay] = true
+	}
+	var times []sim.Time
+	for t := range boundary {
+		times = append(times, t)
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+	for _, t := range times {
+		ctrlEng.At(t, f.reconcile)
+	}
+
+	ctrlEng.Every(cfg.PollEvery, f.poll)
+
+	if f.topo == nil {
+		f.mono.RunUntil(cfg.Dur)
+	} else {
+		f.topo.RunUntil(cfg.Dur)
+		f.res.Rounds = f.topo.Rounds
+		f.topo.Drain()
+	}
+
+	f.collectChaos()
+	return f.res
+}
+
+// collectChaos renders the artifacts from the settled fleet. Runs after the
+// topology has fully stopped, so cross-partition reads are safe.
+func (f *fleetChaos) collectChaos() {
+	res := f.res
+	cfg := f.ccfg
+
+	// Final sweep: fold each card's end-of-run stream stats into the
+	// violation ledger (covering the tail after the last poll).
+	for _, fc := range f.cards {
+		if fc.sched.Crashed() {
+			continue
+		}
+		for _, sn := range fc.ext.Sched.Snapshot() {
+			f.account(sn, cfg.Dur)
+		}
+	}
+
+	res.Plan = f.plan.String()
+
+	// Per-card ledger.
+	var table strings.Builder
+	fmt.Fprintf(&table, "%-6s %-5s %8s %8s %8s %8s %8s %8s %10s\n",
+		"card", "host", "injected", "sent", "dropped", "recv", "late", "severed", "recvMB")
+	perCard := make([]struct{ injected, recv, late, bytes int64 }, len(f.cards))
+	for _, st := range f.cstream {
+		c := &perCard[st.orig]
+		for _, p := range st.prods {
+			c.injected += p.Injected
+		}
+		c.recv += st.cl.Received
+		c.late += st.cl.Late
+		c.bytes += st.cl.RecvBytes
+	}
+	for i, fc := range f.cards {
+		c := perCard[i]
+		fmt.Fprintf(&table, "ni%02d   %-5s %8d %8d %8d %8d %8d %8d %10.2f\n",
+			i, f.hostName(f.hostOf(i)), c.injected, fc.ext.Sent, fc.ext.Dropped,
+			c.recv, c.late, f.severed[i], float64(c.bytes)/(1<<20))
+		res.TotalRecv += c.recv
+		res.TotalLate += c.late
+		res.SeveredDrops += f.severed[i]
+	}
+	res.Table = table.String()
+
+	res.Pulse = strings.Join(f.pulses, "\n") + "\n"
+	res.MigLog = strings.Join(f.migLog, "\n") + "\n"
+
+	// Recovery table: for each plan event, the affected streams' first
+	// client arrival at or after the strike.
+	var rec strings.Builder
+	for k, e := range f.plan.Events {
+		fmt.Fprintf(&rec, "%v %s %s (for %v):\n", e.At, e.Kind, e.Target, e.Duration)
+		for _, st := range f.cstream {
+			if !f.affects(e, st) {
+				continue
+			}
+			if got := st.watchGot[k]; got > 0 {
+				fmt.Fprintf(&rec, "  gid=%02d recovered +%v (end ni%02d)\n",
+					st.gid, got-e.At, f.loc[st.gid])
+			} else {
+				fmt.Fprintf(&rec, "  gid=%02d no frame after strike\n", st.gid)
+			}
+		}
+	}
+	res.Recovery = rec.String()
+
+	// Violation table, per stream.
+	var vio strings.Builder
+	fmt.Fprintf(&vio, "%-6s %10s %10s\n", "stream", "during", "outside")
+	for _, st := range f.cstream {
+		d, o := int64(0), int64(0)
+		if t := f.violByGid[st.gid]; t != nil {
+			d, o = t[0], t[1]
+		}
+		fmt.Fprintf(&vio, "g%02d    %10d %10d\n", st.gid, d, o)
+	}
+	fmt.Fprintf(&vio, "%-6s %10d %10d\n", "total", res.ViolDuring, res.ViolOutside)
+	res.Violations = vio.String()
+
+	// Per-stream CSV.
+	var csv strings.Builder
+	csv.WriteString("orig_card,gid,addr,end_card,injected,recv,bytes,late,viol_during,viol_outside\n")
+	for _, st := range f.cstream {
+		var injected int64
+		for _, p := range st.prods {
+			injected += p.Injected
+		}
+		d, o := int64(0), int64(0)
+		if t := f.violByGid[st.gid]; t != nil {
+			d, o = t[0], t[1]
+		}
+		fmt.Fprintf(&csv, "%02d,%d,%s,%02d,%d,%d,%d,%d,%d,%d\n",
+			st.orig, st.gid, st.addr, f.loc[st.gid], injected,
+			st.cl.Received, st.cl.RecvBytes, st.cl.Late, d, o)
+	}
+	res.CSV = csv.String()
+
+	moved := res.LiveMigrations + res.ColdMigrations
+	attempted := moved + res.Readds + res.Parked
+	resumed := 100.0
+	if attempted > 0 {
+		resumed = 100 * float64(moved) / float64(attempted)
+	}
+	res.Summary = fmt.Sprintf(
+		"fleet-chaos: %d cards / %d hosts / %d switches × %d streams over %v: "+
+			"events=%d live=%d cold=%d readd=%d parked=%d replay=%d resumed=%.0f%% "+
+			"violDuring=%d violOutside=%d severed=%d recv=%d late=%d",
+		res.Cards, res.Hosts, res.Switches, cfg.StreamsPerCard, res.Dur,
+		len(f.plan.Events), res.LiveMigrations, res.ColdMigrations, res.Readds,
+		res.Parked, res.Replayed, resumed,
+		res.ViolDuring, res.ViolOutside, res.SeveredDrops, res.TotalRecv, res.TotalLate)
+}

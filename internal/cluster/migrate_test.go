@@ -1,0 +1,386 @@
+package cluster
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/dwcs"
+	"repro/internal/fixed"
+	"repro/internal/host"
+	"repro/internal/nic"
+	"repro/internal/overload"
+	"repro/internal/sim"
+)
+
+// lossyReq is req() with a (1,4) window so partial window positions are
+// visible across a migration (1/2 resets to full after one service), and a
+// small ring so one card can host the whole test population.
+func lossyReq(name string) StreamRequest {
+	r := req(name)
+	r.Loss = fixed.New(1, 4)
+	r.BufCap = 8
+	return r
+}
+
+// enqueueFrames pushes n address-only frames onto a placement's scheduler.
+func enqueueFrames(t *testing.T, p *Placement, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		err := p.Scheduler.Ext.Enqueue(p.StreamID, dwcs.Packet{
+			Bytes: p.Req.FrameBytes, Payload: nic.AddrPayload(p.Client),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestMigratePreservesWindowCursorAndReplaysQueued: the live-migration happy
+// path. A stream partway through its loss window, with frames still queued,
+// moves to the other card: same stream ID, same client, window position and
+// frame cursor intact, queued frames replayed onto the target.
+func TestMigratePreservesWindowCursorAndReplaysQueued(t *testing.T) {
+	c := twoSchedCluster(t)
+	s0 := c.Nodes[0].Schedulers[0]
+	s1 := c.Nodes[0].Schedulers[1]
+	p, err := c.Admit(lossyReq("movie"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Scheduler != s0 {
+		t.Fatalf("admitted on %s, want sched0", p.Scheduler.Card.Name)
+	}
+	c.AttachClient(p)
+	enqueueFrames(t, p, 3)
+	// Run past the first frame's eligibility (deadline 160ms − 20ms early
+	// window): one frame serviced, (1,4) → (1,3); two frames stay queued.
+	c.Eng.RunUntil(200 * sim.Millisecond)
+	if st, err := s0.Ext.Sched.Stats(p.StreamID); err != nil || st.Serviced != 1 {
+		t.Fatalf("pre-migration stats = %+v err=%v, want serviced=1", st, err)
+	}
+
+	var m *Migration
+	c.Migrate(p, MigrateOptions{}, func(mig *Migration, err error) {
+		if err != nil {
+			t.Fatalf("migrate: %v", err)
+		}
+		m = mig
+	})
+	if m == nil {
+		t.Fatal("migration did not settle inline on an idle target")
+	}
+	if m.To != s1 || m.New == nil || m.New.Scheduler != s1 {
+		t.Fatalf("migrated to %v, want sched1", m.To)
+	}
+	if m.New.StreamID != p.StreamID {
+		t.Fatalf("stream ID changed %d → %d; migration must not tear down", p.StreamID, m.New.StreamID)
+	}
+	if m.New.Client != p.Client {
+		t.Fatalf("client changed %s → %s", p.Client, m.New.Client)
+	}
+	if m.Replayed != 2 {
+		t.Fatalf("replayed %d frames, want 2", m.Replayed)
+	}
+	if cx, cy, err := s1.Ext.Sched.Window(p.StreamID); err != nil || cx != 1 || cy != 3 {
+		t.Fatalf("target window = (%d,%d) err=%v, want (1,3)", cx, cy, err)
+	}
+	if got := s1.Ext.Sched.QueueLen(p.StreamID); got != 2 {
+		t.Fatalf("target queue = %d, want the 2 replayed frames", got)
+	}
+	st, err := s1.Ext.Sched.Stats(p.StreamID)
+	if err != nil || st.Serviced != 1 {
+		t.Fatalf("target stats = %+v err=%v, want serviced=1 carried over", st, err)
+	}
+	if _, _, err := s0.Ext.Sched.Window(p.StreamID); err == nil {
+		t.Fatal("source still owns the stream after migration")
+	}
+	if s0.Streams() != 0 || s1.Streams() != 1 {
+		t.Fatalf("stream counts: s0=%d s1=%d", s0.Streams(), s1.Streams())
+	}
+	if s0.CPULoad() != 0 {
+		t.Fatalf("source still holds cpu load %v", s0.CPULoad())
+	}
+	if live := c.Live(); len(live) != 1 || live[0] != m.New {
+		t.Fatalf("live = %v, want just the migrated placement", live)
+	}
+}
+
+// fill charges a card's budget up to its high-water mark so admission
+// refuses, returning the release function.
+func fill(s *SchedulerNI) func() {
+	n := s.Overload.Budget.HighWater() - s.Overload.Budget.Used()
+	if err := s.Overload.Budget.Charge(overload.ClassLeak, n); err != nil {
+		panic(err)
+	}
+	return func() { s.Overload.Budget.Release(overload.ClassLeak, n) }
+}
+
+// TestMigrateDuringAwaitSpaceAndDoubleMigrateGuard: the target refuses at
+// its budget high-water mark, so the migration parks in AwaitSpace; a second
+// migrate of the same stream while the first is parked is refused by the
+// double-migrate guard; when the target's budget drains, the parked
+// migration completes.
+func TestMigrateDuringAwaitSpaceAndDoubleMigrateGuard(t *testing.T) {
+	c := twoSchedCluster(t)
+	c.EnableOverload(nil)
+	s1 := c.Nodes[0].Schedulers[1]
+	p, err := c.Admit(lossyReq("movie"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	release := fill(s1)
+
+	var m *Migration
+	var settleErr error
+	settled := false
+	c.Migrate(p, MigrateOptions{Backoff: 10 * sim.Second}, func(mig *Migration, err error) {
+		m, settleErr, settled = mig, err, true
+	})
+	if settled {
+		t.Fatal("migration settled against a full target")
+	}
+	if s1.Overload.Budget.Waiting() == 0 {
+		t.Fatal("pending migration is not enrolled in AwaitSpace")
+	}
+	if len(c.Live()) != 0 {
+		t.Fatal("stream still placed while migration is in flight")
+	}
+
+	c.Migrate(p, MigrateOptions{}, func(mig *Migration, err error) {
+		if !errors.Is(err, ErrMigrationInProgress) {
+			t.Fatalf("double migrate err = %v, want ErrMigrationInProgress", err)
+		}
+	})
+
+	release() // budget drains to low-water; the parked migration fires
+	if !settled || settleErr != nil {
+		t.Fatalf("settled=%v err=%v after budget drain", settled, settleErr)
+	}
+	if m.To != s1 || m.Attempts != 2 {
+		t.Fatalf("to=%v attempts=%d, want sched1 on the 2nd attempt", m.To, m.Attempts)
+	}
+	if m.New.StreamID != p.StreamID {
+		t.Fatal("stream identity lost across the AwaitSpace park")
+	}
+}
+
+// enqueueSink counts frames routed to the host tier.
+type enqueueSink struct{ got int }
+
+func (e *enqueueSink) Enqueue(id int, p dwcs.Packet) error { e.got++; return nil }
+
+// TestRefusalCascadeFallsBackToHost: every candidate card refuses for the
+// whole retry budget, so the stream falls back to the host-resident
+// scheduler tier, queued frames included — degraded service, not teardown.
+func TestRefusalCascadeFallsBackToHost(t *testing.T) {
+	c := twoSchedCluster(t)
+	c.EnableOverload(nil)
+	s1 := c.Nodes[0].Schedulers[1]
+	p, err := c.Admit(lossyReq("movie"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	enqueueFrames(t, p, 2)
+	fill(s1) // never released: the refusal cascade runs dry
+
+	backup := &enqueueSink{}
+	ft := &host.FailoverTarget{Primary: &enqueueSink{}, Backup: backup}
+	var m *Migration
+	c.Migrate(p, MigrateOptions{
+		MaxAttempts: 2, Backoff: 10 * sim.Millisecond, Fallback: ft,
+	}, func(mig *Migration, err error) {
+		if err != nil {
+			t.Fatalf("fallback migrate: %v", err)
+		}
+		m = mig
+	})
+	// Drive the backoff retries to exhaustion (bounded: the overload
+	// controllers' periodic evaluation never lets a bare Run terminate).
+	c.Eng.RunUntil(sim.Second)
+	if m == nil {
+		t.Fatal("migration never settled")
+	}
+	if !m.FellBack || m.To != nil {
+		t.Fatalf("fellBack=%v to=%v, want host-tier fallback", m.FellBack, m.To)
+	}
+	if m.Attempts != 2 {
+		t.Fatalf("attempts = %d, want the configured 2", m.Attempts)
+	}
+	if !ft.OnBackup() {
+		t.Fatal("failover target never switched to backup")
+	}
+	if backup.got != 2 {
+		t.Fatalf("backup received %d frames, want the 2 queued", backup.got)
+	}
+}
+
+// TestBudgetLedgerConservationAcrossMigration: a migration must release on
+// the source exactly what admission charged, and charge the target through
+// the same front door — ledger symmetry on both cards.
+func TestBudgetLedgerConservationAcrossMigration(t *testing.T) {
+	c := twoSchedCluster(t)
+	c.EnableOverload(nil)
+	s0 := c.Nodes[0].Schedulers[0]
+	s1 := c.Nodes[0].Schedulers[1]
+	p, err := c.Admit(lossyReq("movie"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	enqueueFrames(t, p, 3)
+	charged := s0.Overload.Budget.Used()
+	if charged == 0 {
+		t.Fatal("admission charged nothing")
+	}
+
+	c.Migrate(p, MigrateOptions{}, func(mig *Migration, err error) {
+		if err != nil {
+			t.Fatalf("migrate: %v", err)
+		}
+	})
+	if got := s0.Overload.Budget.Used(); got != 0 {
+		t.Fatalf("source budget used = %d after migration, want 0", got)
+	}
+	ch, rel := s0.Overload.Budget.Ledger()
+	if ch != rel {
+		t.Fatalf("source ledger charged=%d released=%d, want conservation", ch, rel)
+	}
+	if got := s1.Overload.Budget.Used(); got != charged {
+		t.Fatalf("target budget used = %d, want the stream's %d", got, charged)
+	}
+}
+
+// TestMonitorIgnoresDrainingCard is the regression test for the spurious
+// drain failover: a card under planned maintenance answers nothing, and the
+// old monitor counted that silence as missed heartbeats and failed it over.
+// Draining cards are skipped, their miss counters cleared, and the card
+// rejoins cleanly when maintenance ends.
+func TestMonitorIgnoresDrainingCard(t *testing.T) {
+	c := twoSchedCluster(t)
+	s0 := c.Nodes[0].Schedulers[0]
+	if _, err := c.Admit(lossyReq("movie")); err != nil {
+		t.Fatal(err)
+	}
+
+	m := NewMonitor(c, "monitor")
+	m.Interval = 100 * sim.Millisecond
+	m.Timeout = 10 * sim.Millisecond
+	m.Misses = 2
+	m.Auto = true
+	m.OnFail = func(s *SchedulerNI, _ []*Placement) {
+		t.Errorf("monitor failed over %s during its drain", s.Card.Name)
+	}
+	m.Start()
+
+	// Maintenance window: the card goes dark for 1.5s — 15 probe intervals,
+	// far past the 2-miss threshold — but is draining the whole time.
+	c.Eng.At(200*sim.Millisecond, func() {
+		s0.SetDraining(true)
+		s0.Card.Crash()
+	})
+	c.Eng.At(1700*sim.Millisecond, func() {
+		s0.Card.Reset()
+		s0.SetDraining(false)
+	})
+	c.Eng.RunUntil(3 * sim.Second)
+	m.Stop()
+
+	if m.Detected != 0 {
+		t.Fatalf("detected = %d failures during a declared drain", m.Detected)
+	}
+	if s0.Failed() {
+		t.Fatal("draining card ended up failed")
+	}
+	if s0.Draining() {
+		t.Fatal("card still draining after maintenance ended")
+	}
+}
+
+// TestDrainSchedulerMovesStreamsLiveAndRebalanceReturns: planned drain
+// migrates every stream off the card without teardown; after maintenance a
+// rebalance pass pulls load back onto it.
+func TestDrainSchedulerMovesStreamsLiveAndRebalanceReturns(t *testing.T) {
+	c := twoSchedCluster(t)
+	s0 := c.Nodes[0].Schedulers[0]
+	s1 := c.Nodes[0].Schedulers[1]
+	ids := map[int]bool{}
+	for _, name := range []string{"a", "b", "c", "d"} {
+		p, err := c.Admit(lossyReq(name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[p.StreamID] = true
+	}
+	if s0.Streams() != 2 || s1.Streams() != 2 {
+		t.Fatalf("streams s0=%d s1=%d, want 2/2", s0.Streams(), s1.Streams())
+	}
+
+	var drained []*Migration
+	c.DrainScheduler(s0, MigrateOptions{}, func(ms []*Migration) { drained = ms })
+	if len(drained) != 2 {
+		t.Fatalf("drained %d migrations, want 2", len(drained))
+	}
+	for _, m := range drained {
+		if m.To != s1 || !ids[m.StreamID] {
+			t.Fatalf("drain moved %d to %v", m.StreamID, m.To)
+		}
+	}
+	if s0.Streams() != 0 || s1.Streams() != 4 {
+		t.Fatalf("post-drain streams s0=%d s1=%d, want 0/4", s0.Streams(), s1.Streams())
+	}
+	if _, err := c.Admit(lossyReq("e")); err != nil {
+		t.Fatal(err)
+	} else if s0.Streams() != 0 {
+		t.Fatal("draining card accepted a new placement")
+	}
+
+	s0.SetDraining(false)
+	var moves []*Migration
+	c.Rebalance(MigrateOptions{}, func(ms []*Migration) { moves = ms })
+	if len(moves) == 0 {
+		t.Fatal("rebalance moved nothing back")
+	}
+	if spread := s1.Streams() - s0.Streams(); spread < -1 || spread > 1 {
+		t.Fatalf("post-rebalance streams s0=%d s1=%d, want spread ≤ 1", s0.Streams(), s1.Streams())
+	}
+}
+
+// TestMigrateColdFromCheckpoint: a crashed card's stream resumes from the
+// monitor-style checkpoint image — window position and cursor survive even
+// though the card contributed nothing at failure time.
+func TestMigrateColdFromCheckpoint(t *testing.T) {
+	c := twoSchedCluster(t)
+	s0 := c.Nodes[0].Schedulers[0]
+	s1 := c.Nodes[0].Schedulers[1]
+	p, err := c.Admit(lossyReq("movie"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The checkpoint a heartbeat would have cached: mid-window, cursor at 7.
+	img, err := s0.Ext.Sched.ExportStream(p.StreamID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img.WindowX, img.WindowY = 1, 2
+	img.Seq = 7
+
+	affected := c.FailScheduler(s0, c.Live())
+	if len(affected) != 1 {
+		t.Fatalf("affected = %v", affected)
+	}
+	var m *Migration
+	c.MigrateCold(affected[0], img, MigrateOptions{}, func(mig *Migration, err error) {
+		if err != nil {
+			t.Fatalf("cold migrate: %v", err)
+		}
+		m = mig
+	})
+	if m == nil || !m.Cold || m.To != s1 {
+		t.Fatalf("cold migration = %+v", m)
+	}
+	if m.New.StreamID != p.StreamID {
+		t.Fatal("cold migration minted a new stream ID")
+	}
+	if cx, cy, err := s1.Ext.Sched.Window(p.StreamID); err != nil || cx != 1 || cy != 2 {
+		t.Fatalf("restored window = (%d,%d) err=%v, want checkpoint (1,2)", cx, cy, err)
+	}
+}

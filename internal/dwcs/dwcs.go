@@ -946,7 +946,9 @@ func (s *Scheduler) Paused(id int) bool {
 	return false
 }
 
-// StreamSnapshot is one stream's state for monitoring.
+// StreamSnapshot is one stream's state for monitoring — and, since it
+// carries the current window position, frame cursor, and deadline phase,
+// the transferable image live migration moves between cards.
 type StreamSnapshot struct {
 	Spec    StreamSpec
 	Stats   StreamStats
@@ -954,6 +956,11 @@ type StreamSnapshot struct {
 	WindowX int64
 	WindowY int64
 	Paused  bool
+	// Seq is the next frame sequence the scheduler will assign (the
+	// stream's frame cursor); Phase is the last assigned deadline, so a
+	// restored stream continues its deadline train instead of re-phasing.
+	Seq   int64
+	Phase sim.Time
 }
 
 // Snapshot returns every stream's state in insertion order — the
@@ -970,9 +977,66 @@ func (s *Scheduler) Snapshot() []StreamSnapshot {
 			WindowX: st.cx,
 			WindowY: st.cy,
 			Paused:  st.paused,
+			Seq:     st.seq,
+			Phase:   st.last,
 		}
 	}
 	return out
+}
+
+// ExportStream returns one stream's snapshot: the migration image a source
+// card hands to the target so the stream resumes mid-window instead of cold.
+func (s *Scheduler) ExportStream(id int) (StreamSnapshot, error) {
+	st, ok := s.streams[id]
+	if !ok {
+		return StreamSnapshot{}, fmt.Errorf("%w: %d", ErrUnknownStream, id)
+	}
+	return StreamSnapshot{
+		Spec:    st.spec,
+		Stats:   st.stats,
+		Queued:  st.ring.Len(),
+		WindowX: st.cx,
+		WindowY: st.cy,
+		Paused:  st.paused,
+		Seq:     st.seq,
+		Phase:   st.last,
+	}, nil
+}
+
+// ImportStream registers a stream from a migration image: AddStream with the
+// image's spec, then window position, frame cursor, deadline phase, and stats
+// restored. Out-of-range window coordinates (a corrupt or hand-built image)
+// are clamped back into the declared (x, y) window rather than trusted — a
+// migration must never grant more loss budget than the stream's contract.
+// Imported streams resume unpaused: migration is itself the resume.
+func (s *Scheduler) ImportStream(snap StreamSnapshot) error {
+	if err := s.AddStream(snap.Spec); err != nil {
+		return err
+	}
+	st := s.streams[snap.Spec.ID]
+	cy := snap.WindowY
+	if cy < 1 || cy > st.y {
+		cy = st.y
+	}
+	cx := snap.WindowX
+	if cx < 0 {
+		cx = 0
+	}
+	if cx > st.x {
+		cx = st.x
+	}
+	if cx > cy {
+		cx = cy
+	}
+	st.cx, st.cy = cx, cy
+	if snap.Seq > 0 {
+		st.seq = snap.Seq
+	}
+	if snap.Phase > 0 {
+		st.last = snap.Phase
+	}
+	st.stats = snap.Stats
+	return nil
 }
 
 // DequeueFCFS pops the next queued packet in plain round-robin order

@@ -1,0 +1,106 @@
+package dwcs
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/fixed"
+	"repro/internal/sim"
+)
+
+// Drive a stream partway through its loss window, export it, import it into
+// a fresh scheduler, and check the window position, frame cursor, deadline
+// phase, and stats all survived the hop.
+func TestExportImportPreservesWindowAndCursor(t *testing.T) {
+	clk := &testClock{}
+	src := newScheduler(clk)
+	T := 10 * sim.Millisecond
+	mustAdd(t, src, spec(1, T, fixed.New(2, 4)))
+	for i := 0; i < 2; i++ {
+		mustEnqueue(t, src, 1, Packet{Bytes: 100})
+	}
+	// Service one ((2,4)→(2,3)), then miss one ((2,3)→(1,2)).
+	if d := src.Schedule(); d.Packet == nil {
+		t.Fatal("no dispatch")
+	}
+	clk.now = 3 * T // second packet's deadline (20ms) is past
+	src.Schedule()
+
+	img, err := src.ExportStream(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.WindowX != 1 || img.WindowY != 2 {
+		t.Fatalf("exported window = (%d,%d), want (1,2)", img.WindowX, img.WindowY)
+	}
+	if img.Seq != 2 {
+		t.Fatalf("exported frame cursor = %d, want 2", img.Seq)
+	}
+	if img.Phase != 2*T {
+		t.Fatalf("exported phase = %v, want %v", img.Phase, 2*T)
+	}
+	if img.Stats.Serviced != 1 || img.Stats.Dropped != 1 {
+		t.Fatalf("exported stats = %+v", img.Stats)
+	}
+
+	dst := newScheduler(clk)
+	if err := dst.ImportStream(img); err != nil {
+		t.Fatal(err)
+	}
+	if cx, cy, _ := dst.Window(1); cx != 1 || cy != 2 {
+		t.Fatalf("imported window = (%d,%d), want (1,2)", cx, cy)
+	}
+	st, _ := dst.Stats(1)
+	if st.Serviced != 1 || st.Dropped != 1 {
+		t.Fatalf("imported stats = %+v", st)
+	}
+	// The next enqueue continues the frame sequence; the deadline rebases on
+	// max(phase, now) so a late import never manufactures an instant miss.
+	mustEnqueue(t, dst, 1, Packet{Bytes: 100})
+	d := dst.Schedule()
+	if d.Packet == nil || d.Packet.Seq != 2 {
+		t.Fatalf("post-import dispatch = %+v, want seq 2", d.Packet)
+	}
+	if d.Packet.Deadline != 4*T {
+		t.Fatalf("post-import deadline = %v, want %v (rebased on now)", d.Packet.Deadline, 4*T)
+	}
+}
+
+// A corrupt image must not grant loss budget past the stream's declared
+// window: coordinates are clamped, not trusted.
+func TestImportClampsCorruptWindow(t *testing.T) {
+	clk := &testClock{}
+	s := newScheduler(clk)
+	img := StreamSnapshot{
+		Spec:    spec(7, 10*sim.Millisecond, fixed.New(1, 4)),
+		WindowX: 99, WindowY: 99, // claims far more budget than 1/4 allows
+	}
+	if err := s.ImportStream(img); err != nil {
+		t.Fatal(err)
+	}
+	if cx, cy, _ := s.Window(7); cx != 1 || cy != 4 {
+		t.Fatalf("window = (%d,%d), want clamp to declared (1,4)", cx, cy)
+	}
+
+	s2 := newScheduler(clk)
+	img.WindowX, img.WindowY = -3, 0 // nonsense low values
+	if err := s2.ImportStream(img); err != nil {
+		t.Fatal(err)
+	}
+	if cx, cy, _ := s2.Window(7); cx != 0 || cy != 4 {
+		t.Fatalf("window = (%d,%d), want (0,4)", cx, cy)
+	}
+}
+
+func TestImportRejectsDuplicateAndExportUnknown(t *testing.T) {
+	clk := &testClock{}
+	s := newScheduler(clk)
+	sp := spec(1, 10*sim.Millisecond, fixed.New(1, 2))
+	mustAdd(t, s, sp)
+	if err := s.ImportStream(StreamSnapshot{Spec: sp}); !errors.Is(err, ErrDuplicateID) {
+		t.Fatalf("duplicate import err = %v", err)
+	}
+	if _, err := s.ExportStream(42); !errors.Is(err, ErrUnknownStream) {
+		t.Fatalf("unknown export err = %v", err)
+	}
+}

@@ -1,0 +1,97 @@
+package faults
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestCorrelatedKindValidation(t *testing.T) {
+	for _, kind := range []Kind{HostCrash, NetPartition, RollingDrain} {
+		ok := &Plan{Events: []Event{{
+			At: sim.Second, Duration: 2 * sim.Second, Kind: kind, Target: "host0",
+		}}}
+		if err := ok.Validate(); err != nil {
+			t.Fatalf("valid %v rejected: %v", kind, err)
+		}
+		noDur := &Plan{Events: []Event{{At: sim.Second, Kind: kind, Target: "host0"}}}
+		if err := noDur.Validate(); err == nil {
+			t.Fatalf("%v without a duration validated", kind)
+		}
+	}
+}
+
+func TestCorrelatedKindsNeedDomainTargets(t *testing.T) {
+	spec := genSpec()
+	spec.Counts[HostCrash] = 1
+	if _, err := Generate(7, spec); err == nil {
+		t.Fatal("host-crash drew with no Hosts declared")
+	}
+	spec.Counts[HostCrash] = 0
+	spec.Counts[NetPartition] = 1
+	if _, err := Generate(7, spec); err == nil {
+		t.Fatal("net-partition drew with no Switches declared")
+	}
+}
+
+// TestCorrelatedKindsComposeWithoutDisturbingOtherKinds pins the generator's
+// append-at-the-end RNG discipline for the correlated kinds: layering
+// host-crash / net-partition / rolling-drain onto an existing (seed, spec)
+// plan must reproduce every pre-existing event byte-for-byte.
+func TestCorrelatedKindsComposeWithoutDisturbingOtherKinds(t *testing.T) {
+	without, err := Generate(99, genSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := genSpec()
+	spec.Hosts = []string{"host0", "host1"}
+	spec.Switches = []string{"sw0"}
+	spec.Counts[HostCrash] = 1
+	spec.Counts[NetPartition] = 1
+	spec.Counts[RollingDrain] = 2
+	with, err := Generate(99, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(with.Events) != len(without.Events)+4 {
+		t.Fatalf("event counts: %d with vs %d without", len(with.Events), len(without.Events))
+	}
+	counts := map[Kind]int{}
+	var rest []Event
+	for _, e := range with.Events {
+		switch e.Kind {
+		case HostCrash, RollingDrain:
+			counts[e.Kind]++
+			if e.Target != "host0" && e.Target != "host1" {
+				t.Fatalf("%v targeted %q, want a host", e.Kind, e.Target)
+			}
+			if e.Duration <= 0 {
+				t.Fatalf("%v drew without a duration", e.Kind)
+			}
+		case NetPartition:
+			counts[e.Kind]++
+			if e.Target != "sw0" {
+				t.Fatalf("net-partition targeted %q, want a switch", e.Target)
+			}
+		default:
+			rest = append(rest, e)
+		}
+	}
+	if counts[HostCrash] != 1 || counts[NetPartition] != 1 || counts[RollingDrain] != 2 {
+		t.Fatalf("drew %v, want 1/1/2", counts)
+	}
+	if !reflect.DeepEqual(rest, without.Events) {
+		t.Fatalf("adding correlated kinds disturbed the other kinds:\n%s\nvs\n%s", with, without)
+	}
+}
+
+func TestCorrelatedKindStrings(t *testing.T) {
+	for kind, want := range map[Kind]string{
+		HostCrash: "host-crash", NetPartition: "net-partition", RollingDrain: "rolling-drain",
+	} {
+		if got := kind.String(); got != want {
+			t.Fatalf("%d.String() = %q, want %q", int(kind), got, want)
+		}
+	}
+}

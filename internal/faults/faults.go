@@ -48,6 +48,20 @@ const (
 	// Appended after TaskHang so plans generated before the kind existed
 	// keep their exact RNG consumption schedule.
 	MemLeak
+	// HostCrash is a correlated failure: the host machine dies and takes
+	// every NI card on its PCI bus with it. Target names the host domain;
+	// the injector resolves member cards through the cluster topology.
+	// Recovery is the host (and its cards) coming back after Duration.
+	HostCrash
+	// NetPartition severs a declared set of inter-partition channels for
+	// Duration — a switch failure isolating whole card groups. Target
+	// names the switch domain.
+	NetPartition
+	// RollingDrain is planned maintenance: the target host's cards are
+	// drained (streams migrated off live, no heartbeat alarm) and the host
+	// returns after Duration. Drain is not death — the monitor must treat
+	// it as such.
+	RollingDrain
 )
 
 // String names the kind.
@@ -65,6 +79,12 @@ func (k Kind) String() string {
 		return "task-hang"
 	case MemLeak:
 		return "mem-leak"
+	case HostCrash:
+		return "host-crash"
+	case NetPartition:
+		return "net-partition"
+	case RollingDrain:
+		return "rolling-drain"
 	}
 	return fmt.Sprintf("kind(%d)", int(k))
 }
@@ -183,6 +203,13 @@ func (p *Plan) Validate() error {
 			if e.Duration <= 0 {
 				return fmt.Errorf("faults: event %d: mem-leak needs a duration", i)
 			}
+		case HostCrash, NetPartition, RollingDrain:
+			// Correlated faults without an end are a dead fleet, not chaos:
+			// recovery behavior is the thing under test, so a window is
+			// mandatory.
+			if e.Duration <= 0 {
+				return fmt.Errorf("faults: event %d: %v needs a duration", i, e.Kind)
+			}
 		}
 	}
 	return nil
@@ -275,10 +302,12 @@ func (p *Plan) Arm(eng *sim.Engine, inj Injector, log *Log) error {
 type Spec struct {
 	Start, Span sim.Time
 
-	Cards  []string // CardCrash / TaskHang targets
-	Links  []string // LinkDown / LossBurst targets
-	Disks  []string // DiskStall targets
-	Counts map[Kind]int
+	Cards    []string // CardCrash / TaskHang targets
+	Links    []string // LinkDown / LossBurst targets
+	Disks    []string // DiskStall targets
+	Hosts    []string // HostCrash / RollingDrain targets (host domains)
+	Switches []string // NetPartition targets (switch domains)
+	Counts   map[Kind]int
 
 	MinDuration, MaxDuration sim.Time
 	MinFactor, MaxFactor     int64
@@ -330,7 +359,8 @@ func Generate(seed int64, spec Spec) (*Plan, error) {
 	}
 	// Fixed kind order keeps the RNG consumption schedule stable; new kinds
 	// append at the end so pre-existing (seed, spec) plans are byte-stable.
-	for _, kind := range []Kind{CardCrash, LinkDown, LossBurst, DiskStall, TaskHang, MemLeak} {
+	for _, kind := range []Kind{CardCrash, LinkDown, LossBurst, DiskStall, TaskHang, MemLeak,
+		HostCrash, NetPartition, RollingDrain} {
 		var targets []string
 		switch kind {
 		case CardCrash, TaskHang, MemLeak:
@@ -339,6 +369,10 @@ func Generate(seed int64, spec Spec) (*Plan, error) {
 			targets = spec.Links
 		case DiskStall:
 			targets = spec.Disks
+		case HostCrash, RollingDrain:
+			targets = spec.Hosts
+		case NetPartition:
+			targets = spec.Switches
 		}
 		if err := draw(kind, targets, spec.Counts[kind]); err != nil {
 			return nil, err

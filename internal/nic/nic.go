@@ -468,6 +468,18 @@ func (ext *SchedulerExt) Invoke(op string, arg any) (any, error) {
 			return nil, fmt.Errorf("dwcs ext: removeStream wants int, got %T", arg)
 		}
 		return nil, ext.removeStream(id)
+	case "importStream":
+		img, ok := arg.(dwcs.StreamSnapshot)
+		if !ok {
+			return nil, fmt.Errorf("dwcs ext: importStream wants dwcs.StreamSnapshot, got %T", arg)
+		}
+		return nil, ext.importStream(img)
+	case "exportStream":
+		id, ok := arg.(int)
+		if !ok {
+			return nil, fmt.Errorf("dwcs ext: exportStream wants int, got %T", arg)
+		}
+		return ext.Sched.ExportStream(id)
 	case "enqueue":
 		ea, ok := arg.(EnqueueArgs)
 		if !ok {
@@ -520,11 +532,87 @@ func (ext *SchedulerExt) AddStream(spec dwcs.StreamSpec) error {
 	return err
 }
 
+// importStream admits a migrated stream from its image, going through the
+// same overload-budget gate as a fresh setup: a card past its high-water
+// mark refuses the migration exactly as it would refuse a new viewer, so
+// the migration protocol's candidate retry / AwaitSpace machinery applies.
+func (ext *SchedulerExt) importStream(img dwcs.StreamSnapshot) error {
+	if ov := ext.Overload; ov != nil {
+		if err := ov.Budget.AdmitStream(StreamMemCost(img.Spec)); err != nil {
+			return err
+		}
+	}
+	if err := ext.Sched.ImportStream(img); err != nil {
+		if ov := ext.Overload; ov != nil {
+			ov.Budget.ReleaseStream(StreamMemCost(img.Spec))
+		}
+		return err
+	}
+	if ext.Overload != nil {
+		ext.ovCost[img.Spec.ID] = StreamMemCost(img.Spec)
+	}
+	ext.QDelay[img.Spec.ID] = &stats.DelayTracker{Name: img.Spec.Name}
+	ext.Blackbox.Record(blackbox.Event{At: ext.Card.Eng.Now(), Kind: blackbox.KindMigrate,
+		Stream: img.Spec.ID, Seq: img.Seq, A: img.WindowX, B: img.WindowY, Note: "import"})
+	return nil
+}
+
+// ImportStream registers a migrated stream directly (card-local callers).
+func (ext *SchedulerExt) ImportStream(img dwcs.StreamSnapshot) error {
+	_, err := ext.Invoke("importStream", img)
+	return err
+}
+
+// ExportStream snapshots a stream's migration image (card-local callers).
+func (ext *SchedulerExt) ExportStream(id int) (dwcs.StreamSnapshot, error) {
+	img, err := ext.Sched.ExportStream(id)
+	if err == nil {
+		ext.Blackbox.Record(blackbox.Event{At: ext.Card.Eng.Now(), Kind: blackbox.KindMigrate,
+			Stream: id, Seq: img.Seq, A: img.WindowX, B: img.WindowY, Note: "export"})
+	}
+	return img, err
+}
+
 // RemoveStream deregisters a stream directly (card-local callers), flushing
 // queued frame payloads and releasing its admission charge.
 func (ext *SchedulerExt) RemoveStream(id int) error {
 	_, err := ext.Invoke("removeStream", id)
 	return err
+}
+
+// DetachStream is the source half of a live migration: export the stream's
+// image, flush the queued-but-undelivered frames (their card-memory payloads
+// are released here — the bytes travel from the producer again, not over the
+// migration channel), remove the stream, and rewind the image's frame cursor
+// and deadline phase past the flushed frames. When the target re-enqueues
+// the returned descriptors they reclaim their original sequence numbers, so
+// the client sees one continuous stream across the hop. The payload fields
+// of the returned packets are nil; replay re-addresses them.
+func (ext *SchedulerExt) DetachStream(id int) (dwcs.StreamSnapshot, []dwcs.Packet, error) {
+	img, err := ext.ExportStream(id)
+	if err != nil {
+		return dwcs.StreamSnapshot{}, nil, err
+	}
+	queued, err := ext.Sched.FlushStream(id)
+	if err != nil {
+		return dwcs.StreamSnapshot{}, nil, err
+	}
+	for i := range queued {
+		releasePayload(queued[i].Payload)
+		queued[i].Payload = nil
+	}
+	if err := ext.RemoveStream(id); err != nil {
+		return dwcs.StreamSnapshot{}, nil, err
+	}
+	if n := int64(len(queued)); n > 0 {
+		img.Seq -= n
+		img.Phase -= sim.Time(n) * img.Spec.Period
+		if img.Phase < 0 {
+			img.Phase = 0
+		}
+		img.Queued = 0
+	}
+	return img, queued, nil
 }
 
 // Per-stream card-memory footprint constants for overload admission. One
@@ -971,6 +1059,14 @@ func (a addressedBuf) ClientAddr() string { return a.dst }
 // Figure 3 (disk → I/O bus → scheduler NI → network; no host CPU or
 // memory).
 func (ext *SchedulerExt) SpawnPeerProducer(src *Card, clip *mpeg.Clip, streamID int, dst string, injectEvery sim.Time, loops int) *Producer {
+	return ext.SpawnPeerProducerFrom(src, clip, streamID, dst, injectEvery, loops, 0)
+}
+
+// SpawnPeerProducerFrom is SpawnPeerProducer with a frame cursor: the first
+// pass over the clip starts at frame startFrame (mod clip length) instead of
+// 0, so a producer respawned after a live migration resumes the title where
+// the moved stream left off rather than replaying from the top.
+func (ext *SchedulerExt) SpawnPeerProducerFrom(src *Card, clip *mpeg.Clip, streamID int, dst string, injectEvery sim.Time, loops int, startFrame int) *Producer {
 	if src.FS == nil {
 		panic("nic: SpawnPeerProducer needs a disk on the source card")
 	}
@@ -980,13 +1076,21 @@ func (ext *SchedulerExt) SpawnPeerProducer(src *Card, clip *mpeg.Clip, streamID 
 	if loops <= 0 {
 		loops = 1
 	}
+	skip := 0
+	if startFrame > 0 && len(clip.Frames) > 0 {
+		skip = startFrame % len(clip.Frames)
+	}
 	sched := ext.Card
 	p := &Producer{}
 	src.Kernel.Spawn(fmt.Sprintf("%s/peer%d", src.Name, streamID), PrioProducer, func(tc *rtos.TaskCtx) {
 		next := tc.Now()
 		var seq int64 // tracks the dwcs-assigned in-order sequence numbers
 		for loop := 0; loop < loops; loop++ {
-			for _, f := range clip.Frames {
+			frames := clip.Frames
+			if loop == 0 {
+				frames = frames[skip:]
+			}
+			for _, f := range frames {
 				if skipShed(tc, ext, f, p, &next, injectEvery) {
 					continue
 				}

@@ -305,3 +305,55 @@ func TestTopologyLookahead(t *testing.T) {
 		t.Fatal("Lookahead on unconnected pair must report false")
 	}
 }
+
+func TestCancelledEventNearHorizonKeepsCausality(t *testing.T) {
+	// Regression: a cancelled local event sitting at a partition's heap head
+	// used to let the window's RunUntil skip ahead and execute a live event
+	// beyond the safe horizon; a message sent toward that partition in the
+	// same round then arrived in its past and deliver panicked. The shape
+	// here mirrors the failure: b cancels a timer inside its window while a
+	// is still producing messages bound for b's overshot region.
+	topo := NewTopology(1)
+	topo.Workers = 1
+	a := topo.AddPartition("a")
+	b := topo.AddPartition("b")
+	const la = 5 * Millisecond
+	if err := topo.Connect(a, b, la); err != nil {
+		t.Fatal(err)
+	}
+	if err := topo.Connect(b, a, la); err != nil {
+		t.Fatal(err)
+	}
+
+	var got []Time
+	// b: a live event at 1 ms arms a timeout timer at 6 ms and immediately
+	// cancels it, leaving a cancelled head; b's next live event is far out
+	// at 20 ms — exactly the skip-ahead bait.
+	b.Eng().At(1*Millisecond, func() {
+		tm := b.Eng().After(5*Millisecond, func() { t.Error("cancelled timer fired") })
+		tm.Cancel()
+	})
+	b.Eng().At(20*Millisecond, func() { got = append(got, b.Eng().Now()) })
+
+	// a: a chain of events each sending to b with the minimum delay, so b
+	// keeps receiving messages shortly beyond a's clock the whole run.
+	var chain func()
+	chain = func() {
+		if a.Eng().Now() >= 15*Millisecond {
+			return
+		}
+		a.Send(b, la, func() { got = append(got, b.Eng().Now()) })
+		a.Eng().After(1*Millisecond, chain)
+	}
+	a.Eng().At(1*Millisecond, chain)
+
+	topo.RunUntil(30 * Millisecond) // deliver used to panic here
+	for i := 1; i < len(got); i++ {
+		if got[i] < got[i-1] {
+			t.Fatalf("events observed out of order: %v", got)
+		}
+	}
+	if len(got) == 0 {
+		t.Fatal("no events fired")
+	}
+}

@@ -223,23 +223,30 @@ func (e *Engine) Every(period Time, fn func()) (stop func()) {
 	return func() { stopped = true }
 }
 
+// popHead removes the earliest slot from the heap and recycles it,
+// returning its callback (nil when the event was cancelled) and time.
+func (e *Engine) popHead() (fn func(), at Time) {
+	idx := e.heap[0]
+	last := len(e.heap) - 1
+	e.heap[0] = e.heap[last]
+	e.heap = e.heap[:last]
+	if last > 0 {
+		e.siftDown(0)
+	}
+	s := &e.slots[idx]
+	fn = s.fn
+	at = s.at
+	s.fn = nil
+	s.gen++ // stale handles to this slot become inert
+	e.free = append(e.free, idx)
+	return fn, at
+}
+
 // Step fires the earliest pending event. It returns false when no events
 // remain. Cancelled events are skipped without advancing the clock.
 func (e *Engine) Step() bool {
 	for len(e.heap) > 0 {
-		idx := e.heap[0]
-		last := len(e.heap) - 1
-		e.heap[0] = e.heap[last]
-		e.heap = e.heap[:last]
-		if last > 0 {
-			e.siftDown(0)
-		}
-		s := &e.slots[idx]
-		fn := s.fn
-		at := s.at
-		s.fn = nil
-		s.gen++ // stale handles to this slot become inert
-		e.free = append(e.free, idx)
+		fn, at := e.popHead()
 		if fn == nil {
 			continue // cancelled: reap without advancing the clock
 		}
@@ -258,11 +265,21 @@ func (e *Engine) Run() {
 
 // RunUntil fires events with time ≤ t, then sets the clock to t. Events
 // scheduled beyond t remain pending.
+//
+// Cancelled events at or before t are reaped here rather than through
+// Step: Step's skip-ahead would fire the next live event even when it
+// lies beyond t, silently running past the bound. Under the partitioned
+// topology that bound is the conservative safe horizon, so overshooting
+// it is a causality violation (a partition executing state another
+// partition may still send messages into).
 func (e *Engine) RunUntil(t Time) {
 	for len(e.heap) > 0 && e.slots[e.heap[0]].at <= t {
-		if !e.Step() {
-			break
+		fn, at := e.popHead()
+		if fn == nil {
+			continue // cancelled: reap without advancing the clock
 		}
+		e.now = at
+		fn()
 	}
 	if e.now < t {
 		e.now = t

@@ -453,3 +453,26 @@ func TestDrainBetweenScenarios(t *testing.T) {
 		t.Fatalf("capacity %d retained after final Drain", hw)
 	}
 }
+
+func TestRunUntilCancelledHeadStopsAtBound(t *testing.T) {
+	// A cancelled event at the head of the heap must not let RunUntil run
+	// past its bound: Step's skip-ahead would fire the 30-tick event during
+	// RunUntil(15), which under a partitioned topology executes state beyond
+	// the conservative safe horizon.
+	e := NewEngine(1)
+	ev := e.At(10, func() { t.Fatal("cancelled event fired") })
+	fired := false
+	e.At(30, func() { fired = true })
+	ev.Cancel()
+	e.RunUntil(15)
+	if fired {
+		t.Fatal("RunUntil(15) fired an event scheduled at 30")
+	}
+	if e.Now() != 15 {
+		t.Fatalf("now = %v, want 15", e.Now())
+	}
+	e.RunUntil(40)
+	if !fired {
+		t.Fatal("event at 30 never fired")
+	}
+}

@@ -1,0 +1,67 @@
+package transport
+
+import (
+	"testing"
+
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// runPartition drives a fixed scenario: the data link is dark from t=0 to
+// 500ms and 8 packets are queued into the outage. The RTO backoff doubles
+// toward its ceiling, leaving a timer armed far past the restore instant.
+// With restore=true the sender is told about the repair via LinkRestored;
+// with restore=false it only sees the link come back (the pre-fix behavior).
+// Returns when the transfer fully drained.
+func runPartition(t *testing.T, restore bool) (doneAt sim.Time, snd *Sender) {
+	t.Helper()
+	p := newPipe(t, 4, 10*sim.Millisecond)
+	p.data.SetDown(true)
+	p.eng.At(500*sim.Millisecond, func() {
+		p.data.SetDown(false)
+		if restore {
+			p.snd.LinkRestored()
+		}
+	})
+	p.snd.OnAllAcked = func() { doneAt = p.eng.Now() }
+	p.sendN(8)
+	p.eng.Run()
+	if len(p.received) != 8 || !inOrder(p.received) {
+		t.Fatalf("received %d, in-order=%v", len(p.received), inOrder(p.received))
+	}
+	return doneAt, p.snd
+}
+
+// TestLinkRestoredClampsStaleTimer pins the stale-timer bug and its fix.
+// During a 500ms partition the backoff schedule arms retransmission timers at
+// 10, 30, 70, 150, 310, then 630ms — so a sender that merely watches its
+// timer sits idle for 130ms after the link is already good. LinkRestored
+// clamps: the probe goes out at the repair instant and go-back-N then
+// recovers one lost in-flight packet per base RTO — seven more 10ms cycles —
+// so the whole transfer drains before the stale timer would have fired at
+// all.
+func TestLinkRestoredClampsStaleTimer(t *testing.T) {
+	stale, _ := runPartition(t, false)
+	if stale < 630*sim.Millisecond {
+		t.Fatalf("control drained at %v; expected the stale 630ms timer to gate recovery", stale)
+	}
+	fixed, snd := runPartition(t, true)
+	if fixed < 500*sim.Millisecond || fixed > 575*sim.Millisecond {
+		t.Fatalf("with LinkRestored drained at %v, want 500ms repair + ≤7 base-RTO recovery cycles", fixed)
+	}
+	if got := snd.RTO(); got != 10*sim.Millisecond {
+		t.Fatalf("post-restore RTO = %v, want re-seeded base 10ms", got)
+	}
+}
+
+// LinkRestored with nothing in flight must not invent traffic or arm timers.
+func TestLinkRestoredIdleIsNoOp(t *testing.T) {
+	eng := sim.NewEngine(5)
+	l := netsim.Fast100(eng, "x", nil)
+	s := NewSender(eng, l, 4, 10*sim.Millisecond)
+	s.LinkRestored()
+	eng.Run()
+	if s.Sent != 0 || s.Retransmits != 0 {
+		t.Fatalf("idle LinkRestored transmitted: sent=%d retransmits=%d", s.Sent, s.Retransmits)
+	}
+}

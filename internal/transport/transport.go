@@ -157,6 +157,23 @@ func (s *Sender) timeout() {
 	s.arm()
 }
 
+// LinkRestored tells the sender its outbound path just came back (a partition
+// window closed, a dark link relit). During the outage the backoff doubled the
+// RTO toward its 2^rtoBackoffCap ceiling and left that huge timer armed — so
+// without this hook a restored link sits idle until the stale timer finally
+// fires, even though the path has been good for seconds. Clamp: drop the
+// backoff, cancel the stale timer, probe the base packet immediately, and
+// re-arm at the base RTO. A no-op when nothing is in flight.
+func (s *Sender) LinkRestored() {
+	s.strikes = 0
+	s.timer.Cancel()
+	if len(s.inFlit) > 0 {
+		s.Retransmits++
+		s.transmit(s.inFlit[0])
+	}
+	s.arm()
+}
+
 // Deliver implements netsim.Port for the reverse (ACK) path: ack.Seq is the
 // cumulative highest sequence received in order.
 func (s *Sender) Deliver(ack *netsim.Packet) {
