@@ -15,7 +15,10 @@
 # deterministic 10 s overload sweep, and the chaos baseline the exact
 # summary/recovery/violations output of the deterministic 6 s fleet-chaos
 # run — a drift there means the fault plan, a migration decision, or the
-# loss-window accounting changed.
+# loss-window accounting changed. The fleet-obs baseline pins the 64-card
+# in-band observability run (rollups, scrape accounting, timeline excerpt,
+# stitched traces); the same run also gates scrape overhead: in-band
+# telemetry bytes must stay <= 2% of media goodput.
 set -e
 cd "$(dirname "$0")"
 
@@ -23,6 +26,7 @@ BASELINE=BENCH_BASELINE.json
 STAGE_BASELINE=STAGE_BASELINE.txt
 OVERLOAD_BASELINE=OVERLOAD_BASELINE.txt
 CHAOS_BASELINE=CHAOS_BASELINE.txt
+FLEETOBS_BASELINE=FLEETOBS_BASELINE.txt
 BENCHES='BenchmarkEngine|BenchmarkSimulationThroughput|BenchmarkMissScan|BenchmarkParallelEngine'
 
 run_benches() {
@@ -47,6 +51,23 @@ run_chaos() {
 	go run ./cmd/clustersim -fleet-chaos -dur 6 -workers 1 2>/dev/null
 }
 
+run_fleetobs() {
+	go run ./cmd/clustersim -fleet-obs -cards 64 -dur 6 -workers 1 2>/dev/null
+}
+
+# check_obs_overhead fails when the run's in-band telemetry bytes exceed
+# 2% of media goodput (the "in-band obs=...B media=...B overhead=..%" line
+# of the scrape accounting table).
+check_obs_overhead() {
+	awk -F'overhead=' '/in-band obs=/ {
+		pct = $2 + 0
+		printf "scrape overhead: %s%% of media goodput (gate: 2%%)\n", pct
+		found = 1
+		if (pct > 2.0) { print "error: in-band scrape overhead above 2% gate" > "/dev/stderr"; exit 1 }
+	}
+	END { if (!found) { print "error: no overhead line in fleet-obs output" > "/dev/stderr"; exit 1 } }'
+}
+
 if [ "$1" = "-update" ]; then
 	run_stages > "$STAGE_BASELINE"
 	echo "wrote $STAGE_BASELINE"
@@ -54,6 +75,8 @@ if [ "$1" = "-update" ]; then
 	echo "wrote $OVERLOAD_BASELINE"
 	run_chaos > "$CHAOS_BASELINE"
 	echo "wrote $CHAOS_BASELINE"
+	run_fleetobs > "$FLEETOBS_BASELINE"
+	echo "wrote $FLEETOBS_BASELINE"
 	run_benches | awk '
 	/^Benchmark/ {
 		name = $1; sub(/-[0-9]+$/, "", name)
@@ -108,6 +131,21 @@ if [ -f "$CHAOS_BASELINE" ]; then
 	fi
 else
 	echo "no $CHAOS_BASELINE — run ./bench_compare.sh -update first" >&2
+fi
+
+# Fleet-obs tables: the 64-card in-band scrape run is deterministic too, and
+# its telemetry overhead is gated at 2% of media goodput.
+if [ -f "$FLEETOBS_BASELINE" ]; then
+	obs_out=$(run_fleetobs)
+	if printf '%s\n' "$obs_out" | diff -u "$FLEETOBS_BASELINE" -; then
+		echo "fleet-obs tables: unchanged"
+	else
+		echo "fleet-obs tables drifted from $FLEETOBS_BASELINE (rerun with -update if intended)" >&2
+		exit 1
+	fi
+	printf '%s\n' "$obs_out" | check_obs_overhead
+else
+	echo "no $FLEETOBS_BASELINE — run ./bench_compare.sh -update first" >&2
 fi
 
 run_benches | awk -v baseline="$BASELINE" '

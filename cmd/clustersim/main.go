@@ -30,6 +30,12 @@
 //	                                           # byte-identical contract
 //	clustersim -fleet-chaos -chaos-sweep       # severity × fleet-size recovery
 //	                                           # table
+//	clustersim -fleet-obs -cards 64            # in-band observability plane
+//	                                           # over the chaos fleet: DVCM
+//	                                           # metric scraping, fleet rollups,
+//	                                           # merged incident timeline, and
+//	                                           # cross-migration trace stitching;
+//	                                           # same byte-identical contract
 package main
 
 import (
@@ -83,9 +89,24 @@ func main() {
 	rollingDrains := flag.Int("rolling-drains", 0, "rolling-drain faults to draw (with -fleet-chaos); 0 = default, negative = none")
 	faultSeed := flag.Int64("fault-seed", 0, "chaos plan seed (with -fleet-chaos); 0 = derived from the fleet seed")
 	chaosSweep := flag.Bool("chaos-sweep", false, "render the severity × fleet-size recovery table (with -fleet-chaos)")
+	fleetObs := flag.Bool("fleet-obs", false, "scrape the chaos fleet in-band: rollups, incident timeline, stitched traces")
+	scrapeEvery := flag.Int("scrape-every", 0, "controller scrape interval in ms (with -fleet-obs); 0 = default 200")
+	topK := flag.Int("topk", 0, "top-k streams by loss-window pressure (with -fleet-obs); 0 = default 8")
+	stressPct := flag.Int("stress-pct", 0, "fill every card's budget to this %% mid-run to exercise scrape shedding (with -fleet-obs); 0 = off")
 	flag.Parse()
 	experiments.DefaultWorkers = *workers
 
+	if *fleetObs {
+		runFleetObs(experiments.FleetObsConfig{
+			Cards: *cards, StreamsPerCard: *fleetStreams,
+			Dur: sim.Time(*durSec) * sim.Second, Workers: *workers,
+			ScrapeEvery: sim.Time(*scrapeEvery) * sim.Millisecond, TopK: *topK,
+			HostCrashes: *hostCrashes, NetPartitions: *netPartitions,
+			RollingDrains: *rollingDrains, FaultSeed: *faultSeed,
+			StressPct: *stressPct,
+		}, *fleetOut)
+		return
+	}
 	if *fleetChaos {
 		runFleetChaos(experiments.FleetChaosConfig{
 			Cards: *cards, StreamsPerCard: *fleetStreams,
@@ -379,6 +400,66 @@ func runFleetChaos(cfg experiments.FleetChaosConfig, sweep bool, outDir string) 
 		}
 	}
 	fmt.Fprintf(os.Stderr, "fleet-chaos artifacts written to %s\n", outDir)
+}
+
+// runFleetObs drives the in-band observability plane over the chaos fleet:
+// the controller partition scrapes every card across the simulated DVCM
+// links, reply buffers are charged to each card's overload budget, and the
+// controller renders rollups, the merged incident timeline, and the
+// cross-migration stitched traces. Everything printed to stdout and written
+// under -fleet-out is byte-identical at any -workers count (and to a
+// monolithic run); engine diagnostics go to stderr so CI can diff stdout.
+func runFleetObs(cfg experiments.FleetObsConfig, outDir string) {
+	a := experiments.RunFleetObs(cfg)
+	fmt.Println(a.Summary)
+	fmt.Println(a.Chaos.Summary)
+	fmt.Print(a.Rollup)
+	fmt.Print(a.TopK)
+	fmt.Print(a.ScrapeStats)
+	fmt.Print(excerpt(a.Timeline, 14))
+	fmt.Print(a.Stitched)
+	fmt.Fprintf(os.Stderr, "fleet-obs: %d synchronization rounds (workers=%d)\n",
+		a.Chaos.Rounds, cfg.Workers)
+	if outDir == "" {
+		return
+	}
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, "clustersim:", err)
+		os.Exit(1)
+	}
+	for name, body := range map[string]string{
+		"summary.txt":    a.Summary + "\n" + a.Chaos.Summary + "\n",
+		"rollup.txt":     a.Rollup,
+		"timeline.txt":   a.Timeline,
+		"topk.txt":       a.TopK,
+		"scrape.txt":     a.ScrapeStats,
+		"stitched.txt":   a.Stitched,
+		"plan.txt":       a.Chaos.Plan + "\n",
+		"table.txt":      a.Chaos.Table,
+		"pulse.txt":      a.Chaos.Pulse,
+		"migrations.txt": a.Chaos.MigLog,
+		"recovery.txt":   a.Chaos.Recovery,
+		"violations.txt": a.Chaos.Violations,
+		"streams.csv":    a.Chaos.CSV,
+	} {
+		if err := os.WriteFile(filepath.Join(outDir, name), []byte(body), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "clustersim:", err)
+			os.Exit(1)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "fleet-obs artifacts written to %s\n", outDir)
+}
+
+// excerpt returns the first n lines of a rendered artifact plus an elision
+// marker — enough of the incident timeline to read on a terminal without
+// drowning stdout; the full artifact goes to -fleet-out. A deterministic
+// prefix of a deterministic string, so the stdout contract still holds.
+func excerpt(s string, n int) string {
+	lines := strings.SplitAfter(s, "\n")
+	if len(lines) <= n+1 {
+		return s
+	}
+	return strings.Join(lines[:n], "") + fmt.Sprintf("  … %d more line(s); full timeline in -fleet-out\n", len(lines)-n-1)
 }
 
 // writeTelemetry dumps the registry's artifacts for an instrumented run.

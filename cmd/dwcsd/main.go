@@ -10,13 +10,23 @@
 // Frames are fragmented into MTU-sized datagrams with the internal/proto
 // media framing and reassembled at the receiver, which reports per-stream
 // goodput and inter-arrival jitter.
+//
+// Either side also serves a live Prometheus endpoint with -metrics: the
+// same registry and text format the simulator's telemetry artifacts use,
+// so one scrape config covers both the real daemon and simulated runs.
+//
+//	dwcsd -dest 127.0.0.1:9961 -metrics 127.0.0.1:9900
+//	curl http://127.0.0.1:9900/metrics
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"net"
+	"net/http"
 	"os"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/dwcs"
@@ -24,6 +34,7 @@ import (
 	"repro/internal/mpeg"
 	"repro/internal/proto"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -32,15 +43,16 @@ func main() {
 	streams := flag.Int("streams", 2, "number of concurrent streams")
 	period := flag.Duration("period", 50*time.Millisecond, "per-stream frame period")
 	dur := flag.Duration("dur", 5*time.Second, "run duration")
+	metricsAddr := flag.String("metrics", "", "serve Prometheus metrics on this HTTP address while running")
 	flag.Parse()
 
 	switch {
 	case *recv != "":
-		if err := receiver(*recv, *dur); err != nil {
+		if err := receiver(*recv, *dur, *metricsAddr); err != nil {
 			fatal(err)
 		}
 	case *dest != "":
-		if err := sender(*dest, *streams, *period, *dur); err != nil {
+		if err := sender(*dest, *streams, *period, *dur, *metricsAddr); err != nil {
 			fatal(err)
 		}
 	default:
@@ -49,18 +61,59 @@ func main() {
 	}
 }
 
+// metricsHandler serves the registry's Prometheus text dump under /metrics.
+// The registered closures only read atomics, so a scrape arriving while the
+// send/receive loop runs is race-free.
+func metricsHandler(reg *telemetry.Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		io.WriteString(w, reg.PrometheusText())
+	})
+	return mux
+}
+
+// serveMetrics starts the metrics endpoint on addr and returns the bound
+// address (addr may end in :0) and a stopper.
+func serveMetrics(addr string, reg *telemetry.Registry) (string, func(), error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: metricsHandler(reg)}
+	go srv.Serve(ln)
+	return ln.Addr().String(), func() { srv.Close() }, nil
+}
+
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "dwcsd:", err)
 	os.Exit(1)
 }
 
 // sender paces clip frames to dest with DWCS over the wall clock.
-func sender(dest string, nStreams int, period, dur time.Duration) error {
+func sender(dest string, nStreams int, period, dur time.Duration, metricsAddr string) error {
 	conn, err := net.Dial("udp", dest)
 	if err != nil {
 		return err
 	}
 	defer conn.Close()
+
+	var sentN, droppedN atomic.Int64
+	if metricsAddr != "" {
+		reg := telemetry.New()
+		reg.CounterFunc("dwcsd", "frames_sent_total",
+			"frames paced onto the wire by DWCS", sentN.Load)
+		reg.CounterFunc("dwcsd", "frames_dropped_total",
+			"frames dropped by the scheduler (deadline passed)", droppedN.Load)
+		reg.GaugeFunc("dwcsd", "streams",
+			"concurrent streams being paced", func() float64 { return float64(nStreams) })
+		bound, stop, err := serveMetrics(metricsAddr, reg)
+		if err != nil {
+			return err
+		}
+		defer stop()
+		fmt.Fprintf(os.Stderr, "dwcsd: metrics on http://%s/metrics\n", bound)
+	}
 
 	clip := mpeg.GenerateDefault()
 	payload := mpeg.Encode(clip, 1960)
@@ -89,7 +142,6 @@ func sender(dest string, nStreams int, period, dur time.Duration) error {
 		}
 	}
 
-	sent, dropped := 0, 0
 	for now() < sim.Time(dur) {
 		// Inject due frames (producer side), half a period ahead.
 		for i := range cursors {
@@ -113,7 +165,7 @@ func sender(dest string, nStreams int, period, dur time.Duration) error {
 					return err
 				}
 			}
-			sent++
+			sentN.Add(1)
 		case d.WaitUntil > 0:
 			sleep := time.Duration(d.WaitUntil - now())
 			if sleep > time.Millisecond {
@@ -123,15 +175,14 @@ func sender(dest string, nStreams int, period, dur time.Duration) error {
 				time.Sleep(sleep)
 			}
 		default:
-			dropped += len(d.Dropped)
 			if len(d.Dropped) == 0 {
 				time.Sleep(time.Millisecond)
 			}
 		}
-		dropped += len(d.Dropped)
+		droppedN.Add(int64(len(d.Dropped)))
 	}
 	fmt.Printf("dwcsd: sent %d frames (%d dropped) on %d streams over %v\n",
-		sent, dropped, nStreams, dur)
+		sentN.Load(), droppedN.Load(), nStreams, dur)
 	return nil
 }
 
@@ -146,7 +197,7 @@ type streamReport struct {
 // receiver reassembles frames until dur elapses and prints a per-stream
 // report. Large frames arrive as several datagrams; proto.Reassembler
 // rebuilds them exactly as a player-side segmenter would.
-func receiver(listen string, dur time.Duration) error {
+func receiver(listen string, dur time.Duration, metricsAddr string) error {
 	addr, err := net.ResolveUDPAddr("udp", listen)
 	if err != nil {
 		return err
@@ -156,6 +207,25 @@ func receiver(listen string, dur time.Duration) error {
 		return err
 	}
 	defer conn.Close()
+
+	var framesN, bytesN, discardedN, datagramsN atomic.Int64
+	if metricsAddr != "" {
+		reg := telemetry.New()
+		reg.CounterFunc("dwcsd", "frames_reassembled_total",
+			"complete frames delivered by the reassembler", framesN.Load)
+		reg.CounterFunc("dwcsd", "bytes_received_total",
+			"reassembled frame bytes", bytesN.Load)
+		reg.CounterFunc("dwcsd", "frames_discarded_total",
+			"incomplete frames abandoned by the reassembler", discardedN.Load)
+		reg.CounterFunc("dwcsd", "datagrams_total",
+			"UDP datagrams ingested", datagramsN.Load)
+		bound, stop, err := serveMetrics(metricsAddr, reg)
+		if err != nil {
+			return err
+		}
+		defer stop()
+		fmt.Fprintf(os.Stderr, "dwcsd: metrics on http://%s/metrics\n", bound)
+	}
 
 	reports := make(map[uint32]*streamReport)
 	reasm := proto.NewReassembler(func(streamID, seq uint32, frame []byte) {
@@ -172,6 +242,8 @@ func receiver(listen string, dur time.Duration) error {
 		r.last = nowT
 		r.frames++
 		r.bytes += int64(len(frame))
+		framesN.Add(1)
+		bytesN.Add(int64(len(frame)))
 	})
 
 	buf := make([]byte, 64<<10)
@@ -186,6 +258,10 @@ func receiver(listen string, dur time.Duration) error {
 			return err
 		}
 		_ = reasm.Ingest(buf[:n]) // malformed datagrams are skipped
+		datagramsN.Add(1)
+		// Mirror the reassembler's plain counter so a concurrent scrape
+		// never races the ingest loop.
+		discardedN.Store(int64(reasm.Discarded))
 	}
 	if len(reports) == 0 {
 		fmt.Println("dwcsd: no frames received")

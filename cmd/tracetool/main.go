@@ -12,6 +12,9 @@
 //	tracetool -in trace.json -summary            # per-stage event counts
 //	tracetool -checkprom metrics.prom            # validate a Prometheus dump
 //	tracetool -pressure metrics.csv              # overload pressure view
+//	tracetool -timeline timeline.txt             # fleet incident timeline view
+//	tracetool -timeline t.txt -stream 9          # one stream's incident history
+//	tracetool -timeline t.txt -kind migrate      # one event kind
 //	tracetool -diff dirA dirB                    # run-diff two artifact dirs
 //
 // Exit codes (all modes):
@@ -24,8 +27,10 @@
 // Trace output always goes through the same canonical writer the exporters
 // use, so a filter-free pass re-emits its input byte-identically — the
 // property CI relies on. The -diff mode is the CI perf gate: it compares
-// stages.txt, metrics.csv, ladder.txt, and cycles.txt between two artifact
-// directories against a relative threshold and exits 3 on regression.
+// stages.txt, metrics.csv, ladder.txt, cycles.txt, and the fleet-obs
+// rollup.txt/timeline.txt between two artifact directories against a
+// relative threshold and exits 3 on regression — rollup findings name the
+// failing switch domain.
 package main
 
 import (
@@ -78,6 +83,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	summary := fs.Bool("summary", false, "print per-stage event counts instead of JSON")
 	checkprom := fs.String("checkprom", "", "validate a Prometheus text dump and exit")
 	pressure := fs.String("pressure", "", "render the overload pressure view from a metrics.csv snapshot dump and exit")
+	timeline := fs.String("timeline", "", "filter/summarize a fleet incident timeline artifact and exit (-stream, -kind)")
+	kind := fs.String("kind", "", "keep only timeline events of this kind (with -timeline)")
 	diff := fs.Bool("diff", false, "compare two artifact directories (positional: dirA dirB); exit 3 on regression")
 	diffThreshold := fs.Float64("diff-threshold", 0.10, "relative delta beyond which a -diff series regresses")
 	diffJSON := fs.Bool("diff-json", false, "emit the -diff report as JSON instead of a table")
@@ -87,6 +94,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "  -in trace.json [...]   filter/merge/re-emit Chrome traces (-stream, -stage, -where, -summary, -out)")
 		fmt.Fprintln(stderr, "  -checkprom dump.prom   validate a Prometheus text dump")
 		fmt.Fprintln(stderr, "  -pressure metrics.csv  overload pressure view of a snapshot dump")
+		fmt.Fprintln(stderr, "  -timeline timeline.txt fleet incident timeline view (-stream, -kind)")
 		fmt.Fprintln(stderr, "  -diff dirA dirB        run-diff two artifact directories (-diff-threshold, -diff-json)")
 		fmt.Fprintln(stderr, "exit codes: 0 ok, 1 usage, 2 parse error, 3 regression")
 		fmt.Fprintln(stderr, "flags:")
@@ -98,6 +106,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	if *diff {
 		return runDiff(fs.Args(), *diffThreshold, *diffJSON, stdout, stderr)
+	}
+
+	if *timeline != "" {
+		data, err := os.ReadFile(*timeline)
+		if err != nil {
+			fmt.Fprintln(stderr, "tracetool:", err)
+			return exitParse
+		}
+		if err := printTimeline(stdout, string(data), *stream, *kind); err != nil {
+			fmt.Fprintf(stderr, "tracetool: %s: %v\n", *timeline, err)
+			return exitParse
+		}
+		return exitOK
 	}
 
 	if *pressure != "" {
@@ -238,6 +259,60 @@ func printSummary(w io.Writer, events []telemetry.ChromeEvent) {
 		fmt.Fprintf(w, "%-10s %10d %14.2f\n", s, a.count, a.durUs)
 	}
 	fmt.Fprintf(w, "%-10s %10d\n", "total", len(events))
+}
+
+// printTimeline filters a fleet incident timeline artifact (the fixed-column
+// form Timeline.Render writes: t, src, host, sw, kind, detail) and tallies
+// the surviving events per kind and per source. stream matches the
+// "stream=N" prefix the renderer puts on stream-scoped details; kind is a
+// substring match so "scrape" covers scrape-dark/-degrade/-restore at once.
+func printTimeline(w io.Writer, content string, stream int, kind string) error {
+	lines := strings.Split(strings.TrimRight(content, "\n"), "\n")
+	if len(lines) < 2 || !strings.HasPrefix(lines[0], "incident timeline:") {
+		return fmt.Errorf("not an incident timeline artifact (header %q)", lines[0])
+	}
+	streamTag := fmt.Sprintf("stream=%d ", stream)
+	byKind := make(map[string]int)
+	bySrc := make(map[string]int)
+	var kept []string
+	for _, line := range lines[2:] {
+		f := strings.Fields(line)
+		if len(f) < 5 {
+			return fmt.Errorf("malformed timeline line %q", line)
+		}
+		src, k := f[1], f[4]
+		detail := strings.Join(f[5:], " ")
+		if kind != "" && !strings.Contains(k, kind) {
+			continue
+		}
+		if stream != 0 && !strings.HasPrefix(detail, streamTag) && detail != strings.TrimSpace(streamTag) {
+			continue
+		}
+		kept = append(kept, line)
+		byKind[k]++
+		bySrc[src]++
+	}
+	fmt.Fprintf(w, "%d of %d event(s) match\n", len(kept), len(lines)-2)
+	fmt.Fprintln(w, lines[1])
+	for _, line := range kept {
+		fmt.Fprintln(w, line)
+	}
+	for _, sec := range []struct {
+		header string
+		counts map[string]int
+	}{{"events by kind:", byKind}, {"events by source:", bySrc}} {
+		header, counts := sec.header, sec.counts
+		keys := make([]string, 0, len(counts))
+		for k := range counts {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fmt.Fprintln(w, header)
+		for _, k := range keys {
+			fmt.Fprintf(w, "  %-14s %d\n", k, counts[k])
+		}
+	}
+	return nil
 }
 
 // printPressure renders the overload controller's view of a metrics.csv

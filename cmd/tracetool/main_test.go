@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/fleetobs"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
 )
@@ -60,6 +61,60 @@ func TestDiffExitCodes(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), `"regression": true`) {
 		t.Fatalf("json:\n%s", out.String())
+	}
+}
+
+func TestTimelineMode(t *testing.T) {
+	// Render a real timeline artifact through the same code path the fleet
+	// writer uses, so the parser here is tested against the writer's format.
+	tl := fleetobs.NewTimeline()
+	tl.Add(fleetobs.TimelineEvent{At: sim.Second, Src: fleetobs.SrcController,
+		SrcName: "dvcm", Kind: "scrape-dark", Note: "ni04 answered nothing"})
+	tl.Add(fleetobs.TimelineEvent{At: sim.Second, Src: 4, SrcName: "ni04",
+		Host: "h02", Switch: "sw1", Kind: "domain-fault", Note: "host-crash h02"})
+	tl.Add(fleetobs.TimelineEvent{At: 2 * sim.Second, Src: fleetobs.SrcController,
+		SrcName: "dvcm", Kind: "migrate-live", Stream: 9, Seq: 44,
+		Note: "ni04→ni06 epoch 0→1"})
+	file := filepath.Join(t.TempDir(), "timeline.txt")
+	if err := os.WriteFile(file, []byte(tl.Render()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var out, errOut strings.Builder
+	if code := run([]string{"-timeline", file}, &out, &errOut); code != exitOK {
+		t.Fatalf("unfiltered: exit %d\n%s", code, errOut.String())
+	}
+	for _, want := range []string{"3 of 3 event(s) match", "scrape-dark", "events by kind:", "events by source:"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("unfiltered output missing %q:\n%s", want, out.String())
+		}
+	}
+
+	out.Reset()
+	if code := run([]string{"-timeline", file, "-kind", "scrape"}, &out, &errOut); code != exitOK {
+		t.Fatalf("-kind: exit %d", code)
+	}
+	if !strings.Contains(out.String(), "1 of 3 event(s) match") ||
+		strings.Contains(out.String(), "domain-fault") {
+		t.Fatalf("-kind scrape output:\n%s", out.String())
+	}
+
+	out.Reset()
+	if code := run([]string{"-timeline", file, "-stream", "9"}, &out, &errOut); code != exitOK {
+		t.Fatalf("-stream: exit %d", code)
+	}
+	if !strings.Contains(out.String(), "1 of 3 event(s) match") ||
+		!strings.Contains(out.String(), "migrate-live") {
+		t.Fatalf("-stream 9 output:\n%s", out.String())
+	}
+
+	// Garbage input is a parse error, not a crash.
+	bad := filepath.Join(t.TempDir(), "bad.txt")
+	if err := os.WriteFile(bad, []byte("not a timeline\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := run([]string{"-timeline", bad}, &out, &errOut); code != exitParse {
+		t.Fatalf("garbage timeline: exit %d, want %d", code, exitParse)
 	}
 }
 

@@ -252,6 +252,36 @@ func (r *Recorder) Events() []Event {
 	return out
 }
 
+// EventsSince returns the live ring events whose recording ordinal is greater
+// than since (ordinals are 1-based over every event ever offered, i.e. the
+// Recorded counter at the time the event was written), along with the newest
+// ordinal to pass back on the next call and the count of matching events that
+// were already lost to ring wraparound. This is the incremental-scrape
+// interface: a remote observer that polls faster than the ring wraps sees
+// every event exactly once; one that polls too slowly learns how much history
+// it missed instead of silently getting a gap.
+func (r *Recorder) EventsSince(since int64) (events []Event, newest int64, lost int64) {
+	if r == nil {
+		return nil, since, 0
+	}
+	newest = r.Recorded
+	if newest <= since {
+		return nil, newest, 0
+	}
+	oldest := r.Recorded - int64(r.n) + 1 // ordinal of the oldest live event
+	if since+1 < oldest {
+		lost = oldest - since - 1
+		since = oldest - 1
+	}
+	want := int(newest - since)
+	start := (r.head - want + len(r.ring)) % len(r.ring)
+	events = make([]Event, 0, want)
+	for i := 0; i < want; i++ {
+		events = append(events, r.ring[(start+i)%len(r.ring)])
+	}
+	return events, newest, lost
+}
+
 // Trigger captures an incident: ring contents plus StateFn output, stamped
 // with at and reason. Beyond MaxIncidents the trigger is counted but the dump
 // suppressed — incident storage is bounded like everything else on the card.

@@ -194,6 +194,11 @@ type fleetChaos struct {
 	migLog    []string
 	violByGid map[int]*[2]int64 // gid → {during, outside}
 	res       *FleetChaosResult
+
+	// obs, when set, is the in-band observability plane (fleetobs.go). Every
+	// hook below is nil-guarded, so a plain chaos run is byte-identical with
+	// or without the scrape plane compiled in.
+	obs *fleetObs
 }
 
 // --- failure-domain geometry ------------------------------------------------
@@ -441,6 +446,10 @@ func (f *fleetChaos) step(st *chaosStream, done func()) {
 		if !ok {
 			f.lost[gid] = true
 			f.logf("t=%-12v cold gid=%02d ni%02d→?     no checkpoint; stream lost until readd", t, gid, cur)
+			if f.obs != nil {
+				f.obs.ctrlEvent("stream-lost", gid, 0,
+					fmt.Sprintf("ni%02d dark and no checkpoint; awaiting readd", cur))
+			}
 			done()
 			return
 		}
@@ -453,6 +462,10 @@ func (f *fleetChaos) step(st *chaosStream, done func()) {
 		// placement record is a ghost. Teardown restart.
 		f.lost[gid] = true
 		f.logf("t=%-12v wipe gid=%02d ni%02d state erased by crash recovery; readd pending", t, gid, cur)
+		if f.obs != nil {
+			f.obs.ctrlEvent("state-wiped", gid, 0,
+				fmt.Sprintf("ni%02d crash recovery erased placement; readd pending", cur))
+		}
 		f.step(st, done)
 		return
 	}
@@ -482,6 +495,9 @@ func (f *fleetChaos) migrateLive(st *chaosStream, from, want int, done func()) {
 				f.lost[gid] = true
 				f.logf("t=%-12v live gid=%02d ni%02d→ni%02d detach failed: %v",
 					f.ctrlEng().Now(), gid, from, want, err)
+				if f.obs != nil {
+					f.obs.abortMove(st, from, want, 0, "detach failed")
+				}
 				done()
 				return
 			}
@@ -505,11 +521,20 @@ func (f *fleetChaos) placeImage(st *chaosStream, from int, img dwcs.StreamSnapsh
 	if cold {
 		kind = "cold"
 	}
+	// The epoch this placement will commit as, decided before the first hop
+	// so the target card can stamp spans with it at import time.
+	nextEpoch := 0
+	if f.obs != nil {
+		nextEpoch = f.obs.epoch[gid] + 1
+	}
 	if len(cands) == 0 {
 		f.lost[gid] = true
 		f.res.Parked++
 		f.logf("t=%-12v %s gid=%02d ni%02d→?     no live candidate; stream parked",
 			f.ctrlEng().Now(), kind, gid, from)
+		if f.obs != nil {
+			f.obs.abortMove(st, from, -1, img.Seq, "no candidate; parked")
+		}
 		done()
 		return
 	}
@@ -519,6 +544,7 @@ func (f *fleetChaos) placeImage(st *chaosStream, from int, img dwcs.StreamSnapsh
 		f.toCard(to, func() {
 			dst := f.cards[to]
 			var err error
+			var importAt sim.Time
 			replayed := 0
 			if dst.sched.Crashed() {
 				err = fmt.Errorf("card ni%02d crashed", to)
@@ -533,6 +559,9 @@ func (f *fleetChaos) placeImage(st *chaosStream, from int, img dwcs.StreamSnapsh
 				p := dst.ext.SpawnPeerProducerFrom(dst.disk, f.clip, gid, st.addr,
 					fleetStreamPeriod, 1<<30, start)
 				st.prods = append(st.prods, p)
+				if f.obs != nil {
+					importAt = f.obs.cardImport(to, st, nextEpoch, img.Seq)
+				}
 			}
 			f.toCtrl(to, func() {
 				if err == nil {
@@ -548,6 +577,9 @@ func (f *fleetChaos) placeImage(st *chaosStream, from int, img dwcs.StreamSnapsh
 					f.logf("t=%-12v %s gid=%02d ni%02d→ni%02d ok seq=%d win=(%d,%d) replay=%d",
 						f.ctrlEng().Now(), kind, gid, from, to,
 						img.Seq, img.WindowX, img.WindowY, replayed)
+					if f.obs != nil {
+						f.obs.commitMove(st, from, to, nextEpoch, img.Seq, importAt, kind)
+					}
 					done()
 					return
 				}
@@ -561,6 +593,9 @@ func (f *fleetChaos) placeImage(st *chaosStream, from int, img dwcs.StreamSnapsh
 				f.res.Parked++
 				f.logf("t=%-12v %s gid=%02d ni%02d→?     every candidate refused; stream parked",
 					f.ctrlEng().Now(), kind, gid, from)
+				if f.obs != nil {
+					f.obs.abortMove(st, from, to, img.Seq, "every candidate refused; parked")
+				}
 				done()
 			})
 		})
@@ -575,9 +610,15 @@ func (f *fleetChaos) placeImage(st *chaosStream, from int, img dwcs.StreamSnapsh
 // separately and weighed against the resume rate.
 func (f *fleetChaos) readd(st *chaosStream, to int, done func()) {
 	gid := st.gid
+	nextEpoch := 0
+	if f.obs != nil {
+		nextEpoch = f.obs.epoch[gid] + 1
+	}
 	f.toCard(to, func() {
 		dst := f.cards[to]
 		var err error
+		var importAt sim.Time
+		var startSeq int64
 		if dst.sched.Crashed() {
 			err = fmt.Errorf("card ni%02d crashed", to)
 		} else if err = dst.ext.AddStream(st.spec); err == nil {
@@ -588,6 +629,10 @@ func (f *fleetChaos) readd(st *chaosStream, to int, done func()) {
 			p := dst.ext.SpawnPeerProducerFrom(dst.disk, f.clip, gid, st.addr,
 				fleetStreamPeriod, 1<<30, start)
 			st.prods = append(st.prods, p)
+			startSeq = int64(start)
+			if f.obs != nil {
+				importAt = f.obs.cardImport(to, st, nextEpoch, startSeq)
+			}
 		}
 		f.toCtrl(to, func() {
 			if err == nil {
@@ -597,9 +642,16 @@ func (f *fleetChaos) readd(st *chaosStream, to int, done func()) {
 				f.res.Readds++
 				f.logf("t=%-12v readd gid=%02d →ni%02d fresh window (teardown restart)",
 					f.ctrlEng().Now(), gid, to)
+				if f.obs != nil {
+					f.obs.commitReadd(st, to, nextEpoch, startSeq, importAt)
+				}
 			} else {
 				f.logf("t=%-12v readd gid=%02d →ni%02d refused: %v",
 					f.ctrlEng().Now(), gid, to, err)
+				if f.obs != nil {
+					f.obs.ctrlEvent("readd-refused", gid, 0,
+						fmt.Sprintf("→ni%02d: %v", to, err))
+				}
 			}
 			done()
 		})
@@ -756,6 +808,17 @@ func (f *fleetChaos) affects(e faults.Event, st *chaosStream) bool {
 // and runs it, returning byte-deterministic artifacts.
 func RunFleetChaos(cfg FleetChaosConfig) *FleetChaosResult {
 	cfg.setDefaults()
+	f := buildFleetChaos(cfg, nil)
+	f.runChaos()
+	f.collectChaos()
+	return f.res
+}
+
+// buildFleetChaos assembles the chaos fleet ready to run: topology, cards,
+// streams, armed chaos plan, and the controller's poll loop. obs, when
+// non-nil, is wired in during the build so its card-side instrumentation
+// exists before the first event fires.
+func buildFleetChaos(cfg FleetChaosConfig, obs *fleetObs) *fleetChaos {
 	f := &fleetChaos{
 		fleet: &fleet{
 			cfg: FleetConfig{
@@ -778,6 +841,10 @@ func RunFleetChaos(cfg FleetChaosConfig) *FleetChaosResult {
 			Cards: cfg.Cards, Hosts: cfg.hosts(), Switches: cfg.switches(),
 			Streams: cfg.Cards * cfg.StreamsPerCard, Dur: cfg.Dur,
 		},
+	}
+	if obs != nil {
+		f.obs = obs
+		obs.f = f
 	}
 
 	// The chaos plan: correlated faults over the host and switch domains,
@@ -838,6 +905,11 @@ func RunFleetChaos(cfg FleetChaosConfig) *FleetChaosResult {
 			mustConnect(f.topo, p, f.ctrl, cfg.NetLatency)
 		}
 	}
+	if f.obs != nil {
+		for i := range f.cards {
+			f.obs.attachCard(i)
+		}
+	}
 
 	// Severance: the drop hook runs in the source card's partition at
 	// transmit time against the static plan, so every worker count sees the
@@ -896,6 +968,9 @@ func RunFleetChaos(cfg FleetChaosConfig) *FleetChaosResult {
 				fc.ext.SpawnPeerProducer(fc.disk, f.clip, gid, addr, fleetStreamPeriod, 1<<30))
 			f.cstream = append(f.cstream, st)
 			f.loc[gid] = i
+			if f.obs != nil {
+				f.obs.attachStream(st)
+			}
 		}
 	}
 
@@ -929,16 +1004,18 @@ func RunFleetChaos(cfg FleetChaosConfig) *FleetChaosResult {
 
 	ctrlEng.Every(cfg.PollEvery, f.poll)
 
+	return f
+}
+
+// runChaos drives the built fleet to Dur and settles the topology.
+func (f *fleetChaos) runChaos() {
 	if f.topo == nil {
-		f.mono.RunUntil(cfg.Dur)
+		f.mono.RunUntil(f.ccfg.Dur)
 	} else {
-		f.topo.RunUntil(cfg.Dur)
+		f.topo.RunUntil(f.ccfg.Dur)
 		f.res.Rounds = f.topo.Rounds
 		f.topo.Drain()
 	}
-
-	f.collectChaos()
-	return f.res
 }
 
 // collectChaos renders the artifacts from the settled fleet. Runs after the

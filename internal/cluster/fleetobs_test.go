@@ -1,0 +1,153 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func obsTestConfig() FleetObsConfig {
+	return FleetObsConfig{
+		FleetChaosConfig: FleetChaosConfig{
+			Cards: 8, StreamsPerCard: 2, Dur: 4 * sim.Second,
+		},
+	}
+}
+
+// obsArts lists every byte-compared observability artifact.
+func obsArts(r *FleetObsResult) map[string]string {
+	return map[string]string{
+		"rollup":   r.Rollup,
+		"timeline": r.Timeline,
+		"topk":     r.TopK,
+		"scrape":   r.ScrapeStats,
+		"stitched": r.Stitched,
+		"summary":  r.ObsSummary,
+		// The underlying chaos artifacts must stay deterministic too.
+		"chaos-miglog":  r.Chaos.MigLog,
+		"chaos-table":   r.Chaos.Table,
+		"chaos-summary": r.Chaos.Summary,
+	}
+}
+
+// The full observability plane — scrape timing, timeline merge, rollups,
+// epoch links, stitched traces — must be byte-identical across the
+// monolithic reference and any worker count.
+func TestFleetObsDeterminism(t *testing.T) {
+	base := obsTestConfig()
+	base.Monolithic = true
+	ref := RunFleetObs(base)
+
+	for _, workers := range []int{1, 4} {
+		cfg := obsTestConfig()
+		cfg.Workers = workers
+		got := RunFleetObs(cfg)
+		want, have := obsArts(ref), obsArts(got)
+		for name := range want {
+			if want[name] != have[name] {
+				t.Errorf("workers=%d: artifact %q differs from monolithic reference\nmono:\n%s\nworkers:\n%s",
+					workers, name, clip(want[name]), clip(have[name]))
+			}
+		}
+	}
+}
+
+func clip(s string) string {
+	if len(s) > 2000 {
+		return s[:2000] + "…"
+	}
+	return s
+}
+
+// The scrape plane must actually move data in-band and never breach a card
+// budget: replies are admission-tested before they are charged.
+func TestFleetObsScrapeChargedNoBreach(t *testing.T) {
+	res := RunFleetObs(obsTestConfig())
+	if res.ScrapeReqs == 0 || res.ScrapeSamples == 0 {
+		t.Fatalf("no scrape traffic: reqs=%d samples=%d", res.ScrapeReqs, res.ScrapeSamples)
+	}
+	if res.ObsBytes == 0 {
+		t.Fatalf("scrape traffic not accounted")
+	}
+	if res.Breaches != 0 {
+		t.Fatalf("scrape replies breached a card budget %d time(s)", res.Breaches)
+	}
+	if res.EventsShipped == 0 {
+		t.Fatalf("no flight-recorder events rode the scrape plane")
+	}
+	// The chaos plan crashes a host, so the controller must have seen at
+	// least one card go dark and the timeline must record it.
+	if res.ScrapeDark == 0 {
+		t.Fatalf("host crash never made a card scrape-dark")
+	}
+	for _, want := range []string{"scrape-dark", "domain-fault", "migrate"} {
+		if !strings.Contains(res.Timeline, want) {
+			t.Fatalf("timeline missing %q:\n%s", want, clip(res.Timeline))
+		}
+	}
+	// The overhead line exists and in-band telemetry stays a sliver of the
+	// media it shares links with.
+	if !strings.Contains(res.ScrapeStats, "overhead=") {
+		t.Fatalf("scrape accounting missing overhead line:\n%s", res.ScrapeStats)
+	}
+	if res.MediaBytes > 0 && res.ObsBytes*10 > res.MediaBytes {
+		t.Fatalf("in-band obs bytes (%d) exceed 10%% of media bytes (%d)",
+			res.ObsBytes, res.MediaBytes)
+	}
+}
+
+// The default chaos plan live-migrates streams; their disk→wire→playout
+// traces must stitch across the handoff via the recorded epoch links.
+func TestFleetObsStitchesLiveMigration(t *testing.T) {
+	res := RunFleetObs(obsTestConfig())
+	if res.Chaos.LiveMigrations == 0 {
+		t.Skipf("plan produced no live migrations (chaos draw)")
+	}
+	if res.Links == 0 {
+		t.Fatalf("migrations committed but no span links recorded")
+	}
+	if res.StitchedLive == 0 {
+		t.Fatalf("no live-migrated stream stitched to a full path:\n%s", clip(res.Stitched))
+	}
+	for _, want := range []string{"cursor contiguous", "full span: disk["} {
+		if !strings.Contains(res.Stitched, want) {
+			t.Fatalf("stitched artifact missing %q:\n%s", want, clip(res.Stitched))
+		}
+	}
+}
+
+// Under deterministic memory pressure the scrape plane degrades first:
+// replies shed, the interval widens, and once pressure clears the full rate
+// is restored — all without a single budget breach and with media flowing.
+func TestFleetObsShedsUnderPressureThenRestores(t *testing.T) {
+	cfg := obsTestConfig()
+	// Quiet chaos: pressure is the only disturbance, so the shed/restore
+	// cycle is isolated.
+	cfg.HostCrashes, cfg.NetPartitions, cfg.RollingDrains = -1, -1, -1
+	cfg.StressPct = 95
+	cfg.StressAt = 1 * sim.Second
+	cfg.StressDur = 1 * sim.Second
+	res := RunFleetObs(cfg)
+	if res.ScrapeSheds == 0 || res.Degrades == 0 {
+		t.Fatalf("pressure never shed a scrape: sheds=%d degrades=%d",
+			res.ScrapeSheds, res.Degrades)
+	}
+	if res.ScrapeSkips == 0 {
+		t.Fatalf("degraded rung never skipped a scrape")
+	}
+	if res.Restores == 0 {
+		t.Fatalf("full scrape rate never restored after pressure cleared")
+	}
+	if res.Breaches != 0 {
+		t.Fatalf("shedding must prevent breaches, got %d", res.Breaches)
+	}
+	if res.Chaos.TotalRecv == 0 {
+		t.Fatalf("media stopped flowing under scrape pressure")
+	}
+	for _, want := range []string{"scrape-degrade", "scrape-restore", "scrape shed"} {
+		if !strings.Contains(res.Timeline, want) {
+			t.Fatalf("timeline missing %q:\n%s", want, clip(res.Timeline))
+		}
+	}
+}

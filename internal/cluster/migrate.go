@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/blackbox"
 	"repro/internal/core"
 	"repro/internal/dvcmnet"
 	"repro/internal/dwcs"
@@ -90,11 +91,20 @@ func (c *Cluster) Migrate(p *Placement, opts MigrateOptions, done func(*Migratio
 	m := &Migration{StreamID: p.StreamID, From: p.Scheduler, Old: p, StartedAt: c.Eng.Now()}
 	img, queued, err := p.Scheduler.Ext.DetachStream(p.StreamID)
 	if err != nil {
+		p.Scheduler.Ext.Blackbox.Record(blackbox.Event{
+			At: c.Eng.Now(), Kind: blackbox.KindMigrate, Stream: p.StreamID,
+			Note: "export failed: " + err.Error(),
+		})
 		delete(c.migrating, p.StreamID)
 		done(m, err)
 		return
 	}
 	m.Image = img
+	p.Scheduler.Ext.Blackbox.Record(blackbox.Event{
+		At: c.Eng.Now(), Kind: blackbox.KindMigrate, Stream: p.StreamID,
+		Seq: img.Seq, A: int64(img.WindowX), B: int64(img.WindowY),
+		Note: "export begin (live)",
+	})
 	c.refund(p)
 	delete(p.Scheduler.specs, p.StreamID)
 	delete(c.placements, p.StreamID)
@@ -151,6 +161,32 @@ func (c *Cluster) settle(m *Migration, p *Placement, img dwcs.StreamSnapshot,
 	finish := func(err error) {
 		m.DoneAt = c.Eng.Now()
 		delete(c.migrating, p.StreamID)
+		// Commit/abort lands in the flight-recorder ring so migrations are
+		// visible in incident dumps: commit on the card that now serves the
+		// stream, abort on the card that lost it.
+		switch {
+		case err != nil:
+			m.From.Ext.Blackbox.Record(blackbox.Event{
+				At: m.DoneAt, Kind: blackbox.KindMigrate, Stream: m.StreamID,
+				Note: "migration aborted: " + err.Error(),
+			})
+		case m.FellBack:
+			m.From.Ext.Blackbox.Record(blackbox.Event{
+				At: m.DoneAt, Kind: blackbox.KindMigrate, Stream: m.StreamID,
+				Seq: img.Seq, Note: "fell back to host tier",
+			})
+		case m.To != nil:
+			kind := "live"
+			if m.Cold {
+				kind = "cold"
+			}
+			m.To.Ext.Blackbox.Record(blackbox.Event{
+				At: m.DoneAt, Kind: blackbox.KindMigrate, Stream: m.StreamID,
+				Seq: img.Seq, A: int64(img.WindowX), B: int64(img.WindowY),
+				Note: fmt.Sprintf("import commit (%s) from %s replay=%d",
+					kind, m.From.Card.Name, m.Replayed),
+			})
+		}
 		done(m, err)
 	}
 	var try func()

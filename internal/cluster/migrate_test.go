@@ -2,8 +2,10 @@ package cluster
 
 import (
 	"errors"
+	"strings"
 	"testing"
 
+	"repro/internal/blackbox"
 	"repro/internal/dwcs"
 	"repro/internal/fixed"
 	"repro/internal/host"
@@ -382,5 +384,119 @@ func TestMigrateColdFromCheckpoint(t *testing.T) {
 	}
 	if cx, cy, err := s1.Ext.Sched.Window(p.StreamID); err != nil || cx != 1 || cy != 2 {
 		t.Fatalf("restored window = (%d,%d) err=%v, want checkpoint (1,2)", cx, cy, err)
+	}
+}
+
+// migRing attaches a flight recorder to a scheduler NI and returns it.
+func migRing(t *testing.T, s *SchedulerNI) *blackbox.Recorder {
+	t.Helper()
+	rec, err := blackbox.New(blackbox.Config{Name: s.Card.Name})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Ext.AttachBlackbox(rec)
+	return rec
+}
+
+// findNote returns the first event with the given note, or nil.
+func findNote(evs []blackbox.Event, note string) *blackbox.Event {
+	for i := range evs {
+		if evs[i].Note == note {
+			return &evs[i]
+		}
+	}
+	return nil
+}
+
+// migEvents filters a ring down to its migration events.
+func migEvents(rec *blackbox.Recorder) []blackbox.Event {
+	var out []blackbox.Event
+	for _, e := range rec.Events() {
+		if e.Kind == blackbox.KindMigrate {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// TestMigrateRecordsBlackboxEvents: migrations must be visible in incident
+// dumps — export begin on the source ring, import commit on the target ring,
+// and an abort on the source when every candidate refuses.
+func TestMigrateRecordsBlackboxEvents(t *testing.T) {
+	c := twoSchedCluster(t)
+	s0 := c.Nodes[0].Schedulers[0]
+	s1 := c.Nodes[0].Schedulers[1]
+	rec0, rec1 := migRing(t, s0), migRing(t, s1)
+
+	p, err := c.Admit(lossyReq("movie"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.AttachClient(p)
+	c.Migrate(p, MigrateOptions{}, func(m *Migration, err error) {
+		if err != nil {
+			t.Fatalf("migrate: %v", err)
+		}
+	})
+
+	// The nic layer records raw export/import hops; the cluster layer must
+	// add the migration lifecycle on top.
+	if e := findNote(migEvents(rec0), "export begin (live)"); e == nil || e.Stream != p.StreamID {
+		t.Fatalf("source ring missing export begin: %v", migEvents(rec0))
+	}
+	want := "import commit (live) from " + s0.Card.Name + " replay=0"
+	if e := findNote(migEvents(rec1), want); e == nil || e.Stream != p.StreamID {
+		t.Fatalf("target ring missing %q: %v", want, migEvents(rec1))
+	}
+
+	// Abort path: the only candidate is pinned at its high-water mark and
+	// retries are exhausted, so the migration aborts — on the record.
+	c.EnableOverload(nil)
+	release := fill(s0)
+	defer release()
+	var aborted error
+	c.Migrate(c.Live()[0], MigrateOptions{MaxAttempts: 1}, func(m *Migration, err error) {
+		aborted = err
+	})
+	if aborted == nil {
+		t.Fatal("migration should abort with every candidate refusing")
+	}
+	found := false
+	for _, e := range migEvents(rec1) {
+		if strings.HasPrefix(e.Note, "migration aborted:") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("abort not recorded on source ring: %v", migEvents(rec1))
+	}
+}
+
+// TestMigrateColdRecordsCommit: a cold restore records its import (marked
+// cold) on the target ring.
+func TestMigrateColdRecordsCommit(t *testing.T) {
+	c := twoSchedCluster(t)
+	s0 := c.Nodes[0].Schedulers[0]
+	s1 := c.Nodes[0].Schedulers[1]
+	rec1 := migRing(t, s1)
+
+	p, err := c.Admit(lossyReq("movie"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := s0.Ext.Sched.ExportStream(p.StreamID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img.Seq = 7
+	affected := c.FailScheduler(s0, c.Live())
+	c.MigrateCold(affected[0], img, MigrateOptions{}, func(m *Migration, err error) {
+		if err != nil {
+			t.Fatalf("cold migrate: %v", err)
+		}
+	})
+	e := findNote(migEvents(rec1), "import commit (cold) from "+s0.Card.Name+" replay=0")
+	if e == nil || e.Seq != 7 {
+		t.Fatalf("cold commit not recorded: %v", migEvents(rec1))
 	}
 }

@@ -23,11 +23,19 @@ import (
 	"repro/internal/telemetry"
 )
 
-// reqBytes/respBytes size the control packets on the wire (instruction
-// header plus marshalled argument descriptor).
+// ControlReqBytes/ControlRespBytes size the control packets on the wire
+// (instruction header plus marshalled argument descriptor). Exported so
+// other in-band control protocols — the fleet scrape plane derives its
+// request and reply-header costs from these — stay consistent with the DVCM
+// instruction format.
 const (
-	reqBytes  = 128
-	respBytes = 96
+	ControlReqBytes  = 128
+	ControlRespBytes = 96
+)
+
+const (
+	reqBytes  = ControlReqBytes
+	respBytes = ControlRespBytes
 )
 
 // ErrTimeout reports a remote invocation that received no reply in time.

@@ -1,0 +1,127 @@
+// Fleet-obs experiment: the in-band observability plane over the chaos
+// fleet (cluster.RunFleetObs), wrapped for the artifact writers and the CI
+// determinism canary. The canary extends the fleet's byte-identical contract
+// to the scrape plane: every scrape decision, the merged incident timeline,
+// the rollup tables, and the cross-migration stitched traces must not depend
+// on the worker count or on monolithic-vs-partitioned execution.
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+)
+
+// FleetObsConfig parameterizes the fleet-obs experiment. Zero values take
+// the cluster-layer defaults (8 cards × 2 streams over 6 s, one fault of
+// each kind, 200 ms scrapes; see cluster.FleetObsConfig).
+type FleetObsConfig struct {
+	Cards          int
+	StreamsPerCard int
+	Dur            sim.Time
+	Workers        int
+
+	ScrapeEvery sim.Time
+	TopK        int
+
+	// Chaos severity, as in FleetChaosConfig.
+	HostCrashes   int
+	NetPartitions int
+	RollingDrains int
+	FaultSeed     int64
+
+	// Deterministic memory-pressure window (0 = off); see
+	// cluster.FleetObsConfig.
+	StressPct int
+	StressAt  sim.Time
+	StressDur sim.Time
+}
+
+// FleetObsArtifacts is everything one observed chaos run exports. Every
+// string is part of the byte-identical determinism contract.
+type FleetObsArtifacts struct {
+	Chaos *FleetChaosArtifacts
+
+	Rollup      string
+	Timeline    string
+	TopK        string
+	ScrapeStats string
+	Stitched    string
+	Summary     string
+
+	ObsBytes, MediaBytes   int64
+	Reqs, Samples, Sheds   int64
+	Skips, Dark            int64
+	Degrades, Restores     int64
+	Breaches               int64
+	Links, StitchedLive    int
+	EventsShipped, EvtLost int64
+}
+
+func (cfg FleetObsConfig) cluster() cluster.FleetObsConfig {
+	return cluster.FleetObsConfig{
+		FleetChaosConfig: cluster.FleetChaosConfig{
+			Cards: cfg.Cards, StreamsPerCard: cfg.StreamsPerCard,
+			Dur: cfg.Dur, Workers: cfg.Workers,
+			HostCrashes: cfg.HostCrashes, NetPartitions: cfg.NetPartitions,
+			RollingDrains: cfg.RollingDrains, FaultSeed: cfg.FaultSeed,
+		},
+		ScrapeEvery: cfg.ScrapeEvery, TopK: cfg.TopK,
+		StressPct: cfg.StressPct, StressAt: cfg.StressAt, StressDur: cfg.StressDur,
+	}
+}
+
+func obsArts(r *cluster.FleetObsResult) *FleetObsArtifacts {
+	return &FleetObsArtifacts{
+		Chaos:  chaosArts(r.Chaos),
+		Rollup: r.Rollup, Timeline: r.Timeline, TopK: r.TopK,
+		ScrapeStats: r.ScrapeStats, Stitched: r.Stitched, Summary: r.ObsSummary,
+		ObsBytes: r.ObsBytes, MediaBytes: r.MediaBytes,
+		Reqs: r.ScrapeReqs, Samples: r.ScrapeSamples, Sheds: r.ScrapeSheds,
+		Skips: r.ScrapeSkips, Dark: r.ScrapeDark,
+		Degrades: r.Degrades, Restores: r.Restores, Breaches: r.Breaches,
+		Links: r.Links, StitchedLive: r.StitchedLive,
+		EventsShipped: r.EventsShipped, EvtLost: r.EventsLost,
+	}
+}
+
+// RunFleetObs executes one observed chaos run on the partitioned fleet.
+func RunFleetObs(cfg FleetObsConfig) *FleetObsArtifacts {
+	return obsArts(cluster.RunFleetObs(cfg.cluster()))
+}
+
+// fleetObsArtMap flattens the byte-compared artifacts for the canary.
+func fleetObsArtMap(a *FleetObsArtifacts) map[string]string {
+	return map[string]string{
+		"rollup": a.Rollup, "timeline": a.Timeline, "topk": a.TopK,
+		"scrape": a.ScrapeStats, "stitched": a.Stitched, "summary": a.Summary,
+		"chaos-plan": a.Chaos.Plan, "chaos-summary": a.Chaos.Summary,
+		"chaos-table": a.Chaos.Table, "chaos-miglog": a.Chaos.MigLog,
+		"chaos-violations": a.Chaos.Violations, "chaos-csv": a.Chaos.CSV,
+	}
+}
+
+// FleetObsDeterminism runs cfg monolithically, partitioned sequentially, and
+// partitioned with cfg.Workers, and returns an error naming the first
+// artifact that differs. nil means the scrape plane kept the byte-identical
+// contract for this configuration.
+func FleetObsDeterminism(cfg FleetObsConfig) error {
+	run := func(workers int, mono bool) map[string]string {
+		c := cfg.cluster()
+		c.Workers, c.Monolithic = workers, mono
+		return fleetObsArtMap(obsArts(cluster.RunFleetObs(c)))
+	}
+	ref := run(1, false)
+	for name, variant := range map[string]map[string]string{
+		"monolithic":                           run(0, true),
+		fmt.Sprintf("workers=%d", cfg.Workers): run(cfg.Workers, false),
+	} {
+		for art, want := range ref {
+			if variant[art] != want {
+				return fmt.Errorf("fleet-obs determinism: %s artifact %q diverged from sequential partitioned run", name, art)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,134 @@
+// Package fleetobs is the controller half of the fleet's in-band
+// observability plane. The DVCM controller partition scrapes each card's
+// telemetry, SLO, and flight-recorder state over the same simulated links
+// the media rides (internal/cluster wires the transport side); this package
+// owns what the controller does with the replies: deterministic fleet
+// rollups (card → host → switch-domain health/goodput/burn tables), top-k
+// streams by loss-window pressure, an incident timeline merging every
+// card's flight-recorder events into one causally-ordered artifact, and the
+// cross-migration span stitcher that reassembles a stream's
+// disk→wire→playout trace across live migrations.
+//
+// Everything here is pure data-structure work on values the scrape plane
+// already collected — no engine access, no clocks — so every renderer is a
+// deterministic, byte-stable function of its inputs.
+package fleetobs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/dvcmnet"
+	"repro/internal/sim"
+)
+
+// Modeled wire costs of the scrape protocol, charged like any other bytes.
+// A scrape request is one DVCM control instruction and a reply header is one
+// DVCM control response — the scrape plane is in-band control traffic, so it
+// prices exactly like the rest of the control plane — plus one fixed-size
+// entry per stream and per shipped flight-recorder event
+// (blackbox.EventBytes each, but spelled here so the protocol has one home).
+// A shed reply is header-only: the card answers "too busy" in one slot
+// rather than going silent.
+const (
+	// ReqBytes is the size of one scrape request on the DVCM link.
+	ReqBytes = dvcmnet.ControlReqBytes
+	// ReplyHeaderBytes is the fixed cost of any scrape reply.
+	ReplyHeaderBytes = dvcmnet.ControlRespBytes
+	// StreamEntryBytes is the per-stream sample entry in a full reply.
+	StreamEntryBytes = 48
+	// EventEntryBytes is the per-flight-recorder-event entry in a full
+	// reply (matches blackbox.EventBytes).
+	EventEntryBytes = 64
+	// ShedReplyBytes is a header-only refusal reply.
+	ShedReplyBytes = dvcmnet.ControlRespBytes
+)
+
+// SrcController is the Src index of controller-local timeline events.
+const SrcController = -1
+
+// TimelineEvent is one entry of the merged incident timeline. Src orders
+// same-instant events from different sources (SrcController sorts before
+// every card); the unexported arrival ordinal breaks same-source ties in
+// recording order, which is engine order and therefore deterministic.
+type TimelineEvent struct {
+	At      sim.Time
+	Src     int // card index, or SrcController
+	SrcName string
+	Host    string // "-" when not applicable
+	Switch  string // "-" when not applicable
+	Kind    string
+	Stream  int   // 0 = n/a
+	Seq     int64 // 0 = n/a
+	Note    string
+
+	ord int
+}
+
+// Timeline accumulates events from every source and renders them merged.
+type Timeline struct {
+	events []TimelineEvent
+	ords   map[int]int
+}
+
+// NewTimeline returns an empty timeline.
+func NewTimeline() *Timeline { return &Timeline{ords: make(map[int]int)} }
+
+// Add records one event. Arrival order per source is preserved as the final
+// merge tie-break.
+func (t *Timeline) Add(e TimelineEvent) {
+	t.ords[e.Src]++
+	e.ord = t.ords[e.Src]
+	t.events = append(t.events, e)
+}
+
+// Len reports accumulated events.
+func (t *Timeline) Len() int { return len(t.events) }
+
+// Events returns the merged events in canonical order: by time, then source
+// (controller first, then cards by index), then per-source arrival order.
+func (t *Timeline) Events() []TimelineEvent {
+	out := append([]TimelineEvent(nil), t.events...)
+	sort.SliceStable(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.At != b.At {
+			return a.At < b.At
+		}
+		if a.Src != b.Src {
+			return a.Src < b.Src
+		}
+		return a.ord < b.ord
+	})
+	return out
+}
+
+// Render writes the timeline in its byte-stable artifact form: one line per
+// event, whitespace-aligned fixed columns (time, source, host, switch,
+// kind) followed by the free-form note. stream=/seq= are prefixed onto the
+// note so the line stays parseable by fields.
+func (t *Timeline) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "incident timeline: %d event(s)\n", len(t.events))
+	fmt.Fprintf(&b, "%-14s %-6s %-5s %-5s %-14s %s\n",
+		"t", "src", "host", "sw", "kind", "detail")
+	for _, e := range t.Events() {
+		detail := e.Note
+		if e.Seq != 0 {
+			detail = fmt.Sprintf("seq=%d %s", e.Seq, detail)
+		}
+		if e.Stream != 0 {
+			detail = fmt.Sprintf("stream=%d %s", e.Stream, detail)
+		}
+		host, sw := e.Host, e.Switch
+		if host == "" {
+			host = "-"
+		}
+		if sw == "" {
+			sw = "-"
+		}
+		fmt.Fprintf(&b, "%-14v %-6s %-5s %-5s %-14s %s\n",
+			e.At, e.SrcName, host, sw, e.Kind, strings.TrimRight(detail, " "))
+	}
+	return b.String()
+}

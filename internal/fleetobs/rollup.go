@@ -1,0 +1,193 @@
+package fleetobs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Health is the scrape-plane view of a card or domain's health. It extends
+// the SLO states with "dark": the controller could not scrape the card at
+// all (crashed, or never answered), which is worse than any answered state
+// because nothing is known.
+type Health int
+
+// Health levels, worst last.
+const (
+	HealthOK Health = iota
+	HealthWarn
+	HealthBurning
+	HealthViolated
+	HealthDark
+)
+
+var healthNames = [...]string{"ok", "warn", "burning", "violated", "dark"}
+
+// String names the health level.
+func (h Health) String() string {
+	if int(h) < len(healthNames) {
+		return healthNames[h]
+	}
+	return fmt.Sprintf("health(%d)", int(h))
+}
+
+// CardStat is the controller's latest in-band view of one card: the fields
+// of the most recent scrape reply that the rollup aggregates. A card that
+// was never successfully scraped is Dark and contributes only its existence.
+type CardStat struct {
+	Card    int
+	Host    string
+	Switch  string
+	Dark    bool
+	Streams int
+	Health  Health
+	// GoodputMB is megabytes received by the clients homed on the card.
+	GoodputMB float64
+	// Burn is the worst short-window SLO burn rate among the card's streams.
+	Burn float64
+	// MemPct is budget occupancy percent at scrape time.
+	MemPct float64
+	// Breaches is the card budget's lifetime breach count.
+	Breaches int64
+	// Rung is the scrape-degradation rung (0 = full rate).
+	Rung int
+}
+
+func (c CardStat) health() Health {
+	if c.Dark {
+		return HealthDark
+	}
+	return c.Health
+}
+
+// rollupRow is one aggregated scope line.
+type rollupRow struct {
+	scope  string
+	host   string
+	sw     string
+	cards  int
+	stream int
+	health Health
+	good   float64
+	burn   float64
+	mem    float64
+	breach int64
+	rung   int
+}
+
+func (r *rollupRow) absorb(c CardStat) {
+	r.cards++
+	r.stream += c.Streams
+	if h := c.health(); h > r.health {
+		r.health = h
+	}
+	r.good += c.GoodputMB
+	if c.Burn > r.burn {
+		r.burn = c.Burn
+	}
+	if c.MemPct > r.mem {
+		r.mem = c.MemPct
+	}
+	r.breach += c.Breaches
+	if c.Rung > r.rung {
+		r.rung = c.Rung
+	}
+}
+
+// RenderRollup writes the fleet rollup artifact: one row per card, then one
+// per host, per switch domain, and a fleet total — health is the worst
+// member, goodput and breaches sum, burn/mem/rung are the worst member's.
+// Rows render in card / host / switch name order, so the artifact is a pure
+// function of the input set.
+func RenderRollup(cards []CardStat) string {
+	sorted := append([]CardStat(nil), cards...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Card < sorted[j].Card })
+
+	byHost := make(map[string]*rollupRow)
+	bySwitch := make(map[string]*rollupRow)
+	fleet := &rollupRow{scope: "fleet", host: "-", sw: "-"}
+	var hosts, switches []string
+	for _, c := range sorted {
+		h, ok := byHost[c.Host]
+		if !ok {
+			h = &rollupRow{scope: c.Host, host: "-", sw: c.Switch}
+			byHost[c.Host] = h
+			hosts = append(hosts, c.Host)
+		}
+		s, ok := bySwitch[c.Switch]
+		if !ok {
+			s = &rollupRow{scope: c.Switch, host: "-", sw: "-"}
+			bySwitch[c.Switch] = s
+			switches = append(switches, c.Switch)
+		}
+		h.absorb(c)
+		s.absorb(c)
+		fleet.absorb(c)
+	}
+	sort.Strings(hosts)
+	sort.Strings(switches)
+
+	var b strings.Builder
+	b.WriteString("fleet rollup (in-band, last scrape per card)\n")
+	fmt.Fprintf(&b, "%-6s %-5s %-5s %5s %7s %-9s %10s %7s %8s %8s %5s\n",
+		"scope", "host", "sw", "cards", "streams", "health",
+		"goodput_mb", "burn", "mem_pct", "breaches", "rung")
+	row := func(r *rollupRow) {
+		fmt.Fprintf(&b, "%-6s %-5s %-5s %5d %7d %-9s %10.2f %7.2f %8.1f %8d %5d\n",
+			r.scope, r.host, r.sw, r.cards, r.stream, r.health,
+			r.good, r.burn, r.mem, r.breach, r.rung)
+	}
+	for _, c := range sorted {
+		r := &rollupRow{scope: fmt.Sprintf("ni%02d", c.Card), host: c.Host, sw: c.Switch}
+		r.absorb(c)
+		row(r)
+	}
+	for _, h := range hosts {
+		row(byHost[h])
+	}
+	for _, s := range switches {
+		row(bySwitch[s])
+	}
+	row(fleet)
+	return b.String()
+}
+
+// StreamPressure is one stream's loss-window pressure as last scraped: the
+// short-window burn rate is "how fast is this stream eating its (x,y) loss
+// window", which is exactly the top-k ranking the operator wants.
+type StreamPressure struct {
+	Stream    int
+	Card      int
+	Health    Health
+	ShortBurn float64
+	LongBurn  float64
+}
+
+// RenderTopK writes the top-k streams by loss-window pressure: short burn
+// descending, then long burn descending, then stream ID ascending so ties
+// are stable.
+func RenderTopK(streams []StreamPressure, k int) string {
+	sorted := append([]StreamPressure(nil), streams...)
+	sort.Slice(sorted, func(i, j int) bool {
+		a, b := sorted[i], sorted[j]
+		if a.ShortBurn != b.ShortBurn {
+			return a.ShortBurn > b.ShortBurn
+		}
+		if a.LongBurn != b.LongBurn {
+			return a.LongBurn > b.LongBurn
+		}
+		return a.Stream < b.Stream
+	})
+	if k > len(sorted) {
+		k = len(sorted)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "top %d streams by loss-window pressure (of %d scraped)\n", k, len(sorted))
+	fmt.Fprintf(&b, "%-6s %-6s %-9s %10s %10s\n", "gid", "card", "health", "short_burn", "long_burn")
+	for _, s := range sorted[:k] {
+		fmt.Fprintf(&b, "%-6s %-6s %-9s %10.2f %10.2f\n",
+			fmt.Sprintf("g%02d", s.Stream), fmt.Sprintf("ni%02d", s.Card),
+			s.Health, s.ShortBurn, s.LongBurn)
+	}
+	return b.String()
+}

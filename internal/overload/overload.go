@@ -38,6 +38,11 @@ const (
 	// ClassBlackbox is the flight recorder's event ring: diagnostic state is
 	// card-resident too, so it pays for its memory like any other tenant.
 	ClassBlackbox
+	// ClassTelemetry is in-band observability traffic: scrape reply buffers
+	// staged on the card until they serialize onto the DVCM link. Charged
+	// like any other tenant so a busy card sheds its own monitoring before
+	// it sheds media.
+	ClassTelemetry
 	numClasses
 )
 
@@ -54,6 +59,8 @@ func (c Class) String() string {
 		return "leak"
 	case ClassBlackbox:
 		return "blackbox"
+	case ClassTelemetry:
+		return "telemetry"
 	}
 	return fmt.Sprintf("class(%d)", int(c))
 }

@@ -1,0 +1,209 @@
+// Fleet-obs artifact handlers: rollup.txt (the in-band fleet rollup) and
+// timeline.txt (the merged incident timeline) from `clustersim -fleet-obs`.
+// Rollup series embed the row's switch domain — a goodput regression reads
+// "ni03[sw0].goodput_mb", so the verdict names the failing switch domain
+// without anyone re-opening the artifact.
+package rundiff
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// healthRank orders rollup health states for escalation comparison; dark
+// (unscrapeable) is worse than any answered state.
+var healthRank = map[string]int{
+	"ok": 0, "warn": 1, "burning": 2, "violated": 3, "dark": 4,
+}
+
+// RollupRow is one parsed rollup.txt scope line.
+type RollupRow struct {
+	Host   string
+	Switch string
+	Health string
+	Ints   map[string]float64 // column name → value
+}
+
+var rollupCols = []string{"cards", "streams", "goodput_mb", "burn",
+	"mem_pct", "breaches", "rung"}
+
+// ParseRollup parses a fleet rollup artifact: a title line, a header, then
+// `scope host sw cards streams health goodput_mb burn mem_pct breaches
+// rung` rows (cards, hosts, switch domains, and the fleet total).
+func ParseRollup(text string) (map[string]RollupRow, error) {
+	out := make(map[string]RollupRow)
+	for i, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "fleet rollup") ||
+			strings.HasPrefix(line, "scope ") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) != 11 {
+			return nil, fmt.Errorf("%w: rollup line %d: %d field(s), want 11: %q",
+				ErrParse, i+1, len(f), line)
+		}
+		if _, ok := healthRank[f[5]]; !ok {
+			return nil, fmt.Errorf("%w: rollup line %d: unknown health %q",
+				ErrParse, i+1, f[5])
+		}
+		row := RollupRow{Host: f[1], Switch: f[2], Health: f[5],
+			Ints: make(map[string]float64, len(rollupCols))}
+		// Field layout: scope host sw cards streams health goodput_mb burn
+		// mem_pct breaches rung — health splits the numeric columns.
+		fields := []string{f[3], f[4], f[6], f[7], f[8], f[9], f[10]}
+		for j, col := range rollupCols {
+			v, err := strconv.ParseFloat(fields[j], 64)
+			if err != nil {
+				return nil, fmt.Errorf("%w: rollup line %d %s %q: %v",
+					ErrParse, i+1, col, fields[j], err)
+			}
+			row.Ints[col] = v
+		}
+		out[f[0]] = row
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%w: rollup table has no rows", ErrParse)
+	}
+	return out, nil
+}
+
+// scopeKey names a rollup scope with its switch domain when one is known, so
+// findings carry the blast radius: "ni03[sw0]", "h01[sw0]", plain "sw1".
+func scopeKey(scope string, row RollupRow) string {
+	if row.Switch != "-" && row.Switch != scope {
+		return scope + "[" + row.Switch + "]"
+	}
+	return scope
+}
+
+func diffRollup(a, b string, opt Options) ([]Finding, error) {
+	ra, err := ParseRollup(a)
+	if err != nil {
+		return nil, err
+	}
+	rb, err := ParseRollup(b)
+	if err != nil {
+		return nil, err
+	}
+	scopes := make([]string, 0, len(ra))
+	for k := range ra {
+		if _, ok := rb[k]; ok {
+			scopes = append(scopes, k)
+		}
+	}
+	sort.Strings(scopes)
+	var fs []Finding
+	for _, scope := range scopes {
+		va, vb := ra[scope], rb[scope]
+		key := scopeKey(scope, vb)
+		// Health escalation is a regression regardless of magnitude: the
+		// scope's worst member got visibly sicker (dark being the worst —
+		// the controller lost sight of it entirely).
+		if va.Health != vb.Health {
+			sev := SevImprovement
+			if healthRank[vb.Health] > healthRank[va.Health] {
+				sev = SevRegression
+			}
+			fs = append(fs, Finding{File: "rollup.txt",
+				Series: key + ".health",
+				A:      float64(healthRank[va.Health]), B: float64(healthRank[vb.Health]),
+				Delta:    relDelta(float64(healthRank[va.Health]), float64(healthRank[vb.Health])),
+				Severity: sev,
+				Note:     va.Health + " → " + vb.Health})
+		}
+		ma, mb := map[string]float64{}, map[string]float64{}
+		for _, col := range rollupCols {
+			ma[key+"."+col] = va.Ints[col]
+			mb[key+"."+col] = vb.Ints[col]
+		}
+		for _, f := range compareMaps("rollup.txt", ma, mb, opt, func(series string) bool {
+			// Goodput regresses when it shrinks; burn, breaches, and the
+			// scrape-degradation rung regress when they grow.
+			return !strings.HasSuffix(series, ".goodput_mb")
+		}, nil) {
+			switch {
+			// Card and stream counts drift with config, and budget occupancy
+			// is load, not badness: informational.
+			case strings.HasSuffix(f.Series, ".cards"),
+				strings.HasSuffix(f.Series, ".streams"),
+				strings.HasSuffix(f.Series, ".mem_pct"):
+				f.Severity = SevInfo
+			// Breach growth is always a regression — the invariant says zero.
+			case strings.HasSuffix(f.Series, ".breaches") && f.B > f.A:
+				f.Severity = SevRegression
+			}
+			fs = append(fs, f)
+		}
+	}
+	return fs, nil
+}
+
+// ParseTimeline parses a merged incident timeline artifact into event
+// counts per kind (the fixed-column form Timeline.Render writes).
+func ParseTimeline(text string) (map[string]float64, error) {
+	lines := strings.Split(strings.TrimRight(text, "\n"), "\n")
+	if len(lines) < 2 || !strings.HasPrefix(lines[0], "incident timeline:") {
+		return nil, fmt.Errorf("%w: not an incident timeline (header %q)",
+			ErrParse, lines[0])
+	}
+	out := make(map[string]float64)
+	for i, line := range lines[2:] {
+		f := strings.Fields(line)
+		if len(f) < 5 {
+			return nil, fmt.Errorf("%w: timeline line %d: %d field(s), want >= 5",
+				ErrParse, i+3, len(f))
+		}
+		out["count."+f[4]]++
+	}
+	return out, nil
+}
+
+// timelineBadness reports event kinds that should not become more frequent:
+// faults, lost visibility, shed observability, aborted or lost streams.
+func timelineBadness(series string) bool {
+	for _, pat := range []string{
+		"fault", "dark", "shed", "degrade", "abort", "lost", "wiped",
+		"gap", "refused",
+	} {
+		if strings.Contains(series, pat) {
+			return true
+		}
+	}
+	return false
+}
+
+func diffTimeline(a, b string, opt Options) ([]Finding, error) {
+	ca, err := ParseTimeline(a)
+	if err != nil {
+		return nil, err
+	}
+	cb, err := ParseTimeline(b)
+	if err != nil {
+		return nil, err
+	}
+	// Zero-fill each side with the other's kinds: a bad kind appearing only
+	// in the candidate run (0 → n) must surface, and compareMaps only diffs
+	// intersecting keys.
+	for k := range ca {
+		if _, ok := cb[k]; !ok {
+			cb[k] = 0
+		}
+	}
+	for k := range cb {
+		if _, ok := ca[k]; !ok {
+			ca[k] = 0
+		}
+	}
+	var fs []Finding
+	for _, f := range compareMaps("timeline.txt", ca, cb, opt,
+		func(string) bool { return true }, nil) {
+		if !timelineBadness(f.Series) {
+			f.Severity = SevInfo
+		}
+		fs = append(fs, f)
+	}
+	return fs, nil
+}

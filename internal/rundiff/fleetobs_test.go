@@ -1,0 +1,137 @@
+package rundiff
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/fleetobs"
+	"repro/internal/sim"
+)
+
+// rollupFixture renders a real two-switch rollup through the fleet-obs
+// renderer, so the parser is tested against the writer's format. scale and
+// sick perturb ni04 (host h02, switch sw1).
+func rollupFixture(goodput float64, sick bool) string {
+	ni04 := fleetobs.CardStat{Card: 4, Host: "h02", Switch: "sw1",
+		Streams: 2, GoodputMB: goodput}
+	if sick {
+		ni04.Dark = true
+		ni04.Breaches = 3
+	}
+	return fleetobs.RenderRollup([]fleetobs.CardStat{
+		{Card: 0, Host: "h00", Switch: "sw0", Streams: 2, GoodputMB: 4.0},
+		ni04,
+	})
+}
+
+func TestRollupRegressionNamesSwitchDomain(t *testing.T) {
+	a := writeDir(t, map[string]string{"rollup.txt": rollupFixture(4.0, false)})
+	b := writeDir(t, map[string]string{"rollup.txt": rollupFixture(2.0, true)})
+	r, err := DiffDirs(a, b, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Regression() {
+		t.Fatalf("halved goodput + dark card not caught:\n%s", r.Table())
+	}
+	var goodput, health, breach bool
+	for _, f := range r.Findings {
+		if f.Severity != SevRegression {
+			continue
+		}
+		switch {
+		case f.Series == "ni04[sw1].goodput_mb":
+			goodput = true
+		case f.Series == "ni04[sw1].health":
+			health = true
+			if f.Note != "ok → dark" {
+				t.Fatalf("health note %q, want ok → dark", f.Note)
+			}
+		case f.Series == "ni04[sw1].breaches":
+			breach = true
+		}
+	}
+	if !goodput || !health || !breach {
+		t.Fatalf("missing regression (goodput=%v health=%v breach=%v):\n%s",
+			goodput, health, breach, r.Table())
+	}
+	// The aggregate rows carry the same blast radius: the sick card's switch
+	// domain and the fleet total regress too, the healthy switch does not.
+	var sw1, sw0 bool
+	for _, f := range r.Findings {
+		if f.Severity != SevRegression {
+			continue
+		}
+		sw1 = sw1 || strings.HasPrefix(f.Series, "sw1.")
+		sw0 = sw0 || strings.HasPrefix(f.Series, "sw0.")
+	}
+	if !sw1 || sw0 {
+		t.Fatalf("switch-domain rollup (sw1=%v sw0=%v):\n%s", sw1, sw0, r.Table())
+	}
+
+	// The reverse direction is an improvement, not a regression.
+	r, err = DiffDirs(b, a, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Regression() {
+		t.Fatalf("recovery flagged as regression:\n%s", r.Table())
+	}
+}
+
+// timelineFixture renders a real incident timeline with one migrate event
+// plus darkEvents scrape-dark events.
+func timelineFixture(darkEvents int) string {
+	tl := fleetobs.NewTimeline()
+	tl.Add(fleetobs.TimelineEvent{At: sim.Second, Src: fleetobs.SrcController,
+		SrcName: "dvcm", Kind: "migrate-live", Stream: 9, Seq: 44,
+		Note: "ni04→ni06 epoch 0→1"})
+	for i := 0; i < darkEvents; i++ {
+		tl.Add(fleetobs.TimelineEvent{At: 2 * sim.Second, Src: fleetobs.SrcController,
+			SrcName: "dvcm", Kind: "scrape-dark", Note: "ni04 answered nothing"})
+	}
+	return tl.Render()
+}
+
+func TestTimelineNewBadKindRegresses(t *testing.T) {
+	a := writeDir(t, map[string]string{"timeline.txt": timelineFixture(0)})
+	b := writeDir(t, map[string]string{"timeline.txt": timelineFixture(3)})
+	r, err := DiffDirs(a, b, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// scrape-dark went 0 → 3: a bad kind appearing only in the candidate
+	// must regress even though the baseline never mentions it.
+	var hit bool
+	for _, f := range r.Findings {
+		if f.Series == "count.scrape-dark" && f.Severity == SevRegression {
+			hit = true
+		}
+	}
+	if !hit {
+		t.Fatalf("new scrape-dark events not flagged:\n%s", r.Table())
+	}
+	// Dark events disappearing is an improvement.
+	r, err = DiffDirs(b, a, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Regression() {
+		t.Fatalf("disappearing dark events flagged as regression:\n%s", r.Table())
+	}
+}
+
+func TestFleetObsParseErrorsWrapErrParse(t *testing.T) {
+	for _, files := range []map[string]string{
+		{"rollup.txt": "garbage\n"},
+		{"rollup.txt": "fleet rollup (in-band, last scrape per card)\nscope h\nni00 h00 sw0 1 2 glowing 1.0 0.0 0.5 0 0\n"},
+		{"timeline.txt": "not a timeline\n"},
+		{"timeline.txt": "incident timeline: 1 event(s)\nt src\nhalf a line\n"},
+	} {
+		dir := writeDir(t, files)
+		if _, err := DiffDirs(dir, dir, Options{}); !errors.Is(err, ErrParse) {
+			t.Fatalf("%v: err %v, want ErrParse", files, err)
+		}
+	}
+}

@@ -235,6 +235,8 @@ func DiffDirs(dirA, dirB string, opt Options) (*Report, error) {
 		{"metrics.csv", diffMetrics},
 		{"ladder.txt", diffLadder},
 		{"cycles.txt", diffCycles},
+		{"rollup.txt", diffRollup},
+		{"timeline.txt", diffTimeline},
 	}
 	for _, k := range known {
 		pa, pb := filepath.Join(dirA, k.name), filepath.Join(dirB, k.name)

@@ -349,6 +349,50 @@ func (m *Monitor) Health() State {
 	return worst
 }
 
+// StreamSample is one tracked stream's structured health snapshot — the
+// scrape-friendly form of one Table row.
+type StreamSample struct {
+	Stream      int
+	Name        string
+	State       State
+	ShortBurn   float64
+	LongBurn    float64
+	Transitions int64
+}
+
+// Sample returns per-stream structured health, sorted by stream ID. It is
+// the machine-readable Table: the fleet scrape plane ships these rows over
+// the DVCM link instead of parsing rendered text.
+func (m *Monitor) Sample() []StreamSample {
+	if m == nil {
+		return nil
+	}
+	out := make([]StreamSample, 0, len(m.streams))
+	for _, s := range m.streams {
+		out = append(out, StreamSample{
+			Stream:      s.obj.Stream,
+			Name:        s.obj.Name,
+			State:       s.state,
+			ShortBurn:   s.shortBurn,
+			LongBurn:    s.longBurn,
+			Transitions: s.Transitions,
+		})
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Stream < out[j].Stream })
+	return out
+}
+
+// Tracked reports whether the monitor already tracks stream id — migration
+// targets use this to avoid double-tracking a stream that returns to a card
+// it previously lived on.
+func (m *Monitor) Tracked(id int) bool {
+	if m == nil {
+		return false
+	}
+	_, ok := m.byID[id]
+	return ok
+}
+
 // Instrument registers the monitor's series under the "slo" component.
 func (m *Monitor) Instrument(reg *telemetry.Registry) {
 	if m == nil || reg == nil {

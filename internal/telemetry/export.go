@@ -146,6 +146,7 @@ func (r *Registry) SnapshotsCSV() string {
 type ChromeArgs struct {
 	Stream int    `json:"stream"`
 	Seq    int64  `json:"seq"`
+	Epoch  int    `json:"epoch,omitempty"`
 	Where  string `json:"where"`
 }
 
@@ -186,7 +187,7 @@ func (l *SpanLog) ChromeEvents() []ChromeEvent {
 			Dur:  float64(s.Dur()) / float64(sim.Microsecond),
 			PID:  1,
 			TID:  s.Stream,
-			Args: ChromeArgs{Stream: s.Stream, Seq: s.Seq, Where: s.Where},
+			Args: ChromeArgs{Stream: s.Stream, Seq: s.Seq, Epoch: s.Epoch, Where: s.Where},
 		})
 	}
 	return out

@@ -44,10 +44,18 @@ func (s Stage) String() string {
 
 // Segment is one stage of one frame's span: stream and sequence identify
 // the frame, Where the substrate instance, and [Start, End] the simulated
-// interval spent in the stage.
+// interval spent in the stage. Epoch identifies which placement of the
+// stream served the frame: it starts at 0 and increments every time the
+// stream is re-placed (live migration, cold restore, fresh re-add), so
+// spans recorded on the old and new card of a migration remain one
+// stitchable identity instead of two unrelated histories. Epoch -1 marks a
+// segment recorded by a substrate that does not know the serving placement
+// (e.g. the client side of the wire); the stitcher assigns those by frame
+// cursor.
 type Segment struct {
 	Stream int
 	Seq    int64
+	Epoch  int
 	Stage  Stage
 	Where  string
 	Start  sim.Time
@@ -57,11 +65,31 @@ type Segment struct {
 // Dur returns the segment's duration.
 func (s Segment) Dur() sim.Time { return s.End - s.Start }
 
+// SpanLink is an explicit edge between two epochs of one stream's span
+// history: the frame-cursor handoff of a migration. Seq is the cursor the
+// new placement starts serving from; Kind records how the handoff happened
+// ("live" preserves the cursor, "cold" restores a possibly stale
+// checkpoint, "readd" restarts with a fresh window, "abort" means the
+// handoff failed and the epoch did not advance).
+type SpanLink struct {
+	Stream    int
+	FromEpoch int
+	ToEpoch   int
+	FromWhere string
+	ToWhere   string
+	Seq       int64
+	At        sim.Time
+	Kind      string
+}
+
 // SpanLog accumulates span segments. Recording order is engine order, which
 // is already deterministic; exports additionally sort canonically so two
 // logs with the same segment set render identically.
 type SpanLog struct {
 	Segments []Segment
+
+	// Links are the recorded epoch-handoff edges, in engine order.
+	Links []SpanLink
 
 	// Observer, when set, sees every accepted segment as it is recorded —
 	// the tap the flight recorder and SLO monitor listen on. It runs inside
@@ -80,6 +108,14 @@ func (l *SpanLog) Record(seg Segment) {
 	if l.Observer != nil {
 		l.Observer(seg)
 	}
+}
+
+// RecordLink appends one epoch-handoff edge. Nil-safe like Record.
+func (l *SpanLog) RecordLink(link SpanLink) {
+	if l == nil {
+		return
+	}
+	l.Links = append(l.Links, link)
 }
 
 // Len reports recorded segments.
@@ -104,6 +140,9 @@ func (l *SpanLog) sorted() []Segment {
 		}
 		if a.Seq != b.Seq {
 			return a.Seq < b.Seq
+		}
+		if a.Epoch != b.Epoch {
+			return a.Epoch < b.Epoch
 		}
 		if a.Stage != b.Stage {
 			return a.Stage < b.Stage

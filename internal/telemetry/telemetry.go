@@ -190,6 +190,14 @@ type Registry struct {
 	// time and how many values were recorded — the flight recorder's tap.
 	OnSnapshot func(at sim.Time, values int)
 
+	// EpochOf, when set, resolves the serving epoch of a stream at span
+	// recording time — the hook the fleet wires so spans recorded before and
+	// after a live migration stay one stitchable identity. It must return -1
+	// for streams whose placement this substrate does not know (the stitcher
+	// then assigns the segment by frame cursor). Unset means epoch 0: a
+	// single-card run has exactly one placement.
+	EpochOf func(stream int) int
+
 	metrics []*metric // registration order
 	byKey   map[string]*metric
 	snaps   []snapshot
@@ -279,7 +287,11 @@ func (r *Registry) Span(stream int, seq int64, stage Stage, where string, start,
 	if r == nil {
 		return
 	}
-	r.Spans.Record(Segment{Stream: stream, Seq: seq, Stage: stage, Where: where, Start: start, End: end})
+	epoch := 0
+	if r.EpochOf != nil {
+		epoch = r.EpochOf(stream)
+	}
+	r.Spans.Record(Segment{Stream: stream, Seq: seq, Epoch: epoch, Stage: stage, Where: where, Start: start, End: end})
 }
 
 // sorted returns the metrics ordered by (component, name) — the canonical

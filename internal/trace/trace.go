@@ -29,12 +29,17 @@ const (
 	KindIO
 	KindBus
 	KindNet
+	// KindHandoff marks a stream placement handoff crossing this card: a
+	// migration export, import, or re-add. Seq carries the frame cursor the
+	// new placement starts from, so card-local traces can be stitched to the
+	// fleet's span epochs.
+	KindHandoff
 	KindUser
 	numKinds
 )
 
 var kindNames = [numKinds]string{
-	"enqueue", "dispatch", "drop", "miss", "io", "bus", "net", "user",
+	"enqueue", "dispatch", "drop", "miss", "io", "bus", "net", "handoff", "user",
 }
 
 // String names the kind.

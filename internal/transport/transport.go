@@ -76,6 +76,12 @@ func (s *Sender) Instrument(reg *telemetry.Registry) {
 		"segments cumulatively acknowledged", func() int64 { return s.Acked })
 	reg.CounterFunc("transport", "backlog_dropped_total",
 		"sends refused at the backlog cap (slow receiver)", func() int64 { return s.BacklogDropped })
+	reg.GaugeFunc("transport", "outstanding",
+		"unacked segments (sent or queued) at scrape time",
+		func() float64 { return float64(s.Outstanding()) })
+	reg.GaugeFunc("transport", "rto_ms",
+		"current (backed-off) retransmission timeout in milliseconds",
+		func() float64 { return float64(s.RTO().Milliseconds()) })
 }
 
 // Send queues one packet for reliable, in-order delivery and reports whether
