@@ -18,7 +18,10 @@
 # loss-window accounting changed. The fleet-obs baseline pins the 64-card
 # in-band observability run (rollups, scrape accounting, timeline excerpt,
 # stitched traces); the same run also gates scrape overhead: in-band
-# telemetry bytes must stay <= 2% of media goodput.
+# telemetry bytes must stay <= 2% of media goodput. The ctrl-chaos baseline
+# pins the replicated-control-plane drill (controller crash + split brain:
+# takeover, fencing, journal reconcile) and gates journal + checkpoint
+# replication traffic at <= 2% of media bytes the same way.
 set -e
 cd "$(dirname "$0")"
 
@@ -27,6 +30,7 @@ STAGE_BASELINE=STAGE_BASELINE.txt
 OVERLOAD_BASELINE=OVERLOAD_BASELINE.txt
 CHAOS_BASELINE=CHAOS_BASELINE.txt
 FLEETOBS_BASELINE=FLEETOBS_BASELINE.txt
+CTRLCHAOS_BASELINE=CTRLCHAOS_BASELINE.txt
 BENCHES='BenchmarkEngine|BenchmarkSimulationThroughput|BenchmarkMissScan|BenchmarkParallelEngine'
 
 run_benches() {
@@ -55,6 +59,10 @@ run_fleetobs() {
 	go run ./cmd/clustersim -fleet-obs -cards 64 -dur 6 -workers 1 2>/dev/null
 }
 
+run_ctrlchaos() {
+	go run ./cmd/clustersim -ctrl-chaos -dur 8 -workers 1 2>/dev/null
+}
+
 # check_obs_overhead fails when the run's in-band telemetry bytes exceed
 # 2% of media goodput (the "in-band obs=...B media=...B overhead=..%" line
 # of the scrape accounting table).
@@ -68,6 +76,19 @@ check_obs_overhead() {
 	END { if (!found) { print "error: no overhead line in fleet-obs output" > "/dev/stderr"; exit 1 } }'
 }
 
+# check_journal_overhead fails when the control plane's journal + checkpoint
+# replication traffic exceeds 2% of media bytes (the "ctrl-ha: ...
+# journal=...B media=...B overhead=..%" summary line).
+check_journal_overhead() {
+	awk -F'overhead=' '/ctrl-ha:.*journal=/ {
+		pct = $2 + 0
+		printf "journal overhead: %s%% of media bytes (gate: 2%%)\n", pct
+		found = 1
+		if (pct > 2.0) { print "error: control-plane journal overhead above 2% gate" > "/dev/stderr"; exit 1 }
+	}
+	END { if (!found) { print "error: no ctrl-ha overhead line in ctrl-chaos output" > "/dev/stderr"; exit 1 } }'
+}
+
 if [ "$1" = "-update" ]; then
 	run_stages > "$STAGE_BASELINE"
 	echo "wrote $STAGE_BASELINE"
@@ -77,6 +98,8 @@ if [ "$1" = "-update" ]; then
 	echo "wrote $CHAOS_BASELINE"
 	run_fleetobs > "$FLEETOBS_BASELINE"
 	echo "wrote $FLEETOBS_BASELINE"
+	run_ctrlchaos > "$CTRLCHAOS_BASELINE"
+	echo "wrote $CTRLCHAOS_BASELINE"
 	run_benches | awk '
 	/^Benchmark/ {
 		name = $1; sub(/-[0-9]+$/, "", name)
@@ -146,6 +169,21 @@ if [ -f "$FLEETOBS_BASELINE" ]; then
 	printf '%s\n' "$obs_out" | check_obs_overhead
 else
 	echo "no $FLEETOBS_BASELINE — run ./bench_compare.sh -update first" >&2
+fi
+
+# Ctrl-chaos tables: the replicated-control-plane drill is deterministic, and
+# its journal replication overhead is gated at 2% of media bytes.
+if [ -f "$CTRLCHAOS_BASELINE" ]; then
+	ha_out=$(run_ctrlchaos)
+	if printf '%s\n' "$ha_out" | diff -u "$CTRLCHAOS_BASELINE" -; then
+		echo "ctrl-chaos tables: unchanged"
+	else
+		echo "ctrl-chaos tables drifted from $CTRLCHAOS_BASELINE (rerun with -update if intended)" >&2
+		exit 1
+	fi
+	printf '%s\n' "$ha_out" | check_journal_overhead
+else
+	echo "no $CTRLCHAOS_BASELINE — run ./bench_compare.sh -update first" >&2
 fi
 
 run_benches | awk -v baseline="$BASELINE" '

@@ -36,6 +36,14 @@
 //	                                           # merged incident timeline, and
 //	                                           # cross-migration trace stitching;
 //	                                           # same byte-identical contract
+//	clustersim -ctrl-chaos -dur 8              # replicated DVCM control plane
+//	                                           # under controller faults: the
+//	                                           # primary is killed mid-migration
+//	                                           # and the replica pair is split;
+//	                                           # the standby fences the fleet,
+//	                                           # reconciles its journal, and
+//	                                           # takes over; same byte-identical
+//	                                           # contract
 package main
 
 import (
@@ -90,6 +98,9 @@ func main() {
 	faultSeed := flag.Int64("fault-seed", 0, "chaos plan seed (with -fleet-chaos); 0 = derived from the fleet seed")
 	chaosSweep := flag.Bool("chaos-sweep", false, "render the severity × fleet-size recovery table (with -fleet-chaos)")
 	fleetObs := flag.Bool("fleet-obs", false, "scrape the chaos fleet in-band: rollups, incident timeline, stitched traces")
+	ctrlChaos := flag.Bool("ctrl-chaos", false, "replicate the DVCM controller and inject controller crashes/partitions into the chaos fleet")
+	ctrlCrashes := flag.Int("ctrl-crashes", 0, "controller-crash faults to draw (with -ctrl-chaos); 0 = default, negative = none")
+	ctrlPartitions := flag.Int("ctrl-partitions", 0, "replica-pair partition faults to draw (with -ctrl-chaos); 0 = default, negative = none")
 	scrapeEvery := flag.Int("scrape-every", 0, "controller scrape interval in ms (with -fleet-obs); 0 = default 200")
 	topK := flag.Int("topk", 0, "top-k streams by loss-window pressure (with -fleet-obs); 0 = default 8")
 	stressPct := flag.Int("stress-pct", 0, "fill every card's budget to this %% mid-run to exercise scrape shedding (with -fleet-obs); 0 = off")
@@ -104,6 +115,16 @@ func main() {
 			HostCrashes: *hostCrashes, NetPartitions: *netPartitions,
 			RollingDrains: *rollingDrains, FaultSeed: *faultSeed,
 			StressPct: *stressPct,
+		}, *fleetOut)
+		return
+	}
+	if *ctrlChaos {
+		runCtrlChaos(experiments.CtrlChaosConfig{
+			Cards: *cards, StreamsPerCard: *fleetStreams,
+			Dur: sim.Time(*durSec) * sim.Second, Workers: *workers,
+			HostCrashes: *hostCrashes, NetPartitions: *netPartitions,
+			RollingDrains: *rollingDrains, FaultSeed: *faultSeed,
+			CtrlCrashes: *ctrlCrashes, CtrlPartitions: *ctrlPartitions,
 		}, *fleetOut)
 		return
 	}
@@ -400,6 +421,53 @@ func runFleetChaos(cfg experiments.FleetChaosConfig, sweep bool, outDir string) 
 		}
 	}
 	fmt.Fprintf(os.Stderr, "fleet-chaos artifacts written to %s\n", outDir)
+}
+
+// runCtrlChaos drives the replicated DVCM control plane under controller
+// faults: the primary replica journals placements and checkpoints to a
+// standby, the fault plan kills the primary mid-migration and later severs
+// the replica pair, and the standby fences the cards, reconciles its journal
+// against their reported state, and takes over. Everything printed to stdout
+// and written under -fleet-out is byte-identical at any -workers count (and
+// to a monolithic run); engine diagnostics go to stderr so CI can diff
+// stdout. The incident timeline keeps the timeline.txt name so tracetool
+// -timeline parses it unchanged.
+func runCtrlChaos(cfg experiments.CtrlChaosConfig, outDir string) {
+	a := experiments.RunCtrlChaos(cfg)
+	fmt.Println(a.Chaos.Plan)
+	fmt.Println(a.Chaos.Summary)
+	fmt.Println(a.HASummary)
+	fmt.Print(a.CtrlPlane)
+	fmt.Print(excerpt(a.HATimeline, 18))
+	fmt.Print(a.Chaos.Recovery)
+	fmt.Print(a.Chaos.Violations)
+	fmt.Fprintf(os.Stderr, "ctrl-chaos: %d synchronization rounds (workers=%d)\n",
+		a.Chaos.Rounds, cfg.Workers)
+	if outDir == "" {
+		return
+	}
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, "clustersim:", err)
+		os.Exit(1)
+	}
+	for name, body := range map[string]string{
+		"plan.txt":       a.Chaos.Plan + "\n",
+		"summary.txt":    a.Chaos.Summary + "\n" + a.HASummary + "\n",
+		"ctrlplane.txt":  a.CtrlPlane,
+		"timeline.txt":   a.HATimeline,
+		"table.txt":      a.Chaos.Table,
+		"pulse.txt":      a.Chaos.Pulse,
+		"migrations.txt": a.Chaos.MigLog,
+		"recovery.txt":   a.Chaos.Recovery,
+		"violations.txt": a.Chaos.Violations,
+		"streams.csv":    a.Chaos.CSV,
+	} {
+		if err := os.WriteFile(filepath.Join(outDir, name), []byte(body), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "clustersim:", err)
+			os.Exit(1)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "ctrl-chaos artifacts written to %s\n", outDir)
 }
 
 // runFleetObs drives the in-band observability plane over the chaos fleet:

@@ -17,16 +17,25 @@
 //
 //	dwcsd -dest 127.0.0.1:9961 -metrics 127.0.0.1:9900
 //	curl http://127.0.0.1:9900/metrics
+//
+// SIGINT or SIGTERM shuts either side down gracefully: the sender stops
+// injecting new frames and drains what the scheduler already holds (bounded
+// by -drain), the receiver reports the partial run, and the metrics listener
+// finishes in-flight scrapes before closing. A second signal aborts.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"repro/internal/dwcs"
@@ -44,20 +53,59 @@ func main() {
 	period := flag.Duration("period", 50*time.Millisecond, "per-stream frame period")
 	dur := flag.Duration("dur", 5*time.Second, "run duration")
 	metricsAddr := flag.String("metrics", "", "serve Prometheus metrics on this HTTP address while running")
+	drain := flag.Duration("drain", 2*time.Second, "graceful-shutdown deadline for draining queued frames on SIGINT/SIGTERM")
 	flag.Parse()
+
+	lc := newLifecycle()
+	lc.watch(os.Interrupt, syscall.SIGTERM)
 
 	switch {
 	case *recv != "":
-		if err := receiver(*recv, *dur, *metricsAddr); err != nil {
+		if err := receiver(*recv, *dur, *metricsAddr, lc); err != nil {
 			fatal(err)
 		}
 	case *dest != "":
-		if err := sender(*dest, *streams, *period, *dur, *metricsAddr); err != nil {
+		if err := sender(*dest, *streams, *period, *dur, *metricsAddr, *drain, lc); err != nil {
 			fatal(err)
 		}
 	default:
 		fmt.Fprintln(os.Stderr, "dwcsd: need -dest (send) or -recv (receive); see -h")
 		os.Exit(2)
+	}
+}
+
+// lifecycle coordinates signal-driven graceful shutdown: the send/receive
+// loops poll stopped() once per iteration and wind down early when a watched
+// signal (or a test) triggers it.
+type lifecycle struct {
+	stop chan struct{}
+	once sync.Once
+}
+
+func newLifecycle() *lifecycle { return &lifecycle{stop: make(chan struct{})} }
+
+// watch triggers shutdown on the first of the given signals, then
+// unregisters the handler — so a second signal falls back to the default
+// disposition and kills a wedged drain.
+func (l *lifecycle) watch(sigs ...os.Signal) {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, sigs...)
+	go func() {
+		s := <-ch
+		signal.Stop(ch)
+		fmt.Fprintf(os.Stderr, "dwcsd: %v: draining and shutting down (signal again to abort)\n", s)
+		l.trigger()
+	}()
+}
+
+func (l *lifecycle) trigger() { l.once.Do(func() { close(l.stop) }) }
+
+func (l *lifecycle) stopped() bool {
+	select {
+	case <-l.stop:
+		return true
+	default:
+		return false
 	}
 }
 
@@ -74,7 +122,9 @@ func metricsHandler(reg *telemetry.Registry) http.Handler {
 }
 
 // serveMetrics starts the metrics endpoint on addr and returns the bound
-// address (addr may end in :0) and a stopper.
+// address (addr may end in :0) and a stopper. The stopper closes the
+// listener gracefully: an in-flight scrape gets a second to finish before
+// the connection is torn down.
 func serveMetrics(addr string, reg *telemetry.Registry) (string, func(), error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -82,7 +132,14 @@ func serveMetrics(addr string, reg *telemetry.Registry) (string, func(), error) 
 	}
 	srv := &http.Server{Handler: metricsHandler(reg)}
 	go srv.Serve(ln)
-	return ln.Addr().String(), func() { srv.Close() }, nil
+	stop := func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		if srv.Shutdown(ctx) != nil {
+			srv.Close()
+		}
+	}
+	return ln.Addr().String(), stop, nil
 }
 
 func fatal(err error) {
@@ -90,8 +147,10 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
-// sender paces clip frames to dest with DWCS over the wall clock.
-func sender(dest string, nStreams int, period, dur time.Duration, metricsAddr string) error {
+// sender paces clip frames to dest with DWCS over the wall clock. On
+// shutdown it stops injecting and drains the frames the scheduler already
+// holds, bounded by drainFor.
+func sender(dest string, nStreams int, period, dur time.Duration, metricsAddr string, drainFor time.Duration, lc *lifecycle) error {
 	conn, err := net.Dial("udp", dest)
 	if err != nil {
 		return err
@@ -142,7 +201,18 @@ func sender(dest string, nStreams int, period, dur time.Duration, metricsAddr st
 		}
 	}
 
-	for now() < sim.Time(dur) {
+	emit := func(p *dwcs.Packet) error {
+		frame := payload[p.Offset : p.Offset+p.Bytes]
+		for _, frag := range proto.FragmentFrame(uint32(p.StreamID), uint32(p.Seq), frame) {
+			if _, err := conn.Write(frag); err != nil {
+				return err
+			}
+		}
+		sentN.Add(1)
+		return nil
+	}
+
+	for now() < sim.Time(dur) && !lc.stopped() {
 		// Inject due frames (producer side), half a period ahead.
 		for i := range cursors {
 			c := &cursors[i]
@@ -158,14 +228,9 @@ func sender(dest string, nStreams int, period, dur time.Duration, metricsAddr st
 		d := sched.Schedule()
 		switch {
 		case d.Packet != nil:
-			p := d.Packet
-			frame := payload[p.Offset : p.Offset+p.Bytes]
-			for _, frag := range proto.FragmentFrame(uint32(p.StreamID), uint32(p.Seq), frame) {
-				if _, err := conn.Write(frag); err != nil {
-					return err
-				}
+			if err := emit(d.Packet); err != nil {
+				return err
 			}
-			sentN.Add(1)
 		case d.WaitUntil > 0:
 			sleep := time.Duration(d.WaitUntil - now())
 			if sleep > time.Millisecond {
@@ -181,6 +246,32 @@ func sender(dest string, nStreams int, period, dur time.Duration, metricsAddr st
 		}
 		droppedN.Add(int64(len(d.Dropped)))
 	}
+
+	// Interrupted: no new injections, but frames already accepted by the
+	// scheduler still go out on their DWCS pacing — bounded by the drain
+	// deadline, after which whatever remains is abandoned.
+	if lc.stopped() {
+		drained := 0
+		deadline := time.Now().Add(drainFor)
+		for time.Now().Before(deadline) {
+			d := sched.Schedule()
+			droppedN.Add(int64(len(d.Dropped)))
+			switch {
+			case d.Packet != nil:
+				if err := emit(d.Packet); err != nil {
+					return err
+				}
+				drained++
+			case d.WaitUntil > 0:
+				time.Sleep(time.Millisecond)
+			default:
+				if len(d.Dropped) == 0 {
+					deadline = time.Time{} // scheduler empty; drain complete
+				}
+			}
+		}
+		fmt.Printf("dwcsd: interrupted; drained %d queued frame(s)\n", drained)
+	}
 	fmt.Printf("dwcsd: sent %d frames (%d dropped) on %d streams over %v\n",
 		sentN.Load(), droppedN.Load(), nStreams, dur)
 	return nil
@@ -194,10 +285,10 @@ type streamReport struct {
 	gapsN   int
 }
 
-// receiver reassembles frames until dur elapses and prints a per-stream
-// report. Large frames arrive as several datagrams; proto.Reassembler
-// rebuilds them exactly as a player-side segmenter would.
-func receiver(listen string, dur time.Duration, metricsAddr string) error {
+// receiver reassembles frames until dur elapses (or shutdown triggers) and
+// prints a per-stream report. Large frames arrive as several datagrams;
+// proto.Reassembler rebuilds them exactly as a player-side segmenter would.
+func receiver(listen string, dur time.Duration, metricsAddr string, lc *lifecycle) error {
 	addr, err := net.ResolveUDPAddr("udp", listen)
 	if err != nil {
 		return err
@@ -248,7 +339,9 @@ func receiver(listen string, dur time.Duration, metricsAddr string) error {
 
 	buf := make([]byte, 64<<10)
 	deadline := time.Now().Add(dur)
-	for time.Now().Before(deadline) {
+	// The short read deadline bounds shutdown latency: a stop is noticed
+	// within one poll even when the wire has gone quiet.
+	for time.Now().Before(deadline) && !lc.stopped() {
 		conn.SetReadDeadline(time.Now().Add(200 * time.Millisecond))
 		n, err := conn.Read(buf)
 		if err != nil {
@@ -262,6 +355,9 @@ func receiver(listen string, dur time.Duration, metricsAddr string) error {
 		// Mirror the reassembler's plain counter so a concurrent scrape
 		// never races the ingest loop.
 		discardedN.Store(int64(reasm.Discarded))
+	}
+	if lc.stopped() {
+		fmt.Println("dwcsd: interrupted; reporting partial run")
 	}
 	if len(reports) == 0 {
 		fmt.Println("dwcsd: no frames received")

@@ -2,11 +2,13 @@ package main
 
 import (
 	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/telemetry"
 )
@@ -84,6 +86,92 @@ func TestMetricsEndpointServesValidPrometheus(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusNotFound {
 		t.Fatalf("/other status %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestLifecycleTriggerIsIdempotent(t *testing.T) {
+	lc := newLifecycle()
+	if lc.stopped() {
+		t.Fatal("fresh lifecycle already stopped")
+	}
+	lc.trigger()
+	lc.trigger() // a second trigger must not panic on a closed channel
+	if !lc.stopped() {
+		t.Fatal("triggered lifecycle not stopped")
+	}
+}
+
+// TestServeMetricsStopClosesListener pins the graceful-shutdown contract of
+// the -metrics endpoint: stop() returns promptly and afterwards the listener
+// accepts no new connections.
+func TestServeMetricsStopClosesListener(t *testing.T) {
+	var sent, dropped atomic.Int64
+	bound, stop, err := serveMetrics("127.0.0.1:0", dwcsdRegistry(&sent, &dropped))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The endpoint works before the stop.
+	client := &http.Client{Transport: &http.Transport{DisableKeepAlives: true}}
+	resp, err := client.Get("http://" + bound + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	done := make(chan struct{})
+	go func() { stop(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("stop() wedged past its own drain deadline")
+	}
+	if resp, err := client.Get("http://" + bound + "/metrics"); err == nil {
+		resp.Body.Close()
+		t.Fatal("listener still accepting connections after stop()")
+	}
+}
+
+// TestSenderDrainsOnShutdown interrupts a long sender run and verifies it
+// winds down within the drain deadline instead of running out the full -dur.
+func TestSenderDrainsOnShutdown(t *testing.T) {
+	sink, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sink.Close()
+	go func() {
+		buf := make([]byte, 64<<10)
+		for {
+			if _, _, err := sink.ReadFrom(buf); err != nil {
+				return
+			}
+		}
+	}()
+
+	lc := newLifecycle()
+	time.AfterFunc(150*time.Millisecond, lc.trigger)
+	start := time.Now()
+	if err := sender(sink.LocalAddr().String(), 2, 20*time.Millisecond,
+		30*time.Second, "", time.Second, lc); err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(start); el > 10*time.Second {
+		t.Fatalf("sender ignored shutdown; ran %v of a 30s duration", el)
+	}
+}
+
+// TestReceiverStopsOnShutdown interrupts a receiver blocked on a quiet wire;
+// the 200ms read-deadline poll must notice the stop within one cycle.
+func TestReceiverStopsOnShutdown(t *testing.T) {
+	lc := newLifecycle()
+	time.AfterFunc(100*time.Millisecond, lc.trigger)
+	start := time.Now()
+	if err := receiver("127.0.0.1:0", 30*time.Second, "", lc); err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(start); el > 10*time.Second {
+		t.Fatalf("receiver ignored shutdown; ran %v of a 30s duration", el)
 	}
 }
 

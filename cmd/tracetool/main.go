@@ -15,6 +15,8 @@
 //	tracetool -timeline timeline.txt             # fleet incident timeline view
 //	tracetool -timeline t.txt -stream 9          # one stream's incident history
 //	tracetool -timeline t.txt -kind migrate      # one event kind
+//	tracetool -timeline t.txt -src ctl-b         # one source's rows (a card, or
+//	                                             # a controller replica)
 //	tracetool -diff dirA dirB                    # run-diff two artifact dirs
 //
 // Exit codes (all modes):
@@ -83,8 +85,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	summary := fs.Bool("summary", false, "print per-stage event counts instead of JSON")
 	checkprom := fs.String("checkprom", "", "validate a Prometheus text dump and exit")
 	pressure := fs.String("pressure", "", "render the overload pressure view from a metrics.csv snapshot dump and exit")
-	timeline := fs.String("timeline", "", "filter/summarize a fleet incident timeline artifact and exit (-stream, -kind)")
+	timeline := fs.String("timeline", "", "filter/summarize a fleet incident timeline artifact and exit (-stream, -kind, -src)")
 	kind := fs.String("kind", "", "keep only timeline events of this kind (with -timeline)")
+	src := fs.String("src", "", "keep only timeline events from this source, e.g. ni03 or ctl-b (with -timeline)")
 	diff := fs.Bool("diff", false, "compare two artifact directories (positional: dirA dirB); exit 3 on regression")
 	diffThreshold := fs.Float64("diff-threshold", 0.10, "relative delta beyond which a -diff series regresses")
 	diffJSON := fs.Bool("diff-json", false, "emit the -diff report as JSON instead of a table")
@@ -94,7 +97,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "  -in trace.json [...]   filter/merge/re-emit Chrome traces (-stream, -stage, -where, -summary, -out)")
 		fmt.Fprintln(stderr, "  -checkprom dump.prom   validate a Prometheus text dump")
 		fmt.Fprintln(stderr, "  -pressure metrics.csv  overload pressure view of a snapshot dump")
-		fmt.Fprintln(stderr, "  -timeline timeline.txt fleet incident timeline view (-stream, -kind)")
+		fmt.Fprintln(stderr, "  -timeline timeline.txt fleet incident timeline view (-stream, -kind, -src)")
 		fmt.Fprintln(stderr, "  -diff dirA dirB        run-diff two artifact directories (-diff-threshold, -diff-json)")
 		fmt.Fprintln(stderr, "exit codes: 0 ok, 1 usage, 2 parse error, 3 regression")
 		fmt.Fprintln(stderr, "flags:")
@@ -114,7 +117,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "tracetool:", err)
 			return exitParse
 		}
-		if err := printTimeline(stdout, string(data), *stream, *kind); err != nil {
+		if err := printTimeline(stdout, string(data), *stream, *kind, *src); err != nil {
 			fmt.Fprintf(stderr, "tracetool: %s: %v\n", *timeline, err)
 			return exitParse
 		}
@@ -265,8 +268,10 @@ func printSummary(w io.Writer, events []telemetry.ChromeEvent) {
 // form Timeline.Render writes: t, src, host, sw, kind, detail) and tallies
 // the surviving events per kind and per source. stream matches the
 // "stream=N" prefix the renderer puts on stream-scoped details; kind is a
-// substring match so "scrape" covers scrape-dark/-degrade/-restore at once.
-func printTimeline(w io.Writer, content string, stream int, kind string) error {
+// substring match so "scrape" covers scrape-dark/-degrade/-restore at once;
+// src is an exact match on the source column (a card like "ni03", or a
+// controller replica like "ctl-b" on the control-plane timeline).
+func printTimeline(w io.Writer, content string, stream int, kind, src string) error {
 	lines := strings.Split(strings.TrimRight(content, "\n"), "\n")
 	if len(lines) < 2 || !strings.HasPrefix(lines[0], "incident timeline:") {
 		return fmt.Errorf("not an incident timeline artifact (header %q)", lines[0])
@@ -280,9 +285,12 @@ func printTimeline(w io.Writer, content string, stream int, kind string) error {
 		if len(f) < 5 {
 			return fmt.Errorf("malformed timeline line %q", line)
 		}
-		src, k := f[1], f[4]
+		s, k := f[1], f[4]
 		detail := strings.Join(f[5:], " ")
 		if kind != "" && !strings.Contains(k, kind) {
+			continue
+		}
+		if src != "" && s != src {
 			continue
 		}
 		if stream != 0 && !strings.HasPrefix(detail, streamTag) && detail != strings.TrimSpace(streamTag) {
@@ -290,7 +298,7 @@ func printTimeline(w io.Writer, content string, stream int, kind string) error {
 		}
 		kept = append(kept, line)
 		byKind[k]++
-		bySrc[src]++
+		bySrc[s]++
 	}
 	fmt.Fprintf(w, "%d of %d event(s) match\n", len(kept), len(lines)-2)
 	fmt.Fprintln(w, lines[1])

@@ -108,6 +108,18 @@ func TestTimelineMode(t *testing.T) {
 		t.Fatalf("-stream 9 output:\n%s", out.String())
 	}
 
+	// -src keeps one source's rows — exact match, so "ni04" must not also
+	// match a detail that mentions ni04.
+	out.Reset()
+	if code := run([]string{"-timeline", file, "-src", "ni04"}, &out, &errOut); code != exitOK {
+		t.Fatalf("-src: exit %d", code)
+	}
+	if !strings.Contains(out.String(), "1 of 3 event(s) match") ||
+		!strings.Contains(out.String(), "domain-fault") ||
+		strings.Contains(out.String(), "scrape-dark") {
+		t.Fatalf("-src ni04 output:\n%s", out.String())
+	}
+
 	// Garbage input is a parse error, not a crash.
 	bad := filepath.Join(t.TempDir(), "bad.txt")
 	if err := os.WriteFile(bad, []byte("not a timeline\n"), 0o644); err != nil {

@@ -62,6 +62,18 @@ type FleetChaosConfig struct {
 	// violations: violations inside [At, At+Duration+DetectDelay+margin]
 	// count as "during" the outage. 0 = 500 ms.
 	SettleMargin sim.Time
+
+	// CtrlHA replicates the control plane: a standby controller replica
+	// ("ctl-b") receives the primary's placement journal and per-poll
+	// checkpoints and takes over with a bumped leader epoch when the primary
+	// goes silent (see ctrlha.go). Off by default — an unreplicated run is
+	// byte-identical to the pre-HA control plane.
+	CtrlHA bool
+	// CtrlCrashes / CtrlPartitions count the controller faults injected when
+	// CtrlHA is set (0 = 1 each; negative = none). Crashes kill the primary
+	// mid-migration; partitions sever the replica pair link (split brain).
+	CtrlCrashes    int
+	CtrlPartitions int
 }
 
 func (cfg *FleetChaosConfig) setDefaults() {
@@ -109,6 +121,20 @@ func (cfg *FleetChaosConfig) setDefaults() {
 	}
 	if cfg.SettleMargin <= 0 {
 		cfg.SettleMargin = 500 * sim.Millisecond
+	}
+	if cfg.CtrlHA {
+		if cfg.CtrlCrashes == 0 {
+			cfg.CtrlCrashes = 1
+		}
+		if cfg.CtrlPartitions == 0 {
+			cfg.CtrlPartitions = 1
+		}
+	}
+	if cfg.CtrlCrashes < 0 {
+		cfg.CtrlCrashes = 0
+	}
+	if cfg.CtrlPartitions < 0 {
+		cfg.CtrlPartitions = 0
 	}
 }
 
@@ -168,7 +194,8 @@ type chaosStream struct {
 }
 
 // fleetChaos layers failure domains and the migration control plane on the
-// baseline fleet wiring.
+// baseline fleet wiring. All controller-side placement state lives on the
+// replicas (ctrlha.go); an unreplicated run has exactly one.
 type fleetChaos struct {
 	*fleet
 	ccfg    FleetChaosConfig
@@ -177,23 +204,20 @@ type fleetChaos struct {
 	cstream []*chaosStream
 	severed []int64 // per-source-card severed-hop drops (partition-local)
 
-	// Controller-partition state. Touched only in controller closures
-	// (and after the run has fully settled).
-	loc   map[int]int                 // gid → current card index
-	ckpt  map[int]dwcs.StreamSnapshot // gid → last heartbeat checkpoint
-	lastV map[int]int64               // gid → last seen cumulative violations
-	lastT map[int]sim.Time            // gid → card-side time of that sighting
-	lost  map[int]bool                // gid → stream currently unplaced
-	// placedAt records when the controller last (re)placed each stream —
-	// the fence that detects a crash-recovery wipe erasing the placement.
-	placedAt map[int]sim.Time
+	// reps are the controller replicas: reps[0] ("ctl-a") boots as leader;
+	// reps[1] ("ctl-b"), present only with CtrlHA, is the journaled standby.
+	reps []*ctrlRep
 
-	jobs   []func(done func()) // serialized migration work queue
-	active bool
+	// Card-side fence state, allocated only with CtrlHA and touched only in
+	// each card's own partition: the highest leader epoch the card has
+	// witnessed, its per-stream epoch stamps (set at import time), its
+	// fence-rejection timeline fragment, and a rejection counter.
+	fence        []epochFence
+	cardSE       []map[int]int
+	cardHA       [][]haEvent
+	fencedByCard []int
 
-	migLog    []string
-	violByGid map[int]*[2]int64 // gid → {during, outside}
-	res       *FleetChaosResult
+	res *FleetChaosResult
 
 	// obs, when set, is the in-band observability plane (fleetobs.go). Every
 	// hook below is nil-guarded, so a plain chaos run is byte-identical with
@@ -352,100 +376,68 @@ func (f *fleetChaos) wipedSince(card int, placedAt, t sim.Time) bool {
 	return false
 }
 
-// --- controller hops and the serialized migration queue ---------------------
+// --- controller hops (observability-plane compatibility wrappers) -----------
 
-func (f *fleetChaos) ctrlEng() *sim.Engine {
-	if f.topo == nil {
-		return f.mono
-	}
-	return f.ctrl.Eng()
-}
+// ctrlEng, toCard, and toCtrl address "the controller" as the scrape plane
+// and other single-controller callers knew it: replica 0. With CtrlHA off
+// that replica is the whole control plane and these are exactly the old
+// single-controller hops.
+func (f *fleetChaos) ctrlEng() *sim.Engine { return f.reps[0].eng() }
 
 // toCard runs fn in card i's partition one network hop from now (controller
 // context).
-func (f *fleetChaos) toCard(i int, fn func()) {
-	if f.topo == nil {
-		f.mono.After(f.cfg.NetLatency, fn)
-		return
-	}
-	f.ctrl.Send(f.cards[i].part, f.cfg.NetLatency, fn)
-}
+func (f *fleetChaos) toCard(i int, fn func()) { f.reps[0].toCard(i, fn) }
 
 // toCtrl runs fn in the controller partition one hop from now (card i
 // context).
-func (f *fleetChaos) toCtrl(i int, fn func()) {
-	if f.topo == nil {
-		f.mono.After(f.cfg.NetLatency, fn)
-		return
-	}
-	f.cards[i].part.Send(f.ctrl, f.cfg.NetLatency, fn)
-}
-
-// enqueueJob appends one unit of migration work to the controller's queue.
-// Jobs run strictly one at a time — a migration's multi-hop protocol settles
-// before the next starts — which is what makes the global order of target
-// admissions (and therefore every artifact byte) independent of worker
-// count.
-func (f *fleetChaos) enqueueJob(job func(done func())) {
-	f.jobs = append(f.jobs, job)
-	f.pump()
-}
-
-func (f *fleetChaos) pump() {
-	if f.active || len(f.jobs) == 0 {
-		return
-	}
-	f.active = true
-	job := f.jobs[0]
-	f.jobs = f.jobs[1:]
-	job(func() {
-		f.active = false
-		f.pump()
-	})
-}
-
-func (f *fleetChaos) logf(format string, args ...any) {
-	f.migLog = append(f.migLog, fmt.Sprintf(format, args...))
-}
+func (f *fleetChaos) toCtrl(i int, fn func()) { f.reps[0].fromCard(i, fn) }
 
 // --- the reconcile loop ------------------------------------------------------
 
-// reconcile runs in the controller at each fault boundary (+DetectDelay):
-// every stream whose current placement no longer matches its desired one is
-// queued for migration, in gid order.
-func (f *fleetChaos) reconcile() {
-	for _, st := range f.cstream {
+// reconcile runs in the leading replica at each fault boundary
+// (+DetectDelay): every stream whose current placement no longer matches its
+// desired one is queued for migration, in gid order.
+func (r *ctrlRep) reconcile() {
+	for _, st := range r.f.cstream {
 		st := st
-		f.enqueueJob(func(done func()) { f.step(st, done) })
+		r.enqueueJob(func(done func()) { r.step(st, done) })
 	}
 }
 
+// markLost records a stream as unplaced, journaling the fact so the standby
+// parks it too.
+func (r *ctrlRep) markLost(gid int) {
+	r.lost[gid] = true
+	r.journal(jrec{op: jLost, gid: gid})
+}
+
 // step decides and executes one stream's move, if any.
-func (f *fleetChaos) step(st *chaosStream, done func()) {
-	t := f.ctrlEng().Now()
+func (r *ctrlRep) step(st *chaosStream, done func()) {
+	f := r.f
+	t := r.eng().Now()
 	gid := st.gid
 	want := f.desired(st, t)
-	if f.lost[gid] {
+	if r.lost[gid] {
 		// Unplaced (every candidate refused, or its state was erased):
 		// restart it fresh as soon as somewhere can take it.
 		if want >= 0 {
-			f.readd(st, want, done)
+			r.readd(st, want, done)
 			return
 		}
 		done()
 		return
 	}
-	cur := f.loc[gid]
+	cur := r.loc[gid]
 	if f.deadAt(cur, t) {
 		// The stream's card is dark: restore from the last heartbeat
 		// checkpoint — the window position and frame cursor survive even
 		// though the card contributed nothing at failure time. Degraded
 		// targets (draining, or severed until the partition heals) beat
 		// losing the stream, so the candidate tiers relax.
-		img, ok := f.ckpt[gid]
+		img, ok := r.ckpt[gid]
 		if !ok {
-			f.lost[gid] = true
-			f.logf("t=%-12v cold gid=%02d ni%02d→?     no checkpoint; stream lost until readd", t, gid, cur)
+			r.markLost(gid)
+			r.logf(t, "t=%-12v cold gid=%02d ni%02d→?     no checkpoint; stream lost until readd", t, gid, cur)
 			if f.obs != nil {
 				f.obs.ctrlEvent("stream-lost", gid, 0,
 					fmt.Sprintf("ni%02d dark and no checkpoint; awaiting readd", cur))
@@ -453,20 +445,22 @@ func (f *fleetChaos) step(st *chaosStream, done func()) {
 			done()
 			return
 		}
-		f.placeImage(st, cur, img, nil, true, f.candidates(st, t, want, true), done)
+		r.journal(jrec{op: jIntent, gid: gid, from: cur, to: want})
+		r.journal(jrec{op: jImage, gid: gid, from: cur, img: img, hasImg: true})
+		r.placeImage(st, cur, img, nil, true, f.candidates(st, t, want, true), done)
 		return
 	}
-	if f.wipedSince(cur, f.placedAt[gid], t) {
+	if f.wipedSince(cur, r.placedAt[gid], t) {
 		// The card recovered from a host crash after this stream was placed
 		// on it: the recovery wipe erased the stream, so the controller's
 		// placement record is a ghost. Teardown restart.
-		f.lost[gid] = true
-		f.logf("t=%-12v wipe gid=%02d ni%02d state erased by crash recovery; readd pending", t, gid, cur)
+		r.markLost(gid)
+		r.logf(t, "t=%-12v wipe gid=%02d ni%02d state erased by crash recovery; readd pending", t, gid, cur)
 		if f.obs != nil {
 			f.obs.ctrlEvent("state-wiped", gid, 0,
 				fmt.Sprintf("ni%02d crash recovery erased placement; readd pending", cur))
 		}
-		f.step(st, done)
+		r.step(st, done)
 		return
 	}
 	if want < 0 || want == cur {
@@ -476,25 +470,29 @@ func (f *fleetChaos) step(st *chaosStream, done func()) {
 		done()
 		return
 	}
-	f.migrateLive(st, cur, want, done)
+	r.migrateLive(st, cur, want, done)
 }
 
 // migrateLive is the three-hop live protocol: detach on the source (image +
 // queued frames, stream removed, producer orphans out), then import on the
 // target with frame replay and a producer respawned at the stream's cursor.
-func (f *fleetChaos) migrateLive(st *chaosStream, from, want int, done func()) {
+// The intent is journaled before the detach leaves — if this replica dies
+// mid-protocol, its successor knows exactly which stream is homeless.
+func (r *ctrlRep) migrateLive(st *chaosStream, from, want int, done func()) {
+	f := r.f
 	gid := st.gid
-	f.toCard(from, func() {
+	r.journal(jrec{op: jIntent, gid: gid, from: from, to: want})
+	r.cmd(from, "detach", gid, func() {
 		src := f.cards[from]
 		img, queued, err := src.ext.DetachStream(gid)
-		f.toCtrl(from, func() {
+		r.fromCard(from, func() {
 			if err != nil {
 				// Controller view was stale (stream already gone on the
 				// source). Nothing was detached; mark it lost so a later
 				// reconcile restarts it.
-				f.lost[gid] = true
-				f.logf("t=%-12v live gid=%02d ni%02d→ni%02d detach failed: %v",
-					f.ctrlEng().Now(), gid, from, want, err)
+				r.markLost(gid)
+				r.logf(r.eng().Now(), "t=%-12v live gid=%02d ni%02d→ni%02d detach failed: %v",
+					r.eng().Now(), gid, from, want, err)
 				if f.obs != nil {
 					f.obs.abortMove(st, from, want, 0, "detach failed")
 				}
@@ -503,10 +501,11 @@ func (f *fleetChaos) migrateLive(st *chaosStream, from, want int, done func()) {
 			}
 			// The stream is detached and homeless from here on, so the
 			// degraded candidate tiers are open: anywhere alive beats loss.
-			t := f.ctrlEng().Now()
-			f.placeImage(st, from, img, queued, false, f.candidates(st, t, want, true), done)
+			r.journal(jrec{op: jImage, gid: gid, from: from, img: img, hasImg: true})
+			t := r.eng().Now()
+			r.placeImage(st, from, img, queued, false, f.candidates(st, t, want, true), done)
 		})
-	})
+	}, done)
 }
 
 // placeImage walks the candidate list: import the migration image through
@@ -514,8 +513,9 @@ func (f *fleetChaos) migrateLive(st *chaosStream, from, want int, done func()) {
 // respawn the producer at the stream's frame cursor. A refusal (budget past
 // high water, card crashed in flight) falls through to the next candidate;
 // exhausting the list parks the stream for a later readd.
-func (f *fleetChaos) placeImage(st *chaosStream, from int, img dwcs.StreamSnapshot,
+func (r *ctrlRep) placeImage(st *chaosStream, from int, img dwcs.StreamSnapshot,
 	queued []dwcs.Packet, cold bool, cands []int, done func()) {
+	f := r.f
 	gid := st.gid
 	kind := "live"
 	if cold {
@@ -523,15 +523,12 @@ func (f *fleetChaos) placeImage(st *chaosStream, from int, img dwcs.StreamSnapsh
 	}
 	// The epoch this placement will commit as, decided before the first hop
 	// so the target card can stamp spans with it at import time.
-	nextEpoch := 0
-	if f.obs != nil {
-		nextEpoch = f.obs.epoch[gid] + 1
-	}
+	nextEpoch := r.sepoch[gid] + 1
 	if len(cands) == 0 {
-		f.lost[gid] = true
-		f.res.Parked++
-		f.logf("t=%-12v %s gid=%02d ni%02d→?     no live candidate; stream parked",
-			f.ctrlEng().Now(), kind, gid, from)
+		r.markLost(gid)
+		r.parked++
+		r.logf(r.eng().Now(), "t=%-12v %s gid=%02d ni%02d→?     no live candidate; stream parked",
+			r.eng().Now(), kind, gid, from)
 		if f.obs != nil {
 			f.obs.abortMove(st, from, -1, img.Seq, "no candidate; parked")
 		}
@@ -541,7 +538,7 @@ func (f *fleetChaos) placeImage(st *chaosStream, from int, img dwcs.StreamSnapsh
 	var try func(k int)
 	try = func(k int) {
 		to := cands[k]
-		f.toCard(to, func() {
+		r.cmd(to, "import", gid, func() {
 			dst := f.cards[to]
 			var err error
 			var importAt sim.Time
@@ -559,46 +556,52 @@ func (f *fleetChaos) placeImage(st *chaosStream, from int, img dwcs.StreamSnapsh
 				p := dst.ext.SpawnPeerProducerFrom(dst.disk, f.clip, gid, st.addr,
 					fleetStreamPeriod, 1<<30, start)
 				st.prods = append(st.prods, p)
+				if f.ha() {
+					f.cardSE[to][gid] = nextEpoch
+				}
 				if f.obs != nil {
 					importAt = f.obs.cardImport(to, st, nextEpoch, img.Seq)
 				}
 			}
-			f.toCtrl(to, func() {
+			r.fromCard(to, func() {
 				if err == nil {
-					f.loc[gid] = to
-					f.placedAt[gid] = f.ctrlEng().Now()
-					delete(f.lost, gid)
+					r.loc[gid] = to
+					r.placedAt[gid] = r.eng().Now()
+					delete(r.lost, gid)
+					r.sepoch[gid] = nextEpoch
 					if cold {
-						f.res.ColdMigrations++
+						r.cold++
 					} else {
-						f.res.LiveMigrations++
+						r.live++
 					}
-					f.res.Replayed += replayed
-					f.logf("t=%-12v %s gid=%02d ni%02d→ni%02d ok seq=%d win=(%d,%d) replay=%d",
-						f.ctrlEng().Now(), kind, gid, from, to,
+					r.replayed += replayed
+					r.logf(r.eng().Now(), "t=%-12v %s gid=%02d ni%02d→ni%02d ok seq=%d win=(%d,%d) replay=%d",
+						r.eng().Now(), kind, gid, from, to,
 						img.Seq, img.WindowX, img.WindowY, replayed)
+					r.journal(jrec{op: jCommit, gid: gid, from: from, to: to,
+						img: img, hasImg: true, sepoch: nextEpoch})
 					if f.obs != nil {
 						f.obs.commitMove(st, from, to, nextEpoch, img.Seq, importAt, kind)
 					}
 					done()
 					return
 				}
-				f.logf("t=%-12v %s gid=%02d ni%02d→ni%02d refused: %v",
-					f.ctrlEng().Now(), kind, gid, from, to, err)
+				r.logf(r.eng().Now(), "t=%-12v %s gid=%02d ni%02d→ni%02d refused: %v",
+					r.eng().Now(), kind, gid, from, to, err)
 				if k+1 < len(cands) {
 					try(k + 1)
 					return
 				}
-				f.lost[gid] = true
-				f.res.Parked++
-				f.logf("t=%-12v %s gid=%02d ni%02d→?     every candidate refused; stream parked",
-					f.ctrlEng().Now(), kind, gid, from)
+				r.markLost(gid)
+				r.parked++
+				r.logf(r.eng().Now(), "t=%-12v %s gid=%02d ni%02d→?     every candidate refused; stream parked",
+					r.eng().Now(), kind, gid, from)
 				if f.obs != nil {
 					f.obs.abortMove(st, from, to, img.Seq, "every candidate refused; parked")
 				}
 				done()
 			})
-		})
+		}, done)
 	}
 	try(0)
 }
@@ -608,13 +611,11 @@ func (f *fleetChaos) placeImage(st *chaosStream, from int, img dwcs.StreamSnapsh
 // fresh window on card `to`. The ID is preserved but the window history is
 // not — this is exactly what migration exists to avoid, so it is counted
 // separately and weighed against the resume rate.
-func (f *fleetChaos) readd(st *chaosStream, to int, done func()) {
+func (r *ctrlRep) readd(st *chaosStream, to int, done func()) {
+	f := r.f
 	gid := st.gid
-	nextEpoch := 0
-	if f.obs != nil {
-		nextEpoch = f.obs.epoch[gid] + 1
-	}
-	f.toCard(to, func() {
+	nextEpoch := r.sepoch[gid] + 1
+	r.cmd(to, "readd", gid, func() {
 		dst := f.cards[to]
 		var err error
 		var importAt sim.Time
@@ -623,31 +624,36 @@ func (f *fleetChaos) readd(st *chaosStream, to int, done func()) {
 			err = fmt.Errorf("card ni%02d crashed", to)
 		} else if err = dst.ext.AddStream(st.spec); err == nil {
 			start := 0
-			if img, ok := f.ckpt[gid]; ok {
+			if img, ok := r.ckpt[gid]; ok {
 				start = int(img.Seq)
 			}
 			p := dst.ext.SpawnPeerProducerFrom(dst.disk, f.clip, gid, st.addr,
 				fleetStreamPeriod, 1<<30, start)
 			st.prods = append(st.prods, p)
 			startSeq = int64(start)
+			if f.ha() {
+				f.cardSE[to][gid] = nextEpoch
+			}
 			if f.obs != nil {
 				importAt = f.obs.cardImport(to, st, nextEpoch, startSeq)
 			}
 		}
-		f.toCtrl(to, func() {
+		r.fromCard(to, func() {
 			if err == nil {
-				f.loc[gid] = to
-				f.placedAt[gid] = f.ctrlEng().Now()
-				delete(f.lost, gid)
-				f.res.Readds++
-				f.logf("t=%-12v readd gid=%02d →ni%02d fresh window (teardown restart)",
-					f.ctrlEng().Now(), gid, to)
+				r.loc[gid] = to
+				r.placedAt[gid] = r.eng().Now()
+				delete(r.lost, gid)
+				r.sepoch[gid] = nextEpoch
+				r.readds++
+				r.logf(r.eng().Now(), "t=%-12v readd gid=%02d →ni%02d fresh window (teardown restart)",
+					r.eng().Now(), gid, to)
+				r.journal(jrec{op: jCommit, gid: gid, to: to, sepoch: nextEpoch})
 				if f.obs != nil {
 					f.obs.commitReadd(st, to, nextEpoch, startSeq, importAt)
 				}
 			} else {
-				f.logf("t=%-12v readd gid=%02d →ni%02d refused: %v",
-					f.ctrlEng().Now(), gid, to, err)
+				r.logf(r.eng().Now(), "t=%-12v readd gid=%02d →ni%02d refused: %v",
+					r.eng().Now(), gid, to, err)
 				if f.obs != nil {
 					f.obs.ctrlEvent("readd-refused", gid, 0,
 						fmt.Sprintf("→ni%02d: %v", to, err))
@@ -655,7 +661,7 @@ func (f *fleetChaos) readd(st *chaosStream, to int, done func()) {
 			}
 			done()
 		})
-	})
+	}, done)
 }
 
 // --- polling, checkpoints, and violation accounting --------------------------
@@ -676,62 +682,67 @@ func (f *fleetChaos) inOutage(a, b sim.Time) bool {
 // account folds one stream sighting (a heartbeat snapshot taken on a card at
 // card-side time `at`) into the violation ledger, classifying any new
 // violations by whether the interval since the last sighting touches an
-// outage window.
-func (f *fleetChaos) account(sn dwcs.StreamSnapshot, at sim.Time) {
+// outage window. The ledger rides checkpoints across failovers: cumulative
+// counters make the first post-takeover delta cover whatever the deposed
+// leader saw after its last checkpoint, so nothing is lost or double-counted.
+func (r *ctrlRep) account(sn dwcs.StreamSnapshot, at sim.Time) {
 	gid := sn.Spec.ID
 	v := sn.Stats.Violations
-	if v > f.lastV[gid] {
-		delta := v - f.lastV[gid]
-		tally := f.violByGid[gid]
+	if v > r.lastV[gid] {
+		delta := v - r.lastV[gid]
+		tally := r.violByGid[gid]
 		if tally == nil {
 			tally = new([2]int64)
-			f.violByGid[gid] = tally
+			r.violByGid[gid] = tally
 		}
-		if f.inOutage(f.lastT[gid], at) {
-			f.res.ViolDuring += delta
+		if r.f.inOutage(r.lastT[gid], at) {
+			r.violDuring += delta
 			tally[0] += delta
 		} else {
-			f.res.ViolOutside += delta
+			r.violOutside += delta
 			tally[1] += delta
 		}
 	}
 	// A rewind (cold restore from a stale checkpoint, or a fresh readd)
 	// lowers the cumulative counter; re-seed so later deltas stay honest.
-	f.lastV[gid] = v
-	f.lastT[gid] = at
+	r.lastV[gid] = v
+	r.lastT[gid] = at
 }
 
 // poll is one controller round: every card is probed over the management
 // network (out-of-band — a fleet-network partition does not sever it), its
 // stream snapshots become the cold-migration checkpoints, and violations
-// are classified. A crashed card answers nothing and logs a DOWN row.
-func (f *fleetChaos) poll() {
+// are classified. A crashed card answers nothing and logs a DOWN row; a
+// card whose fence outranks this replica's epoch rejects the probe instead
+// (the rejection demotes the sender).
+func (r *ctrlRep) poll() {
+	f := r.f
 	for i := range f.cards {
 		i := i
-		f.toCard(i, func() {
+		r.cmd(i, "poll", 0, func() {
 			fc := f.cards[i]
 			at := fc.eng.Now()
 			if fc.sched.Crashed() {
-				f.toCtrl(i, func() {
-					f.pulses = append(f.pulses, fmt.Sprintf("t=%-10v ni%02d DOWN", at, i))
+				r.fromCard(i, func() {
+					r.pulse(at, "t=%-10v ni%02d DOWN", at, i)
 				})
 				return
 			}
 			snaps := fc.ext.Sched.Snapshot()
 			sent, dropped := fc.ext.Sent, fc.ext.Dropped
 			used, size := fc.ctl.Budget.Used(), fc.ctl.Budget.Size()
-			f.toCtrl(i, func() {
+			r.fromCard(i, func() {
 				var viol int64
 				for _, sn := range snaps {
 					viol += sn.Stats.Violations
-					f.ckpt[sn.Spec.ID] = sn
-					f.account(sn, at)
+					r.ckpt[sn.Spec.ID] = sn
+					r.account(sn, at)
 				}
-				f.pulses = append(f.pulses, fmt.Sprintf(
+				r.pulse(at,
 					"t=%-10v ni%02d streams=%d sent=%-6d dropped=%-4d viol=%-3d mem=%d/%d",
-					at, i, len(snaps), sent, dropped, viol, used, size))
+					at, i, len(snaps), sent, dropped, viol, used, size)
 			})
-		})
+		}, nil)
 	}
 }
 
@@ -828,15 +839,8 @@ func buildFleetChaos(cfg FleetChaosConfig, obs *fleetObs) *fleetChaos {
 			},
 			route: map[string]int{},
 		},
-		ccfg:      cfg,
-		severed:   make([]int64, cfg.Cards),
-		loc:       map[int]int{},
-		ckpt:      map[int]dwcs.StreamSnapshot{},
-		lastV:     map[int]int64{},
-		lastT:     map[int]sim.Time{},
-		lost:      map[int]bool{},
-		placedAt:  map[int]sim.Time{},
-		violByGid: map[int]*[2]int64{},
+		ccfg:    cfg,
+		severed: make([]int64, cfg.Cards),
 		res: &FleetChaosResult{
 			Cards: cfg.Cards, Hosts: cfg.hosts(), Switches: cfg.switches(),
 			Streams: cfg.Cards * cfg.StreamsPerCard, Dur: cfg.Dur,
@@ -870,16 +874,21 @@ func buildFleetChaos(cfg FleetChaosConfig, obs *fleetObs) *fleetChaos {
 	if err != nil {
 		panic(err)
 	}
+	if cfg.CtrlHA {
+		appendCtrlEvents(plan, cfg)
+	}
 	plan.Sort()
 	f.plan = plan
 
 	// Topology: same wiring as the baseline fleet, plus a full mesh between
 	// card partitions — a migrated stream's frames must reach its client's
-	// home card from wherever the stream lands.
-	var ctrlEng *sim.Engine
+	// home card from wherever the stream lands. With CtrlHA the standby gets
+	// its own partition ("dvcm-b"), added after the cards so the merge order
+	// of same-instant cross-partition events puts the primary's traffic
+	// first — matching the monolithic insertion order.
+	var parts []*sim.Partition
 	if cfg.Monolithic {
 		f.mono = sim.NewEngine(cfg.Seed)
-		ctrlEng = f.mono
 		for i := 0; i < cfg.Cards; i++ {
 			f.cards = append(f.cards, f.buildCard(i, f.mono, nil))
 		}
@@ -887,8 +896,7 @@ func buildFleetChaos(cfg FleetChaosConfig, obs *fleetObs) *fleetChaos {
 		f.topo = sim.NewTopology(cfg.Seed)
 		f.topo.Workers = cfg.Workers
 		f.ctrl = f.topo.AddPartition("dvcm")
-		ctrlEng = f.ctrl.Eng()
-		parts := make([]*sim.Partition, cfg.Cards)
+		parts = make([]*sim.Partition, cfg.Cards)
 		for i := 0; i < cfg.Cards; i++ {
 			parts[i] = f.topo.AddPartition(fmt.Sprintf("card%02d", i))
 		}
@@ -904,6 +912,29 @@ func buildFleetChaos(cfg FleetChaosConfig, obs *fleetObs) *fleetChaos {
 			mustConnect(f.topo, f.ctrl, p, cfg.NetLatency)
 			mustConnect(f.topo, p, f.ctrl, cfg.NetLatency)
 		}
+	}
+	f.reps = append(f.reps, newCtrlRep(f, 0, f.ctrl))
+	if cfg.CtrlHA {
+		var bPart *sim.Partition
+		if !cfg.Monolithic {
+			bPart = f.topo.AddPartition("dvcm-b")
+			for _, p := range parts {
+				mustConnect(f.topo, bPart, p, cfg.NetLatency)
+				mustConnect(f.topo, p, bPart, cfg.NetLatency)
+			}
+			mustConnect(f.topo, f.ctrl, bPart, cfg.NetLatency)
+			mustConnect(f.topo, bPart, f.ctrl, cfg.NetLatency)
+		}
+		rb := newCtrlRep(f, 1, bPart)
+		f.reps[0].peer, rb.peer = rb, f.reps[0]
+		f.reps = append(f.reps, rb)
+		f.fence = make([]epochFence, cfg.Cards)
+		f.cardSE = make([]map[int]int, cfg.Cards)
+		for i := range f.cardSE {
+			f.cardSE[i] = map[int]int{}
+		}
+		f.cardHA = make([][]haEvent, cfg.Cards)
+		f.fencedByCard = make([]int, cfg.Cards)
 	}
 	if f.obs != nil {
 		for i := range f.cards {
@@ -967,7 +998,9 @@ func buildFleetChaos(cfg FleetChaosConfig, obs *fleetObs) *fleetChaos {
 			st.prods = append(st.prods,
 				fc.ext.SpawnPeerProducer(fc.disk, f.clip, gid, addr, fleetStreamPeriod, 1<<30))
 			f.cstream = append(f.cstream, st)
-			f.loc[gid] = i
+			for _, r := range f.reps {
+				r.loc[gid] = i
+			}
 			if f.obs != nil {
 				f.obs.attachStream(st)
 			}
@@ -976,7 +1009,8 @@ func buildFleetChaos(cfg FleetChaosConfig, obs *fleetObs) *fleetChaos {
 
 	// Arm the plan: card-side crash/reset and flight-recorder marks at build
 	// time, controller-side reconciles one detection delay after each fault
-	// boundary.
+	// boundary. Reconciles are armed on every replica but run only on the
+	// one holding leadership when the boundary fires.
 	boundary := map[sim.Time]bool{}
 	for _, e := range plan.Events {
 		e := e
@@ -989,6 +1023,8 @@ func buildFleetChaos(cfg FleetChaosConfig, obs *fleetObs) *fleetChaos {
 		case faults.RollingDrain:
 			h := f.hostIndex(e.Target)
 			f.armDomainMark(e, func(card int) bool { return f.hostOf(card) == h })
+		case faults.ControllerCrash, faults.ControllerPartition:
+			f.armCtrlFault(e)
 		}
 		boundary[e.At+cfg.DetectDelay] = true
 		boundary[e.At+e.Duration+cfg.DetectDelay] = true
@@ -999,12 +1035,90 @@ func buildFleetChaos(cfg FleetChaosConfig, obs *fleetObs) *fleetChaos {
 	}
 	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
 	for _, t := range times {
-		ctrlEng.At(t, f.reconcile)
+		for _, r := range f.reps {
+			r := r
+			r.eng().At(t, func() {
+				if r.leader && !r.deadNow() {
+					r.reconcile()
+				}
+			})
+		}
 	}
 
-	ctrlEng.Every(cfg.PollEvery, f.poll)
+	for _, r := range f.reps {
+		r.eng().Every(cfg.PollEvery, r.tick)
+	}
 
 	return f
+}
+
+// appendCtrlEvents adds the hand-timed controller faults to the generated
+// plan (the caller re-sorts). The first crash is anchored one detection
+// delay plus a hop plus a couple of milliseconds after the first host crash
+// (or first event) — squarely inside the primary's post-fault migration
+// burst, so the kill lands mid-protocol: the journal holds an intent whose
+// commit reply the crash swallowed, and the standby must prove it complete
+// (adopt) or not (re-issue). The partition starts after the last crash has
+// recovered and the replicas have exchanged a checkpoint or two, so the
+// split-brain scenario runs against a healthy pair.
+func appendCtrlEvents(plan *faults.Plan, cfg FleetChaosConfig) {
+	anchor := cfg.Dur / 3
+	if len(plan.Events) > 0 {
+		anchor = plan.Events[0].At
+		for _, e := range plan.Events {
+			if e.Kind == faults.HostCrash {
+				anchor = e.At
+				break
+			}
+		}
+	}
+	crashAt := anchor + cfg.DetectDelay + cfg.NetLatency + 2*sim.Millisecond
+	crashDur := cfg.Dur / 4
+	spacing := crashDur + 4*cfg.PollEvery
+	for k := 0; k < cfg.CtrlCrashes; k++ {
+		plan.Events = append(plan.Events, faults.Event{
+			At: crashAt + sim.Time(k)*spacing, Duration: crashDur,
+			Kind: faults.ControllerCrash, Target: ctrlReplicaName(0),
+		})
+	}
+	lastCrash := crashAt
+	if cfg.CtrlCrashes > 1 {
+		lastCrash += sim.Time(cfg.CtrlCrashes-1) * spacing
+	}
+	partAt := lastCrash + crashDur + 2*cfg.PollEvery
+	partDur := cfg.Dur / 6
+	for k := 0; k < cfg.CtrlPartitions; k++ {
+		plan.Events = append(plan.Events, faults.Event{
+			At: partAt + sim.Time(k)*(partDur+4*cfg.PollEvery), Duration: partDur,
+			Kind: faults.ControllerPartition, Target: ctrlReplicaName(0),
+		})
+	}
+}
+
+// armCtrlFault schedules a controller fault's replica-side hooks. Liveness
+// and pair-link severance are plan-derived pure predicates; these hooks only
+// handle the dynamic fallout (wiping a crashed replica's job queue, timeline
+// rows, the recovering leader's journal reconcile).
+func (f *fleetChaos) armCtrlFault(e faults.Event) {
+	for _, r := range f.reps {
+		r := r
+		e := e
+		if e.Kind == faults.ControllerCrash {
+			if e.Target != r.name {
+				continue
+			}
+			r.eng().At(e.At, func() { r.onCrash(e) })
+			r.eng().At(e.At+e.Duration, func() { r.onRecover(e) })
+			continue
+		}
+		// The pair link is symmetric: both replicas log the severance.
+		r.eng().At(e.At, func() {
+			r.halog("ctrl-partition", 0, "replica pair link severed for %v", e.Duration)
+		})
+		r.eng().At(e.At+e.Duration, func() {
+			r.halog("ctrl-partition", 0, "replica pair link healed")
+		})
+	}
 }
 
 // runChaos drives the built fleet to Dur and settles the topology.
@@ -1023,16 +1137,30 @@ func (f *fleetChaos) runChaos() {
 func (f *fleetChaos) collectChaos() {
 	res := f.res
 	cfg := f.ccfg
+	lead := f.lead()
 
-	// Final sweep: fold each card's end-of-run stream stats into the
-	// violation ledger (covering the tail after the last poll).
+	// Final sweep: fold each card's end-of-run stream stats into the leading
+	// replica's violation ledger (covering the tail after the last poll).
+	// The ledger rode checkpoints across any failovers, so the leader's copy
+	// is the complete one; the deposed replica's is a stale prefix.
 	for _, fc := range f.cards {
 		if fc.sched.Crashed() {
 			continue
 		}
 		for _, sn := range fc.ext.Sched.Snapshot() {
-			f.account(sn, cfg.Dur)
+			lead.account(sn, cfg.Dur)
 		}
+	}
+	res.ViolDuring, res.ViolOutside = lead.violDuring, lead.violOutside
+
+	// Migration action counters are per-replica (each counts only the moves
+	// it committed — fencing keeps them disjoint) and summed here.
+	for _, r := range f.reps {
+		res.LiveMigrations += r.live
+		res.ColdMigrations += r.cold
+		res.Readds += r.readds
+		res.Parked += r.parked
+		res.Replayed += r.replayed
 	}
 
 	res.Plan = f.plan.String()
@@ -1062,8 +1190,8 @@ func (f *fleetChaos) collectChaos() {
 	}
 	res.Table = table.String()
 
-	res.Pulse = strings.Join(f.pulses, "\n") + "\n"
-	res.MigLog = strings.Join(f.migLog, "\n") + "\n"
+	res.Pulse = strings.Join(mergeRows(f.reps, func(r *ctrlRep) []logRow { return r.pulses }), "\n") + "\n"
+	res.MigLog = strings.Join(mergeRows(f.reps, func(r *ctrlRep) []logRow { return r.migLog }), "\n") + "\n"
 
 	// Recovery table: for each plan event, the affected streams' first
 	// client arrival at or after the strike.
@@ -1076,7 +1204,7 @@ func (f *fleetChaos) collectChaos() {
 			}
 			if got := st.watchGot[k]; got > 0 {
 				fmt.Fprintf(&rec, "  gid=%02d recovered +%v (end ni%02d)\n",
-					st.gid, got-e.At, f.loc[st.gid])
+					st.gid, got-e.At, lead.loc[st.gid])
 			} else {
 				fmt.Fprintf(&rec, "  gid=%02d no frame after strike\n", st.gid)
 			}
@@ -1089,7 +1217,7 @@ func (f *fleetChaos) collectChaos() {
 	fmt.Fprintf(&vio, "%-6s %10s %10s\n", "stream", "during", "outside")
 	for _, st := range f.cstream {
 		d, o := int64(0), int64(0)
-		if t := f.violByGid[st.gid]; t != nil {
+		if t := lead.violByGid[st.gid]; t != nil {
 			d, o = t[0], t[1]
 		}
 		fmt.Fprintf(&vio, "g%02d    %10d %10d\n", st.gid, d, o)
@@ -1106,11 +1234,11 @@ func (f *fleetChaos) collectChaos() {
 			injected += p.Injected
 		}
 		d, o := int64(0), int64(0)
-		if t := f.violByGid[st.gid]; t != nil {
+		if t := lead.violByGid[st.gid]; t != nil {
 			d, o = t[0], t[1]
 		}
 		fmt.Fprintf(&csv, "%02d,%d,%s,%02d,%d,%d,%d,%d,%d,%d\n",
-			st.orig, st.gid, st.addr, f.loc[st.gid], injected,
+			st.orig, st.gid, st.addr, lead.loc[st.gid], injected,
 			st.cl.Received, st.cl.RecvBytes, st.cl.Late, d, o)
 	}
 	res.CSV = csv.String()

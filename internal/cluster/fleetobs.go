@@ -293,7 +293,11 @@ func (o *fleetObs) scrape() {
 		o.stat[i].bytes += fleetobs.ReqBytes
 		o.obsBytes += fleetobs.ReqBytes
 		cur := o.cursor[i]
-		o.f.toCard(i, func() { o.reply(i, cur) })
+		// The scrape is a controller command like any other: with a
+		// replicated control plane it is epoch-stamped and a card whose
+		// fence outranks the sender rejects it (stale leaders cannot even
+		// observe). Unreplicated, cmd is a plain toCard hop.
+		o.f.reps[0].cmd(i, "scrape", 0, func() { o.reply(i, cur) }, nil)
 	}
 }
 
@@ -544,7 +548,7 @@ func (o *fleetObs) collect() *FleetObsResult {
 			cs.Breaches = s.breaches
 			res.Breaches += s.breaches
 			for _, sm := range s.samples {
-				if f.loc[sm.Stream] != i || f.lost[sm.Stream] {
+				if f.lead().loc[sm.Stream] != i || f.lead().lost[sm.Stream] {
 					continue
 				}
 				cs.Streams++

@@ -28,6 +28,33 @@ import (
 // double-migrate guard.
 var ErrMigrationInProgress = errors.New("cluster: migration already in progress")
 
+// epochFence is a card's admission gate against stale controllers: the
+// highest leader epoch the card has witnessed, and which replica stamped it.
+// Commands stamped with an older epoch are rejected outright — the same
+// jurisdictional semantics as sim.Msg.Cancel, where authority over an
+// in-flight operation belongs to whoever holds the newest claim, applied
+// here to the whole control plane. A newer stamp raises the fence as a side
+// effect, so a takeover's first command (or its explicit fence broadcast)
+// locks every reachable card against the deposed leader; there is no way to
+// lower a fence. Card-partition-local state (ctrlha.go allocates one per
+// card when the control plane is replicated).
+type epochFence struct {
+	epoch  int
+	leader int
+}
+
+// admit reports whether a command stamped (epoch, replica) may execute,
+// raising the fence when the stamp is newer than anything seen.
+func (f *epochFence) admit(epoch, replica int) bool {
+	if epoch < f.epoch {
+		return false
+	}
+	if epoch > f.epoch {
+		f.epoch, f.leader = epoch, replica
+	}
+	return true
+}
+
 // MigrateOptions tunes one migration.
 type MigrateOptions struct {
 	// Avoid vetoes candidate target cards beyond the standing exclusions

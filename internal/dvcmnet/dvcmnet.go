@@ -33,6 +33,26 @@ const (
 	ControlRespBytes = 96
 )
 
+// Control-plane replication pricing. The primary DVCM controller journals
+// every placement decision to its standby over the same control links the
+// scrape plane rides, and ships a full-state checkpoint each poll period;
+// these constants price that traffic so the journal overhead gate
+// (journal bytes <= 2% of media goodput) measures something real.
+const (
+	// JournalEntryBytes is one write-ahead record: op tag, stream ID,
+	// source/target card, migration sequence, DWCS (x,y) window, frame
+	// cursor, stream epoch, leader epoch.
+	JournalEntryBytes = 72
+	// CkptHeaderBytes heads a full-state checkpoint: leader epoch, stream
+	// count, violation-ledger totals. Doubles as the heartbeat the standby
+	// watches for.
+	CkptHeaderBytes = ControlRespBytes
+	// CkptStreamBytes is one per-stream placement record inside a
+	// checkpoint: stream ID, card, epoch, (x,y) window, frame cursor,
+	// last-sighted violation/loss counters.
+	CkptStreamBytes = 56
+)
+
 const (
 	reqBytes  = ControlReqBytes
 	respBytes = ControlRespBytes

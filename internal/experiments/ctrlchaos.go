@@ -1,0 +1,121 @@
+// Controller-chaos experiment: the replicated DVCM control plane under
+// controller faults (cluster.RunCtrlChaos), wrapped for the artifact writers
+// and the CI determinism canary. On top of the fleet-chaos scenario, the
+// primary controller replica is killed mid-migration and the replica pair is
+// later partitioned (split brain); the run proves the standby takes over
+// within two poll periods, no stream is ever double-placed, the deposed
+// leader's stale commands are fenced, and every artifact — including the
+// merged HA incident timeline — is byte-identical across monolithic,
+// sequential-partitioned, and parallel-partitioned execution.
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+)
+
+// CtrlChaosConfig parameterizes the controller-chaos experiment. Zero values
+// take the defaults: the standard 8×2 chaos fleet over 8 s (longer than the
+// plain chaos run, so a crash, a takeover, a recovery, a split brain, and a
+// heal all fit), one controller crash and one pair partition.
+type CtrlChaosConfig struct {
+	Cards          int
+	StreamsPerCard int
+	Dur            sim.Time
+	Workers        int
+
+	HostCrashes   int
+	NetPartitions int
+	RollingDrains int
+	FaultSeed     int64
+
+	// Controller faults (0 = 1 each; negative = none of that kind).
+	CtrlCrashes    int
+	CtrlPartitions int
+}
+
+// CtrlChaosArtifacts is everything one controller-chaos run exports. Every
+// string is part of the byte-identical determinism contract; Rounds is not.
+type CtrlChaosArtifacts struct {
+	Chaos *FleetChaosArtifacts
+
+	CtrlPlane  string
+	HATimeline string
+	HASummary  string
+
+	JournalBytes, MediaBytes int64
+	Takeovers                int
+	Adopted, Reissued        int
+	FencedRejects            int
+	DoublePlaced             int
+	LeaderName               string
+	LeaderEpoch              int
+}
+
+func (cfg CtrlChaosConfig) cluster() cluster.FleetChaosConfig {
+	dur := cfg.Dur
+	if dur <= 0 {
+		dur = 8 * sim.Second
+	}
+	return cluster.FleetChaosConfig{
+		Cards: cfg.Cards, StreamsPerCard: cfg.StreamsPerCard,
+		Dur: dur, Workers: cfg.Workers,
+		HostCrashes: cfg.HostCrashes, NetPartitions: cfg.NetPartitions,
+		RollingDrains: cfg.RollingDrains, FaultSeed: cfg.FaultSeed,
+		CtrlHA: true, CtrlCrashes: cfg.CtrlCrashes, CtrlPartitions: cfg.CtrlPartitions,
+	}
+}
+
+// RunCtrlChaos executes one controller-chaos run on the partitioned fleet.
+func RunCtrlChaos(cfg CtrlChaosConfig) *CtrlChaosArtifacts {
+	r := cluster.RunCtrlChaos(cfg.cluster())
+	return &CtrlChaosArtifacts{
+		Chaos:        chaosArts(r.Chaos),
+		CtrlPlane:    r.CtrlPlane,
+		HATimeline:   r.HATimeline,
+		HASummary:    r.HASummary,
+		JournalBytes: r.JournalBytes, MediaBytes: r.MediaBytes,
+		Takeovers: r.Takeovers, Adopted: r.Adopted, Reissued: r.Reissued,
+		FencedRejects: r.FencedRejects, DoublePlaced: r.DoublePlaced,
+		LeaderName: r.LeaderName, LeaderEpoch: r.LeaderEpoch,
+	}
+}
+
+func ctrlChaosArtMap(r *cluster.CtrlChaosResult) map[string]string {
+	c := r.Chaos
+	return map[string]string{
+		"plan": c.Plan, "summary": c.Summary, "table": c.Table,
+		"pulse": c.Pulse, "miglog": c.MigLog, "recovery": c.Recovery,
+		"violations": c.Violations, "csv": c.CSV,
+		"ctrlplane": r.CtrlPlane, "hatimeline": r.HATimeline,
+		"hasummary": r.HASummary,
+	}
+}
+
+// CtrlChaosDeterminism runs cfg monolithically, partitioned sequentially,
+// and partitioned with cfg.Workers, and returns an error naming the first
+// artifact that differs — the failover, the fencing, and the journal
+// reconcile must not depend on worker count.
+func CtrlChaosDeterminism(cfg CtrlChaosConfig) error {
+	run := func(workers int, mono bool) map[string]string {
+		c := cfg.cluster()
+		c.Workers, c.Monolithic = workers, mono
+		return ctrlChaosArtMap(cluster.RunCtrlChaos(c))
+	}
+	arts := []string{"plan", "summary", "table", "pulse", "miglog", "recovery",
+		"violations", "csv", "ctrlplane", "hatimeline", "hasummary"}
+	ref := run(1, false)
+	for name, variant := range map[string]map[string]string{
+		"monolithic":                           run(0, true),
+		fmt.Sprintf("workers=%d", cfg.Workers): run(cfg.Workers, false),
+	} {
+		for _, art := range arts {
+			if variant[art] != ref[art] {
+				return fmt.Errorf("ctrl-chaos determinism: %s artifact %q diverged from sequential partitioned run", name, art)
+			}
+		}
+	}
+	return nil
+}

@@ -62,6 +62,23 @@ const (
 	// returns after Duration. Drain is not death — the monitor must treat
 	// it as such.
 	RollingDrain
+	// ControllerCrash kills a DVCM controller replica outright for
+	// Duration: its poll/migration/journal traffic stops, inbound messages
+	// are dropped, and its in-flight job queue is wiped. Target names the
+	// replica ("ctl-a", "ctl-b"). Appended after RollingDrain to keep the
+	// generation RNG schedule stable.
+	ControllerCrash
+	// ControllerPartition isolates a controller replica from its peer for
+	// Duration — the split-brain fault. Only the controller↔controller
+	// links are severed; both replicas can still reach every card, which is
+	// exactly the scenario leader-epoch fencing exists for. Target names
+	// either replica; the pair link is symmetric.
+	ControllerPartition
+
+	// kindEnd is a sentinel one past the last defined kind, for
+	// exhaustiveness tests (every kind must have a String name and a slot
+	// in Generate's fixed draw order). Keep it last.
+	kindEnd
 )
 
 // String names the kind.
@@ -85,6 +102,10 @@ func (k Kind) String() string {
 		return "net-partition"
 	case RollingDrain:
 		return "rolling-drain"
+	case ControllerCrash:
+		return "ctrl-crash"
+	case ControllerPartition:
+		return "ctrl-partition"
 	}
 	return fmt.Sprintf("kind(%d)", int(k))
 }
@@ -203,10 +224,10 @@ func (p *Plan) Validate() error {
 			if e.Duration <= 0 {
 				return fmt.Errorf("faults: event %d: mem-leak needs a duration", i)
 			}
-		case HostCrash, NetPartition, RollingDrain:
-			// Correlated faults without an end are a dead fleet, not chaos:
-			// recovery behavior is the thing under test, so a window is
-			// mandatory.
+		case HostCrash, NetPartition, RollingDrain, ControllerCrash, ControllerPartition:
+			// Correlated and control-plane faults without an end are a dead
+			// fleet, not chaos: recovery behavior is the thing under test,
+			// so a window is mandatory.
 			if e.Duration <= 0 {
 				return fmt.Errorf("faults: event %d: %v needs a duration", i, e.Kind)
 			}
@@ -302,12 +323,13 @@ func (p *Plan) Arm(eng *sim.Engine, inj Injector, log *Log) error {
 type Spec struct {
 	Start, Span sim.Time
 
-	Cards    []string // CardCrash / TaskHang targets
-	Links    []string // LinkDown / LossBurst targets
-	Disks    []string // DiskStall targets
-	Hosts    []string // HostCrash / RollingDrain targets (host domains)
-	Switches []string // NetPartition targets (switch domains)
-	Counts   map[Kind]int
+	Cards       []string // CardCrash / TaskHang targets
+	Links       []string // LinkDown / LossBurst targets
+	Disks       []string // DiskStall targets
+	Hosts       []string // HostCrash / RollingDrain targets (host domains)
+	Switches    []string // NetPartition targets (switch domains)
+	Controllers []string // ControllerCrash / ControllerPartition targets (replicas)
+	Counts      map[Kind]int
 
 	MinDuration, MaxDuration sim.Time
 	MinFactor, MaxFactor     int64
@@ -360,7 +382,7 @@ func Generate(seed int64, spec Spec) (*Plan, error) {
 	// Fixed kind order keeps the RNG consumption schedule stable; new kinds
 	// append at the end so pre-existing (seed, spec) plans are byte-stable.
 	for _, kind := range []Kind{CardCrash, LinkDown, LossBurst, DiskStall, TaskHang, MemLeak,
-		HostCrash, NetPartition, RollingDrain} {
+		HostCrash, NetPartition, RollingDrain, ControllerCrash, ControllerPartition} {
 		var targets []string
 		switch kind {
 		case CardCrash, TaskHang, MemLeak:
@@ -373,6 +395,8 @@ func Generate(seed int64, spec Spec) (*Plan, error) {
 			targets = spec.Hosts
 		case NetPartition:
 			targets = spec.Switches
+		case ControllerCrash, ControllerPartition:
+			targets = spec.Controllers
 		}
 		if err := draw(kind, targets, spec.Counts[kind]); err != nil {
 			return nil, err

@@ -2,6 +2,7 @@ package faults
 
 import (
 	"reflect"
+	"strings"
 	"testing"
 
 	"repro/internal/sim"
@@ -101,6 +102,92 @@ func TestArmFiresInjectAndRecoverInOrder(t *testing.T) {
 	}
 	if log.Records[2].At != 5*sim.Second {
 		t.Fatalf("recovery at %v, want 5s", log.Records[2].At)
+	}
+}
+
+// TestEveryKindHasAName fails when a kind is added without a String case:
+// the fallback spelling "kind(N)" would leak into plan listings and chaos
+// reports. It also pins the plan printer — every kind must render through
+// Event.String and the plan lister without the fallback showing up.
+func TestEveryKindHasAName(t *testing.T) {
+	p := &Plan{}
+	for k := Kind(0); k < kindEnd; k++ {
+		if strings.HasPrefix(k.String(), "kind(") {
+			t.Errorf("kind %d has no String name", int(k))
+		}
+		p.Events = append(p.Events, Event{
+			At: sim.Time(int(k)+1) * sim.Second, Duration: sim.Second,
+			Kind: k, Target: "tgt", Factor: 2,
+		})
+	}
+	listing := p.String()
+	if strings.Contains(listing, "kind(") {
+		t.Fatalf("plan printer leaked an unnamed kind:\n%s", listing)
+	}
+	for k := Kind(0); k < kindEnd; k++ {
+		if !strings.Contains(listing, " "+k.String()+" ") {
+			t.Errorf("plan printer missing kind %v:\n%s", k, listing)
+		}
+	}
+}
+
+// TestGenerateControllerKinds exercises the append-at-end RNG discipline for
+// the controller kinds: a spec without them draws the exact same plan as
+// before they existed, and a spec with them needs Controllers targets.
+func TestGenerateControllerKinds(t *testing.T) {
+	spec := genSpec()
+	spec.Counts[ControllerCrash] = 1
+	spec.Counts[ControllerPartition] = 1
+	if _, err := Generate(7, spec); err == nil {
+		t.Fatal("controller kinds with no Controllers targets should fail")
+	}
+	spec.Controllers = []string{"ctl-a", "ctl-b"}
+	p, err := Generate(7, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[Kind]int{}
+	for _, e := range p.Events {
+		got[e.Kind]++
+		if e.Kind == ControllerCrash || e.Kind == ControllerPartition {
+			if e.Target != "ctl-a" && e.Target != "ctl-b" {
+				t.Errorf("controller event targeted %q", e.Target)
+			}
+			if e.Duration <= 0 {
+				t.Errorf("controller event with no duration: %s", e)
+			}
+		}
+	}
+	if got[ControllerCrash] != 1 || got[ControllerPartition] != 1 {
+		t.Fatalf("controller kind counts = %v", got)
+	}
+	// The prefix drawn before the controller kinds must match a plan
+	// generated without them — the append-at-end discipline.
+	spec2 := genSpec()
+	base, err := Generate(7, spec2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	strip := &Plan{Seed: p.Seed}
+	for _, e := range p.Events {
+		if e.Kind != ControllerCrash && e.Kind != ControllerPartition {
+			strip.Events = append(strip.Events, e)
+		}
+	}
+	if !reflect.DeepEqual(base.Events, strip.Events) {
+		t.Fatalf("adding controller kinds perturbed the base plan:\n%s\nvs\n%s", base, strip)
+	}
+}
+
+// TestValidateControllerDurations pins the Duration>0 requirement for the
+// control-plane kinds: an unrecoverable controller fault is a dead control
+// plane, not chaos.
+func TestValidateControllerDurations(t *testing.T) {
+	for _, k := range []Kind{ControllerCrash, ControllerPartition} {
+		p := Plan{Events: []Event{{At: sim.Second, Kind: k, Target: "ctl-a"}}}
+		if err := p.Validate(); err == nil {
+			t.Errorf("%v with no duration validated", k)
+		}
 	}
 }
 

@@ -1,0 +1,58 @@
+// Control-plane replication rollup: the leader-change rows of the fleet's
+// observability artifacts. The replicated DVCM controller (internal/cluster
+// ctrlha) journals placement decisions and ships per-poll checkpoints
+// between replicas; this renderer turns each replica's accounting into the
+// byte-stable leadership table that rides next to the card rollup — who
+// leads, at which epoch, how many takeovers, how much journal traffic, and
+// how many stale commands the cards fenced.
+package fleetobs
+
+import (
+	"fmt"
+	"strings"
+)
+
+// CtrlStat is one controller replica's view for the control-plane rollup.
+type CtrlStat struct {
+	Name         string
+	Leader       bool
+	Epoch        int   // leader epoch the replica currently operates under
+	Takeovers    int   // times this replica seized leadership
+	CkptsSent    int   // full-state checkpoints shipped to the peer
+	CkptsRecv    int   // checkpoints received from the peer
+	JournalSent  int   // write-ahead journal entries shipped
+	JournalBytes int64 // journal + checkpoint bytes on the wire
+	Dropped      int   // replication messages lost to crash or partition
+	Fenced       int   // this replica's stale-epoch commands rejected by cards
+}
+
+// RenderCtrlPlane writes the leadership table: one row per replica plus a
+// fleet header naming the current leader and epoch. Deterministic function
+// of its inputs; replicas render in the order given (replica ID order).
+func RenderCtrlPlane(reps []CtrlStat) string {
+	var b strings.Builder
+	leader, epoch, takeovers := "none", 0, 0
+	for _, r := range reps {
+		if r.Epoch > epoch {
+			epoch = r.Epoch
+		}
+		if r.Leader {
+			leader = r.Name
+		}
+		takeovers += r.Takeovers
+	}
+	fmt.Fprintf(&b, "control plane: leader=%s epoch=%d takeovers=%d\n", leader, epoch, takeovers)
+	fmt.Fprintf(&b, "%-8s %-9s %5s %9s %8s %8s %8s %9s %8s %7s\n",
+		"replica", "role", "epoch", "takeover", "ckpt_tx", "ckpt_rx",
+		"journal", "jbytes", "dropped", "fenced")
+	for _, r := range reps {
+		role := "follower"
+		if r.Leader {
+			role = "leader"
+		}
+		fmt.Fprintf(&b, "%-8s %-9s %5d %9d %8d %8d %8d %8dB %8d %7d\n",
+			r.Name, role, r.Epoch, r.Takeovers, r.CkptsSent, r.CkptsRecv,
+			r.JournalSent, r.JournalBytes, r.Dropped, r.Fenced)
+	}
+	return b.String()
+}

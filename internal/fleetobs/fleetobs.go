@@ -46,7 +46,14 @@ const (
 )
 
 // SrcController is the Src index of controller-local timeline events.
-const SrcController = -1
+// SrcControllerB is the Src index for the standby controller replica's rows
+// in a replicated-control-plane timeline; it sorts before SrcController so a
+// takeover's fence broadcast renders above the ex-primary's rejected
+// commands when both land on the same instant.
+const (
+	SrcController  = -1
+	SrcControllerB = -2
+)
 
 // TimelineEvent is one entry of the merged incident timeline. Src orders
 // same-instant events from different sources (SrcController sorts before
