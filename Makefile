@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all test race bench repro telemetry slo perfgate build clean
+.PHONY: all test race bench repro telemetry slo perfgate soak conformance build clean
 
 all: build test
 
@@ -51,6 +51,27 @@ perfgate:
 	cp /tmp/perfgate-tel/stages.txt /tmp/perfgate-new/stages.txt
 	cp /tmp/perfgate-ov/ladder.txt /tmp/perfgate-new/ladder.txt
 	$(GO) run ./cmd/tracetool -diff /tmp/perfgate-base /tmp/perfgate-new
+
+# Real-traffic soak: dwcsd paces thousands of in-process UDP client
+# sessions through real sockets with flash arrivals and session churn, and
+# writes the same artifact format sim runs produce (stages.txt, metrics.csv,
+# slo.txt, incidents.txt, metrics.prom) to soak-out/. This shape
+# deliberately overcommits the single pacer so DWCS's deadline-drop behavior
+# is visible at scale; the summary line is not gated here — the thresholds in
+# SOAK_BASELINE.txt are pinned for the short CI shape. Run
+# "./bench_compare.sh -soak-only" for the gated version.
+soak:
+	$(GO) run ./cmd/dwcsd -soak 2000 -period 40ms -dur 5s -churn 0.25 -flash \
+		-artifacts soak-out
+
+# Sim-vs-real conformance: regenerate the diagnostics sim artifacts, run the
+# gated CI-shape soak, then diff the two directories under wall-clock
+# tolerances (stage medians within 50%, one-side-only stages demoted to
+# info). Exit 3 means the real daemon regressed past the sim reference.
+conformance:
+	$(GO) run ./cmd/reprogen -slo -slo-out /tmp/conf-sim -dur 8 > /dev/null
+	SOAK_DIR=/tmp/conf-soak ./bench_compare.sh -soak-only
+	$(GO) run ./cmd/tracetool -diff -conformance /tmp/conf-sim /tmp/conf-soak
 
 clean:
 	$(GO) clean ./...

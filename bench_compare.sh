@@ -2,10 +2,13 @@
 # bench_compare.sh — benchstat-style comparison of the kernel/scheduler
 # fast-path benchmarks against the committed baseline.
 #
-#   ./bench_compare.sh           compare current ns/op to BENCH_BASELINE.json
-#                                and the telemetry per-stage latency table to
-#                                STAGE_BASELINE.txt
-#   ./bench_compare.sh -update   re-measure and rewrite both baselines
+#   ./bench_compare.sh             compare current ns/op to BENCH_BASELINE.json
+#                                  and the telemetry per-stage latency table to
+#                                  STAGE_BASELINE.txt
+#   ./bench_compare.sh -update     re-measure and rewrite both baselines
+#   ./bench_compare.sh -soak-only  run just the dwcsd soak gate (CI uses this
+#                                  for the real-traffic job; respects SOAK_DIR
+#                                  and SOAK_FLAGS)
 #
 # The bench baseline is a flat JSON object: one "BenchmarkName": ns_per_op
 # pair per line, so plain awk can read it and diffs stay line-per-benchmark.
@@ -15,7 +18,11 @@
 # deterministic 10 s overload sweep, and the chaos baseline the exact
 # summary/recovery/violations output of the deterministic 6 s fleet-chaos
 # run — a drift there means the fault plan, a migration decision, or the
-# loss-window accounting changed. The fleet-obs baseline pins the 64-card
+# loss-window accounting changed. The soak baseline is different in kind:
+# dwcsd -soak runs real UDP sockets on a wall clock, so SOAK_BASELINE.txt
+# holds goodput/jitter/drop thresholds instead of exact bytes, and
+# check_soak gates the summary line against them (set SOAK_DIR to keep the
+# run's artifact directory for upload). The fleet-obs baseline pins the 64-card
 # in-band observability run (rollups, scrape accounting, timeline excerpt,
 # stitched traces); the same run also gates scrape overhead: in-band
 # telemetry bytes must stay <= 2% of media goodput. The ctrl-chaos baseline
@@ -31,6 +38,7 @@ OVERLOAD_BASELINE=OVERLOAD_BASELINE.txt
 CHAOS_BASELINE=CHAOS_BASELINE.txt
 FLEETOBS_BASELINE=FLEETOBS_BASELINE.txt
 CTRLCHAOS_BASELINE=CTRLCHAOS_BASELINE.txt
+SOAK_BASELINE=SOAK_BASELINE.txt
 BENCHES='BenchmarkEngine|BenchmarkSimulationThroughput|BenchmarkMissScan|BenchmarkParallelEngine'
 
 run_benches() {
@@ -63,6 +71,17 @@ run_ctrlchaos() {
 	go run ./cmd/clustersim -ctrl-chaos -dur 8 -workers 1 2>/dev/null
 }
 
+# run_soak is the short CI shape: hundreds of sessions, flash arrivals,
+# churn, ~2s of traffic. SOAK_DIR (optional) keeps the artifact directory
+# so CI can upload it on failure; SOAK_FLAGS (optional) appends extra dwcsd
+# flags — CI's regression self-test injects "-throttle 2ms" through it.
+run_soak() {
+	soak_out=${SOAK_DIR:-$(mktemp -d)}
+	# shellcheck disable=SC2086 # SOAK_FLAGS is intentionally word-split
+	go run ./cmd/dwcsd -soak 300 -period 20ms -dur 2s -churn 0.25 -flash \
+		-artifacts "$soak_out" ${SOAK_FLAGS:-} 2>/dev/null
+}
+
 # check_obs_overhead fails when the run's in-band telemetry bytes exceed
 # 2% of media goodput (the "in-band obs=...B media=...B overhead=..%" line
 # of the scrape accounting table).
@@ -89,6 +108,38 @@ check_journal_overhead() {
 	END { if (!found) { print "error: no ctrl-ha overhead line in ctrl-chaos output" > "/dev/stderr"; exit 1 } }'
 }
 
+# check_soak gates the soak summary line against the thresholds pinned in
+# SOAK_BASELINE.txt: per-session goodput p50 must stay above the floor,
+# jitter p95 and drop ratio below their ceilings.
+check_soak() {
+	awk -v baseline="$SOAK_BASELINE" '
+	BEGIN {
+		while ((getline line < baseline) > 0) {
+			if (line ~ /^#/ || line == "") continue
+			n = split(line, f, " ")
+			if (n == 2) gate[f[1]] = f[2]
+		}
+		if (!("min_goodput_kbps_p50" in gate)) { print "error: no min_goodput_kbps_p50 in " baseline > "/dev/stderr"; bad = 1 }
+	}
+	/^soak summary:/ {
+		found = 1
+		for (i = 1; i <= NF; i++) {
+			if (split($i, kv, "=") == 2) v[kv[1]] = kv[2] + 0
+		}
+		printf "soak gate: goodput_kbps_p50=%s (floor %s), jitter_ms_p95=%s (ceiling %s), drop_ratio=%s (ceiling %s)\n", \
+			v["goodput_kbps_p50"], gate["min_goodput_kbps_p50"], \
+			v["jitter_ms_p95"], gate["max_jitter_ms_p95"], \
+			v["drop_ratio"], gate["max_drop_ratio"]
+		if (v["goodput_kbps_p50"] < gate["min_goodput_kbps_p50"]) { print "error: session goodput p50 below the soak floor" > "/dev/stderr"; bad = 1 }
+		if (v["jitter_ms_p95"] > gate["max_jitter_ms_p95"]) { print "error: jitter p95 above the soak ceiling" > "/dev/stderr"; bad = 1 }
+		if (v["drop_ratio"] > gate["max_drop_ratio"]) { print "error: drop ratio above the soak ceiling" > "/dev/stderr"; bad = 1 }
+	}
+	END {
+		if (!found) { print "error: no soak summary line in dwcsd output" > "/dev/stderr"; exit 1 }
+		exit bad
+	}'
+}
+
 if [ "$1" = "-update" ]; then
 	run_stages > "$STAGE_BASELINE"
 	echo "wrote $STAGE_BASELINE"
@@ -111,6 +162,15 @@ if [ "$1" = "-update" ]; then
 		print "}"
 	}' > "$BASELINE"
 	echo "wrote $BASELINE"
+	exit 0
+fi
+
+if [ "$1" = "-soak-only" ]; then
+	if [ ! -f "$SOAK_BASELINE" ]; then
+		echo "no $SOAK_BASELINE — commit the soak thresholds" >&2
+		exit 1
+	fi
+	run_soak | check_soak
 	exit 0
 fi
 
@@ -184,6 +244,15 @@ if [ -f "$CTRLCHAOS_BASELINE" ]; then
 	printf '%s\n' "$ha_out" | check_journal_overhead
 else
 	echo "no $CTRLCHAOS_BASELINE — run ./bench_compare.sh -update first" >&2
+fi
+
+# Soak gate: real sockets on a wall clock, so thresholds instead of exact
+# bytes. SOAK_BASELINE.txt is hand-pinned, not regenerated by -update.
+if [ -f "$SOAK_BASELINE" ]; then
+	run_soak | check_soak
+else
+	echo "no $SOAK_BASELINE — commit the soak thresholds" >&2
+	exit 1
 fi
 
 run_benches | awk -v baseline="$BASELINE" '

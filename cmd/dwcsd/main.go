@@ -11,17 +11,38 @@
 // media framing and reassembled at the receiver, which reports per-stream
 // goodput and inter-arrival jitter.
 //
+// Both sides carry the full observability stack the simulated NI carries:
+// per-frame causal spans in the sim stage vocabulary (queue/tx on the
+// sender, wire/playout on the receiver), a flight recorder whose incidents
+// dump on SLO violation or abnormal exit, and an SLO burn-rate monitor
+// derived from each stream's DWCS (x,y) loss window. With -artifacts DIR
+// the run writes the same artifact directory format sim runs produce
+// (stages.txt, metrics.csv, slo.txt, incidents.txt), so
+// `tracetool -diff -conformance <sim artifacts> <real artifacts>` closes
+// the sim-vs-real loop with no conversion step.
+//
+// Soak mode exercises the daemon at session scale in one process:
+//
+//	dwcsd -soak 2000 -dur 5s -flash -artifacts /tmp/soak
+//
+// spawns 2000 in-process UDP client sessions with setup/teardown churn
+// (and optionally flash-crowd arrivals), reporting per-session goodput and
+// jitter distributions.
+//
 // Either side also serves a live Prometheus endpoint with -metrics: the
 // same registry and text format the simulator's telemetry artifacts use,
-// so one scrape config covers both the real daemon and simulated runs.
+// including per-stream series (component "dwcsd_s<id>"), so one scrape
+// config covers both the real daemon and simulated runs.
 //
 //	dwcsd -dest 127.0.0.1:9961 -metrics 127.0.0.1:9900
 //	curl http://127.0.0.1:9900/metrics
 //
-// SIGINT or SIGTERM shuts either side down gracefully: the sender stops
+// SIGINT or SIGTERM shuts any mode down gracefully: the sender stops
 // injecting new frames and drains what the scheduler already holds (bounded
-// by -drain), the receiver reports the partial run, and the metrics listener
-// finishes in-flight scrapes before closing. A second signal aborts.
+// by -drain), the receiver reports the partial run, soak sessions wind down
+// with an "interrupted" incident in the flight recorder, and the metrics
+// listener finishes in-flight scrapes before closing. A second signal
+// aborts.
 package main
 
 import (
@@ -34,10 +55,10 @@ import (
 	"os"
 	"os/signal"
 	"sync"
-	"sync/atomic"
 	"syscall"
 	"time"
 
+	"repro/internal/blackbox"
 	"repro/internal/dwcs"
 	"repro/internal/fixed"
 	"repro/internal/mpeg"
@@ -49,27 +70,47 @@ import (
 func main() {
 	dest := flag.String("dest", "", "serve mode: destination UDP address")
 	recv := flag.String("recv", "", "receive mode: UDP listen address")
+	soak := flag.Int("soak", 0, "soak mode: spawn N in-process UDP client sessions against a loopback receiver")
 	streams := flag.Int("streams", 2, "number of concurrent streams")
 	period := flag.Duration("period", 50*time.Millisecond, "per-stream frame period")
 	dur := flag.Duration("dur", 5*time.Second, "run duration")
 	metricsAddr := flag.String("metrics", "", "serve Prometheus metrics on this HTTP address while running")
+	artifacts := flag.String("artifacts", "", "write the sim-format artifact directory (stages.txt, metrics.csv, slo.txt, incidents.txt) here on exit")
 	drain := flag.Duration("drain", 2*time.Second, "graceful-shutdown deadline for draining queued frames on SIGINT/SIGTERM")
+	flash := flag.Bool("flash", false, "soak mode: flash-crowd arrivals (every session sets up inside the first 100ms)")
+	churn := flag.Float64("churn", 0.25, "soak mode: fraction of sessions torn down and replaced mid-run")
+	throttle := flag.Duration("throttle", 0, "soak mode: stall injected before every dispatch (validates the regression gate)")
 	flag.Parse()
 
 	lc := newLifecycle()
 	lc.watch(os.Interrupt, syscall.SIGTERM)
 
 	switch {
+	case *soak > 0:
+		cfg := soakConfig{
+			Sessions: *soak,
+			Period:   *period,
+			Dur:      *dur,
+			Flash:    *flash,
+			Churn:    *churn,
+			Throttle: *throttle,
+			Metrics:  *metricsAddr,
+			Dir:      *artifacts,
+			Drain:    *drain,
+		}
+		if err := soakRun(cfg, lc, os.Stdout); err != nil {
+			fatal(err)
+		}
 	case *recv != "":
-		if err := receiver(*recv, *dur, *metricsAddr, lc); err != nil {
+		if err := receiver(*recv, *dur, *metricsAddr, *artifacts, lc); err != nil {
 			fatal(err)
 		}
 	case *dest != "":
-		if err := sender(*dest, *streams, *period, *dur, *metricsAddr, *drain, lc); err != nil {
+		if err := sender(*dest, *streams, *period, *dur, *metricsAddr, *artifacts, *drain, lc); err != nil {
 			fatal(err)
 		}
 	default:
-		fmt.Fprintln(os.Stderr, "dwcsd: need -dest (send) or -recv (receive); see -h")
+		fmt.Fprintln(os.Stderr, "dwcsd: need -dest (send), -recv (receive), or -soak N; see -h")
 		os.Exit(2)
 	}
 }
@@ -109,14 +150,14 @@ func (l *lifecycle) stopped() bool {
 	}
 }
 
-// metricsHandler serves the registry's Prometheus text dump under /metrics.
-// The registered closures only read atomics, so a scrape arriving while the
-// send/receive loop runs is race-free.
-func metricsHandler(reg *telemetry.Registry) http.Handler {
+// metricsHandler serves a Prometheus text dump under /metrics. render is
+// called per scrape; the obs bundle's render locks against the send/receive
+// loop, so a scrape arriving mid-frame is race-free.
+func metricsHandler(render func() string) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-		io.WriteString(w, reg.PrometheusText())
+		io.WriteString(w, render())
 	})
 	return mux
 }
@@ -125,12 +166,12 @@ func metricsHandler(reg *telemetry.Registry) http.Handler {
 // address (addr may end in :0) and a stopper. The stopper closes the
 // listener gracefully: an in-flight scrape gets a second to finish before
 // the connection is torn down.
-func serveMetrics(addr string, reg *telemetry.Registry) (string, func(), error) {
+func serveMetrics(addr string, render func() string) (string, func(), error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", nil, err
 	}
-	srv := &http.Server{Handler: metricsHandler(reg)}
+	srv := &http.Server{Handler: metricsHandler(render)}
 	go srv.Serve(ln)
 	stop := func() {
 		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
@@ -147,26 +188,51 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
+// senderStream is the per-stream export surface of the pacing side.
+type senderStream struct {
+	sent  *telemetry.Counter
+	bytes *telemetry.Counter
+	drops *telemetry.Counter
+}
+
+func newSenderStream(o *obs, id int) senderStream {
+	c := streamComponent(id)
+	return senderStream{
+		sent:  o.reg.Counter(c, "frames_sent_total", "frames paced onto the wire by DWCS"),
+		bytes: o.reg.Counter(c, "bytes_sent_total", "media bytes paced onto the wire"),
+		drops: o.reg.Counter(c, "drops_total", "frames dropped by the scheduler (deadline passed)"),
+	}
+}
+
 // sender paces clip frames to dest with DWCS over the wall clock. On
 // shutdown it stops injecting and drains the frames the scheduler already
 // holds, bounded by drainFor.
-func sender(dest string, nStreams int, period, dur time.Duration, metricsAddr string, drainFor time.Duration, lc *lifecycle) error {
+func sender(dest string, nStreams int, period, dur time.Duration, metricsAddr, artifactsDir string, drainFor time.Duration, lc *lifecycle) (err error) {
 	conn, err := net.Dial("udp", dest)
 	if err != nil {
 		return err
 	}
 	defer conn.Close()
 
-	var sentN, droppedN atomic.Int64
+	o := newObs("dwcsd", artifactsDir)
+	defer func() {
+		if err != nil {
+			o.trigger("abnormal exit: " + err.Error())
+		}
+		if werr := o.writeArtifacts(); werr != nil && err == nil {
+			err = werr
+		}
+	}()
+	sentN := o.reg.Counter("dwcsd", "frames_sent_total", "frames paced onto the wire by DWCS")
+	droppedN := o.reg.Counter("dwcsd", "frames_dropped_total", "frames dropped by the scheduler (deadline passed)")
+	o.reg.GaugeFunc("dwcsd", "streams",
+		"concurrent streams being paced", func() float64 { return float64(nStreams) })
+	perStream := make([]senderStream, nStreams)
+	for i := range perStream {
+		perStream[i] = newSenderStream(o, i)
+	}
 	if metricsAddr != "" {
-		reg := telemetry.New()
-		reg.CounterFunc("dwcsd", "frames_sent_total",
-			"frames paced onto the wire by DWCS", sentN.Load)
-		reg.CounterFunc("dwcsd", "frames_dropped_total",
-			"frames dropped by the scheduler (deadline passed)", droppedN.Load)
-		reg.GaugeFunc("dwcsd", "streams",
-			"concurrent streams being paced", func() float64 { return float64(nStreams) })
-		bound, stop, err := serveMetrics(metricsAddr, reg)
+		bound, stop, err := serveMetrics(metricsAddr, o.render)
 		if err != nil {
 			return err
 		}
@@ -177,8 +243,7 @@ func sender(dest string, nStreams int, period, dur time.Duration, metricsAddr st
 	clip := mpeg.GenerateDefault()
 	payload := mpeg.Encode(clip, 1960)
 
-	start := time.Now()
-	now := func() sim.Time { return sim.Time(time.Since(start)) }
+	now := o.now
 	sched := dwcs.New(dwcs.Config{
 		Now:           now,
 		EligibleEarly: sim.Time(period) / 4,
@@ -189,27 +254,59 @@ func sender(dest string, nStreams int, period, dur time.Duration, metricsAddr st
 	}
 	cursors := make([]cursor, nStreams)
 	for i := 0; i < nStreams; i++ {
-		if err := sched.AddStream(dwcs.StreamSpec{
+		spec := dwcs.StreamSpec{
 			ID:     i,
 			Name:   fmt.Sprintf("s%d", i),
 			Period: sim.Time(period),
 			Loss:   fixed.New(1, 2),
 			Lossy:  true,
 			BufCap: 16,
-		}); err != nil {
+		}
+		if err := sched.AddStream(spec); err != nil {
 			return err
 		}
+		// The SLO's latency objective bounds queue wait at a small multiple
+		// of the frame period — the same derivation sim cards use.
+		o.track(spec, sched, 4*sim.Time(period))
 	}
 
 	emit := func(p *dwcs.Packet) error {
+		txStart := now()
 		frame := payload[p.Offset : p.Offset+p.Bytes]
 		for _, frag := range proto.FragmentFrame(uint32(p.StreamID), uint32(p.Seq), frame) {
 			if _, err := conn.Write(frag); err != nil {
 				return err
 			}
 		}
-		sentN.Add(1)
+		txEnd := now()
+		o.locked(func() {
+			o.reg.Span(p.StreamID, p.Seq, telemetry.StageQueue, o.where, p.Enqueued, txStart)
+			o.reg.Span(p.StreamID, p.Seq, telemetry.StageTx, o.where, txStart, txEnd)
+			o.rec.Record(blackbox.Event{At: txEnd, Kind: blackbox.KindDecision,
+				Stream: p.StreamID, Seq: p.Seq, A: p.Bytes})
+			sentN.Inc()
+			if p.StreamID < len(perStream) {
+				perStream[p.StreamID].sent.Inc()
+				perStream[p.StreamID].bytes.Add(p.Bytes)
+			}
+		})
 		return nil
+	}
+	drop := func(ps []*dwcs.Packet) {
+		if len(ps) == 0 {
+			return
+		}
+		o.locked(func() {
+			at := o.now()
+			for _, p := range ps {
+				o.rec.Record(blackbox.Event{At: at, Kind: blackbox.KindDrop,
+					Stream: p.StreamID, Seq: p.Seq, A: p.Bytes, Note: "deadline"})
+				droppedN.Inc()
+				if p.StreamID < len(perStream) {
+					perStream[p.StreamID].drops.Inc()
+				}
+			}
+		})
 	}
 
 	for now() < sim.Time(dur) && !lc.stopped() {
@@ -219,7 +316,10 @@ func sender(dest string, nStreams int, period, dur time.Duration, metricsAddr st
 			for c.inject <= now()+sim.Time(period) {
 				f := clip.Frames[c.next%len(clip.Frames)]
 				if sched.Enqueue(i, dwcs.Packet{Bytes: f.Size, Offset: f.Offset}) != nil {
-					break // ring full; retry next round
+					// Ring full; note the refusal and retry next round.
+					o.event(blackbox.Event{At: o.now(), Kind: blackbox.KindRefusal,
+						Stream: i, A: f.Size, Note: "ring full"})
+					break
 				}
 				c.next++
 				c.inject += sim.Time(period)
@@ -244,18 +344,20 @@ func sender(dest string, nStreams int, period, dur time.Duration, metricsAddr st
 				time.Sleep(time.Millisecond)
 			}
 		}
-		droppedN.Add(int64(len(d.Dropped)))
+		drop(d.Dropped)
+		o.tick()
 	}
 
 	// Interrupted: no new injections, but frames already accepted by the
 	// scheduler still go out on their DWCS pacing — bounded by the drain
 	// deadline, after which whatever remains is abandoned.
 	if lc.stopped() {
+		o.trigger("interrupted")
 		drained := 0
 		deadline := time.Now().Add(drainFor)
 		for time.Now().Before(deadline) {
 			d := sched.Schedule()
-			droppedN.Add(int64(len(d.Dropped)))
+			drop(d.Dropped)
 			switch {
 			case d.Packet != nil:
 				if err := emit(d.Packet); err != nil {
@@ -269,26 +371,61 @@ func sender(dest string, nStreams int, period, dur time.Duration, metricsAddr st
 					deadline = time.Time{} // scheduler empty; drain complete
 				}
 			}
+			o.tick()
 		}
 		fmt.Printf("dwcsd: interrupted; drained %d queued frame(s)\n", drained)
 	}
 	fmt.Printf("dwcsd: sent %d frames (%d dropped) on %d streams over %v\n",
-		sentN.Load(), droppedN.Load(), nStreams, dur)
+		sentN.Value(), droppedN.Value(), nStreams, dur)
 	return nil
 }
 
-type streamReport struct {
-	frames  int
-	bytes   int64
-	last    time.Time
-	gapsSum time.Duration
-	gapsN   int
+// recvStream is the per-stream export surface of the receive side: counters
+// plus the fixed-bucket inter-arrival jitter histogram that replaces the
+// old ad-hoc running mean.
+type recvStream struct {
+	frames *telemetry.Counter
+	bytes  *telemetry.Counter
+	jitter *telemetry.Histogram
+	last   sim.Time
+	seen   bool
+}
+
+func newRecvStream(o *obs, id uint32) *recvStream {
+	c := streamComponent(int(id))
+	return &recvStream{
+		frames: o.reg.Counter(c, "frames_received_total", "complete frames delivered by the reassembler"),
+		bytes:  o.reg.Counter(c, "bytes_received_total", "reassembled frame bytes"),
+		jitter: o.reg.HistogramMetric(c, "interarrival_ms", "frame inter-arrival gap", telemetry.JitterBucketsMs),
+	}
+}
+
+// observeArrival records one completed frame: inter-arrival jitter into the
+// fixed-bucket histogram, counters forward. Caller holds the obs lock.
+func (r *recvStream) observeArrival(at sim.Time, frameBytes int) {
+	if r.seen {
+		r.jitter.Observe(sim.Time(at - r.last).Milliseconds())
+	}
+	r.last, r.seen = at, true
+	r.frames.Inc()
+	r.bytes.Add(int64(frameBytes))
+}
+
+// meanGapMs returns the histogram-derived mean inter-arrival gap.
+func (r *recvStream) meanGapMs() float64 {
+	if r.jitter.Count() == 0 {
+		return 0
+	}
+	return r.jitter.Sum() / float64(r.jitter.Count())
 }
 
 // receiver reassembles frames until dur elapses (or shutdown triggers) and
 // prints a per-stream report. Large frames arrive as several datagrams;
 // proto.Reassembler rebuilds them exactly as a player-side segmenter would.
-func receiver(listen string, dur time.Duration, metricsAddr string, lc *lifecycle) error {
+// The playout span of each multi-fragment frame — first fragment arrival to
+// reassembly completion — lands in the span log, so a receiver-side
+// artifact dir carries real client-path stage latencies.
+func receiver(listen string, dur time.Duration, metricsAddr, artifactsDir string, lc *lifecycle) (err error) {
 	addr, err := net.ResolveUDPAddr("udp", listen)
 	if err != nil {
 		return err
@@ -299,18 +436,21 @@ func receiver(listen string, dur time.Duration, metricsAddr string, lc *lifecycl
 	}
 	defer conn.Close()
 
-	var framesN, bytesN, discardedN, datagramsN atomic.Int64
+	o := newObs("dwcsd-recv", artifactsDir)
+	defer func() {
+		if err != nil {
+			o.trigger("abnormal exit: " + err.Error())
+		}
+		if werr := o.writeArtifacts(); werr != nil && err == nil {
+			err = werr
+		}
+	}()
+	framesN := o.reg.Counter("dwcsd", "frames_reassembled_total", "complete frames delivered by the reassembler")
+	bytesN := o.reg.Counter("dwcsd", "bytes_received_total", "reassembled frame bytes")
+	discardedN := o.reg.Counter("dwcsd", "frames_discarded_total", "incomplete frames abandoned by the reassembler")
+	datagramsN := o.reg.Counter("dwcsd", "datagrams_total", "UDP datagrams ingested")
 	if metricsAddr != "" {
-		reg := telemetry.New()
-		reg.CounterFunc("dwcsd", "frames_reassembled_total",
-			"complete frames delivered by the reassembler", framesN.Load)
-		reg.CounterFunc("dwcsd", "bytes_received_total",
-			"reassembled frame bytes", bytesN.Load)
-		reg.CounterFunc("dwcsd", "frames_discarded_total",
-			"incomplete frames abandoned by the reassembler", discardedN.Load)
-		reg.CounterFunc("dwcsd", "datagrams_total",
-			"UDP datagrams ingested", datagramsN.Load)
-		bound, stop, err := serveMetrics(metricsAddr, reg)
+		bound, stop, err := serveMetrics(metricsAddr, o.render)
 		if err != nil {
 			return err
 		}
@@ -318,23 +458,27 @@ func receiver(listen string, dur time.Duration, metricsAddr string, lc *lifecycl
 		fmt.Fprintf(os.Stderr, "dwcsd: metrics on http://%s/metrics\n", bound)
 	}
 
-	reports := make(map[uint32]*streamReport)
+	streams := make(map[uint32]*recvStream)
+	// firstFrag tracks when each in-flight frame's first fragment landed —
+	// the start of its playout span.
+	firstFrag := make(map[uint64]sim.Time)
+	frameKey := func(stream, seq uint32) uint64 { return uint64(stream)<<32 | uint64(seq) }
+	var lastDiscarded int64
 	reasm := proto.NewReassembler(func(streamID, seq uint32, frame []byte) {
-		r := reports[streamID]
+		// Runs inside Ingest below, which the loop calls under o.locked.
+		at := o.now()
+		r := streams[streamID]
 		if r == nil {
-			r = &streamReport{}
-			reports[streamID] = r
+			r = newRecvStream(o, streamID)
+			streams[streamID] = r
 		}
-		nowT := time.Now()
-		if !r.last.IsZero() {
-			r.gapsSum += nowT.Sub(r.last)
-			r.gapsN++
-		}
-		r.last = nowT
-		r.frames++
-		r.bytes += int64(len(frame))
-		framesN.Add(1)
+		r.observeArrival(at, len(frame))
+		framesN.Inc()
 		bytesN.Add(int64(len(frame)))
+		if t0, ok := firstFrag[frameKey(streamID, seq)]; ok {
+			delete(firstFrag, frameKey(streamID, seq))
+			o.reg.Span(int(streamID), int64(seq), telemetry.StagePlayout, o.where, t0, at)
+		}
 	})
 
 	buf := make([]byte, 64<<10)
@@ -346,30 +490,48 @@ func receiver(listen string, dur time.Duration, metricsAddr string, lc *lifecycl
 		n, err := conn.Read(buf)
 		if err != nil {
 			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				o.tick()
 				continue
 			}
 			return err
 		}
-		_ = reasm.Ingest(buf[:n]) // malformed datagrams are skipped
-		datagramsN.Add(1)
-		// Mirror the reassembler's plain counter so a concurrent scrape
-		// never races the ingest loop.
-		discardedN.Store(int64(reasm.Discarded))
+		o.locked(func() {
+			if h, _, err := proto.UnmarshalMedia(buf[:n]); err == nil && h.FragOff == 0 {
+				firstFrag[frameKey(h.StreamID, h.Seq)] = o.now()
+			}
+			_ = reasm.Ingest(buf[:n]) // malformed datagrams are skipped
+			datagramsN.Inc()
+			if d := int64(reasm.Discarded); d != lastDiscarded {
+				discardedN.Add(d - lastDiscarded)
+				lastDiscarded = d
+			}
+		})
+		o.tick()
 	}
 	if lc.stopped() {
+		o.trigger("interrupted")
 		fmt.Println("dwcsd: interrupted; reporting partial run")
 	}
-	if len(reports) == 0 {
+	if len(streams) == 0 {
 		fmt.Println("dwcsd: no frames received")
 		return nil
 	}
-	for id, r := range reports {
-		meanGap := time.Duration(0)
-		if r.gapsN > 0 {
-			meanGap = r.gapsSum / time.Duration(r.gapsN)
+	ids := make([]uint32, 0, len(streams))
+	for id := range streams {
+		ids = append(ids, id)
+	}
+	for i := range ids { // tiny map: selection sort beats pulling in sort for uint32
+		for j := i + 1; j < len(ids); j++ {
+			if ids[j] < ids[i] {
+				ids[i], ids[j] = ids[j], ids[i]
+			}
 		}
-		fmt.Printf("stream %d: %d frames, %d bytes, %.1f kbps, mean inter-arrival %v\n",
-			id, r.frames, r.bytes, float64(r.bytes*8)/dur.Seconds()/1000, meanGap.Round(time.Millisecond))
+	}
+	for _, id := range ids {
+		r := streams[id]
+		fmt.Printf("stream %d: %d frames, %d bytes, %.1f kbps, mean inter-arrival %.1fms\n",
+			id, r.frames.Value(), r.bytes.Value(),
+			float64(r.bytes.Value()*8)/dur.Seconds()/1000, r.meanGapMs())
 	}
 	fmt.Printf("total reassembled frames: %d (discarded %d)\n", reasm.Completed, reasm.Discarded)
 	return nil

@@ -10,6 +10,8 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/sim"
+	"repro/internal/slo"
 	"repro/internal/telemetry"
 )
 
@@ -29,7 +31,7 @@ func TestMetricsEndpointServesValidPrometheus(t *testing.T) {
 	var sent, dropped atomic.Int64
 	sent.Store(151)
 	dropped.Store(3)
-	srv := httptest.NewServer(metricsHandler(dwcsdRegistry(&sent, &dropped)))
+	srv := httptest.NewServer(metricsHandler(dwcsdRegistry(&sent, &dropped).PrometheusText))
 	defer srv.Close()
 
 	resp, err := http.Get(srv.URL + "/metrics")
@@ -106,7 +108,7 @@ func TestLifecycleTriggerIsIdempotent(t *testing.T) {
 // accepts no new connections.
 func TestServeMetricsStopClosesListener(t *testing.T) {
 	var sent, dropped atomic.Int64
-	bound, stop, err := serveMetrics("127.0.0.1:0", dwcsdRegistry(&sent, &dropped))
+	bound, stop, err := serveMetrics("127.0.0.1:0", dwcsdRegistry(&sent, &dropped).PrometheusText)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,7 +155,7 @@ func TestSenderDrainsOnShutdown(t *testing.T) {
 	time.AfterFunc(150*time.Millisecond, lc.trigger)
 	start := time.Now()
 	if err := sender(sink.LocalAddr().String(), 2, 20*time.Millisecond,
-		30*time.Second, "", time.Second, lc); err != nil {
+		30*time.Second, "", "", time.Second, lc); err != nil {
 		t.Fatal(err)
 	}
 	if el := time.Since(start); el > 10*time.Second {
@@ -167,7 +169,7 @@ func TestReceiverStopsOnShutdown(t *testing.T) {
 	lc := newLifecycle()
 	time.AfterFunc(100*time.Millisecond, lc.trigger)
 	start := time.Now()
-	if err := receiver("127.0.0.1:0", 30*time.Second, "", lc); err != nil {
+	if err := receiver("127.0.0.1:0", 30*time.Second, "", "", lc); err != nil {
 		t.Fatal(err)
 	}
 	if el := time.Since(start); el > 10*time.Second {
@@ -177,7 +179,7 @@ func TestReceiverStopsOnShutdown(t *testing.T) {
 
 func TestServeMetricsBindsEphemeralPort(t *testing.T) {
 	var sent, dropped atomic.Int64
-	bound, stop, err := serveMetrics("127.0.0.1:0", dwcsdRegistry(&sent, &dropped))
+	bound, stop, err := serveMetrics("127.0.0.1:0", dwcsdRegistry(&sent, &dropped).PrometheusText)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,4 +193,83 @@ func TestServeMetricsBindsEphemeralPort(t *testing.T) {
 	if _, _, err := telemetry.CheckPrometheus(string(body)); err != nil {
 		t.Fatalf("invalid exposition from live server: %v", err)
 	}
+}
+
+// TestPerStreamPrometheusRoundTrip is the per-stream-labels satellite: the
+// sender and receiver register per-stream series under component
+// "dwcsd_s<id>", and the rendered exposition round-trips through the same
+// CheckPrometheus validator the simulator's artifacts use.
+func TestPerStreamPrometheusRoundTrip(t *testing.T) {
+	o := newObs("dwcsd", "")
+	s0 := newSenderStream(o, 0)
+	s1 := newSenderStream(o, 1)
+	s0.sent.Add(10)
+	s0.bytes.Add(5000)
+	s1.sent.Add(7)
+	s1.drops.Add(2)
+	r3 := newRecvStream(o, 3)
+	r3.observeArrival(10*sim.Millisecond, 900)
+	r3.observeArrival(60*sim.Millisecond, 900) // 50ms gap into the histogram
+
+	text := o.render()
+	families, samples, err := telemetry.CheckPrometheus(text)
+	if err != nil {
+		t.Fatalf("invalid exposition: %v\n%s", err, text)
+	}
+	if families < 6 || samples < 10 {
+		t.Fatalf("families=%d samples=%d, want a populated exposition\n%s", families, samples, text)
+	}
+	for _, want := range []string{
+		`repro_dwcsd_s0_frames_sent_total{component="dwcsd_s0"} 10`,
+		`repro_dwcsd_s0_bytes_sent_total{component="dwcsd_s0"} 5000`,
+		`repro_dwcsd_s1_frames_sent_total{component="dwcsd_s1"} 7`,
+		`repro_dwcsd_s1_drops_total{component="dwcsd_s1"} 2`,
+		`repro_dwcsd_s3_bytes_received_total{component="dwcsd_s3"} 1800`,
+		`repro_dwcsd_s3_interarrival_ms_count{component="dwcsd_s3"} 1`,
+		`repro_dwcsd_s3_interarrival_ms_bucket{component="dwcsd_s3",le="50"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, text)
+		}
+	}
+	if got := r3.meanGapMs(); got != 50 {
+		t.Fatalf("histogram-derived mean gap = %v, want 50", got)
+	}
+}
+
+// TestObsSLOViolationDumpsIncident wires the bundle end-to-end: a stream
+// whose stats burn its whole loss budget escalates to violated, which must
+// leave a KindSLO trail and a triggered incident holding the registry state.
+func TestObsSLOViolationDumpsIncident(t *testing.T) {
+	o := newObs("dwcsd", "")
+	var losses int64
+	o.mu.Lock()
+	o.mon.Track(sloObjective(5), func() (int64, int64) {
+		losses += 10
+		return losses, losses // every attempt lost: maximal burn
+	})
+	o.mu.Unlock()
+	for i := 0; i < 12; i++ {
+		o.mu.Lock()
+		o.mon.Eval()
+		o.mu.Unlock()
+	}
+	o.mu.Lock()
+	dump := o.rec.DumpAll()
+	violations := o.mon.Violations
+	o.mu.Unlock()
+	if violations == 0 {
+		t.Fatal("all-loss stream never violated")
+	}
+	if !strings.Contains(dump, "slo violated: stream 5") {
+		t.Fatalf("no violation incident:\n%s", dump)
+	}
+	if !strings.Contains(dump, "state:") {
+		t.Fatalf("incident carries no registry state:\n%s", dump)
+	}
+}
+
+// sloObjective builds a minimal all-loss-intolerant objective for tests.
+func sloObjective(id int) slo.Objective {
+	return slo.Objective{Stream: id, Name: "t", LossTarget: 0.01}
 }

@@ -1,0 +1,479 @@
+// Soak mode: many in-process UDP client sessions against one DWCS-paced
+// sender, in one process so sender and receiver share a clock — which makes
+// the full causal span vocabulary (queue → tx → wire) measurable on real
+// sockets, not just in the simulator. Session arrival, churn, and frame
+// sizing come from a fixed-seed plan, so two soak runs of the same shape
+// are comparable (wall-clock noise aside — that is what tracetool's
+// conformance mode tolerates).
+package main
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/blackbox"
+	"repro/internal/dwcs"
+	"repro/internal/fixed"
+	"repro/internal/proto"
+	"repro/internal/sim"
+	"repro/internal/slo"
+	"repro/internal/telemetry"
+)
+
+// soakConfig shapes one soak run.
+type soakConfig struct {
+	Sessions int           // target concurrent sessions
+	Period   time.Duration // per-session frame period
+	Dur      time.Duration // run duration
+	Flash    bool          // flash crowd: all setups inside the first 100ms
+	Churn    float64       // fraction of sessions torn down and replaced mid-run
+	Throttle time.Duration // injected stall per dispatch (gate validation)
+	Metrics  string        // Prometheus listen address, "" disables
+	Dir      string        // artifact directory, "" disables
+	Drain    time.Duration // graceful-shutdown drain bound
+}
+
+// goodputBucketsKbps are the fixed bounds of the per-session goodput
+// histogram (kbps at session teardown).
+var goodputBucketsKbps = []float64{1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000}
+
+// soakSession is one client session's ledger. All fields are guarded by the
+// obs lock: the pacing loop and the receive goroutine both touch them.
+type soakSession struct {
+	id      int
+	setupAt sim.Time // planned arrival
+	tearAt  sim.Time // planned churn teardown; 0 = lives to end of run
+
+	started, ended     bool
+	startedAt, endedAt sim.Time
+	inject             sim.Time // next frame injection due time
+
+	framesSent, framesRecv, bytesRecv int64
+	lastRecv                          sim.Time
+	seenRecv                          bool
+}
+
+// soakPlanEvent is one arrival or departure in the fixed-seed plan.
+type soakPlanEvent struct {
+	at    sim.Time
+	setup bool
+	sess  *soakSession
+}
+
+// soakPlan lays out session arrivals and churn from a fixed seed. Arrivals
+// land inside the first 100ms under flash (thousands of setups hammering
+// AddStream at once) or staggered across the first half of the run
+// otherwise; churn victims are torn down mid-run and replaced immediately
+// with fresh session IDs, so the target concurrency holds while setup and
+// teardown paths stay continuously exercised.
+func soakPlan(cfg soakConfig) ([]*soakSession, []soakPlanEvent) {
+	rng := rand.New(rand.NewSource(1))
+	dur := sim.Time(cfg.Dur)
+	arriveWindow := dur / 2
+	if cfg.Flash {
+		arriveWindow = 100 * sim.Millisecond
+		if arriveWindow > dur/4 {
+			arriveWindow = dur / 4
+		}
+	}
+	var sessions []*soakSession
+	var events []soakPlanEvent
+	for i := 0; i < cfg.Sessions; i++ {
+		s := &soakSession{id: i, setupAt: sim.Time(rng.Int63n(int64(arriveWindow) + 1))}
+		sessions = append(sessions, s)
+		events = append(events, soakPlanEvent{at: s.setupAt, setup: true, sess: s})
+	}
+	churnN := int(cfg.Churn * float64(cfg.Sessions))
+	for _, i := range rng.Perm(cfg.Sessions)[:churnN] {
+		victim := sessions[i]
+		tear := dur/4 + sim.Time(rng.Int63n(int64(dur/2)+1))
+		if tear <= victim.setupAt {
+			continue // arrived too late to churn meaningfully
+		}
+		victim.tearAt = tear
+		events = append(events, soakPlanEvent{at: tear, setup: false, sess: victim})
+		repl := &soakSession{id: len(sessions), setupAt: tear}
+		sessions = append(sessions, repl)
+		events = append(events, soakPlanEvent{at: tear, setup: true, sess: repl})
+	}
+	sort.SliceStable(events, func(i, j int) bool { return events[i].at < events[j].at })
+	return sessions, events
+}
+
+// quantile returns the q-th quantile of xs (sorted in place); 0 when empty.
+func quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sort.Float64s(xs)
+	i := int(q * float64(len(xs)-1))
+	return xs[i]
+}
+
+// soakRun drives one soak: a loopback receiver goroutine, a DWCS pacing
+// loop over every active session, plan-driven setup/teardown churn, and the
+// full observability bundle. The summary line it prints is the contract the
+// SOAK_BASELINE.txt gate in bench_compare.sh parses.
+func soakRun(cfg soakConfig, lc *lifecycle, out io.Writer) (err error) {
+	if cfg.Sessions <= 0 {
+		return fmt.Errorf("soak: need at least one session")
+	}
+	if cfg.Churn < 0 || cfg.Churn > 1 {
+		return fmt.Errorf("soak: churn %v outside [0,1]", cfg.Churn)
+	}
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer pc.Close()
+	conn, err := net.Dial("udp", pc.LocalAddr().String())
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+
+	o := newObs("dwcsd-soak", cfg.Dir)
+	defer func() {
+		if err != nil {
+			o.trigger("abnormal exit: " + err.Error())
+		}
+		if werr := o.writeArtifacts(); werr != nil && err == nil {
+			err = werr
+		}
+	}()
+
+	sentN := o.reg.Counter("soak", "frames_sent_total", "frames paced onto the loopback wire")
+	recvN := o.reg.Counter("soak", "frames_received_total", "frames reassembled by the client sessions")
+	dropN := o.reg.Counter("soak", "drops_total", "frames dropped by the scheduler (deadline passed)")
+	setupN := o.reg.Counter("soak", "sessions_setup_total", "client sessions set up")
+	tearN := o.reg.Counter("soak", "sessions_teardown_total", "client sessions torn down by churn")
+	goodputH := o.reg.HistogramMetric("soak", "session_goodput_kbps",
+		"per-session goodput at teardown", goodputBucketsKbps)
+	jitterH := o.reg.HistogramMetric("soak", "jitter_ms",
+		"per-frame deviation from the nominal inter-arrival period", telemetry.JitterBucketsMs)
+	active := 0
+	o.reg.GaugeFunc("soak", "sessions_active",
+		"sessions currently streaming", func() float64 { return float64(active) })
+	if cfg.Metrics != "" {
+		bound, stop, err := serveMetrics(cfg.Metrics, o.render)
+		if err != nil {
+			return err
+		}
+		defer stop()
+		fmt.Fprintf(os.Stderr, "dwcsd: metrics on http://%s/metrics\n", bound)
+	}
+
+	now := o.now
+	period := sim.Time(cfg.Period)
+	// Heaps is the selector built for this scale: best-packet selection
+	// stays O(log n) across thousands of streams.
+	sched := dwcs.New(dwcs.Config{
+		Now:           now,
+		Selector:      dwcs.Heaps,
+		EligibleEarly: period / 4,
+	})
+
+	sessions, plan := soakPlan(cfg)
+	byStream := make(map[int]*soakSession, len(sessions))
+	// inflight maps (stream,seq) to dispatch time so the receive path can
+	// close each frame's wire span. Lost frames leak entries; the cap
+	// bounds that at a few MB even on a pathological run.
+	inflight := make(map[uint64]sim.Time)
+	const inflightCap = 1 << 17
+	fkey := func(stream int, seq int64) uint64 { return uint64(uint32(stream))<<32 | uint64(uint32(seq)) }
+
+	// Frame payload: synthetic bytes, sized 256..640 by sequence so every
+	// frame fits one datagram and the wire sees some size diversity.
+	payload := make([]byte, 1024)
+	rand.New(rand.NewSource(2)).Read(payload)
+	frameSize := func(seq int64) int64 { return 256 + (seq%4)*128 }
+
+	var jitterSamples, goodputSamples []float64
+	// endSession finalizes a session's goodput sample. Caller holds o.mu.
+	endSession := func(s *soakSession, at sim.Time) {
+		if !s.started || s.ended {
+			return
+		}
+		s.ended, s.endedAt = true, at
+		active--
+		life := at - s.startedAt
+		// Sessions that lived under a few periods have no meaningful rate.
+		if life < 4*period {
+			return
+		}
+		kbps := float64(s.bytesRecv*8) / life.Seconds() / 1000
+		goodputH.Observe(kbps)
+		goodputSamples = append(goodputSamples, kbps)
+	}
+
+	reasm := proto.NewReassembler(func(streamID, seq uint32, frame []byte) {
+		// Runs under o.mu via the receive goroutine's o.locked below.
+		s := byStream[int(streamID)]
+		if s == nil {
+			return
+		}
+		at := o.now()
+		if t0, ok := inflight[fkey(int(streamID), int64(seq))]; ok {
+			delete(inflight, fkey(int(streamID), int64(seq)))
+			o.reg.Span(int(streamID), int64(seq), telemetry.StageWire, o.where, t0, at)
+		}
+		if s.seenRecv {
+			gap := (at - s.lastRecv).Milliseconds() - period.Milliseconds()
+			if gap < 0 {
+				gap = -gap
+			}
+			jitterH.Observe(gap)
+			jitterSamples = append(jitterSamples, gap)
+		}
+		s.lastRecv, s.seenRecv = at, true
+		s.framesRecv++
+		s.bytesRecv += int64(len(frame))
+		recvN.Inc()
+	})
+
+	// Receive goroutine: one loopback socket serves every session.
+	recvDone := make(chan struct{})
+	recvStopped := make(chan struct{})
+	go func() {
+		defer close(recvStopped)
+		buf := make([]byte, 64<<10)
+		for {
+			select {
+			case <-recvDone:
+				return
+			default:
+			}
+			pc.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+			n, _, err := pc.ReadFrom(buf)
+			if err != nil {
+				if ne, ok := err.(net.Error); ok && ne.Timeout() {
+					continue
+				}
+				return
+			}
+			o.locked(func() { _ = reasm.Ingest(buf[:n]) })
+		}
+	}()
+	defer func() {
+		close(recvDone)
+		<-recvStopped
+	}()
+
+	// setup/teardown run under o.mu: they touch the monitor, the recorder,
+	// and the session table.
+	setup := func(s *soakSession, at sim.Time) error {
+		spec := dwcs.StreamSpec{
+			ID:     s.id,
+			Name:   fmt.Sprintf("s%d", s.id),
+			Period: period,
+			Loss:   fixed.New(1, 2),
+			Lossy:  true,
+			BufCap: 16,
+		}
+		if err := sched.AddStream(spec); err != nil {
+			return err
+		}
+		s.started, s.startedAt, s.inject = true, at, at
+		byStream[s.id] = s
+		active++
+		setupN.Inc()
+		o.rec.Record(blackbox.Event{At: at, Kind: blackbox.KindMigrate,
+			Stream: s.id, Note: "setup"})
+		// Track under the already-held lock (o.track would deadlock here).
+		// The closure caches its last reading so the objective keeps its
+		// final numbers after churn removes the stream.
+		id := s.id
+		var lastA, lastL int64
+		o.mon.Track(slo.FromSpec(spec, 4*period), func() (int64, int64) {
+			if st, err := sched.Stats(id); err == nil {
+				lastA, lastL = st.Attempts(), st.Losses()
+			}
+			return lastA, lastL
+		})
+		return nil
+	}
+	teardown := func(s *soakSession, at sim.Time) {
+		if !s.started || s.ended {
+			return
+		}
+		if err := sched.RemoveStream(s.id); err == nil {
+			tearN.Inc()
+			o.rec.Record(blackbox.Event{At: at, Kind: blackbox.KindMigrate,
+				Stream: s.id, Note: "teardown"})
+		}
+		endSession(s, at)
+	}
+
+	emit := func(p *dwcs.Packet) error {
+		if cfg.Throttle > 0 {
+			time.Sleep(cfg.Throttle)
+		}
+		txStart := now()
+		frame := payload[:p.Bytes]
+		for _, frag := range proto.FragmentFrame(uint32(p.StreamID), uint32(p.Seq), frame) {
+			if _, err := conn.Write(frag); err != nil {
+				return err
+			}
+		}
+		txEnd := now()
+		o.locked(func() {
+			o.reg.Span(p.StreamID, p.Seq, telemetry.StageQueue, o.where, p.Enqueued, txStart)
+			o.reg.Span(p.StreamID, p.Seq, telemetry.StageTx, o.where, txStart, txEnd)
+			if len(inflight) < inflightCap {
+				inflight[fkey(p.StreamID, p.Seq)] = txEnd
+			}
+			if s := byStream[p.StreamID]; s != nil {
+				s.framesSent++
+			}
+			sentN.Inc()
+			if p.Seq%64 == 0 { // sampled: full decision volume would just churn the ring
+				o.rec.Record(blackbox.Event{At: txEnd, Kind: blackbox.KindDecision,
+					Stream: p.StreamID, Seq: p.Seq, A: p.Bytes})
+			}
+		})
+		return nil
+	}
+	drop := func(ps []*dwcs.Packet) {
+		if len(ps) == 0 {
+			return
+		}
+		o.locked(func() {
+			at := o.now()
+			for _, p := range ps {
+				dropN.Inc()
+				o.rec.Record(blackbox.Event{At: at, Kind: blackbox.KindDrop,
+					Stream: p.StreamID, Seq: p.Seq, A: p.Bytes, Note: "deadline"})
+			}
+		})
+	}
+
+	// scan processes due plan events and injects due frames; it runs at a
+	// bounded cadence so the per-dispatch hot path stays O(1) in sessions.
+	planNext := 0
+	scan := func(at sim.Time) error {
+		var serr error
+		o.locked(func() {
+			for planNext < len(plan) && plan[planNext].at <= at {
+				ev := plan[planNext]
+				planNext++
+				if ev.setup {
+					if serr = setup(ev.sess, at); serr != nil {
+						return
+					}
+				} else {
+					teardown(ev.sess, at)
+				}
+			}
+			for _, s := range byStream {
+				if s.ended {
+					continue
+				}
+				for s.inject <= at+period {
+					sz := frameSize(int64(s.framesSent))
+					if sched.Enqueue(s.id, dwcs.Packet{Bytes: sz}) != nil {
+						o.rec.Record(blackbox.Event{At: at, Kind: blackbox.KindRefusal,
+							Stream: s.id, A: sz, Note: "ring full"})
+						break
+					}
+					s.inject += period
+				}
+			}
+		})
+		return serr
+	}
+	scanEvery := period / 4
+	if scanEvery < sim.Millisecond {
+		scanEvery = sim.Millisecond
+	}
+	lastScan := sim.Time(-scanEvery)
+
+	dur := sim.Time(cfg.Dur)
+	for now() < dur && !lc.stopped() {
+		if at := now(); at-lastScan >= scanEvery {
+			lastScan = at
+			if err := scan(at); err != nil {
+				return err
+			}
+		}
+		d := sched.Schedule()
+		switch {
+		case d.Packet != nil:
+			if err := emit(d.Packet); err != nil {
+				return err
+			}
+		case d.WaitUntil > 0:
+			sleep := time.Duration(d.WaitUntil - now())
+			if sleep > time.Millisecond {
+				sleep = time.Millisecond
+			}
+			if sleep > 0 {
+				time.Sleep(sleep)
+			}
+		default:
+			if len(d.Dropped) == 0 {
+				time.Sleep(time.Millisecond)
+			}
+		}
+		drop(d.Dropped)
+		o.tick()
+	}
+
+	interrupted := lc.stopped()
+	if interrupted {
+		// Same drain contract as plain serve mode: no new injections, queued
+		// frames go out on their pacing, bounded by the drain deadline.
+		o.trigger("interrupted")
+		drained := 0
+		deadline := time.Now().Add(cfg.Drain)
+		for time.Now().Before(deadline) {
+			d := sched.Schedule()
+			drop(d.Dropped)
+			switch {
+			case d.Packet != nil:
+				if err := emit(d.Packet); err != nil {
+					return err
+				}
+				drained++
+			case d.WaitUntil > 0:
+				time.Sleep(time.Millisecond)
+			default:
+				if len(d.Dropped) == 0 {
+					deadline = time.Time{}
+				}
+			}
+			o.tick()
+		}
+		fmt.Fprintf(out, "dwcsd: interrupted; drained %d queued frame(s)\n", drained)
+	}
+
+	// Give the last datagrams a beat to cross the loopback, then finalize
+	// every still-active session's goodput sample.
+	time.Sleep(150 * time.Millisecond)
+	var summary string
+	o.locked(func() {
+		at := o.now()
+		for _, s := range sessions {
+			endSession(s, at)
+		}
+		gp50, gp95 := quantile(goodputSamples, 0.50), quantile(goodputSamples, 0.95)
+		jp50, jp95 := quantile(jitterSamples, 0.50), quantile(jitterSamples, 0.95)
+		sent, recvd, drops := sentN.Value(), recvN.Value(), dropN.Value()
+		ratio := 0.0
+		if sent+drops > 0 {
+			ratio = float64(drops) / float64(sent+drops)
+		}
+		summary = fmt.Sprintf("soak summary: target=%d setups=%d teardowns=%d frames_sent=%d frames_recv=%d drops=%d drop_ratio=%.4f goodput_kbps_p50=%.1f goodput_kbps_p95=%.1f jitter_ms_p50=%.2f jitter_ms_p95=%.2f",
+			cfg.Sessions, setupN.Value(), tearN.Value(), sent, recvd, drops, ratio,
+			gp50, gp95, jp50, jp95)
+	})
+	fmt.Fprintln(out, summary)
+	if interrupted {
+		fmt.Fprintln(out, "dwcsd: soak interrupted; partial run reported")
+	}
+	return nil
+}

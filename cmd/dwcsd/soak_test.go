@@ -1,0 +1,152 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/rundiff"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+// TestSoakPlanIsDeterministic pins the fixed-seed plan: same shape in, same
+// arrivals and churn out — the property that makes two soak runs comparable.
+func TestSoakPlanIsDeterministic(t *testing.T) {
+	cfg := soakConfig{Sessions: 100, Period: 20 * time.Millisecond,
+		Dur: 2 * time.Second, Churn: 0.3}
+	sa, ea := soakPlan(cfg)
+	sb, eb := soakPlan(cfg)
+	if len(sa) != len(sb) || len(ea) != len(eb) {
+		t.Fatalf("plan sizes differ: %d/%d vs %d/%d", len(sa), len(ea), len(sb), len(eb))
+	}
+	for i := range ea {
+		if ea[i].at != eb[i].at || ea[i].setup != eb[i].setup || ea[i].sess.id != eb[i].sess.id {
+			t.Fatalf("event %d differs: %+v vs %+v", i, ea[i], eb[i])
+		}
+	}
+	// Churn adds replacements beyond the target, and every teardown pairs
+	// with a same-time replacement setup.
+	if len(sa) <= cfg.Sessions {
+		t.Fatalf("churn produced no replacement sessions: %d", len(sa))
+	}
+	tears := 0
+	for _, e := range ea {
+		if !e.setup {
+			tears++
+		}
+	}
+	if len(sa) != cfg.Sessions+tears {
+		t.Fatalf("%d sessions for %d target + %d teardowns", len(sa), cfg.Sessions, tears)
+	}
+}
+
+// TestSoakPlanFlashCrowd pins the flash-arrival property: every initial
+// session sets up inside the first 100ms of the run.
+func TestSoakPlanFlashCrowd(t *testing.T) {
+	sessions, _ := soakPlan(soakConfig{Sessions: 500, Period: 20 * time.Millisecond,
+		Dur: 5 * time.Second, Flash: true})
+	for _, s := range sessions[:500] {
+		if s.setupAt > 100*sim.Millisecond {
+			t.Fatalf("session %d arrives at %v under -flash", s.id, s.setupAt)
+		}
+	}
+}
+
+// TestSoakArtifactsAcceptedByRundiff is the acceptance criterion: a soak
+// run's artifact directory is consumed by internal/rundiff unchanged — the
+// same engine that diffs sim runs — and a self-diff is clean.
+func TestSoakArtifactsAcceptedByRundiff(t *testing.T) {
+	dir := t.TempDir()
+	cfg := soakConfig{
+		Sessions: 40,
+		Period:   20 * time.Millisecond,
+		Dur:      700 * time.Millisecond,
+		Churn:    0.25,
+		Flash:    true,
+		Dir:      dir,
+		Drain:    time.Second,
+	}
+	var out strings.Builder
+	if err := soakRun(cfg, newLifecycle(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "soak summary: target=40") {
+		t.Fatalf("missing summary line:\n%s", out.String())
+	}
+	for _, f := range []string{"stages.txt", "metrics.csv", "slo.txt", "incidents.txt", "metrics.prom"} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Fatalf("artifact %s missing: %v", f, err)
+		}
+	}
+	rep, err := rundiff.DiffDirs(dir, dir, rundiff.Options{})
+	if err != nil {
+		t.Fatalf("rundiff rejected the soak artifact dir: %v", err)
+	}
+	if rep.Regression() {
+		t.Fatalf("self-diff regressed:\n%s", rep.Table())
+	}
+	for _, want := range []string{"stages.txt", "metrics.csv", "slo.txt"} {
+		found := false
+		for _, c := range rep.Compared {
+			if c == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("%s not compared (compared: %v)", want, rep.Compared)
+		}
+	}
+	// The exposition snapshot must round-trip the same checker scrapes use.
+	prom, err := os.ReadFile(filepath.Join(dir, "metrics.prom"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := telemetry.CheckPrometheus(string(prom)); err != nil {
+		t.Fatalf("invalid exposition artifact: %v", err)
+	}
+}
+
+// TestSoakGracefulShutdown interrupts a long soak mid-run: sessions drain
+// inside the -drain bound instead of running out the full duration, the
+// flight recorder dumps an "interrupted" incident into the artifact dir,
+// and the summary still reports the partial run. (Clean closure of the
+// -metrics listener is pinned separately by TestServeMetricsStopClosesListener;
+// soakRun shuts it down through the same stop func.)
+func TestSoakGracefulShutdown(t *testing.T) {
+	dir := t.TempDir()
+	cfg := soakConfig{
+		Sessions: 60,
+		Period:   20 * time.Millisecond,
+		Dur:      30 * time.Second,
+		Churn:    0.2,
+		Dir:      dir,
+		Drain:    time.Second,
+		Metrics:  "127.0.0.1:0",
+	}
+	lc := newLifecycle()
+	time.AfterFunc(400*time.Millisecond, lc.trigger)
+	var out strings.Builder
+	start := time.Now()
+	if err := soakRun(cfg, lc, &out); err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(start); el > 10*time.Second {
+		t.Fatalf("soak ignored shutdown; ran %v of a 30s duration", el)
+	}
+	if !strings.Contains(out.String(), "interrupted") {
+		t.Fatalf("no interruption report:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "soak summary:") {
+		t.Fatalf("no summary for the partial run:\n%s", out.String())
+	}
+	inc, err := os.ReadFile(filepath.Join(dir, "incidents.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(inc), "interrupted") {
+		t.Fatalf("incident dump missing the interruption:\n%s", inc)
+	}
+}

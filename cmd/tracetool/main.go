@@ -18,6 +18,7 @@
 //	tracetool -timeline t.txt -src ctl-b         # one source's rows (a card, or
 //	                                             # a controller replica)
 //	tracetool -diff dirA dirB                    # run-diff two artifact dirs
+//	tracetool -diff -conformance simdir realdir  # sim-vs-real conformance diff
 //
 // Exit codes (all modes):
 //
@@ -89,8 +90,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	kind := fs.String("kind", "", "keep only timeline events of this kind (with -timeline)")
 	src := fs.String("src", "", "keep only timeline events from this source, e.g. ni03 or ctl-b (with -timeline)")
 	diff := fs.Bool("diff", false, "compare two artifact directories (positional: dirA dirB); exit 3 on regression")
-	diffThreshold := fs.Float64("diff-threshold", 0.10, "relative delta beyond which a -diff series regresses")
+	diffThreshold := fs.Float64("diff-threshold", 0, "relative delta beyond which a -diff series regresses (default 0.10, or 0.50 with -conformance)")
 	diffJSON := fs.Bool("diff-json", false, "emit the -diff report as JSON instead of a table")
+	conformance := fs.Bool("conformance", false, "with -diff: sim-vs-real mode — wall-clock tolerances, max latency informational")
 	fs.Usage = func() {
 		fmt.Fprintln(stderr, "usage: tracetool [mode flags]")
 		fmt.Fprintln(stderr, "modes:")
@@ -98,7 +100,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "  -checkprom dump.prom   validate a Prometheus text dump")
 		fmt.Fprintln(stderr, "  -pressure metrics.csv  overload pressure view of a snapshot dump")
 		fmt.Fprintln(stderr, "  -timeline timeline.txt fleet incident timeline view (-stream, -kind, -src)")
-		fmt.Fprintln(stderr, "  -diff dirA dirB        run-diff two artifact directories (-diff-threshold, -diff-json)")
+		fmt.Fprintln(stderr, "  -diff dirA dirB        run-diff two artifact directories (-diff-threshold, -diff-json, -conformance)")
 		fmt.Fprintln(stderr, "exit codes: 0 ok, 1 usage, 2 parse error, 3 regression")
 		fmt.Fprintln(stderr, "flags:")
 		fs.PrintDefaults()
@@ -108,7 +110,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *diff {
-		return runDiff(fs.Args(), *diffThreshold, *diffJSON, stdout, stderr)
+		return runDiff(fs.Args(), *diffThreshold, *diffJSON, *conformance, stdout, stderr)
 	}
 
 	if *timeline != "" {
@@ -209,13 +211,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 }
 
 // runDiff is the CI perf gate: compare two artifact directories and exit 3
-// when any series regressed past the threshold.
-func runDiff(dirs []string, threshold float64, asJSON bool, stdout, stderr io.Writer) int {
+// when any series regressed past the threshold. With conformance set it
+// runs the sim-vs-real mode: one side was measured on a wall clock, so
+// tolerances widen and per-stage max latency is informational.
+func runDiff(dirs []string, threshold float64, asJSON, conformance bool, stdout, stderr io.Writer) int {
 	if len(dirs) != 2 {
 		fmt.Fprintln(stderr, "tracetool: -diff needs exactly two directories: dirA (baseline) dirB (candidate)")
 		return exitUsage
 	}
-	rep, err := rundiff.DiffDirs(dirs[0], dirs[1], rundiff.Options{Threshold: threshold})
+	rep, err := rundiff.DiffDirs(dirs[0], dirs[1],
+		rundiff.Options{Threshold: threshold, WallClock: conformance})
 	if err != nil {
 		if errors.Is(err, rundiff.ErrParse) {
 			fmt.Fprintln(stderr, "tracetool:", err)

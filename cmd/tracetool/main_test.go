@@ -165,3 +165,33 @@ func TestUsageAndParseExitCodes(t *testing.T) {
 		t.Fatalf("missing trace: exit %d, want %d", code, exitParse)
 	}
 }
+
+// TestDiffConformanceMode pins the sim-vs-real gate: the same 20% queue
+// drift that regresses in exact mode is tolerated under -conformance
+// (wall-clock threshold 0.50), a 2x drift still fails, and the report
+// names the mode.
+func TestDiffConformanceMode(t *testing.T) {
+	clean := stagesDir(t, 1, 1)
+	drift := stagesDir(t, 6, 5)
+	double := stagesDir(t, 2, 1)
+
+	var out, errOut strings.Builder
+	if code := run([]string{"-diff", "-conformance", clean, drift}, &out, &errOut); code != exitOK {
+		t.Fatalf("20%% drift under -conformance: exit %d, want %d\n%s%s",
+			code, exitOK, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "mode: conformance") {
+		t.Fatalf("report missing mode line:\n%s", out.String())
+	}
+
+	out.Reset()
+	if code := run([]string{"-diff", "-conformance", clean, double}, &out, &errOut); code != exitRegression {
+		t.Fatalf("2x drift under -conformance: exit %d, want %d\n%s", code, exitRegression, out.String())
+	}
+
+	// An explicit threshold still overrides the conformance default.
+	out.Reset()
+	if code := run([]string{"-diff", "-conformance", "-diff-threshold", "0.1", clean, drift}, &out, &errOut); code != exitRegression {
+		t.Fatalf("explicit threshold under -conformance: exit %d, want %d\n%s", code, exitRegression, out.String())
+	}
+}

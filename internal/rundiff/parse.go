@@ -71,6 +71,18 @@ func diffStages(a, b string, opt Options) ([]Finding, error) {
 	}
 	flatten(ma, ra)
 	flatten(mb, rb)
+	// In conformance mode, stages only one side instruments carry no signal:
+	// a sim chaos run measures disk/bus, the real daemon measures tx/wire.
+	// A zero-count side against a populated one would otherwise explode into
+	// ±1e9 "regressions" on every latency column of the stage.
+	uninstrumented := map[string]bool{}
+	if opt.WallClock {
+		for stage, r := range ra {
+			if o, ok := rb[stage]; ok && (r.Count == 0) != (o.Count == 0) {
+				uninstrumented[stage] = true
+			}
+		}
+	}
 	// Latency columns regress when they grow; count changes are informational
 	// (offered load legitimately differs across configs), handled by turning
 	// their findings back down to info below.
@@ -81,6 +93,18 @@ func diffStages(a, b string, opt Options) ([]Finding, error) {
 		if strings.HasSuffix(fs[i].Series, ".count") {
 			fs[i].Severity = SevInfo
 			fs[i].Note = "count drift is informational"
+		}
+		if stage, _, ok := strings.Cut(fs[i].Series, "."); ok && uninstrumented[stage] {
+			fs[i].Severity = SevInfo
+			fs[i].Note = "stage instrumented on one side only"
+			continue
+		}
+		// On a wall clock a single preempted goroutine produces an arbitrary
+		// max; the percentiles carry the conformance signal.
+		if opt.WallClock && strings.HasSuffix(fs[i].Series, ".max_us") &&
+			fs[i].Severity != SevInfo {
+			fs[i].Severity = SevInfo
+			fs[i].Note = "wall-clock max is noisy"
 		}
 	}
 	return fs, nil
@@ -307,4 +331,147 @@ func diffCycles(a, b string, opt Options) ([]Finding, error) {
 	// more expensive: a perf regression.
 	return compareMaps("cycles.txt", ca, cb, opt,
 		func(string) bool { return true }, nil), nil
+}
+
+// sloStateRank orders SLO health states for escalation comparison.
+var sloStateRank = map[string]int{
+	"ok": 0, "warn": 1, "burning": 2, "violated": 3,
+}
+
+// SLORow is one parsed slo.txt stream row.
+type SLORow struct {
+	Name        string
+	StateRank   float64
+	ShortBurn   float64
+	LongBurn    float64
+	Transitions float64
+}
+
+// SLOSummary is a parsed slo.txt: the card-level header plus per-stream rows
+// keyed by stream ID.
+type SLOSummary struct {
+	Health     string
+	Violations float64
+	Streams    map[string]SLORow
+}
+
+// ParseSLO parses an slo.Monitor.Table dump (slo.txt): a header line
+// `slo <name>: health=<state>, N eval(s), N transition(s), N violation(s)`
+// followed by a column header and per-stream rows
+// `id name state short_burn long_burn loss_tgt trans`.
+func ParseSLO(text string) (*SLOSummary, error) {
+	sum := &SLOSummary{Streams: make(map[string]SLORow)}
+	sawHeader := false
+	for i, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "id ") {
+			continue
+		}
+		if strings.HasPrefix(line, "slo ") {
+			_, after, ok := strings.Cut(line, ":")
+			if !ok {
+				return nil, fmt.Errorf("%w: slo line %d: header %q has no ':'", ErrParse, i+1, line)
+			}
+			for _, tok := range strings.Split(after, ",") {
+				tok = strings.TrimSpace(tok)
+				if v, ok := strings.CutPrefix(tok, "health="); ok {
+					if _, known := sloStateRank[v]; !known {
+						return nil, fmt.Errorf("%w: slo line %d: unknown health %q", ErrParse, i+1, v)
+					}
+					sum.Health = v
+				}
+				if n, ok := strings.CutSuffix(tok, " violation(s)"); ok {
+					v, err := strconv.ParseFloat(n, 64)
+					if err != nil {
+						return nil, fmt.Errorf("%w: slo line %d violations %q: %v", ErrParse, i+1, n, err)
+					}
+					sum.Violations = v
+				}
+			}
+			if sum.Health == "" {
+				return nil, fmt.Errorf("%w: slo line %d: header %q missing health=", ErrParse, i+1, line)
+			}
+			sawHeader = true
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) != 7 {
+			return nil, fmt.Errorf("%w: slo line %d: %d field(s), want 7: %q",
+				ErrParse, i+1, len(f), line)
+		}
+		rank, ok := sloStateRank[f[2]]
+		if !ok {
+			return nil, fmt.Errorf("%w: slo line %d: unknown state %q", ErrParse, i+1, f[2])
+		}
+		row := SLORow{Name: f[1], StateRank: float64(rank)}
+		for _, fld := range []struct {
+			idx int
+			dst *float64
+		}{{3, &row.ShortBurn}, {4, &row.LongBurn}, {6, &row.Transitions}} {
+			v, err := strconv.ParseFloat(f[fld.idx], 64)
+			if err != nil {
+				return nil, fmt.Errorf("%w: slo line %d field %d: %v", ErrParse, i+1, fld.idx+1, err)
+			}
+			*fld.dst = v
+		}
+		sum.Streams["s"+f[0]] = row
+	}
+	if !sawHeader {
+		return nil, fmt.Errorf("%w: slo table has no header line", ErrParse)
+	}
+	return sum, nil
+}
+
+func diffSLO(a, b string, opt Options) ([]Finding, error) {
+	sa, err := ParseSLO(a)
+	if err != nil {
+		return nil, err
+	}
+	sb, err := ParseSLO(b)
+	if err != nil {
+		return nil, err
+	}
+	var fs []Finding
+	// Card-health escalation is a regression regardless of magnitude, like a
+	// ladder rung: the worst stream's state visibly worsened.
+	if sa.Health != sb.Health {
+		sev := SevImprovement
+		if sloStateRank[sb.Health] > sloStateRank[sa.Health] {
+			sev = SevRegression
+		}
+		fs = append(fs, Finding{File: "slo.txt", Series: "health.rank",
+			A: float64(sloStateRank[sa.Health]), B: float64(sloStateRank[sb.Health]),
+			Delta:    relDelta(float64(sloStateRank[sa.Health]), float64(sloStateRank[sb.Health])),
+			Severity: sev, Note: sa.Health + " → " + sb.Health})
+	}
+	if sa.Violations != sb.Violations {
+		sev := SevImprovement
+		if sb.Violations > sa.Violations {
+			sev = SevRegression
+		}
+		fs = append(fs, Finding{File: "slo.txt", Series: "violations",
+			A: sa.Violations, B: sb.Violations,
+			Delta: relDelta(sa.Violations, sb.Violations), Severity: sev})
+	}
+	ma, mb := map[string]float64{}, map[string]float64{}
+	flatten := func(dst map[string]float64, rows map[string]SLORow) {
+		for id, r := range rows {
+			dst[id+".state_rank"] = r.StateRank
+			dst[id+".short_burn"] = r.ShortBurn
+			dst[id+".long_burn"] = r.LongBurn
+			dst[id+".transitions"] = r.Transitions
+		}
+	}
+	flatten(ma, sa.Streams)
+	flatten(mb, sb.Streams)
+	for _, f := range compareMaps("slo.txt", ma, mb, opt,
+		func(string) bool { return true }, nil) {
+		// Per-stream state escalation regresses even when the relative delta
+		// is small (warn → burning is +1 rank but always meaningful).
+		if strings.HasSuffix(f.Series, ".state_rank") && f.B > f.A {
+			f.Severity = SevRegression
+		}
+		fs = append(fs, f)
+	}
+	return fs, nil
 }

@@ -58,16 +58,27 @@ func (s Severity) String() string {
 // Options tunes the comparison.
 type Options struct {
 	// Threshold is the relative change that counts as significant (default
-	// 0.10 = 10%). Below it, differing values are reported as info only
-	// when ReportUnchanged is set, else elided.
+	// 0.10 = 10%; 0.50 in WallClock mode). Below it, differing values are
+	// reported as info only when ReportUnchanged is set, else elided.
 	Threshold float64
 	// ReportUnchanged includes sub-threshold and equal series in the report.
 	ReportUnchanged bool
+	// WallClock selects sim-vs-real conformance mode: one side (or both) of
+	// the diff was measured on a wall clock instead of the deterministic
+	// engine, so tolerances widen (default threshold 0.50), per-stage max
+	// latency is demoted to info (a single preempted goroutine produces an
+	// arbitrary max), and count drift stays informational. Direction-aware
+	// badness is unchanged: drops, burns, and latency percentiles that grow
+	// past the threshold still regress.
+	WallClock bool
 }
 
 func (o *Options) defaults() {
 	if o.Threshold <= 0 {
 		o.Threshold = 0.10
+		if o.WallClock {
+			o.Threshold = 0.50
+		}
 	}
 }
 
@@ -84,10 +95,12 @@ type Finding struct {
 // Report is the full comparison result.
 type Report struct {
 	DirA, DirB string
+	Mode       string // "" for exact runs, "conformance" under Options.WallClock
 	Findings   []Finding
 	Compared   []string // files present in both dirs and diffed
-	MissingA   []string // known files present only in B
-	MissingB   []string // known files present only in A
+	MissingA   []string // required files present only in B
+	MissingB   []string // required files present only in A
+	Skipped    []string // optional files present on one side, noted and skipped
 }
 
 // Regression reports whether any finding regressed.
@@ -119,12 +132,18 @@ func (r *Report) Counts() (info, improved, regressed int) {
 func (r *Report) Table() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "run-diff %s → %s\n", r.DirA, r.DirB)
+	if r.Mode != "" {
+		fmt.Fprintf(&b, "mode: %s (wall-clock tolerances; max latency informational)\n", r.Mode)
+	}
 	fmt.Fprintf(&b, "compared: %s\n", strings.Join(r.Compared, ", "))
 	if len(r.MissingA) > 0 {
 		fmt.Fprintf(&b, "only in %s: %s\n", r.DirB, strings.Join(r.MissingA, ", "))
 	}
 	if len(r.MissingB) > 0 {
 		fmt.Fprintf(&b, "only in %s: %s\n", r.DirA, strings.Join(r.MissingB, ", "))
+	}
+	for _, s := range r.Skipped {
+		fmt.Fprintf(&b, "skipped: %s\n", s)
 	}
 	if len(r.Findings) == 0 {
 		b.WriteString("no significant differences\n")
@@ -153,6 +172,9 @@ func (r *Report) JSON() string {
 	info, improved, regressed := r.Counts()
 	b.WriteString("{\n")
 	fmt.Fprintf(&b, "  \"dir_a\": %q,\n  \"dir_b\": %q,\n", r.DirA, r.DirB)
+	if r.Mode != "" {
+		fmt.Fprintf(&b, "  \"mode\": %q,\n", r.Mode)
+	}
 	fmt.Fprintf(&b, "  \"regression\": %v,\n", r.Regression())
 	fmt.Fprintf(&b, "  \"regressions\": %d,\n  \"improvements\": %d,\n  \"info\": %d,\n",
 		regressed, improved, info)
@@ -223,20 +245,31 @@ func classify(a, b, threshold float64, worseWhenUp bool) (Severity, bool) {
 }
 
 // DiffDirs compares the known artifacts present in both directories.
+// Artifact availability differs by run kind — only simulator runs emit
+// cycles.txt (there is no cycle meter on a host CPU), only overload sweeps
+// emit ladder.txt, only fleet runs emit rollup.txt/timeline.txt — so those
+// are optional: present on one side only, they are noted and skipped
+// instead of failing the comparison. stages.txt and metrics.csv are the
+// required core every instrumented run (simulated or real) writes.
 func DiffDirs(dirA, dirB string, opt Options) (*Report, error) {
 	opt.defaults()
 	r := &Report{DirA: dirA, DirB: dirB}
+	if opt.WallClock {
+		r.Mode = "conformance"
+	}
 	type handler func(a, b string, opt Options) ([]Finding, error)
 	known := []struct {
-		name string
-		fn   handler
+		name     string
+		fn       handler
+		optional bool
 	}{
-		{"stages.txt", diffStages},
-		{"metrics.csv", diffMetrics},
-		{"ladder.txt", diffLadder},
-		{"cycles.txt", diffCycles},
-		{"rollup.txt", diffRollup},
-		{"timeline.txt", diffTimeline},
+		{"stages.txt", diffStages, false},
+		{"metrics.csv", diffMetrics, false},
+		{"slo.txt", diffSLO, true},
+		{"ladder.txt", diffLadder, true},
+		{"cycles.txt", diffCycles, true},
+		{"rollup.txt", diffRollup, true},
+		{"timeline.txt", diffTimeline, true},
 	}
 	for _, k := range known {
 		pa, pb := filepath.Join(dirA, k.name), filepath.Join(dirB, k.name)
@@ -246,9 +279,19 @@ func DiffDirs(dirA, dirB string, opt Options) (*Report, error) {
 		case errA != nil && errB != nil:
 			continue // artifact absent from both runs: nothing to compare
 		case errA != nil:
+			if k.optional {
+				r.Skipped = append(r.Skipped,
+					fmt.Sprintf("%s (optional, only in %s)", k.name, dirB))
+				continue
+			}
 			r.MissingA = append(r.MissingA, k.name)
 			continue
 		case errB != nil:
+			if k.optional {
+				r.Skipped = append(r.Skipped,
+					fmt.Sprintf("%s (optional, only in %s)", k.name, dirA))
+				continue
+			}
 			r.MissingB = append(r.MissingB, k.name)
 			continue
 		}

@@ -244,3 +244,152 @@ func TestReportJSONAndTableStable(t *testing.T) {
 		t.Fatalf("JSON verdict:\n%s", r1.JSON())
 	}
 }
+
+const sloA = `slo dwcsd: health=ok, 24 eval(s), 2 transition(s), 0 violation(s)
+id   name           state      short_burn  long_burn   loss_tgt  trans
+0    s0             ok               0.40       0.30     0.5000      1
+1    s1             ok               0.20       0.20     0.5000      1
+`
+
+func TestSLOEscalationRegresses(t *testing.T) {
+	sloB := strings.NewReplacer(
+		"health=ok", "health=violated",
+		"0 violation(s)", "1 violation(s)",
+		"0    s0             ok     ", "0    s0             violated",
+	).Replace(sloA)
+	a := writeDir(t, map[string]string{"slo.txt": sloA, "stages.txt": stagesTable(1, 1)})
+	b := writeDir(t, map[string]string{"slo.txt": sloB, "stages.txt": stagesTable(1, 1)})
+	r, err := DiffDirs(a, b, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Regression() {
+		t.Fatalf("SLO escalation not caught:\n%s", r.Table())
+	}
+	var health, stream, viol bool
+	for _, f := range r.Findings {
+		switch f.Series {
+		case "health.rank":
+			health = f.Severity == SevRegression && strings.Contains(f.Note, "ok → violated")
+		case "s0.state_rank":
+			stream = f.Severity == SevRegression
+		case "violations":
+			viol = f.Severity == SevRegression
+		}
+	}
+	if !health || !stream || !viol {
+		t.Fatalf("health=%v stream=%v violations=%v:\n%s", health, stream, viol, r.Table())
+	}
+	// Recovery in the other direction is an improvement, not a regression.
+	r2, err := DiffDirs(b, a, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Regression() {
+		t.Fatalf("SLO recovery misread as regression:\n%s", r2.Table())
+	}
+}
+
+func TestSLOParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"no header":     "id name state short long tgt trans\n0 s0 ok 0 0 0.5 0\n",
+		"bad state":     "slo c: health=ok, 1 eval(s), 0 transition(s), 0 violation(s)\n0 s0 warp 0 0 0.5 0\n",
+		"bad health":    "slo c: health=warp, 1 eval(s), 0 transition(s), 0 violation(s)\n",
+		"short row":     "slo c: health=ok, 1 eval(s), 0 transition(s), 0 violation(s)\n0 s0 ok 0\n",
+		"bad burn":      "slo c: health=ok, 1 eval(s), 0 transition(s), 0 violation(s)\n0 s0 ok x 0 0.5 0\n",
+	}
+	for name, text := range cases {
+		if _, err := ParseSLO(text); !errors.Is(err, ErrParse) {
+			t.Errorf("%s: err = %v, want ErrParse", name, err)
+		}
+	}
+}
+
+// TestOptionalArtifactsSkippedWithNote pins the real-run tolerance: a sim
+// artifact dir carrying cycles.txt and ladder.txt diffed against a real-run
+// dir that cannot produce them (no cycle meter, no overload sweep on a host)
+// must compare the shared core and note the optional files, not fail.
+func TestOptionalArtifactsSkippedWithNote(t *testing.T) {
+	sim := writeDir(t, map[string]string{
+		"stages.txt":  stagesTable(1, 1),
+		"metrics.csv": metricsA,
+		"cycles.txt":  cyclesA,
+		"ladder.txt":  ladderA,
+	})
+	real := writeDir(t, map[string]string{
+		"stages.txt":  stagesTable(1, 1),
+		"metrics.csv": metricsA,
+		"slo.txt":     sloA,
+	})
+	r, err := DiffDirs(sim, real, Options{})
+	if err != nil {
+		t.Fatalf("optional-file asymmetry should not error: %v", err)
+	}
+	if len(r.Compared) != 2 || r.Compared[0] != "stages.txt" || r.Compared[1] != "metrics.csv" {
+		t.Fatalf("Compared = %v, want the shared core", r.Compared)
+	}
+	if len(r.MissingA) != 0 || len(r.MissingB) != 0 {
+		t.Fatalf("optional files misfiled as missing: A=%v B=%v", r.MissingA, r.MissingB)
+	}
+	if len(r.Skipped) != 3 {
+		t.Fatalf("Skipped = %v, want slo.txt + ladder.txt + cycles.txt notes", r.Skipped)
+	}
+	for _, s := range r.Skipped {
+		if !strings.Contains(s, "optional") {
+			t.Fatalf("skip note %q lacks the optional marker", s)
+		}
+	}
+	if !strings.Contains(r.Table(), "skipped: ") {
+		t.Fatalf("table missing skip notes:\n%s", r.Table())
+	}
+}
+
+// TestWallClockConformanceMode pins the sim-vs-real tolerances: a 20% p95
+// drift is below the widened 50% threshold (wall-clock noise), a 2× drift
+// still regresses, and max_us growth is demoted to info with a note.
+func TestWallClockConformanceMode(t *testing.T) {
+	a := writeDir(t, map[string]string{"stages.txt": stagesTable(1, 1)})
+	drift := writeDir(t, map[string]string{"stages.txt": stagesTable(6, 5)})
+	double := writeDir(t, map[string]string{"stages.txt": stagesTable(2, 1)})
+
+	r, err := DiffDirs(a, drift, Options{WallClock: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Mode != "conformance" {
+		t.Fatalf("Mode = %q, want conformance", r.Mode)
+	}
+	if r.Regression() {
+		t.Fatalf("20%% drift should be inside wall-clock tolerance:\n%s", r.Table())
+	}
+	if !strings.Contains(r.Table(), "mode: conformance") {
+		t.Fatalf("table missing mode line:\n%s", r.Table())
+	}
+
+	r2, err := DiffDirs(a, double, Options{WallClock: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.Regression() {
+		t.Fatalf("2x queue latency should regress even with wall-clock tolerance:\n%s", r2.Table())
+	}
+	for _, f := range r2.Findings {
+		if strings.HasSuffix(f.Series, ".max_us") {
+			if f.Severity != SevInfo || !strings.Contains(f.Note, "noisy") {
+				t.Fatalf("wall-clock max not demoted: %+v", f)
+			}
+		}
+	}
+	if !strings.Contains(r2.JSON(), `"mode": "conformance"`) {
+		t.Fatalf("JSON missing mode:\n%s", r2.JSON())
+	}
+
+	// An explicit threshold overrides the widened default.
+	r3, err := DiffDirs(a, drift, Options{WallClock: true, Threshold: 0.10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r3.Regression() {
+		t.Fatalf("explicit 10%% threshold ignored in conformance mode:\n%s", r3.Table())
+	}
+}

@@ -158,10 +158,36 @@ func (h *Histogram) Count() int64 {
 	return h.m.hCount
 }
 
+// Sum returns the running sum of observed samples; Sum/Count is the mean,
+// which is how the real daemon's receiver reports mean inter-arrival gap
+// from the same fixed-bucket histogram it exports.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.m.hSum
+}
+
+// Bounds returns the histogram's fixed upper bucket bounds (nil-safe).
+func (h *Histogram) Bounds() []float64 {
+	if h == nil {
+		return nil
+	}
+	return h.m.bounds
+}
+
 // LatencyBucketsMs is the shared fixed bucket set (milliseconds) for
 // queueing and delivery latency histograms.
 var LatencyBucketsMs = []float64{
 	0.5, 1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000, 10000, 30000,
+}
+
+// JitterBucketsMs is the shared fixed bucket set (milliseconds) for
+// inter-arrival jitter histograms: finer than LatencyBucketsMs below 1 ms
+// because a paced media stream's arrival gaps cluster around its period,
+// and the interesting signal is sub-period dispersion.
+var JitterBucketsMs = []float64{
+	0.1, 0.25, 0.5, 1, 2, 5, 10, 20, 50, 100, 200, 500, 1000,
 }
 
 // snapValue is one metric's value captured by a snapshot.

@@ -259,3 +259,64 @@ func TestFormatFloat(t *testing.T) {
 		t.Error("NaN not spelled out")
 	}
 }
+
+// TestJitterBucketBounds pins the fixed jitter bucket set: strictly
+// ascending bounds, sub-millisecond resolution at the low end, and samples
+// landing in the bucket whose bound is the first not below them — the
+// contract the receiver's inter-arrival histograms and the soak bench's
+// session reports rely on.
+func TestJitterBucketBounds(t *testing.T) {
+	want := []float64{0.1, 0.25, 0.5, 1, 2, 5, 10, 20, 50, 100, 200, 500, 1000}
+	if len(JitterBucketsMs) != len(want) {
+		t.Fatalf("JitterBucketsMs has %d bounds, want %d", len(JitterBucketsMs), len(want))
+	}
+	for i, b := range JitterBucketsMs {
+		if b != want[i] {
+			t.Fatalf("JitterBucketsMs[%d] = %v, want %v", i, b, want[i])
+		}
+		if i > 0 && b <= JitterBucketsMs[i-1] {
+			t.Fatalf("JitterBucketsMs not strictly ascending at %d: %v", i, JitterBucketsMs)
+		}
+	}
+
+	reg := New()
+	h := reg.HistogramMetric("recv", "interarrival_ms", "gap between frames", JitterBucketsMs)
+	if got := h.Bounds(); len(got) != len(want) || got[0] != 0.1 {
+		t.Fatalf("Bounds() = %v, want the jitter set", got)
+	}
+	for _, v := range []float64{0.05, 0.3, 4.9, 999, 5000} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("Count = %d, want 5", h.Count())
+	}
+	if got, wantSum := h.Sum(), 0.05+0.3+4.9+999+5000; got != wantSum {
+		t.Fatalf("Sum = %v, want %v", got, wantSum)
+	}
+
+	// The Prometheus rendering exposes cumulative bucket counts at exactly
+	// the registered bounds: 0.05 ≤ 0.1, 0.3 ≤ 0.5, 4.9 ≤ 5, 999 ≤ 1000, and
+	// 5000 overflows into +Inf only.
+	text := reg.PrometheusText()
+	for _, line := range []string{
+		`repro_recv_interarrival_ms_bucket{component="recv",le="0.1"} 1`,
+		`repro_recv_interarrival_ms_bucket{component="recv",le="0.5"} 2`,
+		`repro_recv_interarrival_ms_bucket{component="recv",le="5"} 3`,
+		`repro_recv_interarrival_ms_bucket{component="recv",le="1000"} 4`,
+		`repro_recv_interarrival_ms_bucket{component="recv",le="+Inf"} 5`,
+	} {
+		if !strings.Contains(text, line) {
+			t.Fatalf("exposition missing %q:\n%s", line, text)
+		}
+	}
+	if _, _, err := CheckPrometheus(text); err != nil {
+		t.Fatalf("jitter histogram exposition malformed: %v", err)
+	}
+
+	// A nil histogram handle is inert like every other telemetry handle.
+	var nilH *Histogram
+	nilH.Observe(1)
+	if nilH.Count() != 0 || nilH.Sum() != 0 || nilH.Bounds() != nil {
+		t.Fatal("nil histogram not inert")
+	}
+}
